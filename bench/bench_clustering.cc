@@ -1,0 +1,62 @@
+// Experiment X1 — clustering metric of Moon et al. (the paper's ref [4]).
+//
+// For square range queries on a 2-d grid: the number of "clusters" (runs of
+// consecutive 1-d positions) inside a query equals the number of sequential
+// I/O segments needed to fetch the result. Fewer clusters = fewer seeks.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "query/range_query.h"
+#include "util/string_util.h"
+
+namespace spectral {
+namespace bench {
+namespace {
+
+void Run() {
+  const Coord kSide = 32;
+  const GridSpec grid = GridSpec::Uniform(2, kSide);
+  const PointSet points = PointSet::FullGrid(grid);
+
+  std::cout << "Clustering (Moon et al. metric): mean number of consecutive "
+               "rank runs per square query, "
+            << kSide << "x" << kSide << " grid\n\n";
+
+  BuildOrdersOptions build;
+  build.include_extras = true;
+  build.spectral = DefaultSpectralOptions(2);
+  const auto orders = BuildOrders(points, build);
+
+  const std::vector<Coord> query_sides = {2, 4, 8, 16};
+
+  TablePrinter table;
+  std::vector<std::string> header = {"query_side"};
+  for (const auto& named : orders) header.push_back(named.name);
+  table.SetHeader(header);
+
+  for (Coord qs : query_sides) {
+    RangeQueryShape shape;
+    shape.extents = {qs, qs};
+    RangeQueryOptions options;
+    options.include_axis_permutations = false;
+    options.collect_clusters = true;
+    std::vector<std::string> cells = {FormatInt(qs)};
+    for (const auto& named : orders) {
+      const auto stats = EvaluateRangeQueries(grid, named.order, shape, options);
+      cells.push_back(FormatDouble(stats.mean_clusters, 2));
+    }
+    table.AddRow(cells);
+  }
+  EmitTable("clustering", table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spectral
+
+int main() {
+  spectral::bench::Run();
+  return 0;
+}

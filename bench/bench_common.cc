@@ -1,0 +1,63 @@
+#include "bench/bench_common.h"
+
+#include <iostream>
+
+#include "util/check.h"
+#include "util/csv_writer.h"
+
+namespace spectral {
+namespace bench {
+
+SpectralLpmOptions DefaultSpectralOptions(int dims) {
+  SpectralLpmOptions options;
+  // A hyper-cube grid has a (dims)-fold degenerate lambda2; computing one
+  // extra pair lets the canonicalizer see the whole eigenspace.
+  options.fiedler.num_pairs = dims + 1;
+  return options;
+}
+
+std::vector<NamedOrder> BuildOrders(const PointSet& points,
+                                    const BuildOrdersOptions& options) {
+  std::vector<NamedOrder> orders;
+  auto add_curve = [&](const std::string& label, CurveKind kind,
+                       bool required) {
+    auto order = OrderByCurve(points, kind);
+    if (!order.ok()) {
+      SPECTRAL_CHECK(!required) << label << ": " << order.status();
+      return;  // optional extras may not support this grid shape
+    }
+    orders.push_back({label, std::move(*order)});
+  };
+  add_curve("Sweep", CurveKind::kSweep, true);
+  add_curve("Peano", CurveKind::kZOrder, true);  // the paper's "Peano"
+  add_curve("Gray", CurveKind::kGray, true);
+  add_curve("Hilbert", CurveKind::kHilbert, true);
+  if (options.include_extras) {
+    add_curve("Snake", CurveKind::kSnake, false);
+    add_curve("Peano3", CurveKind::kPeano, false);
+    add_curve("Spiral", CurveKind::kSpiral, false);
+  }
+  auto spectral_result = SpectralMapper(options.spectral).Map(points);
+  SPECTRAL_CHECK(spectral_result.ok())
+      << "Spectral: " << spectral_result.status();
+  orders.push_back({"Spectral", std::move(spectral_result->order)});
+  return orders;
+}
+
+void EmitTable(const std::string& bench_name, const TablePrinter& table) {
+  table.Print(std::cout);
+  std::cout.flush();
+  CsvWriter csv;
+  const std::string path = "bench_results/" + bench_name + ".csv";
+  if (!csv.Open(path).ok()) {
+    std::cerr << "(could not write " << path << ")\n";
+    return;
+  }
+  csv.WriteRow(table.header());
+  for (const auto& row : table.rows()) csv.WriteRow(row);
+  csv.Close();
+  std::cout << "[csv: " << path << "]\n";
+}
+
+}  // namespace bench
+}  // namespace spectral

@@ -1,0 +1,52 @@
+// Shared helpers for the reproduction benches: build the paper's five
+// mappings (Sweep, Peano=Z-order, Gray, Hilbert, Spectral) plus this
+// library's extras over a point set, and mirror printed tables into CSV
+// files under ./bench_results/.
+
+#ifndef SPECTRAL_LPM_BENCH_BENCH_COMMON_H_
+#define SPECTRAL_LPM_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/curve_order.h"
+#include "core/linear_order.h"
+#include "core/spectral_lpm.h"
+#include "space/point_set.h"
+#include "util/table_printer.h"
+
+namespace spectral {
+namespace bench {
+
+/// A mapping under evaluation, labeled as in the paper's figures.
+struct NamedOrder {
+  std::string name;
+  LinearOrder order;
+};
+
+/// Options for BuildOrders.
+struct BuildOrdersOptions {
+  /// Include the extra mappings beyond the paper's five (snake, triadic
+  /// peano).
+  bool include_extras = false;
+  /// Overrides for the spectral mapper (seeded, canonicalized defaults).
+  SpectralLpmOptions spectral;
+};
+
+/// Builds every mapping for `points`. Labels follow the paper: "Sweep",
+/// "Peano" (Z-order), "Gray", "Hilbert", "Spectral" (+ "Snake", "Peano3").
+/// CHECK-fails on mapper errors: benches run on known-good configurations.
+std::vector<NamedOrder> BuildOrders(const PointSet& points,
+                                    const BuildOrdersOptions& options = {});
+
+/// Standard spectral options for a bench on `dims`-dimensional data: enough
+/// eigenpairs to canonicalize a fully degenerate hyper-cube eigenspace.
+SpectralLpmOptions DefaultSpectralOptions(int dims);
+
+/// Prints the table to stdout and mirrors it to bench_results/<name>.csv.
+void EmitTable(const std::string& bench_name, const TablePrinter& table);
+
+}  // namespace bench
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_BENCH_BENCH_COMMON_H_

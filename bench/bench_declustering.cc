@@ -1,0 +1,57 @@
+// Experiment X3 — declustering across M disks (an application the paper's
+// conclusion names). Records striped round-robin by rank; a query's cost is
+// the max per-disk load, ideal = ceil(result / M).
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "index/declustering.h"
+#include "util/string_util.h"
+
+namespace spectral {
+namespace bench {
+namespace {
+
+void Run() {
+  const Coord kSide = 16;
+  const GridSpec grid = GridSpec::Uniform(2, kSide);
+  const PointSet points = PointSet::FullGrid(grid);
+
+  std::cout << "Declustering: mean (max per-disk load) / (optimal load) over "
+               "all 4x4 range queries, "
+            << kSide << "x" << kSide << " grid, round-robin striping\n\n";
+
+  BuildOrdersOptions build;
+  build.include_extras = true;
+  build.spectral = DefaultSpectralOptions(2);
+  const auto orders = BuildOrders(points, build);
+
+  const std::vector<int> disk_counts = {2, 4, 8};
+
+  TablePrinter table;
+  std::vector<std::string> header = {"disks"};
+  for (const auto& named : orders) header.push_back(named.name);
+  table.SetHeader(header);
+
+  RangeQueryShape shape;
+  shape.extents = {4, 4};
+  for (int disks : disk_counts) {
+    std::vector<std::string> cells = {FormatInt(disks)};
+    for (const auto& named : orders) {
+      const auto stats = EvaluateDeclustering(grid, named.order, shape, disks);
+      cells.push_back(FormatDouble(stats.mean_balance_ratio, 3));
+    }
+    table.AddRow(cells);
+  }
+  EmitTable("declustering", table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spectral
+
+int main() {
+  spectral::bench::Run();
+  return 0;
+}

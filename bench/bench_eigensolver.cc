@@ -1,0 +1,94 @@
+// Experiment X6 — eigensolver substrate microbenchmarks (google-benchmark):
+// the Lanczos Fiedler path vs the dense Jacobi reference, SpMV throughput,
+// and end-to-end Spectral LPM mapping cost by problem size. This is the
+// ablation for DESIGN.md's "sparse eigensolver" requirement: it shows where
+// the dense engine stops being viable and what the sparse path costs.
+
+#include <benchmark/benchmark.h>
+
+#include "core/spectral_lpm.h"
+#include "eigen/fiedler.h"
+#include "graph/grid_graph.h"
+#include "graph/laplacian.h"
+#include "linalg/sparse_matrix.h"
+#include "space/point_set.h"
+
+namespace spectral {
+namespace {
+
+void BM_SpMV_GridLaplacian(benchmark::State& state) {
+  const Coord side = static_cast<Coord>(state.range(0));
+  const SparseMatrix lap =
+      BuildLaplacian(BuildGridGraph(GridSpec::Uniform(2, side)));
+  Vector x(static_cast<size_t>(lap.rows()), 1.0);
+  Vector y(static_cast<size_t>(lap.rows()));
+  for (auto _ : state) {
+    lap.MatVec(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * lap.nnz());
+}
+BENCHMARK(BM_SpMV_GridLaplacian)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Fiedler_Lanczos_Grid2D(benchmark::State& state) {
+  const Coord side = static_cast<Coord>(state.range(0));
+  const SparseMatrix lap =
+      BuildLaplacian(BuildGridGraph(GridSpec::Uniform(2, side)));
+  FiedlerOptions options;
+  options.method = FiedlerMethod::kLanczos;
+  options.num_pairs = 1;
+  for (auto _ : state) {
+    auto result = ComputeFiedler(lap, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Fiedler_Lanczos_Grid2D)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fiedler_Dense_Grid2D(benchmark::State& state) {
+  const Coord side = static_cast<Coord>(state.range(0));
+  const SparseMatrix lap =
+      BuildLaplacian(BuildGridGraph(GridSpec::Uniform(2, side)));
+  FiedlerOptions options;
+  options.method = FiedlerMethod::kDense;
+  options.num_pairs = 1;
+  for (auto _ : state) {
+    auto result = ComputeFiedler(lap, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Fiedler_Dense_Grid2D)->Arg(8)->Arg(12)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fiedler_Lanczos_Path(benchmark::State& state) {
+  const Coord n = static_cast<Coord>(state.range(0));
+  const SparseMatrix lap = BuildLaplacian(BuildGridGraph(GridSpec({n})));
+  FiedlerOptions options;
+  options.method = FiedlerMethod::kLanczos;
+  options.num_pairs = 1;
+  for (auto _ : state) {
+    auto result = ComputeFiedler(lap, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Fiedler_Lanczos_Path)->Arg(256)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SpectralMap_EndToEnd(benchmark::State& state) {
+  const Coord side = static_cast<Coord>(state.range(0));
+  const PointSet points = PointSet::FullGrid(GridSpec::Uniform(2, side));
+  SpectralLpmOptions options;
+  options.fiedler.num_pairs = 3;
+  const SpectralMapper mapper(options);
+  for (auto _ : state) {
+    auto result = mapper.Map(points);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SpectralMap_EndToEnd)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace spectral
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Experiment E1 — paper Figure 1 (the boundary effect of fractals).
+//
+// Fractal curves optimize locally per quadrant: two points that are grid
+// neighbors but straddle a quadrant boundary can land very far apart in the
+// 1-d order. We quantify the effect exactly: over all Manhattan-distance-1
+// pairs, the worst and mean 1-d gap, plus the gap of the paper's motivating
+// pair (the two cells around the vertical center line, middle row).
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "query/pair_metrics.h"
+#include "util/string_util.h"
+
+namespace spectral {
+namespace bench {
+namespace {
+
+void RunForSide(Coord side, TablePrinter& table) {
+  const GridSpec grid = GridSpec::Uniform(2, side);
+  const PointSet points = PointSet::FullGrid(grid);
+
+  BuildOrdersOptions build;
+  build.include_extras = true;
+  build.spectral = DefaultSpectralOptions(2);
+  const auto orders = BuildOrders(points, build);
+
+  // The paper's P1/P2: the pair straddling the center vertical boundary in
+  // the middle row (Figure 1 draws them adjacent across the quadrants).
+  const Coord mid = static_cast<Coord>(side / 2);
+  const std::vector<Coord> p1 = {mid, static_cast<Coord>(mid - 1)};
+  const std::vector<Coord> p2 = {mid, mid};
+  const int64_t i1 = grid.Flatten(p1);
+  const int64_t i2 = grid.Flatten(p2);
+
+  const std::vector<int64_t> distances = {1};
+  for (const auto& named : orders) {
+    const auto series =
+        ComputePairDistanceSeries(points, named.order, distances);
+    const int64_t center_gap =
+        std::llabs(named.order.RankOf(i1) - named.order.RankOf(i2));
+    table.AddRow({FormatInt(side), named.name,
+                  FormatInt(center_gap),
+                  FormatInt(series.max_rank_distance[0]),
+                  FormatDouble(series.mean_rank_distance[0], 2)});
+  }
+}
+
+void Run() {
+  std::cout << "Figure 1: boundary effect - 1-d gap of spatially adjacent "
+               "pairs (center pair, worst pair, mean over all neighbor "
+               "pairs)\n\n";
+  TablePrinter table;
+  table.SetHeader({"side", "mapping", "center_pair_gap", "max_neighbor_gap",
+                   "mean_neighbor_gap"});
+  RunForSide(4, table);
+  RunForSide(8, table);
+  RunForSide(16, table);
+  EmitTable("fig1_boundary", table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spectral
+
+int main() {
+  spectral::bench::Run();
+  return 0;
+}

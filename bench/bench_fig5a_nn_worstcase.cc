@@ -1,0 +1,74 @@
+// Experiment E4 — paper Figure 5a (nearest-neighbor queries, worst case).
+//
+// Question: if two 5-dimensional points are at Manhattan distance d (given
+// as a percent of the maximum), how far apart can their images be in the
+// one-dimensional order (percent of N-1)? Lower is better. One row per
+// distance, one column per mapping, exactly the series the paper plots.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "query/pair_metrics.h"
+#include "util/string_util.h"
+
+namespace spectral {
+namespace bench {
+namespace {
+
+void Run() {
+  const int kDims = 5;
+  const Coord kSide = 4;  // N = 4^5 = 1024, matching the paper's 5-d setting
+  const GridSpec grid = GridSpec::Uniform(kDims, kSide);
+  const PointSet points = PointSet::FullGrid(grid);
+
+  std::cout << "Figure 5a: NN worst case - max 1-d distance (% of N-1) vs "
+               "Manhattan distance (% of max), "
+            << kDims << "-d grid, side " << kSide
+            << ", N = " << grid.NumCells() << "\n\n";
+
+  BuildOrdersOptions build;
+  build.spectral = DefaultSpectralOptions(kDims);
+  const auto orders = BuildOrders(points, build);
+
+  const int64_t max_manhattan = grid.MaxManhattanDistance();
+  const std::vector<int> percents = {10, 20, 30, 40, 50};
+  std::vector<int64_t> distances;
+  for (int p : percents) {
+    distances.push_back(std::max<int64_t>(
+        1, std::llround(p / 100.0 * static_cast<double>(max_manhattan))));
+  }
+
+  TablePrinter table;
+  std::vector<std::string> header = {"manhattan_pct", "manhattan_d"};
+  for (const auto& named : orders) header.push_back(named.name);
+  table.SetHeader(header);
+
+  // One pair sweep per mapping; the series are aligned by distance row.
+  std::vector<PairDistanceSeries> series;
+  for (const auto& named : orders) {
+    series.push_back(
+        ComputePairDistanceSeries(points, named.order, distances));
+  }
+  const double denom = static_cast<double>(grid.NumCells() - 1);
+  for (size_t row = 0; row < percents.size(); ++row) {
+    std::vector<std::string> cells = {FormatInt(percents[row]),
+                                      FormatInt(distances[row])};
+    for (const auto& s : series) {
+      cells.push_back(FormatDouble(
+          100.0 * static_cast<double>(s.max_rank_distance[row]) / denom, 1));
+    }
+    table.AddRow(cells);
+  }
+  EmitTable("fig5a_nn_worstcase", table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spectral
+
+int main() {
+  spectral::bench::Run();
+  return 0;
+}

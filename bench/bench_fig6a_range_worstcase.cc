@@ -1,0 +1,66 @@
+// Experiment E6 — paper Figure 6a (range queries, worst case).
+//
+// Question: over all partial range queries of a given size (percent of the
+// space) in a 4-dimensional grid, what is the worst difference between the
+// maximum and minimum 1-d value of the points inside a query? Smaller means
+// a range query can be answered by one short sequential scan.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "query/range_query.h"
+#include "util/string_util.h"
+
+namespace spectral {
+namespace bench {
+namespace {
+
+void Run() {
+  const int kDims = 4;
+  const Coord kSide = 6;  // N = 1296, matching the paper's axis scale
+  const GridSpec grid = GridSpec::Uniform(kDims, kSide);
+  const PointSet points = PointSet::FullGrid(grid);
+
+  std::cout << "Figure 6a: range queries, worst case - max (max-min) of 1-d "
+               "values over all partial range queries, "
+            << kDims << "-d grid, side " << kSide
+            << ", N = " << grid.NumCells() << "\n\n";
+
+  BuildOrdersOptions build;
+  build.spectral = DefaultSpectralOptions(kDims);
+  const auto orders = BuildOrders(points, build);
+
+  const std::vector<int> percents = {2, 4, 8, 16, 32, 64};
+
+  TablePrinter table;
+  std::vector<std::string> header = {"size_pct", "num_shapes", "num_queries"};
+  for (const auto& named : orders) header.push_back(named.name);
+  table.SetHeader(header);
+
+  for (int pct : percents) {
+    const auto shapes = ShapesForVolume(grid, pct / 100.0);
+    std::vector<std::string> cells = {FormatInt(pct),
+                                      FormatInt(static_cast<int64_t>(shapes.size()))};
+    bool first = true;
+    for (const auto& named : orders) {
+      const auto stats = EvaluateRangeQueryShapes(grid, named.order, shapes);
+      if (first) {
+        cells.insert(cells.begin() + 2, FormatInt(stats.num_queries));
+        first = false;
+      }
+      cells.push_back(FormatInt(stats.max_spread));
+    }
+    table.AddRow(cells);
+  }
+  EmitTable("fig6a_range_worstcase", table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spectral
+
+int main() {
+  spectral::bench::Run();
+  return 0;
+}

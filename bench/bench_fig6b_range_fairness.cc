@@ -1,0 +1,60 @@
+// Experiment E7 — paper Figure 6b (range queries, fairness).
+//
+// Question: for all partial range queries of a given size in the
+// 4-dimensional space, what is the standard deviation of the (max - min)
+// spread of 1-d values? Lower stddev = fairer mapping: query cost does not
+// depend on where (or along which axes) the query happens to fall.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "query/range_query.h"
+#include "util/string_util.h"
+
+namespace spectral {
+namespace bench {
+namespace {
+
+void Run() {
+  const int kDims = 4;
+  const Coord kSide = 6;  // N = 1296
+  const GridSpec grid = GridSpec::Uniform(kDims, kSide);
+  const PointSet points = PointSet::FullGrid(grid);
+
+  std::cout << "Figure 6b: range queries, fairness - stddev of the (max-min) "
+               "spread over all partial range queries, "
+            << kDims << "-d grid, side " << kSide
+            << ", N = " << grid.NumCells() << "\n\n";
+
+  BuildOrdersOptions build;
+  build.spectral = DefaultSpectralOptions(kDims);
+  const auto orders = BuildOrders(points, build);
+
+  const std::vector<int> percents = {2, 4, 8, 16, 32, 64};
+
+  TablePrinter table;
+  std::vector<std::string> header = {"size_pct"};
+  for (const auto& named : orders) header.push_back(named.name);
+  table.SetHeader(header);
+
+  for (int pct : percents) {
+    const auto shapes = ShapesForVolume(grid, pct / 100.0);
+    std::vector<std::string> cells = {FormatInt(pct)};
+    for (const auto& named : orders) {
+      const auto stats = EvaluateRangeQueryShapes(grid, named.order, shapes);
+      cells.push_back(FormatDouble(stats.stddev_spread, 1));
+    }
+    table.AddRow(cells);
+  }
+  EmitTable("fig6b_range_fairness", table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spectral
+
+int main() {
+  spectral::bench::Run();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Experiment X5 — kNN via the 1-d order ("similarity search", the first
+// application the paper names). A window of ranks around the query point
+// serves as the candidate set; recall against exact kNN measures how much
+// of the true neighborhood the mapping keeps nearby.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "query/knn.h"
+#include "util/string_util.h"
+
+namespace spectral {
+namespace bench {
+namespace {
+
+void Run() {
+  const Coord kSide = 24;
+  const GridSpec grid = GridSpec::Uniform(2, kSide);
+  const PointSet points = PointSet::FullGrid(grid);
+
+  std::cout << "kNN through the linear order: recall@10 of a +/-window "
+               "candidate set vs exact kNN, " << kSide << "x" << kSide
+            << " grid, 300 queries\n\n";
+
+  BuildOrdersOptions build;
+  build.include_extras = true;
+  build.spectral = DefaultSpectralOptions(2);
+  const auto orders = BuildOrders(points, build);
+
+  const std::vector<int64_t> windows = {10, 20, 40, 80};
+
+  TablePrinter table;
+  std::vector<std::string> header = {"window"};
+  for (const auto& named : orders) header.push_back(named.name);
+  table.SetHeader(header);
+
+  for (int64_t window : windows) {
+    std::vector<std::string> cells = {FormatInt(window)};
+    for (const auto& named : orders) {
+      KnnOptions options;
+      options.k = 10;
+      options.window = window;
+      options.num_queries = 300;
+      options.seed = 0xabcd01;
+      const auto stats = EvaluateKnnRecall(points, named.order, options);
+      cells.push_back(FormatDouble(stats.mean_recall, 3));
+    }
+    table.AddRow(cells);
+  }
+  EmitTable("knn", table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spectral
+
+int main() {
+  spectral::bench::Run();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Weighted graphs (paper section 4, footnote 1): edge weights encode the
+// priority of placing two points close in the 1-d order. Here we map a
+// user-supplied graph directly — a "two rooms connected by a corridor"
+// layout — and watch the order keep each room contiguous.
+//
+//   $ ./example_weighted_mapping
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/spectral_lpm.h"
+#include "graph/graph.h"
+
+int main() {
+  using namespace spectral;
+
+  // Vertices 0..3: room A (clique, strong weights). Vertices 4..7: room B.
+  // Vertex 8: the corridor, weakly connected to both rooms.
+  std::vector<GraphEdge> edges;
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = i + 1; j < 4; ++j) edges.push_back({i, j, 4.0});
+  }
+  for (int64_t i = 4; i < 8; ++i) {
+    for (int64_t j = i + 1; j < 8; ++j) edges.push_back({i, j, 4.0});
+  }
+  edges.push_back({3, 8, 0.5});
+  edges.push_back({8, 4, 0.5});
+  const Graph graph = Graph::FromEdges(9, edges);
+
+  auto result = SpectralMapper().MapGraph(graph, nullptr);
+  if (!result.ok()) {
+    std::cerr << result.status() << "\n";
+    return EXIT_FAILURE;
+  }
+
+  std::cout << "Weighted spectral mapping of two 4-cliques joined by a weak "
+               "corridor vertex\n";
+  std::cout << "lambda2 = " << result->lambda2 << "\n\n";
+  std::cout << "vertex -> rank:\n";
+  for (int64_t v = 0; v < 9; ++v) {
+    const char* role = v < 4 ? "room A  " : (v < 8 ? "room B  " : "corridor");
+    std::cout << "  v" << v << " (" << role << ") -> "
+              << result->order.RankOf(v) << "\n";
+  }
+  std::cout << "\nEach room occupies a contiguous rank block and the "
+               "corridor sits between them.\n";
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,57 @@
+#include "core/curve_order.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace spectral {
+
+StatusOr<LinearOrder> OrderByCurve(const PointSet& points, CurveKind kind) {
+  if (points.empty()) {
+    return InvalidArgumentError("cannot order an empty point set");
+  }
+  std::vector<Coord> lo, hi;
+  points.Bounds(&lo, &hi);
+  Coord extent = 1;
+  for (int a = 0; a < points.dims(); ++a) {
+    extent = std::max(extent,
+                      static_cast<Coord>(hi[static_cast<size_t>(a)] -
+                                         lo[static_cast<size_t>(a)] + 1));
+  }
+  const GridSpec grid = EnclosingGridFor(kind, points.dims(), extent);
+  auto curve = MakeCurve(kind, grid);
+  if (!curve.ok()) return curve.status();
+
+  std::vector<uint64_t> keys(static_cast<size_t>(points.size()));
+  std::vector<Coord> shifted(static_cast<size_t>(points.dims()));
+  for (int64_t i = 0; i < points.size(); ++i) {
+    const auto p = points[i];
+    for (int a = 0; a < points.dims(); ++a) {
+      shifted[static_cast<size_t>(a)] =
+          p[static_cast<size_t>(a)] - lo[static_cast<size_t>(a)];
+    }
+    keys[static_cast<size_t>(i)] = (*curve)->IndexOf(shifted);
+  }
+  return LinearOrder::FromKeys(keys);
+}
+
+StatusOr<LinearOrder> OrderByCurveOnGrid(const PointSet& points,
+                                         const SpaceFillingCurve& curve) {
+  if (points.empty()) {
+    return InvalidArgumentError("cannot order an empty point set");
+  }
+  if (points.dims() != curve.dims()) {
+    return InvalidArgumentError("point set and curve dimension mismatch");
+  }
+  std::vector<uint64_t> keys(static_cast<size_t>(points.size()));
+  for (int64_t i = 0; i < points.size(); ++i) {
+    if (!curve.grid().Contains(points[i])) {
+      return InvalidArgumentError("point outside the curve grid");
+    }
+    keys[static_cast<size_t>(i)] = curve.IndexOf(points[i]);
+  }
+  return LinearOrder::FromKeys(keys);
+}
+
+}  // namespace spectral

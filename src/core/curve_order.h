@@ -1,0 +1,29 @@
+// Linear orders induced by space-filling curves over arbitrary point sets:
+// points are ranked by their curve index within the smallest enclosing grid
+// the curve family supports. For a full power-of-two grid the rank equals
+// the curve position itself, so this generalizes the textbook usage.
+
+#ifndef SPECTRAL_LPM_CORE_CURVE_ORDER_H_
+#define SPECTRAL_LPM_CORE_CURVE_ORDER_H_
+
+#include "core/linear_order.h"
+#include "sfc/curve_registry.h"
+#include "space/point_set.h"
+#include "util/status.h"
+
+namespace spectral {
+
+/// Orders `points` by `kind`. The points are translated to the origin and
+/// the curve is instantiated on the smallest legal enclosing hyper-cube
+/// (exact extents for sweep/snake). Fails if the enclosing grid exceeds the
+/// curve family's index width.
+StatusOr<LinearOrder> OrderByCurve(const PointSet& points, CurveKind kind);
+
+/// Orders `points` by an existing curve instance; every point must lie
+/// inside curve.grid().
+StatusOr<LinearOrder> OrderByCurveOnGrid(const PointSet& points,
+                                         const SpaceFillingCurve& curve);
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_CORE_CURVE_ORDER_H_

@@ -1,0 +1,154 @@
+#include "core/linear_order.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace spectral {
+
+void LinearOrder::BuildInverse() {
+  rank_to_point_.assign(point_to_rank_.size(), -1);
+  for (size_t i = 0; i < point_to_rank_.size(); ++i) {
+    rank_to_point_[static_cast<size_t>(point_to_rank_[i])] =
+        static_cast<int64_t>(i);
+  }
+}
+
+StatusOr<LinearOrder> LinearOrder::FromRanks(
+    std::vector<int64_t> point_to_rank) {
+  const int64_t n = static_cast<int64_t>(point_to_rank.size());
+  std::vector<bool> seen(static_cast<size_t>(n), false);
+  for (int64_t r : point_to_rank) {
+    if (r < 0 || r >= n || seen[static_cast<size_t>(r)]) {
+      return InvalidArgumentError("ranks are not a permutation of [0, n)");
+    }
+    seen[static_cast<size_t>(r)] = true;
+  }
+  LinearOrder order;
+  order.point_to_rank_ = std::move(point_to_rank);
+  order.BuildInverse();
+  return order;
+}
+
+namespace {
+
+template <typename T>
+std::vector<int64_t> ArgsortToRanks(std::span<const T> values) {
+  const int64_t n = static_cast<int64_t>(values.size());
+  std::vector<int64_t> by_value(static_cast<size_t>(n));
+  std::iota(by_value.begin(), by_value.end(), 0);
+  std::sort(by_value.begin(), by_value.end(), [&](int64_t a, int64_t b) {
+    const T va = values[static_cast<size_t>(a)];
+    const T vb = values[static_cast<size_t>(b)];
+    return va != vb ? va < vb : a < b;
+  });
+  std::vector<int64_t> ranks(static_cast<size_t>(n));
+  for (int64_t r = 0; r < n; ++r) {
+    ranks[static_cast<size_t>(by_value[static_cast<size_t>(r)])] = r;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+LinearOrder LinearOrder::FromValues(std::span<const double> values) {
+  LinearOrder order;
+  order.point_to_rank_ = ArgsortToRanks(values);
+  order.BuildInverse();
+  return order;
+}
+
+LinearOrder LinearOrder::FromKeys(std::span<const uint64_t> keys) {
+  LinearOrder order;
+  order.point_to_rank_ = ArgsortToRanks(keys);
+  order.BuildInverse();
+  return order;
+}
+
+LinearOrder LinearOrder::Identity(int64_t n) {
+  SPECTRAL_CHECK_GE(n, 0);
+  LinearOrder order;
+  order.point_to_rank_.resize(static_cast<size_t>(n));
+  std::iota(order.point_to_rank_.begin(), order.point_to_rank_.end(), 0);
+  order.BuildInverse();
+  return order;
+}
+
+int64_t LinearOrder::RankOf(int64_t i) const {
+  SPECTRAL_DCHECK_GE(i, 0);
+  SPECTRAL_DCHECK_LT(i, size());
+  return point_to_rank_[static_cast<size_t>(i)];
+}
+
+int64_t LinearOrder::PointAtRank(int64_t r) const {
+  SPECTRAL_DCHECK_GE(r, 0);
+  SPECTRAL_DCHECK_LT(r, size());
+  return rank_to_point_[static_cast<size_t>(r)];
+}
+
+LinearOrder LinearOrder::Reversed() const {
+  LinearOrder order;
+  order.point_to_rank_.resize(point_to_rank_.size());
+  const int64_t n = size();
+  for (int64_t i = 0; i < n; ++i) {
+    order.point_to_rank_[static_cast<size_t>(i)] =
+        n - 1 - point_to_rank_[static_cast<size_t>(i)];
+  }
+  order.BuildInverse();
+  return order;
+}
+
+double LinearOrder::SquaredArrangementCost(const Graph& g) const {
+  SPECTRAL_CHECK_EQ(g.num_vertices(), size());
+  double acc = 0.0;
+  g.ForEachEdge([&](int64_t u, int64_t v, double w) {
+    const double diff = static_cast<double>(RankOf(u) - RankOf(v));
+    acc += w * diff * diff;
+  });
+  return acc;
+}
+
+double LinearOrder::LinearArrangementCost(const Graph& g) const {
+  SPECTRAL_CHECK_EQ(g.num_vertices(), size());
+  double acc = 0.0;
+  g.ForEachEdge([&](int64_t u, int64_t v, double w) {
+    acc += w * std::fabs(static_cast<double>(RankOf(u) - RankOf(v)));
+  });
+  return acc;
+}
+
+std::string LinearOrder::ToGridString(const PointSet& points) const {
+  SPECTRAL_CHECK_EQ(points.dims(), 2);
+  SPECTRAL_CHECK_EQ(points.size(), size());
+  std::vector<Coord> lo, hi;
+  points.Bounds(&lo, &hi);
+  const int64_t rows = hi[0] - lo[0] + 1;
+  const int64_t cols = hi[1] - lo[1] + 1;
+  // cell text grid initialized to dots
+  std::vector<std::vector<std::string>> cells(
+      static_cast<size_t>(rows),
+      std::vector<std::string>(static_cast<size_t>(cols), "."));
+  size_t width = 1;
+  for (int64_t i = 0; i < points.size(); ++i) {
+    const auto p = points[i];
+    std::string text = std::to_string(RankOf(i));
+    width = std::max(width, text.size());
+    cells[static_cast<size_t>(p[0] - lo[0])][static_cast<size_t>(p[1] - lo[1])] =
+        std::move(text);
+  }
+  std::ostringstream os;
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      const std::string& text = cells[static_cast<size_t>(r)][static_cast<size_t>(c)];
+      os << std::string(width - text.size(), ' ') << text;
+      if (c + 1 < cols) os << ' ';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace spectral

@@ -1,0 +1,73 @@
+// LinearOrder: the output "S" of the paper's algorithm — a permutation of a
+// point set giving each point a one-dimensional position (rank). Both the
+// spectral mapper and the curve-based baselines produce this type, so every
+// metric and application downstream is mapping-agnostic.
+
+#ifndef SPECTRAL_LPM_CORE_LINEAR_ORDER_H_
+#define SPECTRAL_LPM_CORE_LINEAR_ORDER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "space/point_set.h"
+#include "util/status.h"
+
+namespace spectral {
+
+/// Bijection between point indices and ranks [0, n).
+class LinearOrder {
+ public:
+  LinearOrder() = default;
+
+  /// Builds from point_to_rank; fails unless it is a permutation of [0, n).
+  static StatusOr<LinearOrder> FromRanks(std::vector<int64_t> point_to_rank);
+
+  /// Ranks points by ascending value; ties broken by point index, which
+  /// keeps results deterministic (step 5 of the paper's pseudo code applied
+  /// to the Fiedler components).
+  static LinearOrder FromValues(std::span<const double> values);
+
+  /// Ranks points by ascending integer key (e.g. curve indices); ties broken
+  /// by point index.
+  static LinearOrder FromKeys(std::span<const uint64_t> keys);
+
+  /// Identity order (rank == point index).
+  static LinearOrder Identity(int64_t n);
+
+  int64_t size() const { return static_cast<int64_t>(point_to_rank_.size()); }
+
+  /// Rank of point `i`.
+  int64_t RankOf(int64_t i) const;
+
+  /// Point at rank `r` (inverse permutation).
+  int64_t PointAtRank(int64_t r) const;
+
+  /// Reversed order (rank r -> n-1-r); the mapping quality metrics of the
+  /// paper are invariant under reversal.
+  LinearOrder Reversed() const;
+
+  /// The paper's Theorem-1 objective evaluated on integer ranks:
+  /// sum over edges of w_uv * (rank_u - rank_v)^2.
+  double SquaredArrangementCost(const Graph& g) const;
+
+  /// Minimum-linear-arrangement style cost: sum of w_uv * |rank_u - rank_v|.
+  double LinearArrangementCost(const Graph& g) const;
+
+  /// Renders a 2-d order as a grid of ranks (for examples and debugging).
+  /// Requires `points` to be 2-d; missing cells print as dots.
+  std::string ToGridString(const PointSet& points) const;
+
+ private:
+  std::vector<int64_t> point_to_rank_;
+  std::vector<int64_t> rank_to_point_;
+
+  void BuildInverse();
+};
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_CORE_LINEAR_ORDER_H_

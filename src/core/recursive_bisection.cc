@@ -1,0 +1,237 @@
+#include "core/recursive_bisection.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "eigen/fiedler.h"
+#include "graph/laplacian.h"
+#include "graph/point_graph.h"
+#include "graph/subgraph.h"
+#include "graph/traversal.h"
+#include "util/check.h"
+
+namespace spectral {
+
+namespace {
+
+// Shared recursion state.
+struct Bisector {
+  const PointSet* points;  // may be null
+  const RecursiveBisectionOptions* options;
+  std::vector<int64_t> ranks;  // global point -> rank, filled leaf by leaf
+  int64_t next_rank = 0;
+  int64_t num_solves = 0;
+  int depth_reached = 0;
+  Status error;  // first failure, if any
+
+  bool ok() const { return error.ok(); }
+
+  // Appends `verts` in their given order.
+  void Emit(std::span<const int64_t> verts) {
+    for (int64_t v : verts) {
+      ranks[static_cast<size_t>(v)] = next_rank++;
+    }
+  }
+
+  std::vector<Vector> AxesFor(std::span<const int64_t> verts) const {
+    if (points == nullptr || !options->base.canonicalize_with_axes) return {};
+    PointSet subset(points->dims());
+    for (int64_t v : verts) subset.Add((*points)[v]);
+    return subset.CenteredAxisFunctions();
+  }
+
+  // Children re-canonicalize the Fiedler sign independently, which would
+  // flip segment directions at random and break the concatenated order.
+  // Align each child's ascending-value order with the incoming vertex order
+  // (`verts` arrives sorted by the parent's values): flip if reversed
+  // agreement is stronger.
+  static void AlignWithIncomingOrder(std::vector<int64_t>& by_value) {
+    const int64_t m = static_cast<int64_t>(by_value.size());
+    int64_t forward = 0;
+    int64_t backward = 0;
+    for (int64_t k = 0; k < m; ++k) {
+      forward += k * by_value[static_cast<size_t>(k)];
+      backward += k * by_value[static_cast<size_t>(m - 1 - k)];
+    }
+    if (backward > forward) {
+      std::reverse(by_value.begin(), by_value.end());
+    }
+  }
+
+  // Orders the *connected* subgraph over verts (local ids match verts
+  // positions) with one direct Fiedler solve.
+  void OrderLeaf(const Graph& graph, std::span<const int64_t> verts) {
+    const int64_t m = static_cast<int64_t>(verts.size());
+    if (m <= 2) {
+      Emit(verts);
+      return;
+    }
+    const auto axes = AxesFor(verts);
+    auto fiedler = ComputeFiedler(BuildLaplacian(graph),
+                                  options->base.fiedler, axes);
+    if (!fiedler.ok()) {
+      if (error.ok()) error = fiedler.status();
+      Emit(verts);  // keep the permutation valid even on failure
+      return;
+    }
+    num_solves += 1;
+    std::vector<int64_t> by_value(static_cast<size_t>(m));
+    std::iota(by_value.begin(), by_value.end(), 0);
+    std::sort(by_value.begin(), by_value.end(), [&](int64_t a, int64_t b) {
+      const double va = fiedler->fiedler[static_cast<size_t>(a)];
+      const double vb = fiedler->fiedler[static_cast<size_t>(b)];
+      if (va != vb) return va < vb;
+      return verts[static_cast<size_t>(a)] < verts[static_cast<size_t>(b)];
+    });
+    AlignWithIncomingOrder(by_value);
+    std::vector<int64_t> ordered(static_cast<size_t>(m));
+    for (int64_t i = 0; i < m; ++i) {
+      ordered[static_cast<size_t>(i)] =
+          verts[static_cast<size_t>(by_value[static_cast<size_t>(i)])];
+    }
+    Emit(ordered);
+  }
+
+  // Orders an arbitrary (possibly disconnected) subgraph.
+  void OrderAny(const Graph& graph, std::span<const int64_t> verts,
+                int depth);
+
+  // Orders a *connected* subgraph: leaf solve or median-cut recursion.
+  void OrderConnected(const Graph& graph, std::span<const int64_t> verts,
+                      int depth) {
+    depth_reached = std::max(depth_reached, depth);
+    const int64_t m = static_cast<int64_t>(verts.size());
+    if (m <= std::max<int64_t>(2, options->leaf_size) ||
+        depth >= options->max_depth) {
+      OrderLeaf(graph, verts);
+      return;
+    }
+    const auto axes = AxesFor(verts);
+    auto fiedler = ComputeFiedler(BuildLaplacian(graph),
+                                  options->base.fiedler, axes);
+    if (!fiedler.ok()) {
+      if (error.ok()) error = fiedler.status();
+      Emit(verts);
+      return;
+    }
+    num_solves += 1;
+
+    // Median cut: lower half by Fiedler value (ties by global id), with the
+    // cut direction aligned to the incoming order.
+    std::vector<int64_t> by_value(static_cast<size_t>(m));
+    std::iota(by_value.begin(), by_value.end(), 0);
+    std::sort(by_value.begin(), by_value.end(), [&](int64_t a, int64_t b) {
+      const double va = fiedler->fiedler[static_cast<size_t>(a)];
+      const double vb = fiedler->fiedler[static_cast<size_t>(b)];
+      if (va != vb) return va < vb;
+      return verts[static_cast<size_t>(a)] < verts[static_cast<size_t>(b)];
+    });
+    AlignWithIncomingOrder(by_value);
+    const int64_t half = (m + 1) / 2;
+    for (int side = 0; side < 2; ++side) {
+      const int64_t begin = side == 0 ? 0 : half;
+      const int64_t end = side == 0 ? half : m;
+      std::vector<int64_t> side_local(by_value.begin() + begin,
+                                      by_value.begin() + end);
+      const InducedSubgraph sub = BuildInducedSubgraph(graph, side_local);
+      std::vector<int64_t> side_global(side_local.size());
+      for (size_t i = 0; i < side_local.size(); ++i) {
+        side_global[i] = verts[static_cast<size_t>(side_local[i])];
+      }
+      OrderAny(sub.graph, side_global, depth + 1);
+    }
+  }
+};
+
+void Bisector::OrderAny(const Graph& graph, std::span<const int64_t> verts,
+                        int depth) {
+  int64_t num_components = 0;
+  const auto comp = ConnectedComponents(graph, &num_components);
+  if (num_components <= 1) {
+    OrderConnected(graph, verts, depth);
+    return;
+  }
+  // Largest component first, ties by lowest global vertex.
+  std::vector<std::vector<int64_t>> members(
+      static_cast<size_t>(num_components));
+  for (size_t i = 0; i < comp.size(); ++i) {
+    members[static_cast<size_t>(comp[i])].push_back(static_cast<int64_t>(i));
+  }
+  std::vector<int64_t> order(static_cast<size_t>(num_components));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    const auto& ma = members[static_cast<size_t>(a)];
+    const auto& mb = members[static_cast<size_t>(b)];
+    if (ma.size() != mb.size()) return ma.size() > mb.size();
+    return verts[static_cast<size_t>(ma[0])] < verts[static_cast<size_t>(mb[0])];
+  });
+  for (int64_t c : order) {
+    const auto& local = members[static_cast<size_t>(c)];
+    const InducedSubgraph sub = BuildInducedSubgraph(graph, local);
+    std::vector<int64_t> global(local.size());
+    for (size_t i = 0; i < local.size(); ++i) {
+      global[i] = verts[static_cast<size_t>(local[i])];
+    }
+    OrderAny(sub.graph, global, depth);
+  }
+}
+
+}  // namespace
+
+StatusOr<RecursiveBisectionResult> RecursiveSpectralOrderGraph(
+    const Graph& graph, const PointSet* points,
+    const RecursiveBisectionOptions& options) {
+  const int64_t n = graph.num_vertices();
+  if (n == 0) return InvalidArgumentError("cannot order an empty graph");
+  if (points != nullptr) {
+    SPECTRAL_CHECK_EQ(points->size(), n);
+  }
+  SPECTRAL_CHECK_GE(options.leaf_size, 2);
+  SPECTRAL_CHECK_GE(options.max_depth, 1);
+
+  Bisector bisector;
+  bisector.points = points;
+  bisector.options = &options;
+  bisector.ranks.assign(static_cast<size_t>(n), -1);
+
+  std::vector<int64_t> all(static_cast<size_t>(n));
+  std::iota(all.begin(), all.end(), 0);
+  bisector.OrderAny(graph, all, 0);
+  if (!bisector.ok()) return bisector.error;
+  SPECTRAL_CHECK_EQ(bisector.next_rank, n);
+
+  auto order = LinearOrder::FromRanks(std::move(bisector.ranks));
+  if (!order.ok()) return order.status();
+  RecursiveBisectionResult result;
+  result.order = std::move(*order);
+  result.num_solves = bisector.num_solves;
+  result.depth = bisector.depth_reached;
+  return result;
+}
+
+StatusOr<RecursiveBisectionResult> RecursiveSpectralOrder(
+    const PointSet& points, const RecursiveBisectionOptions& options) {
+  if (points.empty()) {
+    return InvalidArgumentError("cannot order an empty point set");
+  }
+  auto graph = BuildPointGraph(points, options.base.graph);
+  if (!graph.ok()) return graph.status();
+  if (options.base.affinity_edges.empty()) {
+    return RecursiveSpectralOrderGraph(*graph, &points, options);
+  }
+  std::vector<GraphEdge> edges;
+  graph->ForEachEdge([&](int64_t u, int64_t v, double w) {
+    edges.push_back({u, v, w});
+  });
+  for (const GraphEdge& e : options.base.affinity_edges) {
+    if (e.u < 0 || e.u >= points.size() || e.v < 0 || e.v >= points.size() ||
+        e.u == e.v || e.weight <= 0.0) {
+      return InvalidArgumentError("invalid affinity edge");
+    }
+    edges.push_back(e);
+  }
+  const Graph merged = Graph::FromEdges(points.size(), edges);
+  return RecursiveSpectralOrderGraph(merged, &points, options);
+}
+
+}  // namespace spectral

@@ -1,0 +1,108 @@
+#include "core/serialization.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace spectral {
+
+namespace {
+constexpr char kOrderMagic[] = "spectral-lpm-order v1";
+constexpr char kPointsMagic[] = "spectral-lpm-points v1";
+}  // namespace
+
+Status WriteLinearOrder(const LinearOrder& order, std::ostream& out) {
+  out << kOrderMagic << '\n' << order.size() << '\n';
+  for (int64_t i = 0; i < order.size(); ++i) {
+    out << order.RankOf(i) << '\n';
+  }
+  if (!out.good()) return InternalError("write failed");
+  return OkStatus();
+}
+
+StatusOr<LinearOrder> ReadLinearOrder(std::istream& in) {
+  std::string magic;
+  std::getline(in, magic);
+  if (magic != kOrderMagic) {
+    return InvalidArgumentError("bad magic: expected '" +
+                                std::string(kOrderMagic) + "'");
+  }
+  int64_t n = -1;
+  in >> n;
+  if (!in.good() || n < 0) return InvalidArgumentError("bad size");
+  std::vector<int64_t> ranks(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    if (!(in >> ranks[static_cast<size_t>(i)])) {
+      return InvalidArgumentError("truncated rank list");
+    }
+  }
+  return LinearOrder::FromRanks(std::move(ranks));
+}
+
+Status WritePointSet(const PointSet& points, std::ostream& out) {
+  out << kPointsMagic << '\n'
+      << points.size() << ' ' << points.dims() << '\n';
+  for (int64_t i = 0; i < points.size(); ++i) {
+    const auto p = points[i];
+    for (int a = 0; a < points.dims(); ++a) {
+      out << (a > 0 ? " " : "") << p[static_cast<size_t>(a)];
+    }
+    out << '\n';
+  }
+  if (!out.good()) return InternalError("write failed");
+  return OkStatus();
+}
+
+StatusOr<PointSet> ReadPointSet(std::istream& in) {
+  std::string magic;
+  std::getline(in, magic);
+  if (magic != kPointsMagic) {
+    return InvalidArgumentError("bad magic: expected '" +
+                                std::string(kPointsMagic) + "'");
+  }
+  int64_t n = -1;
+  int dims = -1;
+  in >> n >> dims;
+  if (!in.good() || n < 0 || dims < 1) {
+    return InvalidArgumentError("bad point set header");
+  }
+  PointSet points(dims);
+  std::vector<Coord> p(static_cast<size_t>(dims));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int a = 0; a < dims; ++a) {
+      int64_t c;
+      if (!(in >> c)) return InvalidArgumentError("truncated point list");
+      p[static_cast<size_t>(a)] = static_cast<Coord>(c);
+    }
+    points.Add(p);
+  }
+  return points;
+}
+
+Status SaveLinearOrderToFile(const LinearOrder& order,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return InternalError("cannot open " + path);
+  return WriteLinearOrder(order, out);
+}
+
+StatusOr<LinearOrder> LoadLinearOrderFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return NotFoundError("cannot open " + path);
+  return ReadLinearOrder(in);
+}
+
+Status SavePointSetToFile(const PointSet& points, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return InternalError("cannot open " + path);
+  return WritePointSet(points, out);
+}
+
+StatusOr<PointSet> LoadPointSetFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return NotFoundError("cannot open " + path);
+  return ReadPointSet(in);
+}
+
+}  // namespace spectral

@@ -1,0 +1,45 @@
+// Text serialization for point sets and linear orders, so mappings can be
+// computed offline (the eigensolve) and shipped to the system that lays out
+// the data. Format is line-oriented, versioned, and human-inspectable.
+
+#ifndef SPECTRAL_LPM_CORE_SERIALIZATION_H_
+#define SPECTRAL_LPM_CORE_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "core/linear_order.h"
+#include "space/point_set.h"
+#include "util/status.h"
+
+namespace spectral {
+
+/// Writes `order` as:
+///   spectral-lpm-order v1
+///   <n>
+///   <rank of point 0>
+///   ...
+Status WriteLinearOrder(const LinearOrder& order, std::ostream& out);
+
+/// Parses the WriteLinearOrder format; validates the permutation.
+StatusOr<LinearOrder> ReadLinearOrder(std::istream& in);
+
+/// Writes `points` as:
+///   spectral-lpm-points v1
+///   <n> <dims>
+///   <c0> <c1> ... (one point per line)
+Status WritePointSet(const PointSet& points, std::ostream& out);
+
+/// Parses the WritePointSet format.
+StatusOr<PointSet> ReadPointSet(std::istream& in);
+
+/// Convenience file wrappers.
+Status SaveLinearOrderToFile(const LinearOrder& order,
+                             const std::string& path);
+StatusOr<LinearOrder> LoadLinearOrderFromFile(const std::string& path);
+Status SavePointSetToFile(const PointSet& points, const std::string& path);
+StatusOr<PointSet> LoadPointSetFromFile(const std::string& path);
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_CORE_SERIALIZATION_H_

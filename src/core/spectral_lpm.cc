@@ -1,0 +1,174 @@
+#include "core/spectral_lpm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/laplacian.h"
+#include "graph/traversal.h"
+#include "util/check.h"
+
+namespace spectral {
+
+SpectralMapper::SpectralMapper(SpectralLpmOptions options)
+    : options_(std::move(options)) {}
+
+StatusOr<SpectralLpmResult> SpectralMapper::Map(const PointSet& points) const {
+  if (points.empty()) {
+    return InvalidArgumentError("cannot map an empty point set");
+  }
+  auto graph = BuildPointGraph(points, options_.graph);
+  if (!graph.ok()) return graph.status();
+
+  if (options_.affinity_edges.empty()) {
+    return MapGraph(*graph, &points);
+  }
+  // Merge the neighborhood edges with the user's affinity edges.
+  std::vector<GraphEdge> edges;
+  edges.reserve(static_cast<size_t>(graph->num_edges()) +
+                options_.affinity_edges.size());
+  graph->ForEachEdge([&](int64_t u, int64_t v, double w) {
+    edges.push_back({u, v, w});
+  });
+  for (const GraphEdge& e : options_.affinity_edges) {
+    if (e.u < 0 || e.u >= points.size() || e.v < 0 || e.v >= points.size()) {
+      return InvalidArgumentError("affinity edge endpoint out of range");
+    }
+    if (e.u == e.v) {
+      return InvalidArgumentError("affinity edge endpoints must differ");
+    }
+    if (e.weight <= 0.0) {
+      return InvalidArgumentError("affinity edge weight must be positive");
+    }
+    edges.push_back(e);
+  }
+  const Graph merged = Graph::FromEdges(points.size(), edges);
+  return MapGraph(merged, &points);
+}
+
+StatusOr<SpectralLpmResult> SpectralMapper::MapGraph(
+    const Graph& graph, const PointSet* points) const {
+  const int64_t n = graph.num_vertices();
+  if (n == 0) return InvalidArgumentError("cannot map an empty graph");
+  if (points != nullptr) {
+    SPECTRAL_CHECK_EQ(points->size(), n)
+        << "point set and graph disagree on the number of vertices";
+  }
+
+  int64_t num_components = 0;
+  const std::vector<int64_t> comp = ConnectedComponents(graph, &num_components);
+
+  // Vertices per component.
+  std::vector<std::vector<int64_t>> members(
+      static_cast<size_t>(num_components));
+  for (int64_t v = 0; v < n; ++v) {
+    members[static_cast<size_t>(comp[static_cast<size_t>(v)])].push_back(v);
+  }
+  // Edges per component, in local vertex ids.
+  std::vector<int64_t> local(static_cast<size_t>(n), -1);
+  for (size_t c = 0; c < members.size(); ++c) {
+    for (size_t k = 0; k < members[c].size(); ++k) {
+      local[static_cast<size_t>(members[c][k])] = static_cast<int64_t>(k);
+    }
+  }
+  std::vector<std::vector<GraphEdge>> comp_edges(
+      static_cast<size_t>(num_components));
+  graph.ForEachEdge([&](int64_t u, int64_t v, double w) {
+    const int64_t c = comp[static_cast<size_t>(u)];
+    comp_edges[static_cast<size_t>(c)].push_back(
+        {local[static_cast<size_t>(u)], local[static_cast<size_t>(v)], w});
+  });
+
+  // Component processing order: largest first, ties by lowest vertex id
+  // (members[c] is ascending by construction).
+  std::vector<int64_t> comp_order(static_cast<size_t>(num_components));
+  std::iota(comp_order.begin(), comp_order.end(), 0);
+  std::sort(comp_order.begin(), comp_order.end(), [&](int64_t a, int64_t b) {
+    const size_t sa = members[static_cast<size_t>(a)].size();
+    const size_t sb = members[static_cast<size_t>(b)].size();
+    if (sa != sb) return sa > sb;
+    return members[static_cast<size_t>(a)][0] < members[static_cast<size_t>(b)][0];
+  });
+
+  SpectralLpmResult result;
+  result.num_components = num_components;
+  result.values.assign(static_cast<size_t>(n), 0.0);
+  std::vector<int64_t> ranks(static_cast<size_t>(n), -1);
+  int64_t next_rank = 0;
+  bool recorded_main = false;
+
+  for (int64_t c : comp_order) {
+    const auto& verts = members[static_cast<size_t>(c)];
+    const int64_t m = static_cast<int64_t>(verts.size());
+    Vector values(static_cast<size_t>(m), 0.0);
+
+    if (m > 1) {
+      const Graph sub = Graph::FromEdges(m, comp_edges[static_cast<size_t>(c)]);
+
+      const bool use_multilevel = options_.multilevel_threshold > 0 &&
+                                  m >= options_.multilevel_threshold;
+      StatusOr<FiedlerResult> fiedler = [&]() -> StatusOr<FiedlerResult> {
+        if (use_multilevel) {
+          return ComputeFiedlerMultilevel(sub, options_.multilevel);
+        }
+        std::vector<Vector> axes;
+        if (points != nullptr && options_.canonicalize_with_axes) {
+          PointSet sub_points(points->dims());
+          for (int64_t v : verts) sub_points.Add((*points)[v]);
+          axes = sub_points.CenteredAxisFunctions();
+        }
+        return ComputeFiedler(BuildLaplacian(sub), options_.fiedler, axes);
+      }();
+      if (!fiedler.ok()) return fiedler.status();
+      values = fiedler->fiedler;
+      result.matvecs += fiedler->matvecs;
+      if (!recorded_main) {
+        result.lambda2 = fiedler->lambda2;
+        result.method_used = fiedler->method_used;
+        recorded_main = true;
+      }
+    }
+
+    // Step 5: order by Fiedler component. Components are quantized first so
+    // exact eigenvector ties (grid eigenvectors are constant along whole
+    // slices) resolve by point index, not by solver-specific noise.
+    double quantum = 0.0;
+    if (options_.rank_quantum_rel > 0.0) {
+      quantum = options_.rank_quantum_rel * NormInf(values);
+    }
+    auto key_of = [&](int64_t a) -> int64_t {
+      const double v = values[static_cast<size_t>(a)];
+      return quantum > 0.0
+                 ? static_cast<int64_t>(std::llround(v / quantum))
+                 : 0;
+    };
+    std::vector<int64_t> by_value(static_cast<size_t>(m));
+    std::iota(by_value.begin(), by_value.end(), 0);
+    std::sort(by_value.begin(), by_value.end(), [&](int64_t a, int64_t b) {
+      const int64_t ka = key_of(a);
+      const int64_t kb = key_of(b);
+      if (ka != kb) return ka < kb;
+      if (quantum == 0.0) {
+        const double va = values[static_cast<size_t>(a)];
+        const double vb = values[static_cast<size_t>(b)];
+        if (va != vb) return va < vb;
+      }
+      return verts[static_cast<size_t>(a)] < verts[static_cast<size_t>(b)];
+    });
+    for (int64_t k = 0; k < m; ++k) {
+      const int64_t v = verts[static_cast<size_t>(by_value[static_cast<size_t>(k)])];
+      ranks[static_cast<size_t>(v)] = next_rank++;
+      result.values[static_cast<size_t>(v)] =
+          values[static_cast<size_t>(by_value[static_cast<size_t>(k)])];
+    }
+  }
+  SPECTRAL_CHECK_EQ(next_rank, n);
+  if (!recorded_main) result.method_used = "trivial";
+
+  auto order = LinearOrder::FromRanks(std::move(ranks));
+  if (!order.ok()) return order.status();
+  result.order = std::move(*order);
+  return result;
+}
+
+}  // namespace spectral

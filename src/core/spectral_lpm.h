@@ -1,0 +1,103 @@
+// Spectral LPM — the paper's primary contribution (Figure 2 pseudo code):
+//
+//   1. model the points as a graph (edge iff Manhattan distance 1),
+//   2. form the Laplacian L = D - W,
+//   3. compute the Fiedler pair (lambda2, v2),
+//   4. assign each point its Fiedler component,
+//   5. the linear order is the sort order of those components.
+//
+// Extensions from section 4 are first-class options: affinity edges between
+// correlated points, 8-connectivity / Moore neighborhoods, and arbitrary
+// positive edge weights (the mapper also accepts a user-built Graph).
+
+#ifndef SPECTRAL_LPM_CORE_SPECTRAL_LPM_H_
+#define SPECTRAL_LPM_CORE_SPECTRAL_LPM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/linear_order.h"
+#include "core/multilevel.h"
+#include "eigen/fiedler.h"
+#include "graph/graph.h"
+#include "graph/point_graph.h"
+#include "space/point_set.h"
+#include "util/status.h"
+
+namespace spectral {
+
+/// Options for SpectralMapper.
+struct SpectralLpmOptions {
+  /// How the point graph is built (step 1). Ignored by MapGraph.
+  PointGraphOptions graph;
+  /// Extra edges by *point index*, each pulling its endpoints together in
+  /// the 1-d order (section 4: "add an edge (p, q) to inform Spectral LPM
+  /// that p and q should be treated as if they were at distance 1").
+  std::vector<GraphEdge> affinity_edges;
+  /// Eigensolver configuration.
+  FiedlerOptions fiedler;
+  /// Use the centered coordinate functions of the point set to pick a
+  /// canonical Fiedler vector when lambda2 is degenerate (see
+  /// eigen/fiedler.h). Keeps square grids deterministic and axis-fair.
+  bool canonicalize_with_axes = true;
+  /// Fiedler components within rank_quantum_rel * max|component| of each
+  /// other are treated as ties and broken by point index. Grid graphs
+  /// produce eigenvectors with exactly-tied groups (product structure);
+  /// quantizing makes the final order identical across eigensolver engines
+  /// instead of depending on 1e-12-level solver noise.
+  double rank_quantum_rel = 1e-7;
+  /// Components with at least this many vertices are solved with the
+  /// multilevel V-cycle (core/multilevel.h) instead of a flat eigensolve.
+  /// 0 disables multilevel entirely. Note: the multilevel path tracks a
+  /// single eigenpair, so degenerate-eigenspace canonicalization does not
+  /// apply to it.
+  int64_t multilevel_threshold = 0;
+  /// Multilevel tuning, used when multilevel_threshold triggers. The
+  /// embedded FiedlerOptions governs the coarsest solve; `fiedler` above
+  /// still governs flat solves of small components.
+  MultilevelOptions multilevel;
+};
+
+/// Result of a spectral mapping.
+struct SpectralLpmResult {
+  /// The linear order S over the input points.
+  LinearOrder order;
+  /// Fiedler component assigned to each point (concatenated across
+  /// components; each component's vector has unit norm).
+  Vector values;
+  /// Algebraic connectivity of the largest component.
+  double lambda2 = 0.0;
+  int64_t num_components = 1;
+  /// Eigensolver matvec count (Lanczos path) summed over components.
+  int64_t matvecs = 0;
+  /// "dense-jacobi" or "lanczos" (of the largest component).
+  std::string method_used;
+};
+
+/// Maps multi-dimensional point sets to linear orders via the spectrum of
+/// their neighborhood graph.
+class SpectralMapper {
+ public:
+  explicit SpectralMapper(SpectralLpmOptions options = {});
+
+  /// Runs the full pipeline on `points`. Disconnected graphs are handled by
+  /// ordering each connected component independently and concatenating
+  /// components (largest first; ties by lowest point index), since the
+  /// Fiedler vector is only defined per component.
+  StatusOr<SpectralLpmResult> Map(const PointSet& points) const;
+
+  /// Section-4 fully-custom entry point: the caller supplies the graph
+  /// (weights encode mapping priority). `points` is only used to
+  /// canonicalize degenerate eigenspaces and may be null.
+  StatusOr<SpectralLpmResult> MapGraph(const Graph& graph,
+                                       const PointSet* points) const;
+
+  const SpectralLpmOptions& options() const { return options_; }
+
+ private:
+  SpectralLpmOptions options_;
+};
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_CORE_SPECTRAL_LPM_H_

@@ -1,0 +1,104 @@
+// Fiedler-pair driver: computes the smallest non-trivial eigenpairs of a
+// graph Laplacian (steps 2-3 of the paper's Spectral LPM pseudo code).
+//
+// Two engines are available and cross-validated in tests:
+//   * dense Jacobi (exact, for small n),
+//   * restarted Lanczos with deflation on shift*I - L (the production path;
+//     the paper's repro note calls for a sparse eigensolver).
+//
+// Degenerate lambda2 (e.g. square grids, where the x- and y-modes tie) is
+// handled by canonicalization: within the near-degenerate eigenspace we pick
+// the balanced mix of the coordinate-axis projections, which reproduces the
+// axis-fair behaviour the paper reports in Figure 5b.
+
+#ifndef SPECTRAL_LPM_EIGEN_FIEDLER_H_
+#define SPECTRAL_LPM_EIGEN_FIEDLER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linalg/sparse_matrix.h"
+#include "linalg/vector_ops.h"
+#include "util/status.h"
+
+namespace spectral {
+
+/// Engine selection for ComputeFiedler.
+enum class FiedlerMethod {
+  /// Dense for n <= dense_threshold, Lanczos otherwise.
+  kAuto,
+  kDense,
+  kLanczos,
+};
+
+/// How to pick a representative when lambda2 is (numerically) degenerate.
+enum class DegeneracyPolicy {
+  /// Return whatever the solver produced (still a valid optimum).
+  kNone,
+  /// Mix the projections of the provided axis vectors with equal energy.
+  /// This is axis-fair: no coordinate is favored (paper Figure 5b).
+  kBalancedMix,
+  /// Align with the first axis vector that has a non-trivial projection.
+  kAxisAligned,
+};
+
+/// Options for ComputeFiedler.
+struct FiedlerOptions {
+  FiedlerMethod method = FiedlerMethod::kAuto;
+  /// Problems up to this size use the dense engine under kAuto. The dense
+  /// reference is O(n^3) per Jacobi sweep; beyond ~10^2 vertices the
+  /// Lanczos path is orders of magnitude faster (see bench_eigensolver).
+  int64_t dense_threshold = 128;
+  /// Number of smallest non-trivial eigenpairs to extract (>= 1). More pairs
+  /// let the canonicalizer see the full degenerate eigenspace.
+  int num_pairs = 3;
+  /// Residual tolerance passed to Lanczos.
+  double tol = 1e-9;
+  int max_basis = 120;
+  int max_restarts = 100;
+  uint64_t seed = 0x5eedf1ed1e5ull;
+  /// Eigenvalues within lambda2 * (1 + rel) + abs are treated as degenerate
+  /// with lambda2.
+  double degeneracy_rel_tol = 1e-5;
+  double degeneracy_abs_tol = 1e-8;
+  DegeneracyPolicy degeneracy_policy = DegeneracyPolicy::kBalancedMix;
+};
+
+/// One eigenpair of the Laplacian.
+struct LaplacianEigenPair {
+  double eigenvalue = 0.0;
+  Vector eigenvector;
+};
+
+/// Output of ComputeFiedler.
+struct FiedlerResult {
+  /// Algebraic connectivity lambda2.
+  double lambda2 = 0.0;
+  /// Canonicalized Fiedler vector (unit norm, sum ~ 0).
+  Vector fiedler;
+  /// The smallest non-trivial pairs, ascending (pairs[0] is the raw
+  /// lambda2 pair before canonicalization).
+  std::vector<LaplacianEigenPair> pairs;
+  /// Dimension of the numerically degenerate lambda2 eigenspace observed.
+  int degenerate_dim = 1;
+  int64_t matvecs = 0;
+  std::string method_used;
+};
+
+/// Computes the Fiedler pair of `laplacian` (symmetric, rows == cols,
+/// row sums ~ 0). Requires a *connected* graph: if a second near-zero
+/// eigenvalue shows up, returns FailedPrecondition (split into components
+/// first; core/spectral_lpm does this automatically).
+///
+/// `canonical_axes` are optional direction vectors (e.g. the centered
+/// coordinate functions of the point set) used by the degeneracy policy;
+/// pass {} to disable canonicalization.
+StatusOr<FiedlerResult> ComputeFiedler(
+    const SparseMatrix& laplacian, const FiedlerOptions& options = {},
+    std::span<const Vector> canonical_axes = {});
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_EIGEN_FIEDLER_H_

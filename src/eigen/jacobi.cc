@@ -1,0 +1,115 @@
+#include "eigen/jacobi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace spectral {
+
+namespace {
+
+// Frobenius norm of the strictly off-diagonal part.
+double OffDiagonalNorm(const DenseMatrix& a) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      if (i != j) acc += a.At(i, j) * a.At(i, j);
+    }
+  }
+  return std::sqrt(acc);
+}
+
+double FrobeniusNorm(const DenseMatrix& a) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) acc += a.At(i, j) * a.At(i, j);
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+StatusOr<DenseEigenResult> JacobiEigenSolve(const DenseMatrix& input,
+                                            const JacobiOptions& options) {
+  if (input.rows() != input.cols()) {
+    return InvalidArgumentError("Jacobi requires a square matrix");
+  }
+  const int64_t n = input.rows();
+  if (n == 0) {
+    return InvalidArgumentError("Jacobi requires a non-empty matrix");
+  }
+  if (input.SymmetryError() > 1e-10) {
+    return InvalidArgumentError("Jacobi requires a symmetric matrix");
+  }
+
+  DenseMatrix a = input;  // working copy, mutated towards diagonal form
+  DenseMatrix v = DenseMatrix::Identity(n);
+  const double norm = FrobeniusNorm(a);
+  const double threshold = options.tol * std::max(norm, 1e-300);
+
+  int sweep = 0;
+  for (; sweep < options.max_sweeps; ++sweep) {
+    if (OffDiagonalNorm(a) <= threshold) break;
+    for (int64_t p = 0; p < n - 1; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        const double apq = a.At(p, q);
+        if (std::fabs(apq) <= 1e-300) continue;
+        const double app = a.At(p, p);
+        const double aqq = a.At(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t =
+            (theta >= 0 ? 1.0 : -1.0) /
+            (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // A <- J^T A J with the rotation in the (p, q) plane.
+        for (int64_t k = 0; k < n; ++k) {
+          const double akp = a.At(k, p);
+          const double akq = a.At(k, q);
+          a.At(k, p) = c * akp - s * akq;
+          a.At(k, q) = s * akp + c * akq;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          const double apk = a.At(p, k);
+          const double aqk = a.At(q, k);
+          a.At(p, k) = c * apk - s * aqk;
+          a.At(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate V <- V J.
+        for (int64_t k = 0; k < n; ++k) {
+          const double vkp = v.At(k, p);
+          const double vkq = v.At(k, q);
+          v.At(k, p) = c * vkp - s * vkq;
+          v.At(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  if (OffDiagonalNorm(a) > threshold) {
+    return InternalError("Jacobi did not converge within max_sweeps");
+  }
+
+  // Sort eigenpairs ascending.
+  std::vector<int64_t> perm(static_cast<size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end(), [&](int64_t x, int64_t y) {
+    return a.At(x, x) < a.At(y, y);
+  });
+
+  DenseEigenResult result;
+  result.sweeps = sweep;
+  result.eigenvalues.resize(static_cast<size_t>(n));
+  result.eigenvectors = DenseMatrix(n, n);
+  for (int64_t k = 0; k < n; ++k) {
+    result.eigenvalues[static_cast<size_t>(k)] = a.At(perm[static_cast<size_t>(k)], perm[static_cast<size_t>(k)]);
+    for (int64_t i = 0; i < n; ++i) {
+      result.eigenvectors.At(i, k) = v.At(i, perm[static_cast<size_t>(k)]);
+    }
+  }
+  return result;
+}
+
+}  // namespace spectral

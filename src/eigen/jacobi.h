@@ -1,0 +1,40 @@
+// Cyclic Jacobi eigensolver for dense symmetric matrices. O(n^3) per sweep;
+// intended as the exact reference for small problems (n up to a few hundred)
+// and for cross-validating the Lanczos path in tests.
+
+#ifndef SPECTRAL_LPM_EIGEN_JACOBI_H_
+#define SPECTRAL_LPM_EIGEN_JACOBI_H_
+
+#include "linalg/dense_matrix.h"
+#include "linalg/vector_ops.h"
+#include "util/status.h"
+
+namespace spectral {
+
+/// Full eigendecomposition of a symmetric matrix.
+struct DenseEigenResult {
+  /// Eigenvalues in ascending order.
+  Vector eigenvalues;
+  /// eigenvectors.At(i, k) is component i of the (unit) eigenvector for
+  /// eigenvalues[k]; columns form an orthonormal set.
+  DenseMatrix eigenvectors;
+  /// Number of Jacobi sweeps used.
+  int sweeps = 0;
+};
+
+/// Options for JacobiEigenSolve.
+struct JacobiOptions {
+  int max_sweeps = 100;
+  /// Converged when the off-diagonal Frobenius mass drops below
+  /// tol * ||A||_F.
+  double tol = 1e-13;
+};
+
+/// Computes all eigenpairs of the symmetric matrix `a`. Fails if `a` is not
+/// square, not symmetric (beyond 1e-10 absolute), or does not converge.
+StatusOr<DenseEigenResult> JacobiEigenSolve(const DenseMatrix& a,
+                                            const JacobiOptions& options = {});
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_EIGEN_JACOBI_H_

@@ -1,0 +1,35 @@
+#include "eigen/operator.h"
+
+#include "util/check.h"
+
+namespace spectral {
+
+SparseOperator::SparseOperator(const SparseMatrix* matrix) : matrix_(matrix) {
+  SPECTRAL_CHECK(matrix != nullptr);
+  SPECTRAL_CHECK_EQ(matrix->rows(), matrix->cols());
+}
+
+int64_t SparseOperator::Dim() const { return matrix_->rows(); }
+
+void SparseOperator::Apply(std::span<const double> x,
+                           std::span<double> y) const {
+  matrix_->MatVec(x, y);
+}
+
+ShiftNegateOperator::ShiftNegateOperator(const LinearOperator* inner,
+                                         double shift)
+    : inner_(inner), shift_(shift) {
+  SPECTRAL_CHECK(inner != nullptr);
+}
+
+int64_t ShiftNegateOperator::Dim() const { return inner_->Dim(); }
+
+void ShiftNegateOperator::Apply(std::span<const double> x,
+                                std::span<double> y) const {
+  inner_->Apply(x, y);
+  for (size_t i = 0; i < y.size(); ++i) {
+    y[i] = shift_ * x[i] - y[i];
+  }
+}
+
+}  // namespace spectral

@@ -1,0 +1,60 @@
+// Abstract matrix-free linear operator. The Lanczos solver only needs
+// y = A x, which lets it run on the Laplacian itself or on spectral
+// transformations of it without materializing new matrices.
+
+#ifndef SPECTRAL_LPM_EIGEN_OPERATOR_H_
+#define SPECTRAL_LPM_EIGEN_OPERATOR_H_
+
+#include <cstdint>
+#include <span>
+
+#include "linalg/sparse_matrix.h"
+
+namespace spectral {
+
+/// Square linear operator interface.
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+
+  /// Dimension n of the operator (n x n).
+  virtual int64_t Dim() const = 0;
+
+  /// y = A x; x and y have size Dim() and must not alias.
+  virtual void Apply(std::span<const double> x, std::span<double> y) const = 0;
+};
+
+/// Wraps a CSR matrix; requires a square matrix.
+class SparseOperator : public LinearOperator {
+ public:
+  /// Does not take ownership; `matrix` must outlive the operator.
+  explicit SparseOperator(const SparseMatrix* matrix);
+
+  int64_t Dim() const override;
+  void Apply(std::span<const double> x, std::span<double> y) const override;
+
+ private:
+  const SparseMatrix* matrix_;
+};
+
+/// y = shift * x - A x. With shift >= lambda_max(A) this maps the smallest
+/// eigenvalues of a symmetric A to the largest eigenvalues of the operator,
+/// which is how the Fiedler pair is made extremal for Lanczos.
+class ShiftNegateOperator : public LinearOperator {
+ public:
+  /// Does not take ownership; `inner` must outlive the operator.
+  ShiftNegateOperator(const LinearOperator* inner, double shift);
+
+  int64_t Dim() const override;
+  void Apply(std::span<const double> x, std::span<double> y) const override;
+
+  double shift() const { return shift_; }
+
+ private:
+  const LinearOperator* inner_;
+  double shift_;
+};
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_EIGEN_OPERATOR_H_

@@ -1,0 +1,73 @@
+#include "graph/coarsening.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace spectral {
+
+Coarsening CoarsenByHeavyEdgeMatching(const Graph& graph) {
+  const int64_t n = graph.num_vertices();
+  Coarsening result;
+  result.fine_to_coarse.assign(static_cast<size_t>(n), -1);
+
+  // Greedy matching: each vertex (in id order) pairs with its heaviest
+  // unmatched neighbor.
+  std::vector<int64_t> mate(static_cast<size_t>(n), -1);
+  for (int64_t u = 0; u < n; ++u) {
+    if (mate[static_cast<size_t>(u)] >= 0) continue;
+    const auto nbrs = graph.Neighbors(u);
+    const auto ws = graph.Weights(u);
+    int64_t best = -1;
+    double best_weight = 0.0;
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      const int64_t v = nbrs[k];
+      if (v == u || mate[static_cast<size_t>(v)] >= 0) continue;
+      if (best < 0 || ws[k] > best_weight ||
+          (ws[k] == best_weight && v < best)) {
+        best = v;
+        best_weight = ws[k];
+      }
+    }
+    if (best >= 0) {
+      mate[static_cast<size_t>(u)] = best;
+      mate[static_cast<size_t>(best)] = u;
+    }
+  }
+
+  // Assign coarse ids (matched pairs share one id; pairs are discovered in
+  // ascending order of their lower endpoint).
+  int64_t next = 0;
+  for (int64_t u = 0; u < n; ++u) {
+    if (result.fine_to_coarse[static_cast<size_t>(u)] >= 0) continue;
+    result.fine_to_coarse[static_cast<size_t>(u)] = next;
+    const int64_t m = mate[static_cast<size_t>(u)];
+    if (m >= 0) result.fine_to_coarse[static_cast<size_t>(m)] = next;
+    ++next;
+  }
+  result.num_coarse = next;
+
+  // Coarse edges: project fine edges, dropping those that become loops.
+  std::vector<GraphEdge> edges;
+  graph.ForEachEdge([&](int64_t u, int64_t v, double w) {
+    const int64_t cu = result.fine_to_coarse[static_cast<size_t>(u)];
+    const int64_t cv = result.fine_to_coarse[static_cast<size_t>(v)];
+    if (cu != cv) edges.push_back({cu, cv, w});
+  });
+  result.coarse = Graph::FromEdges(next, edges);
+  return result;
+}
+
+std::vector<double> ProlongVector(const Coarsening& coarsening,
+                                  const std::vector<double>& coarse_values) {
+  SPECTRAL_CHECK_EQ(static_cast<int64_t>(coarse_values.size()),
+                    coarsening.num_coarse);
+  std::vector<double> fine(coarsening.fine_to_coarse.size());
+  for (size_t v = 0; v < fine.size(); ++v) {
+    fine[v] = coarse_values[static_cast<size_t>(
+        coarsening.fine_to_coarse[v])];
+  }
+  return fine;
+}
+
+}  // namespace spectral

@@ -1,0 +1,38 @@
+// Graph coarsening by heavy-edge matching: the contraction step of
+// multilevel spectral methods. Matched vertex pairs merge into one coarse
+// vertex; parallel coarse edges sum their weights, so the coarse Laplacian
+// is the Galerkin projection of the fine one under piecewise-constant
+// interpolation.
+
+#ifndef SPECTRAL_LPM_GRAPH_COARSENING_H_
+#define SPECTRAL_LPM_GRAPH_COARSENING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace spectral {
+
+/// One coarsening step.
+struct Coarsening {
+  Graph coarse;
+  /// fine_to_coarse[v] is the coarse vertex containing fine vertex v.
+  std::vector<int64_t> fine_to_coarse;
+  int64_t num_coarse = 0;
+};
+
+/// Contracts a maximal matching chosen greedily by descending edge weight
+/// (deterministic: vertices are visited in id order; ties prefer the lowest
+/// neighbor id). Unmatched vertices are copied. The coarse graph has
+/// between half and all of the fine vertex count.
+Coarsening CoarsenByHeavyEdgeMatching(const Graph& graph);
+
+/// Prolongs a coarse-vertex vector to the fine graph (piecewise constant:
+/// fine vertex v gets coarse[fine_to_coarse[v]]).
+std::vector<double> ProlongVector(const Coarsening& coarsening,
+                                  const std::vector<double>& coarse_values);
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_GRAPH_COARSENING_H_

@@ -1,0 +1,104 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace spectral {
+
+Graph Graph::FromEdges(int64_t num_vertices,
+                       std::span<const GraphEdge> edges) {
+  SPECTRAL_CHECK_GE(num_vertices, 0);
+
+  // Directed copies (u->v and v->u), sorted, duplicates merged.
+  std::vector<GraphEdge> directed;
+  directed.reserve(edges.size() * 2);
+  for (const GraphEdge& e : edges) {
+    SPECTRAL_CHECK_GE(e.u, 0);
+    SPECTRAL_CHECK_LT(e.u, num_vertices);
+    SPECTRAL_CHECK_GE(e.v, 0);
+    SPECTRAL_CHECK_LT(e.v, num_vertices);
+    SPECTRAL_CHECK_NE(e.u, e.v) << "self loops are not allowed";
+    SPECTRAL_CHECK_GT(e.weight, 0.0) << "edge weights must be positive";
+    directed.push_back({e.u, e.v, e.weight});
+    directed.push_back({e.v, e.u, e.weight});
+  }
+  std::sort(directed.begin(), directed.end(),
+            [](const GraphEdge& a, const GraphEdge& b) {
+              return a.u != b.u ? a.u < b.u : a.v < b.v;
+            });
+
+  Graph g;
+  g.num_vertices_ = num_vertices;
+  g.offsets_.assign(static_cast<size_t>(num_vertices) + 1, 0);
+  g.adj_.reserve(directed.size());
+  g.weights_.reserve(directed.size());
+
+  size_t i = 0;
+  while (i < directed.size()) {
+    const int64_t u = directed[i].u;
+    const int64_t v = directed[i].v;
+    double w = 0.0;
+    while (i < directed.size() && directed[i].u == u && directed[i].v == v) {
+      w += directed[i].weight;
+      ++i;
+    }
+    g.adj_.push_back(v);
+    g.weights_.push_back(w);
+    g.offsets_[static_cast<size_t>(u) + 1] += 1;
+  }
+  for (size_t u = 0; u < static_cast<size_t>(num_vertices); ++u) {
+    g.offsets_[u + 1] += g.offsets_[u];
+  }
+  return g;
+}
+
+std::span<const int64_t> Graph::Neighbors(int64_t v) const {
+  SPECTRAL_DCHECK_GE(v, 0);
+  SPECTRAL_DCHECK_LT(v, num_vertices_);
+  const size_t begin = static_cast<size_t>(offsets_[static_cast<size_t>(v)]);
+  const size_t end = static_cast<size_t>(offsets_[static_cast<size_t>(v) + 1]);
+  return std::span<const int64_t>(adj_.data() + begin, end - begin);
+}
+
+std::span<const double> Graph::Weights(int64_t v) const {
+  SPECTRAL_DCHECK_GE(v, 0);
+  SPECTRAL_DCHECK_LT(v, num_vertices_);
+  const size_t begin = static_cast<size_t>(offsets_[static_cast<size_t>(v)]);
+  const size_t end = static_cast<size_t>(offsets_[static_cast<size_t>(v) + 1]);
+  return std::span<const double>(weights_.data() + begin, end - begin);
+}
+
+int64_t Graph::Degree(int64_t v) const {
+  return static_cast<int64_t>(Neighbors(v).size());
+}
+
+double Graph::WeightedDegree(int64_t v) const {
+  double acc = 0.0;
+  for (double w : Weights(v)) acc += w;
+  return acc;
+}
+
+int64_t Graph::MaxDegree() const {
+  int64_t best = 0;
+  for (int64_t v = 0; v < num_vertices_; ++v) {
+    best = std::max(best, Degree(v));
+  }
+  return best;
+}
+
+double Graph::MaxWeightedDegree() const {
+  double best = 0.0;
+  for (int64_t v = 0; v < num_vertices_; ++v) {
+    best = std::max(best, WeightedDegree(v));
+  }
+  return best;
+}
+
+double Graph::TotalEdgeWeight() const {
+  double acc = 0.0;
+  for (double w : weights_) acc += w;
+  return acc / 2.0;
+}
+
+}  // namespace spectral

@@ -1,0 +1,71 @@
+// Undirected weighted graph in CSR form — "G(V,E)" of the paper's step 1.
+// Vertices are point indices; edge weights encode mapping priority (paper
+// section 4's weighted extension; weight 1 for the plain algorithm).
+
+#ifndef SPECTRAL_LPM_GRAPH_GRAPH_H_
+#define SPECTRAL_LPM_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace spectral {
+
+/// One undirected edge (u, v) with positive weight.
+struct GraphEdge {
+  int64_t u = 0;
+  int64_t v = 0;
+  double weight = 1.0;
+};
+
+/// Immutable undirected graph. Build via FromEdges; parallel edges are
+/// merged by summing weights, self loops are rejected.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Assembles the graph. Edge endpoints must be in [0, num_vertices);
+  /// weights must be > 0; u == v (self loop) is a programmer error.
+  static Graph FromEdges(int64_t num_vertices,
+                         std::span<const GraphEdge> edges);
+
+  int64_t num_vertices() const { return num_vertices_; }
+  /// Number of undirected edges after merging duplicates.
+  int64_t num_edges() const { return static_cast<int64_t>(adj_.size()) / 2; }
+
+  /// Neighbor vertex ids of `v`, ascending.
+  std::span<const int64_t> Neighbors(int64_t v) const;
+  /// Weights aligned with Neighbors(v).
+  std::span<const double> Weights(int64_t v) const;
+
+  /// Number of incident edges.
+  int64_t Degree(int64_t v) const;
+  /// Sum of incident edge weights (the diagonal of D in L = D - W).
+  double WeightedDegree(int64_t v) const;
+
+  int64_t MaxDegree() const;
+  double MaxWeightedDegree() const;
+  double TotalEdgeWeight() const;
+
+  /// Calls fn(u, v, w) once per undirected edge with u < v.
+  template <typename Fn>
+  void ForEachEdge(Fn&& fn) const {
+    for (int64_t u = 0; u < num_vertices_; ++u) {
+      const auto nbrs = Neighbors(u);
+      const auto ws = Weights(u);
+      for (size_t k = 0; k < nbrs.size(); ++k) {
+        if (nbrs[k] > u) fn(u, nbrs[k], ws[k]);
+      }
+    }
+  }
+
+ private:
+  int64_t num_vertices_ = 0;
+  std::vector<int64_t> offsets_ = {0};
+  std::vector<int64_t> adj_;
+  std::vector<double> weights_;
+};
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_GRAPH_GRAPH_H_

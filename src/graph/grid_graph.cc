@@ -1,0 +1,86 @@
+#include "graph/grid_graph.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace spectral {
+
+Graph BuildGridGraph(const GridSpec& grid, const GridGraphOptions& options) {
+  SPECTRAL_CHECK_GT(options.orthogonal_weight, 0.0);
+  const int dims = grid.dims();
+  const int64_t n = grid.NumCells();
+
+  std::vector<GraphEdge> edges;
+  std::vector<Coord> p(static_cast<size_t>(dims));
+  std::vector<Coord> q(static_cast<size_t>(dims));
+
+  if (options.connectivity == GridConnectivity::kOrthogonal) {
+    edges.reserve(static_cast<size_t>(n) * dims);
+    for (int64_t cell = 0; cell < n; ++cell) {
+      grid.Unflatten(cell, p);
+      // Only +1 along each axis: each undirected edge is emitted once.
+      for (int a = 0; a < dims; ++a) {
+        if (p[static_cast<size_t>(a)] + 1 < grid.side(a)) {
+          q = p;
+          q[static_cast<size_t>(a)] += 1;
+          edges.push_back({cell, grid.Flatten(q), options.orthogonal_weight});
+        } else if (options.periodic && grid.side(a) > 2) {
+          q = p;
+          q[static_cast<size_t>(a)] = 0;  // wrap-around edge of the torus
+          edges.push_back({cell, grid.Flatten(q), options.orthogonal_weight});
+        }
+      }
+    }
+    return Graph::FromEdges(n, edges);
+  }
+  SPECTRAL_CHECK(!options.periodic)
+      << "periodic grids are only supported with orthogonal connectivity";
+
+  // Moore: enumerate offset vectors in {-1,0,1}^d that are lexicographically
+  // positive, so each undirected edge is emitted exactly once.
+  SPECTRAL_CHECK_GT(options.diagonal_weight, 0.0);
+  std::vector<std::vector<Coord>> offsets;
+  std::vector<Coord> off(static_cast<size_t>(dims), -1);
+  while (true) {
+    bool positive = false;
+    for (int a = 0; a < dims; ++a) {
+      if (off[static_cast<size_t>(a)] != 0) {
+        positive = off[static_cast<size_t>(a)] > 0;
+        break;
+      }
+    }
+    if (positive) offsets.push_back(off);
+    // Next offset in {-1,0,1}^d.
+    int a = dims - 1;
+    while (a >= 0 && off[static_cast<size_t>(a)] == 1) {
+      off[static_cast<size_t>(a)] = -1;
+      --a;
+    }
+    if (a < 0) break;
+    off[static_cast<size_t>(a)] += 1;
+  }
+
+  for (int64_t cell = 0; cell < n; ++cell) {
+    grid.Unflatten(cell, p);
+    for (const auto& o : offsets) {
+      bool inside = true;
+      int64_t manhattan = 0;
+      for (int a = 0; a < dims; ++a) {
+        q[static_cast<size_t>(a)] = p[static_cast<size_t>(a)] + o[static_cast<size_t>(a)];
+        manhattan += std::abs(static_cast<int>(o[static_cast<size_t>(a)]));
+        if (q[static_cast<size_t>(a)] < 0 || q[static_cast<size_t>(a)] >= grid.side(a)) {
+          inside = false;
+          break;
+        }
+      }
+      if (!inside) continue;
+      const double w = manhattan == 1 ? options.orthogonal_weight
+                                      : options.diagonal_weight;
+      edges.push_back({cell, grid.Flatten(q), w});
+    }
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+}  // namespace spectral

@@ -1,0 +1,41 @@
+// Grid graph builders: the paper's default model (edge iff Manhattan
+// distance 1, i.e. 2d-connectivity) and the 8-connectivity (Moore) variant
+// of its Figure 4.
+
+#ifndef SPECTRAL_LPM_GRAPH_GRID_GRAPH_H_
+#define SPECTRAL_LPM_GRAPH_GRID_GRAPH_H_
+
+#include "graph/graph.h"
+#include "space/grid.h"
+
+namespace spectral {
+
+/// Neighborhood structure of a grid graph.
+enum class GridConnectivity {
+  /// Orthogonal neighbors only (Manhattan distance 1): 4-connectivity in
+  /// 2-d, 2d-connectivity in d dimensions. The paper's default (step 1).
+  kOrthogonal,
+  /// All Chebyshev-distance-1 neighbors: 8-connectivity in 2-d (Figure 4c).
+  kMoore,
+};
+
+/// Options for BuildGridGraph.
+struct GridGraphOptions {
+  GridConnectivity connectivity = GridConnectivity::kOrthogonal;
+  /// Weight of orthogonal (Manhattan distance 1) edges.
+  double orthogonal_weight = 1.0;
+  /// Weight of the extra diagonal edges under kMoore.
+  double diagonal_weight = 1.0;
+  /// Wrap every axis (torus topology). Axes of side <= 2 do not wrap (the
+  /// wrap edge would duplicate an existing one). Only supported for
+  /// kOrthogonal connectivity.
+  bool periodic = false;
+};
+
+/// Builds the graph over all cells of `grid`; vertex ids are row-major cell
+/// ids (GridSpec::Flatten).
+Graph BuildGridGraph(const GridSpec& grid, const GridGraphOptions& options = {});
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_GRAPH_GRID_GRAPH_H_

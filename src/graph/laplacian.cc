@@ -1,0 +1,31 @@
+#include "graph/laplacian.h"
+
+#include "util/check.h"
+
+namespace spectral {
+
+SparseMatrix BuildLaplacian(const Graph& g) {
+  const int64_t n = g.num_vertices();
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(n + 4 * g.num_edges()));
+  for (int64_t v = 0; v < n; ++v) {
+    triplets.push_back({v, v, g.WeightedDegree(v)});
+  }
+  g.ForEachEdge([&](int64_t u, int64_t v, double w) {
+    triplets.push_back({u, v, -w});
+    triplets.push_back({v, u, -w});
+  });
+  return SparseMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+double DirichletEnergy(const Graph& g, std::span<const double> x) {
+  SPECTRAL_CHECK_EQ(static_cast<int64_t>(x.size()), g.num_vertices());
+  double acc = 0.0;
+  g.ForEachEdge([&](int64_t u, int64_t v, double w) {
+    const double diff = x[static_cast<size_t>(u)] - x[static_cast<size_t>(v)];
+    acc += w * diff * diff;
+  });
+  return acc;
+}
+
+}  // namespace spectral

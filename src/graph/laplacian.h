@@ -1,0 +1,23 @@
+// Graph Laplacian assembly: step 2 of the paper's algorithm,
+// L(G) = D(G) - W(G) with D the (weighted) degree diagonal.
+
+#ifndef SPECTRAL_LPM_GRAPH_LAPLACIAN_H_
+#define SPECTRAL_LPM_GRAPH_LAPLACIAN_H_
+
+#include "graph/graph.h"
+#include "linalg/sparse_matrix.h"
+
+namespace spectral {
+
+/// Builds the (weighted) Laplacian of `g` in CSR form. Symmetric positive
+/// semidefinite; row sums are zero; the all-ones vector is in the kernel.
+SparseMatrix BuildLaplacian(const Graph& g);
+
+/// The paper's objective for a candidate embedding x (Theorem 1, footnote 1
+/// for the weighted case): sum over edges of w_uv * (x_u - x_v)^2. Equal to
+/// x^T L x; evaluated directly from the graph for clarity in tests.
+double DirichletEnergy(const Graph& g, std::span<const double> x);
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_GRAPH_LAPLACIAN_H_

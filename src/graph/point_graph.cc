@@ -1,0 +1,148 @@
+#include "graph/point_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace spectral {
+
+namespace {
+
+// All nonzero offsets o in {-r..r}^d with the chosen norm <= r and o
+// lexicographically positive (first nonzero component > 0), so each
+// unordered pair of points is visited exactly once.
+std::vector<std::vector<Coord>> NeighborOffsets(int dims, int radius,
+                                                GridConnectivity connectivity) {
+  std::vector<std::vector<Coord>> offsets;
+  std::vector<Coord> off(static_cast<size_t>(dims),
+                         static_cast<Coord>(-radius));
+  while (true) {
+    int64_t manhattan = 0;
+    int64_t chebyshev = 0;
+    bool positive = false;
+    bool decided = false;
+    for (int a = 0; a < dims; ++a) {
+      const int64_t v = off[static_cast<size_t>(a)];
+      manhattan += std::abs(v);
+      chebyshev = std::max<int64_t>(chebyshev, std::abs(v));
+      if (!decided && v != 0) {
+        positive = v > 0;
+        decided = true;
+      }
+    }
+    const int64_t norm =
+        connectivity == GridConnectivity::kOrthogonal ? manhattan : chebyshev;
+    if (positive && norm >= 1 && norm <= radius) offsets.push_back(off);
+
+    int a = dims - 1;
+    while (a >= 0 && off[static_cast<size_t>(a)] == radius) {
+      off[static_cast<size_t>(a)] = static_cast<Coord>(-radius);
+      --a;
+    }
+    if (a < 0) break;
+    off[static_cast<size_t>(a)] += 1;
+  }
+  return offsets;
+}
+
+}  // namespace
+
+StatusOr<Graph> BuildPointGraph(const PointSet& points,
+                                const PointGraphOptions& options) {
+  if (options.radius < 1) {
+    return InvalidArgumentError("radius must be >= 1");
+  }
+  if (options.weight <= 0.0) {
+    return InvalidArgumentError("weight must be positive");
+  }
+  const int dims = points.dims();
+  const double template_size =
+      std::pow(2.0 * options.radius + 1.0, static_cast<double>(dims));
+  if (template_size > 1e6) {
+    return InvalidArgumentError(
+        "neighborhood template too large: (2r+1)^d > 1e6");
+  }
+
+  // Local lexicographic index over the points.
+  const int64_t n = points.size();
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  auto lex_less = [&](int64_t a, int64_t b) {
+    const auto pa = points[a];
+    const auto pb = points[b];
+    for (int k = 0; k < dims; ++k) {
+      if (pa[static_cast<size_t>(k)] != pb[static_cast<size_t>(k)]) {
+        return pa[static_cast<size_t>(k)] < pb[static_cast<size_t>(k)];
+      }
+    }
+    return false;
+  };
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return lex_less(a, b) || (!lex_less(b, a) && a < b);
+  });
+  for (int64_t i = 0; i + 1 < n; ++i) {
+    if (!lex_less(order[static_cast<size_t>(i)], order[static_cast<size_t>(i + 1)]) &&
+        !lex_less(order[static_cast<size_t>(i + 1)], order[static_cast<size_t>(i)])) {
+      return InvalidArgumentError("duplicate points in the set");
+    }
+  }
+  std::vector<Coord> probe(static_cast<size_t>(dims));
+  auto find = [&](std::span<const Coord> p) -> int64_t {
+    auto it = std::lower_bound(order.begin(), order.end(), p,
+                               [&](int64_t a, std::span<const Coord> q) {
+                                 const auto pa = points[a];
+                                 for (int k = 0; k < dims; ++k) {
+                                   if (pa[static_cast<size_t>(k)] !=
+                                       q[static_cast<size_t>(k)]) {
+                                     return pa[static_cast<size_t>(k)] <
+                                            q[static_cast<size_t>(k)];
+                                   }
+                                 }
+                                 return false;
+                               });
+    if (it == order.end()) return -1;
+    const auto cand = points[*it];
+    for (int k = 0; k < dims; ++k) {
+      if (cand[static_cast<size_t>(k)] != p[static_cast<size_t>(k)]) return -1;
+    }
+    return *it;
+  };
+
+  const auto offsets =
+      NeighborOffsets(dims, options.radius, options.connectivity);
+
+  std::vector<GraphEdge> edges;
+  for (int64_t i = 0; i < n; ++i) {
+    const auto p = points[i];
+    for (const auto& off : offsets) {
+      int64_t dist = 0;
+      for (int a = 0; a < dims; ++a) {
+        probe[static_cast<size_t>(a)] =
+            p[static_cast<size_t>(a)] + off[static_cast<size_t>(a)];
+        dist += std::abs(static_cast<int>(off[static_cast<size_t>(a)]));
+      }
+      const int64_t j = find(probe);
+      if (j < 0) continue;
+      double w = options.weight;
+      switch (options.kernel) {
+        case WeightKernel::kUniform:
+          break;
+        case WeightKernel::kInverseDistance:
+          w /= static_cast<double>(dist);
+          break;
+        case WeightKernel::kGaussian: {
+          const double r = static_cast<double>(dist) / options.gaussian_sigma;
+          w *= std::exp(-r * r);
+          break;
+        }
+      }
+      edges.push_back({i, j, w});
+    }
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+}  // namespace spectral

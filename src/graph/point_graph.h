@@ -1,0 +1,48 @@
+// Graph construction for arbitrary point sets: step 1 of the paper's
+// algorithm ("there is an edge (vi, vj) iff ManhattanDist(pi, pj) = 1"),
+// generalized to a configurable Manhattan radius and to Moore neighborhoods.
+
+#ifndef SPECTRAL_LPM_GRAPH_POINT_GRAPH_H_
+#define SPECTRAL_LPM_GRAPH_POINT_GRAPH_H_
+
+#include "graph/graph.h"
+#include "graph/grid_graph.h"
+#include "space/point_set.h"
+#include "util/status.h"
+
+namespace spectral {
+
+/// How an edge's weight depends on the Manhattan distance d of its
+/// endpoints — the section-4 weighted generalization.
+enum class WeightKernel {
+  /// weight (independent of d).
+  kUniform,
+  /// weight / d: the paper's footnote-1 variant.
+  kInverseDistance,
+  /// weight * exp(-(d/sigma)^2): a Gaussian affinity kernel.
+  kGaussian,
+};
+
+/// Options for BuildPointGraph.
+struct PointGraphOptions {
+  GridConnectivity connectivity = GridConnectivity::kOrthogonal;
+  /// Points at Manhattan distance in [1, radius] are connected
+  /// (kOrthogonal). Under kMoore the radius applies to Chebyshev distance.
+  int radius = 1;
+  /// Base edge weight.
+  double weight = 1.0;
+  WeightKernel kernel = WeightKernel::kUniform;
+  /// Length scale of the Gaussian kernel.
+  double gaussian_sigma = 1.0;
+};
+
+/// Connects points of `points` per `options`. Vertex ids are point indices.
+/// Duplicate points in the set are invalid (they would form self loops);
+/// returns InvalidArgument in that case. The neighborhood template grows
+/// like (2r+1)^d, so (2*radius+1)^dims is capped at 10^6.
+StatusOr<Graph> BuildPointGraph(const PointSet& points,
+                                const PointGraphOptions& options = {});
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_GRAPH_POINT_GRAPH_H_

@@ -1,0 +1,40 @@
+#include "graph/subgraph.h"
+
+#include "util/check.h"
+
+namespace spectral {
+
+InducedSubgraph BuildInducedSubgraph(const Graph& graph,
+                                     std::span<const int64_t> vertices) {
+  InducedSubgraph sub;
+  sub.local_to_global.assign(vertices.begin(), vertices.end());
+
+  std::vector<int64_t> global_to_local(
+      static_cast<size_t>(graph.num_vertices()), -1);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    const int64_t v = vertices[i];
+    SPECTRAL_CHECK_GE(v, 0);
+    SPECTRAL_CHECK_LT(v, graph.num_vertices());
+    SPECTRAL_CHECK_EQ(global_to_local[static_cast<size_t>(v)], -1)
+        << "duplicate vertex in subgraph selection";
+    global_to_local[static_cast<size_t>(v)] = static_cast<int64_t>(i);
+  }
+
+  std::vector<GraphEdge> edges;
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    const int64_t u = vertices[i];
+    const auto nbrs = graph.Neighbors(u);
+    const auto ws = graph.Weights(u);
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      const int64_t v = nbrs[k];
+      if (v <= u) continue;  // visit each undirected edge once
+      const int64_t lv = global_to_local[static_cast<size_t>(v)];
+      if (lv < 0) continue;
+      edges.push_back({static_cast<int64_t>(i), lv, ws[k]});
+    }
+  }
+  sub.graph = Graph::FromEdges(static_cast<int64_t>(vertices.size()), edges);
+  return sub;
+}
+
+}  // namespace spectral

@@ -1,0 +1,31 @@
+// Induced subgraphs: used by the component splitter in core/spectral_lpm
+// and by recursive spectral bisection, which repeatedly restricts the graph
+// to one side of the median cut.
+
+#ifndef SPECTRAL_LPM_GRAPH_SUBGRAPH_H_
+#define SPECTRAL_LPM_GRAPH_SUBGRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace spectral {
+
+/// The subgraph induced by `vertices` plus the local->global vertex map.
+struct InducedSubgraph {
+  Graph graph;
+  /// local_to_global[i] is the original id of local vertex i.
+  std::vector<int64_t> local_to_global;
+};
+
+/// Builds the subgraph induced by `vertices` (must be distinct, in range).
+/// Edges with both endpoints inside are kept with their weights; vertex i of
+/// the result corresponds to vertices[i].
+InducedSubgraph BuildInducedSubgraph(const Graph& graph,
+                                     std::span<const int64_t> vertices);
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_GRAPH_SUBGRAPH_H_

@@ -1,0 +1,62 @@
+#include "graph/traversal.h"
+
+#include <deque>
+
+#include "util/check.h"
+
+namespace spectral {
+
+std::vector<int64_t> ConnectedComponents(const Graph& g,
+                                         int64_t* num_components) {
+  const int64_t n = g.num_vertices();
+  std::vector<int64_t> comp(static_cast<size_t>(n), -1);
+  int64_t next_id = 0;
+  std::deque<int64_t> queue;
+  for (int64_t s = 0; s < n; ++s) {
+    if (comp[static_cast<size_t>(s)] >= 0) continue;
+    comp[static_cast<size_t>(s)] = next_id;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const int64_t u = queue.front();
+      queue.pop_front();
+      for (int64_t v : g.Neighbors(u)) {
+        if (comp[static_cast<size_t>(v)] < 0) {
+          comp[static_cast<size_t>(v)] = next_id;
+          queue.push_back(v);
+        }
+      }
+    }
+    ++next_id;
+  }
+  if (num_components != nullptr) *num_components = next_id;
+  return comp;
+}
+
+bool IsConnected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  int64_t count = 0;
+  ConnectedComponents(g, &count);
+  return count == 1;
+}
+
+std::vector<int64_t> BfsDistances(const Graph& g, int64_t source) {
+  SPECTRAL_CHECK_GE(source, 0);
+  SPECTRAL_CHECK_LT(source, g.num_vertices());
+  std::vector<int64_t> dist(static_cast<size_t>(g.num_vertices()), -1);
+  std::deque<int64_t> queue;
+  dist[static_cast<size_t>(source)] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const int64_t u = queue.front();
+    queue.pop_front();
+    for (int64_t v : g.Neighbors(u)) {
+      if (dist[static_cast<size_t>(v)] < 0) {
+        dist[static_cast<size_t>(v)] = dist[static_cast<size_t>(u)] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace spectral

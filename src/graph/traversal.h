@@ -1,0 +1,27 @@
+// Connectivity utilities. The Fiedler vector is defined per connected
+// component; core/spectral_lpm splits on these results before solving.
+
+#ifndef SPECTRAL_LPM_GRAPH_TRAVERSAL_H_
+#define SPECTRAL_LPM_GRAPH_TRAVERSAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace spectral {
+
+/// Labels every vertex with a component id in [0, num_components); ids are
+/// assigned in order of the lowest vertex id in each component.
+std::vector<int64_t> ConnectedComponents(const Graph& g,
+                                         int64_t* num_components);
+
+/// True iff the graph is connected (the empty graph counts as connected).
+bool IsConnected(const Graph& g);
+
+/// BFS distances from `source` (-1 for unreachable vertices).
+std::vector<int64_t> BfsDistances(const Graph& g, int64_t source);
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_GRAPH_TRAVERSAL_H_

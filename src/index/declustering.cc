@@ -1,0 +1,85 @@
+#include "index/declustering.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace spectral {
+
+RoundRobinDecluster::RoundRobinDecluster(int num_disks)
+    : num_disks_(num_disks) {
+  SPECTRAL_CHECK_GE(num_disks, 1);
+}
+
+int RoundRobinDecluster::DiskOfRank(int64_t rank) const {
+  SPECTRAL_DCHECK_GE(rank, 0);
+  return static_cast<int>(rank % num_disks_);
+}
+
+DeclusteringStats EvaluateDeclustering(const GridSpec& grid,
+                                       const LinearOrder& order,
+                                       const RangeQueryShape& shape,
+                                       int num_disks) {
+  SPECTRAL_CHECK_EQ(order.size(), grid.NumCells());
+  SPECTRAL_CHECK_EQ(static_cast<int>(shape.extents.size()), grid.dims());
+  const RoundRobinDecluster decluster(num_disks);
+  const int dims = grid.dims();
+
+  DeclusteringStats stats;
+  double ratio_sum = 0.0;
+
+  std::vector<Coord> origin(static_cast<size_t>(dims), 0);
+  std::vector<Coord> offset(static_cast<size_t>(dims), 0);
+  std::vector<Coord> cell(static_cast<size_t>(dims));
+  std::vector<Coord> origin_limits(static_cast<size_t>(dims));
+  for (int a = 0; a < dims; ++a) {
+    SPECTRAL_CHECK_LE(shape.extents[static_cast<size_t>(a)], grid.side(a));
+    origin_limits[static_cast<size_t>(a)] = static_cast<Coord>(
+        grid.side(a) - shape.extents[static_cast<size_t>(a)] + 1);
+  }
+
+  auto next_counter = [](std::vector<Coord>& counter,
+                         std::span<const Coord> limits) {
+    for (size_t a = counter.size(); a-- > 0;) {
+      if (counter[a] + 1 < limits[a]) {
+        counter[a] += 1;
+        std::fill(counter.begin() + static_cast<int64_t>(a) + 1,
+                  counter.end(), 0);
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::vector<int64_t> per_disk(static_cast<size_t>(num_disks));
+  do {
+    std::fill(per_disk.begin(), per_disk.end(), 0);
+    int64_t total = 0;
+    std::fill(offset.begin(), offset.end(), 0);
+    do {
+      for (int a = 0; a < dims; ++a) {
+        cell[static_cast<size_t>(a)] = static_cast<Coord>(
+            origin[static_cast<size_t>(a)] + offset[static_cast<size_t>(a)]);
+      }
+      const int64_t rank = order.RankOf(grid.Flatten(cell));
+      per_disk[static_cast<size_t>(decluster.DiskOfRank(rank))] += 1;
+      total += 1;
+    } while (next_counter(offset, shape.extents));
+
+    const int64_t max_load = *std::max_element(per_disk.begin(), per_disk.end());
+    const int64_t optimal = (total + num_disks - 1) / num_disks;
+    const double ratio =
+        static_cast<double>(max_load) / static_cast<double>(optimal);
+    ratio_sum += ratio;
+    stats.max_balance_ratio = std::max(stats.max_balance_ratio, ratio);
+    stats.num_queries += 1;
+  } while (next_counter(origin, origin_limits));
+
+  stats.mean_balance_ratio =
+      stats.num_queries > 0 ? ratio_sum / static_cast<double>(stats.num_queries)
+                            : 0.0;
+  return stats;
+}
+
+}  // namespace spectral

@@ -1,0 +1,47 @@
+// Declustering: stripe records over M independent disks so range queries
+// parallelize. With a locality-preserving order, round-robin striping of
+// the 1-d order spreads any contiguous range evenly — another application
+// the paper names for Spectral LPM.
+
+#ifndef SPECTRAL_LPM_INDEX_DECLUSTERING_H_
+#define SPECTRAL_LPM_INDEX_DECLUSTERING_H_
+
+#include <cstdint>
+
+#include "core/linear_order.h"
+#include "query/range_query.h"
+#include "space/grid.h"
+
+namespace spectral {
+
+/// Round-robin striping by rank: record with rank r lives on disk r % M.
+class RoundRobinDecluster {
+ public:
+  explicit RoundRobinDecluster(int num_disks);
+
+  int num_disks() const { return num_disks_; }
+  int DiskOfRank(int64_t rank) const;
+
+ private:
+  int num_disks_;
+};
+
+/// Load-balance quality over a population of grid range queries.
+struct DeclusteringStats {
+  /// Mean over queries of (max per-disk hits) / ceil(result / M); 1.0 means
+  /// every query is perfectly parallelized.
+  double mean_balance_ratio = 0.0;
+  double max_balance_ratio = 0.0;
+  int64_t num_queries = 0;
+};
+
+/// Evaluates round-robin declustering of `order` on every placement of the
+/// query window (full-grid point sets, as in EvaluateRangeQueries).
+DeclusteringStats EvaluateDeclustering(const GridSpec& grid,
+                                       const LinearOrder& order,
+                                       const RangeQueryShape& shape,
+                                       int num_disks);
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_INDEX_DECLUSTERING_H_

@@ -1,0 +1,203 @@
+#include "index/packed_rtree.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace spectral {
+
+Mbr Mbr::Empty(int dims) {
+  Mbr mbr;
+  mbr.lo.assign(static_cast<size_t>(dims), 1);
+  mbr.hi.assign(static_cast<size_t>(dims), 0);  // lo > hi marks empty
+  return mbr;
+}
+
+bool Mbr::IsEmpty() const { return !lo.empty() && lo[0] > hi[0]; }
+
+void Mbr::Expand(std::span<const Coord> p) {
+  SPECTRAL_DCHECK_EQ(p.size(), lo.size());
+  if (IsEmpty()) {
+    lo.assign(p.begin(), p.end());
+    hi.assign(p.begin(), p.end());
+    return;
+  }
+  for (size_t a = 0; a < lo.size(); ++a) {
+    lo[a] = std::min(lo[a], p[a]);
+    hi[a] = std::max(hi[a], p[a]);
+  }
+}
+
+void Mbr::Expand(const Mbr& other) {
+  if (other.IsEmpty()) return;
+  if (IsEmpty()) {
+    *this = other;
+    return;
+  }
+  for (size_t a = 0; a < lo.size(); ++a) {
+    lo[a] = std::min(lo[a], other.lo[a]);
+    hi[a] = std::max(hi[a], other.hi[a]);
+  }
+}
+
+bool Mbr::Intersects(std::span<const Coord> query_lo,
+                     std::span<const Coord> query_hi) const {
+  SPECTRAL_DCHECK_EQ(query_lo.size(), lo.size());
+  if (IsEmpty()) return false;
+  for (size_t a = 0; a < lo.size(); ++a) {
+    if (query_hi[a] < lo[a] || query_lo[a] > hi[a]) return false;
+  }
+  return true;
+}
+
+bool Mbr::Contains(std::span<const Coord> p) const {
+  if (IsEmpty()) return false;
+  for (size_t a = 0; a < lo.size(); ++a) {
+    if (p[a] < lo[a] || p[a] > hi[a]) return false;
+  }
+  return true;
+}
+
+double Mbr::Volume() const {
+  if (IsEmpty()) return 0.0;
+  double v = 1.0;
+  for (size_t a = 0; a < lo.size(); ++a) {
+    v *= static_cast<double>(hi[a] - lo[a] + 1);
+  }
+  return v;
+}
+
+double Mbr::Margin() const {
+  if (IsEmpty()) return 0.0;
+  double m = 0.0;
+  for (size_t a = 0; a < lo.size(); ++a) {
+    m += static_cast<double>(hi[a] - lo[a] + 1);
+  }
+  return m;
+}
+
+double Mbr::OverlapVolume(const Mbr& other) const {
+  if (IsEmpty() || other.IsEmpty()) return 0.0;
+  double v = 1.0;
+  for (size_t a = 0; a < lo.size(); ++a) {
+    const Coord l = std::max(lo[a], other.lo[a]);
+    const Coord h = std::min(hi[a], other.hi[a]);
+    if (l > h) return 0.0;
+    v *= static_cast<double>(h - l + 1);
+  }
+  return v;
+}
+
+PackedRTree PackedRTree::Build(const PointSet& points,
+                               const LinearOrder& order, int leaf_capacity,
+                               int fanout) {
+  SPECTRAL_CHECK_EQ(points.size(), order.size());
+  SPECTRAL_CHECK_GE(leaf_capacity, 1);
+  SPECTRAL_CHECK_GE(fanout, 2);
+  SPECTRAL_CHECK_GT(points.size(), 0);
+
+  PackedRTree tree;
+  tree.points_ = &points;
+  const int64_t n = points.size();
+  tree.point_of_slot_.resize(static_cast<size_t>(n));
+  for (int64_t r = 0; r < n; ++r) {
+    tree.point_of_slot_[static_cast<size_t>(r)] = order.PointAtRank(r);
+  }
+
+  // Leaf level.
+  std::vector<Node> leaves;
+  for (int64_t begin = 0; begin < n; begin += leaf_capacity) {
+    Node node;
+    node.begin = begin;
+    node.end = std::min<int64_t>(begin + leaf_capacity, n);
+    node.mbr = Mbr::Empty(points.dims());
+    for (int64_t s = node.begin; s < node.end; ++s) {
+      node.mbr.Expand(points[tree.point_of_slot_[static_cast<size_t>(s)]]);
+    }
+    leaves.push_back(std::move(node));
+  }
+  tree.levels_.push_back(std::move(leaves));
+
+  // Internal levels until a single root.
+  while (tree.levels_.back().size() > 1) {
+    const auto& below = tree.levels_.back();
+    std::vector<Node> level;
+    const int64_t m = static_cast<int64_t>(below.size());
+    for (int64_t begin = 0; begin < m; begin += fanout) {
+      Node node;
+      node.begin = begin;
+      node.end = std::min<int64_t>(begin + fanout, m);
+      node.mbr = Mbr::Empty(points.dims());
+      for (int64_t c = node.begin; c < node.end; ++c) {
+        node.mbr.Expand(below[static_cast<size_t>(c)].mbr);
+      }
+      level.push_back(std::move(node));
+    }
+    tree.levels_.push_back(std::move(level));
+  }
+  return tree;
+}
+
+PackedRTree::QueryResult PackedRTree::RangeQuery(
+    std::span<const Coord> query_lo, std::span<const Coord> query_hi) const {
+  SPECTRAL_CHECK(points_ != nullptr);
+  SPECTRAL_CHECK_EQ(static_cast<int>(query_lo.size()), points_->dims());
+  SPECTRAL_CHECK_EQ(query_lo.size(), query_hi.size());
+
+  QueryResult result;
+  // Iterative DFS from the root level downwards.
+  struct Frame {
+    size_t level;
+    int64_t node;
+  };
+  std::vector<Frame> stack;
+  const size_t root_level = levels_.size() - 1;
+  for (size_t i = 0; i < levels_[root_level].size(); ++i) {
+    stack.push_back({root_level, static_cast<int64_t>(i)});
+  }
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const Node& node = levels_[frame.level][static_cast<size_t>(frame.node)];
+    if (!node.mbr.Intersects(query_lo, query_hi)) continue;
+    result.nodes_visited += 1;
+    if (frame.level == 0) {
+      result.leaves_visited += 1;
+      for (int64_t s = node.begin; s < node.end; ++s) {
+        const auto p = (*points_)[point_of_slot_[static_cast<size_t>(s)]];
+        bool inside = true;
+        for (size_t a = 0; a < query_lo.size(); ++a) {
+          if (p[a] < query_lo[a] || p[a] > query_hi[a]) {
+            inside = false;
+            break;
+          }
+        }
+        if (inside) result.matches += 1;
+      }
+    } else {
+      for (int64_t c = node.begin; c < node.end; ++c) {
+        stack.push_back({frame.level - 1, c});
+      }
+    }
+  }
+  return result;
+}
+
+PackedRTree::Stats PackedRTree::ComputeStats() const {
+  Stats stats;
+  const auto& leaves = levels_[0];
+  stats.num_leaves = static_cast<int64_t>(leaves.size());
+  stats.height = static_cast<int64_t>(levels_.size());
+  for (const Node& leaf : leaves) {
+    stats.total_leaf_volume += leaf.mbr.Volume();
+    stats.total_leaf_margin += leaf.mbr.Margin();
+  }
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    for (size_t j = i + 1; j < leaves.size(); ++j) {
+      stats.leaf_overlap_volume += leaves[i].mbr.OverlapVolume(leaves[j].mbr);
+    }
+  }
+  return stats;
+}
+
+}  // namespace spectral

@@ -1,0 +1,93 @@
+// Bulk-loaded (packed) R-tree: leaves are consecutive runs of the linear
+// order, so packing quality is a direct function of the order's locality —
+// one of the applications the paper claims Spectral LPM improves ("R-tree
+// packing").
+
+#ifndef SPECTRAL_LPM_INDEX_PACKED_RTREE_H_
+#define SPECTRAL_LPM_INDEX_PACKED_RTREE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/linear_order.h"
+#include "space/point_set.h"
+
+namespace spectral {
+
+/// Axis-aligned minimum bounding rectangle over integer coordinates.
+struct Mbr {
+  std::vector<Coord> lo;
+  std::vector<Coord> hi;
+
+  /// Degenerate MBR ready for Expand.
+  static Mbr Empty(int dims);
+
+  bool IsEmpty() const;
+  void Expand(std::span<const Coord> p);
+  void Expand(const Mbr& other);
+  bool Intersects(std::span<const Coord> query_lo,
+                  std::span<const Coord> query_hi) const;
+  bool Contains(std::span<const Coord> p) const;
+  /// Product of (hi - lo + 1); cell-count volume.
+  double Volume() const;
+  /// Sum of (hi - lo + 1); the margin (perimeter-style) measure.
+  double Margin() const;
+  /// Cell-count volume of the intersection with `other` (0 when disjoint).
+  double OverlapVolume(const Mbr& other) const;
+};
+
+/// Packed R-tree built from a point set in rank order.
+class PackedRTree {
+ public:
+  /// Packs points sorted by `order` into leaves of `leaf_capacity` entries
+  /// and internal levels of `fanout` children.
+  static PackedRTree Build(const PointSet& points, const LinearOrder& order,
+                           int leaf_capacity, int fanout);
+
+  /// Query execution counters.
+  struct QueryResult {
+    int64_t matches = 0;
+    /// Internal + leaf nodes whose MBR intersected the query (each visit is
+    /// one page read in the classic I/O model).
+    int64_t nodes_visited = 0;
+    int64_t leaves_visited = 0;
+  };
+
+  /// Counts points inside the closed box [query_lo, query_hi].
+  QueryResult RangeQuery(std::span<const Coord> query_lo,
+                         std::span<const Coord> query_hi) const;
+
+  /// Static packing-quality measures of the leaf level.
+  struct Stats {
+    int64_t num_leaves = 0;
+    int64_t height = 0;  // levels including the leaf level
+    double total_leaf_volume = 0.0;
+    double total_leaf_margin = 0.0;
+    /// Sum of pairwise overlap volumes between leaves (0 = perfectly
+    /// disjoint packing).
+    double leaf_overlap_volume = 0.0;
+  };
+  Stats ComputeStats() const;
+
+  int64_t num_points() const { return static_cast<int64_t>(point_of_slot_.size()); }
+
+ private:
+  PackedRTree() = default;
+
+  // Level 0 = leaves; each level is a vector of nodes with [begin, end)
+  // child ranges into the level below (or into point slots for leaves).
+  struct Node {
+    int64_t begin = 0;
+    int64_t end = 0;
+    Mbr mbr;
+  };
+
+  const PointSet* points_ = nullptr;
+  std::vector<int64_t> point_of_slot_;      // rank -> point index
+  std::vector<std::vector<Node>> levels_;   // levels_[0] = leaves
+};
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_INDEX_PACKED_RTREE_H_

@@ -1,0 +1,87 @@
+#include "linalg/dense_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/sparse_matrix.h"
+#include "util/check.h"
+
+namespace spectral {
+
+DenseMatrix::DenseMatrix(int64_t rows, int64_t cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows * cols), 0.0) {
+  SPECTRAL_CHECK_GE(rows, 0);
+  SPECTRAL_CHECK_GE(cols, 0);
+}
+
+DenseMatrix DenseMatrix::Identity(int64_t n) {
+  DenseMatrix m(n, n);
+  for (int64_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+DenseMatrix DenseMatrix::FromSparse(const SparseMatrix& sparse) {
+  DenseMatrix m(sparse.rows(), sparse.cols());
+  for (int64_t i = 0; i < sparse.rows(); ++i) {
+    for (int64_t k = sparse.row_begin(i); k < sparse.row_end(i); ++k) {
+      m.At(i, sparse.col(k)) += sparse.value(k);
+    }
+  }
+  return m;
+}
+
+double& DenseMatrix::At(int64_t i, int64_t j) {
+  SPECTRAL_DCHECK_GE(i, 0);
+  SPECTRAL_DCHECK_LT(i, rows_);
+  SPECTRAL_DCHECK_GE(j, 0);
+  SPECTRAL_DCHECK_LT(j, cols_);
+  return data_[static_cast<size_t>(i * cols_ + j)];
+}
+
+double DenseMatrix::At(int64_t i, int64_t j) const {
+  SPECTRAL_DCHECK_GE(i, 0);
+  SPECTRAL_DCHECK_LT(i, rows_);
+  SPECTRAL_DCHECK_GE(j, 0);
+  SPECTRAL_DCHECK_LT(j, cols_);
+  return data_[static_cast<size_t>(i * cols_ + j)];
+}
+
+std::span<const double> DenseMatrix::Row(int64_t i) const {
+  SPECTRAL_DCHECK_GE(i, 0);
+  SPECTRAL_DCHECK_LT(i, rows_);
+  return std::span<const double>(data_.data() + i * cols_,
+                                 static_cast<size_t>(cols_));
+}
+
+void DenseMatrix::MatVec(std::span<const double> x,
+                         std::span<double> y) const {
+  SPECTRAL_CHECK_EQ(static_cast<int64_t>(x.size()), cols_);
+  SPECTRAL_CHECK_EQ(static_cast<int64_t>(y.size()), rows_);
+  for (int64_t i = 0; i < rows_; ++i) {
+    y[static_cast<size_t>(i)] = Dot(Row(i), x);
+  }
+}
+
+double DenseMatrix::SymmetryError() const {
+  SPECTRAL_CHECK_EQ(rows_, cols_);
+  double err = 0.0;
+  for (int64_t i = 0; i < rows_; ++i) {
+    for (int64_t j = i + 1; j < cols_; ++j) {
+      err = std::max(err, std::fabs(At(i, j) - At(j, i)));
+    }
+  }
+  return err;
+}
+
+double DenseMatrix::MaxAbsDiff(const DenseMatrix& other) const {
+  SPECTRAL_CHECK_EQ(rows_, other.rows_);
+  SPECTRAL_CHECK_EQ(cols_, other.cols_);
+  double err = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    err = std::max(err, std::fabs(data_[i] - other.data_[i]));
+  }
+  return err;
+}
+
+}  // namespace spectral

@@ -1,0 +1,56 @@
+// Row-major dense matrix. Used for the exact reference eigensolver (Jacobi)
+// on small problems and for test cross-validation of the sparse kernels; the
+// production path is CSR + Lanczos.
+
+#ifndef SPECTRAL_LPM_LINALG_DENSE_MATRIX_H_
+#define SPECTRAL_LPM_LINALG_DENSE_MATRIX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+
+namespace spectral {
+
+class SparseMatrix;
+
+/// Dense row-major matrix of doubles.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  /// rows x cols, zero-initialized.
+  DenseMatrix(int64_t rows, int64_t cols);
+
+  /// Identity of the given size.
+  static DenseMatrix Identity(int64_t n);
+  /// Densifies a sparse matrix.
+  static DenseMatrix FromSparse(const SparseMatrix& sparse);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+  double& At(int64_t i, int64_t j);
+  double At(int64_t i, int64_t j) const;
+
+  /// Row `i` as a span.
+  std::span<const double> Row(int64_t i) const;
+
+  /// y = A x; requires x.size() == cols, y.size() == rows.
+  void MatVec(std::span<const double> x, std::span<double> y) const;
+
+  /// max |A_ij - A_ji|; zero for a symmetric matrix.
+  double SymmetryError() const;
+
+  /// max |A_ij - B_ij|; requires equal shapes.
+  double MaxAbsDiff(const DenseMatrix& other) const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_LINALG_DENSE_MATRIX_H_

@@ -1,0 +1,109 @@
+#include "linalg/sparse_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace spectral {
+
+SparseMatrix SparseMatrix::FromTriplets(int64_t rows, int64_t cols,
+                                        std::vector<Triplet> triplets) {
+  SPECTRAL_CHECK_GE(rows, 0);
+  SPECTRAL_CHECK_GE(cols, 0);
+  for (const Triplet& t : triplets) {
+    SPECTRAL_CHECK_GE(t.row, 0);
+    SPECTRAL_CHECK_LT(t.row, rows);
+    SPECTRAL_CHECK_GE(t.col, 0);
+    SPECTRAL_CHECK_LT(t.col, cols);
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(static_cast<size_t>(rows) + 1, 0);
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+
+  size_t i = 0;
+  while (i < triplets.size()) {
+    const int64_t r = triplets[i].row;
+    const int64_t c = triplets[i].col;
+    double sum = 0.0;
+    while (i < triplets.size() && triplets[i].row == r &&
+           triplets[i].col == c) {
+      sum += triplets[i].value;
+      ++i;
+    }
+    m.col_idx_.push_back(c);
+    m.values_.push_back(sum);
+    m.row_ptr_[static_cast<size_t>(r) + 1] += 1;
+  }
+  for (size_t r = 0; r < static_cast<size_t>(rows); ++r) {
+    m.row_ptr_[r + 1] += m.row_ptr_[r];
+  }
+  return m;
+}
+
+void SparseMatrix::MatVec(std::span<const double> x,
+                          std::span<double> y) const {
+  SPECTRAL_CHECK_EQ(static_cast<int64_t>(x.size()), cols_);
+  SPECTRAL_CHECK_EQ(static_cast<int64_t>(y.size()), rows_);
+  for (int64_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (int64_t k = row_begin(i); k < row_end(i); ++k) {
+      acc += values_[static_cast<size_t>(k)] *
+             x[static_cast<size_t>(col_idx_[static_cast<size_t>(k)])];
+    }
+    y[static_cast<size_t>(i)] = acc;
+  }
+}
+
+double SparseMatrix::GershgorinBound() const {
+  double bound = 0.0;
+  for (int64_t i = 0; i < rows_; ++i) {
+    double row_sum = 0.0;
+    for (int64_t k = row_begin(i); k < row_end(i); ++k) {
+      row_sum += std::fabs(values_[static_cast<size_t>(k)]);
+    }
+    bound = std::max(bound, row_sum);
+  }
+  return bound;
+}
+
+double SparseMatrix::SymmetryError() const {
+  SPECTRAL_CHECK_EQ(rows_, cols_);
+  // Probe A^T lazily: for each entry (i, j, v) find (j, i) by binary search.
+  double err = 0.0;
+  for (int64_t i = 0; i < rows_; ++i) {
+    for (int64_t k = row_begin(i); k < row_end(i); ++k) {
+      const int64_t j = col(k);
+      // Find entry (j, i).
+      const auto begin = col_idx_.begin() + row_begin(j);
+      const auto end = col_idx_.begin() + row_end(j);
+      const auto it = std::lower_bound(begin, end, i);
+      double transposed = 0.0;
+      if (it != end && *it == i) {
+        transposed = values_[static_cast<size_t>(it - col_idx_.begin())];
+      }
+      err = std::max(err, std::fabs(value(k) - transposed));
+    }
+  }
+  return err;
+}
+
+Vector SparseMatrix::Diagonal() const {
+  Vector diag(static_cast<size_t>(std::min(rows_, cols_)), 0.0);
+  for (int64_t i = 0; i < static_cast<int64_t>(diag.size()); ++i) {
+    for (int64_t k = row_begin(i); k < row_end(i); ++k) {
+      if (col(k) == i) diag[static_cast<size_t>(i)] += value(k);
+    }
+  }
+  return diag;
+}
+
+}  // namespace spectral

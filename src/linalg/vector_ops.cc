@@ -1,0 +1,61 @@
+#include "linalg/vector_ops.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace spectral {
+
+double Dot(std::span<const double> x, std::span<const double> y) {
+  SPECTRAL_DCHECK_EQ(x.size(), y.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void Axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  SPECTRAL_DCHECK_EQ(x.size(), y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void Scale(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+double Norm2(std::span<const double> x) { return std::sqrt(Dot(x, x)); }
+
+double NormInf(std::span<const double> x) {
+  double m = 0.0;
+  for (double v : x) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double Normalize(std::span<double> x, double tiny) {
+  const double norm = Norm2(x);
+  if (norm < tiny) return 0.0;
+  Scale(1.0 / norm, x);
+  return norm;
+}
+
+void OrthogonalizeAgainst(std::span<const Vector> basis, std::span<double> x) {
+  // Two passes of modified Gram-Schmidt ("twice is enough", Kahan/Parlett).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const Vector& b : basis) {
+      SPECTRAL_DCHECK_EQ(b.size(), x.size());
+      const double coeff = Dot(b, x);
+      Axpy(-coeff, b, x);
+    }
+  }
+}
+
+void Fill(std::span<double> x, double value) {
+  for (double& v : x) v = value;
+}
+
+double Sum(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc += v;
+  return acc;
+}
+
+}  // namespace spectral

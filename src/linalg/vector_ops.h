@@ -1,0 +1,46 @@
+// Dense vector kernels used throughout the eigensolvers. Vectors are plain
+// std::vector<double>; these free functions keep the numerical core free of
+// any matrix-library dependency.
+
+#ifndef SPECTRAL_LPM_LINALG_VECTOR_OPS_H_
+#define SPECTRAL_LPM_LINALG_VECTOR_OPS_H_
+
+#include <span>
+#include <vector>
+
+namespace spectral {
+
+using Vector = std::vector<double>;
+
+/// Inner product <x, y>; requires equal sizes.
+double Dot(std::span<const double> x, std::span<const double> y);
+
+/// y += alpha * x.
+void Axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha.
+void Scale(double alpha, std::span<double> x);
+
+/// Euclidean norm.
+double Norm2(std::span<const double> x);
+
+/// Max-absolute-value norm. Returns 0 for empty input.
+double NormInf(std::span<const double> x);
+
+/// Scales x to unit Euclidean norm and returns the original norm. If the
+/// norm is below `tiny` the vector is left untouched and 0 is returned.
+double Normalize(std::span<double> x, double tiny = 1e-300);
+
+/// Removes from `x` its components along each (assumed unit-norm) vector in
+/// `basis` using modified Gram-Schmidt, applied twice for stability.
+void OrthogonalizeAgainst(std::span<const Vector> basis, std::span<double> x);
+
+/// Fills `x` with `value`.
+void Fill(std::span<double> x, double value);
+
+/// Sum of the entries.
+double Sum(std::span<const double> x);
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_LINALG_VECTOR_OPS_H_

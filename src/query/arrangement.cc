@@ -1,0 +1,32 @@
+#include "query/arrangement.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace spectral {
+
+ArrangementMetrics ComputeArrangementMetrics(const Graph& g,
+                                             const LinearOrder& order) {
+  SPECTRAL_CHECK_EQ(g.num_vertices(), order.size());
+  ArrangementMetrics metrics;
+  double total_weight = 0.0;
+  g.ForEachEdge([&](int64_t u, int64_t v, double w) {
+    const int64_t gap = std::llabs(order.RankOf(u) - order.RankOf(v));
+    const double dgap = static_cast<double>(gap);
+    metrics.squared += w * dgap * dgap;
+    metrics.linear += w * dgap;
+    metrics.bandwidth = std::max(metrics.bandwidth, gap);
+    total_weight += w;
+  });
+  metrics.mean_gap = total_weight > 0.0 ? metrics.linear / total_weight : 0.0;
+  return metrics;
+}
+
+double SquaredArrangementLowerBound(double lambda2, int64_t n) {
+  SPECTRAL_CHECK_GE(n, 0);
+  const double dn = static_cast<double>(n);
+  return lambda2 * dn * (dn * dn - 1.0) / 12.0;
+}
+
+}  // namespace spectral

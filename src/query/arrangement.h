@@ -1,0 +1,40 @@
+// Arrangement objectives of a linear order on a graph — the quantities the
+// paper's Theorems 1-3 are about, evaluated on integer ranks:
+//   squared:   sum w (r_u - r_v)^2   (the paper's objective; "2-sum")
+//   linear:    sum w |r_u - r_v|     (minimum linear arrangement)
+//   bandwidth: max |r_u - r_v|       (minimum bandwidth)
+// Juvan & Mohar (the paper's ref [3]) relate all three to Laplacian
+// eigenvalues; the ablation bench compares every mapping on them.
+
+#ifndef SPECTRAL_LPM_QUERY_ARRANGEMENT_H_
+#define SPECTRAL_LPM_QUERY_ARRANGEMENT_H_
+
+#include <cstdint>
+
+#include "core/linear_order.h"
+#include "graph/graph.h"
+
+namespace spectral {
+
+/// All arrangement objectives of one order on one graph.
+struct ArrangementMetrics {
+  double squared = 0.0;
+  double linear = 0.0;
+  int64_t bandwidth = 0;
+  /// linear / total edge weight: the average rank gap across an edge.
+  double mean_gap = 0.0;
+};
+
+/// Evaluates `order` on `g`; requires matching sizes.
+ArrangementMetrics ComputeArrangementMetrics(const Graph& g,
+                                             const LinearOrder& order);
+
+/// Juvan-Mohar style lower bound on the squared objective over integer
+/// permutations: any permutation r, centered, satisfies
+/// r_c^T L r_c >= lambda2 * ||r_c||^2 with ||r_c||^2 = n(n^2-1)/12, so no
+/// order can do better than lambda2 * n * (n^2 - 1) / 12.
+double SquaredArrangementLowerBound(double lambda2, int64_t n);
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_QUERY_ARRANGEMENT_H_

@@ -1,0 +1,88 @@
+#include "query/knn.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace spectral {
+
+KnnStats EvaluateKnnRecall(const PointSet& points, const LinearOrder& order,
+                           const KnnOptions& options) {
+  SPECTRAL_CHECK_EQ(points.size(), order.size());
+  SPECTRAL_CHECK_GE(options.k, 1);
+  SPECTRAL_CHECK_GE(options.window, 1);
+  SPECTRAL_CHECK_GE(options.num_queries, 1);
+  const int64_t n = points.size();
+  SPECTRAL_CHECK_GT(n, options.k) << "need more points than k";
+
+  Rng rng(options.seed);
+  double recall_sum = 0.0;
+  double ratio_sum = 0.0;
+  std::vector<int64_t> all_dists(static_cast<size_t>(n));
+
+  for (int64_t q = 0; q < options.num_queries; ++q) {
+    const int64_t query = rng.UniformInt(0, n - 1);
+
+    // Exact ground truth: k smallest distances (query excluded).
+    for (int64_t i = 0; i < n; ++i) {
+      all_dists[static_cast<size_t>(i)] = points.Distance(query, i);
+    }
+    std::vector<int64_t> candidates;
+    candidates.reserve(static_cast<size_t>(n - 1));
+    for (int64_t i = 0; i < n; ++i) {
+      if (i != query) candidates.push_back(i);
+    }
+    std::nth_element(candidates.begin(),
+                     candidates.begin() + (options.k - 1), candidates.end(),
+                     [&](int64_t a, int64_t b) {
+                       const int64_t da = all_dists[static_cast<size_t>(a)];
+                       const int64_t db = all_dists[static_cast<size_t>(b)];
+                       return da != db ? da < db : a < b;
+                     });
+    const int64_t kth_dist =
+        all_dists[static_cast<size_t>(candidates[static_cast<size_t>(options.k - 1)])];
+    double exact_mean = 0.0;
+    for (int i = 0; i < options.k; ++i) {
+      exact_mean += static_cast<double>(
+          all_dists[static_cast<size_t>(candidates[static_cast<size_t>(i)])]);
+    }
+    exact_mean /= options.k;
+
+    // Window-based approximation: the k distance-closest points among the
+    // 2*window rank neighbors of the query.
+    const int64_t rank = order.RankOf(query);
+    std::vector<int64_t> window_pts;
+    for (int64_t r = std::max<int64_t>(0, rank - options.window);
+         r <= std::min<int64_t>(n - 1, rank + options.window); ++r) {
+      if (r != rank) window_pts.push_back(order.PointAtRank(r));
+    }
+    std::sort(window_pts.begin(), window_pts.end(), [&](int64_t a, int64_t b) {
+      const int64_t da = all_dists[static_cast<size_t>(a)];
+      const int64_t db = all_dists[static_cast<size_t>(b)];
+      return da != db ? da < db : a < b;
+    });
+    const int64_t have =
+        std::min<int64_t>(options.k, static_cast<int64_t>(window_pts.size()));
+    int64_t hits = 0;
+    double approx_mean = 0.0;
+    for (int64_t i = 0; i < have; ++i) {
+      const int64_t d = all_dists[static_cast<size_t>(window_pts[static_cast<size_t>(i)])];
+      if (d <= kth_dist) ++hits;
+      approx_mean += static_cast<double>(d);
+    }
+    approx_mean = have > 0 ? approx_mean / static_cast<double>(have) : 0.0;
+
+    recall_sum += static_cast<double>(hits) / options.k;
+    ratio_sum += exact_mean > 0 ? approx_mean / exact_mean : 1.0;
+  }
+
+  KnnStats stats;
+  stats.mean_recall = recall_sum / static_cast<double>(options.num_queries);
+  stats.mean_distance_ratio =
+      ratio_sum / static_cast<double>(options.num_queries);
+  return stats;
+}
+
+}  // namespace spectral

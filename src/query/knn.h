@@ -1,0 +1,42 @@
+// k-nearest-neighbor retrieval through the one-dimensional order: the
+// classic application the paper motivates ("similarity search"). A locality
+// preserving mapping lets a kNN query inspect only a small rank window
+// around the query point; we measure the recall such a window achieves.
+
+#ifndef SPECTRAL_LPM_QUERY_KNN_H_
+#define SPECTRAL_LPM_QUERY_KNN_H_
+
+#include <cstdint>
+
+#include "core/linear_order.h"
+#include "space/point_set.h"
+
+namespace spectral {
+
+/// Options for EvaluateKnnRecall.
+struct KnnOptions {
+  int k = 10;
+  /// Candidates are the `window` ranks on each side of the query point.
+  int64_t window = 32;
+  /// Number of random query points.
+  int64_t num_queries = 200;
+  uint64_t seed = 0x6e11f3ull;
+};
+
+/// Aggregate retrieval quality.
+struct KnnStats {
+  /// Fraction of window candidates whose Manhattan distance is within the
+  /// true k-th neighbor distance, averaged over queries.
+  double mean_recall = 0.0;
+  /// Mean Manhattan distance of the approximate result set divided by the
+  /// mean distance of the exact result set (1.0 = perfect).
+  double mean_distance_ratio = 1.0;
+};
+
+/// Compares window-based kNN against exact kNN (linear scan ground truth).
+KnnStats EvaluateKnnRecall(const PointSet& points, const LinearOrder& order,
+                           const KnnOptions& options = {});
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_QUERY_KNN_H_

@@ -1,0 +1,109 @@
+#include "query/pair_metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace spectral {
+
+namespace {
+
+struct Accumulator {
+  int64_t max_rank = 0;
+  double sum_rank = 0.0;
+  int64_t count = 0;
+
+  void Add(int64_t rank_distance) {
+    max_rank = std::max(max_rank, rank_distance);
+    sum_rank += static_cast<double>(rank_distance);
+    count += 1;
+  }
+};
+
+PairDistanceSeries Finish(std::span<const int64_t> distances,
+                          const std::unordered_map<int64_t, Accumulator>& acc) {
+  PairDistanceSeries series;
+  for (int64_t d : distances) {
+    series.manhattan_distance.push_back(d);
+    auto it = acc.find(d);
+    if (it == acc.end() || it->second.count == 0) {
+      series.max_rank_distance.push_back(0);
+      series.mean_rank_distance.push_back(0.0);
+      series.pair_count.push_back(0);
+    } else {
+      series.max_rank_distance.push_back(it->second.max_rank);
+      series.mean_rank_distance.push_back(
+          it->second.sum_rank / static_cast<double>(it->second.count));
+      series.pair_count.push_back(it->second.count);
+    }
+  }
+  return series;
+}
+
+}  // namespace
+
+PairDistanceSeries ComputePairDistanceSeries(
+    const PointSet& points, const LinearOrder& order,
+    std::span<const int64_t> distances, const PairMetricsOptions& options) {
+  SPECTRAL_CHECK_EQ(points.size(), order.size());
+  std::unordered_map<int64_t, Accumulator> acc;
+  for (int64_t d : distances) acc[d];  // pre-create requested buckets
+
+  const int64_t n = points.size();
+  if (options.sample_pairs <= 0) {
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) {
+        const int64_t d = points.Distance(i, j);
+        auto it = acc.find(d);
+        if (it == acc.end()) continue;
+        it->second.Add(std::llabs(order.RankOf(i) - order.RankOf(j)));
+      }
+    }
+    return Finish(distances, acc);
+  }
+
+  Rng rng(options.seed);
+  for (int64_t s = 0; s < options.sample_pairs; ++s) {
+    const int64_t i = rng.UniformInt(0, n - 1);
+    int64_t j = rng.UniformInt(0, n - 2);
+    if (j >= i) ++j;
+    const int64_t d = points.Distance(i, j);
+    auto it = acc.find(d);
+    if (it == acc.end()) continue;
+    it->second.Add(std::llabs(order.RankOf(i) - order.RankOf(j)));
+  }
+  return Finish(distances, acc);
+}
+
+PairDistanceSeries ComputeAxisPairSeries(const PointSet& points,
+                                         const LinearOrder& order, int axis,
+                                         std::span<const int64_t> distances) {
+  SPECTRAL_CHECK_EQ(points.size(), order.size());
+  SPECTRAL_CHECK_GE(axis, 0);
+  SPECTRAL_CHECK_LT(axis, points.dims());
+  SPECTRAL_CHECK(points.has_index()) << "call points.BuildIndex() first";
+
+  std::unordered_map<int64_t, Accumulator> acc;
+  for (int64_t d : distances) acc[d];
+
+  std::vector<Coord> probe(static_cast<size_t>(points.dims()));
+  for (int64_t i = 0; i < points.size(); ++i) {
+    const auto p = points[i];
+    std::copy(p.begin(), p.end(), probe.begin());
+    for (int64_t d : distances) {
+      if (d <= 0) continue;
+      probe[static_cast<size_t>(axis)] =
+          static_cast<Coord>(p[static_cast<size_t>(axis)] + d);
+      const int64_t j = points.Find(probe);
+      if (j < 0) continue;
+      acc[d].Add(std::llabs(order.RankOf(i) - order.RankOf(j)));
+    }
+    probe[static_cast<size_t>(axis)] = p[static_cast<size_t>(axis)];
+  }
+  return Finish(distances, acc);
+}
+
+}  // namespace spectral

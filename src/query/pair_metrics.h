@@ -1,0 +1,50 @@
+// Nearest-neighbor locality metrics (paper Figure 5): for point pairs at a
+// given Manhattan distance in the multi-dimensional space, how far apart do
+// their ranks land in the one-dimensional order?
+
+#ifndef SPECTRAL_LPM_QUERY_PAIR_METRICS_H_
+#define SPECTRAL_LPM_QUERY_PAIR_METRICS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/linear_order.h"
+#include "space/point_set.h"
+
+namespace spectral {
+
+/// One row per requested Manhattan distance d.
+struct PairDistanceSeries {
+  std::vector<int64_t> manhattan_distance;
+  /// max |rank_p - rank_q| over pairs at distance d (Figure 5a's series,
+  /// before normalizing to percent).
+  std::vector<int64_t> max_rank_distance;
+  std::vector<double> mean_rank_distance;
+  std::vector<int64_t> pair_count;
+};
+
+/// Options for the pair sweeps.
+struct PairMetricsOptions {
+  /// 0 = exact all-pairs; otherwise sample this many random pairs per
+  /// distance bucket (for large sets).
+  int64_t sample_pairs = 0;
+  uint64_t seed = 0x9a1f5ull;
+};
+
+/// Sweeps all (or sampled) point pairs and aggregates rank distances for
+/// each Manhattan distance in `distances` (values outside the achievable
+/// range yield empty buckets with pair_count 0).
+PairDistanceSeries ComputePairDistanceSeries(
+    const PointSet& points, const LinearOrder& order,
+    std::span<const int64_t> distances, const PairMetricsOptions& options = {});
+
+/// Figure 5b variant: only pairs that differ along a single `axis` by
+/// exactly d (all other coordinates equal). Requires points.BuildIndex().
+PairDistanceSeries ComputeAxisPairSeries(const PointSet& points,
+                                         const LinearOrder& order, int axis,
+                                         std::span<const int64_t> distances);
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_QUERY_PAIR_METRICS_H_

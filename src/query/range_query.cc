@@ -1,0 +1,266 @@
+#include "query/range_query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace spectral {
+
+int64_t RangeQueryShape::Volume() const {
+  int64_t v = 1;
+  for (Coord e : extents) v *= e;
+  return v;
+}
+
+RangeQueryShape BalancedShape(const GridSpec& grid, double volume_fraction) {
+  SPECTRAL_CHECK_GT(volume_fraction, 0.0);
+  SPECTRAL_CHECK_LE(volume_fraction, 1.0);
+  const int64_t target = std::max<int64_t>(
+      1, static_cast<int64_t>(
+             std::llround(volume_fraction *
+                          static_cast<double>(grid.NumCells()))));
+
+  RangeQueryShape shape;
+  shape.extents.assign(static_cast<size_t>(grid.dims()), 1);
+  // Grow the currently-smallest extent while it reduces |volume - target|.
+  while (true) {
+    int64_t volume = shape.Volume();
+    if (volume >= target) break;
+    int best_axis = -1;
+    for (int a = 0; a < grid.dims(); ++a) {
+      if (shape.extents[static_cast<size_t>(a)] >= grid.side(a)) continue;
+      if (best_axis < 0 || shape.extents[static_cast<size_t>(a)] <
+                               shape.extents[static_cast<size_t>(best_axis)]) {
+        best_axis = a;
+      }
+    }
+    if (best_axis < 0) break;  // window already fills the grid
+    const int64_t grown =
+        volume / shape.extents[static_cast<size_t>(best_axis)] *
+        (shape.extents[static_cast<size_t>(best_axis)] + 1);
+    // Stop before growing if the overshoot would be worse than the current
+    // undershoot.
+    if (grown - target > target - volume) break;
+    shape.extents[static_cast<size_t>(best_axis)] += 1;
+  }
+  return shape;
+}
+
+std::vector<RangeQueryShape> ShapesForVolume(const GridSpec& grid,
+                                             double volume_fraction,
+                                             double rel_tol) {
+  SPECTRAL_CHECK_GT(volume_fraction, 0.0);
+  SPECTRAL_CHECK_LE(volume_fraction, 1.0);
+  SPECTRAL_CHECK_GE(rel_tol, 0.0);
+  const double target =
+      std::max(1.0, volume_fraction * static_cast<double>(grid.NumCells()));
+  const int dims = grid.dims();
+
+  // Enumerate every extent vector (cheap: product of sides combinations).
+  std::vector<RangeQueryShape> in_tolerance;
+  std::vector<RangeQueryShape> closest;
+  double best_dev = std::numeric_limits<double>::infinity();
+
+  std::vector<Coord> extents(static_cast<size_t>(dims), 1);
+  while (true) {
+    double volume = 1.0;
+    for (Coord e : extents) volume *= static_cast<double>(e);
+    const double dev = std::fabs(std::log(volume / target));
+    if (volume >= target * (1.0 - rel_tol) &&
+        volume <= target * (1.0 + rel_tol)) {
+      in_tolerance.push_back(RangeQueryShape{extents});
+    }
+    if (dev < best_dev - 1e-12) {
+      best_dev = dev;
+      closest.clear();
+      closest.push_back(RangeQueryShape{extents});
+    } else if (dev <= best_dev + 1e-12) {
+      closest.push_back(RangeQueryShape{extents});
+    }
+    // Next extent vector (odometer, last axis fastest).
+    int a = dims - 1;
+    while (a >= 0 && extents[static_cast<size_t>(a)] == grid.side(a)) {
+      extents[static_cast<size_t>(a)] = 1;
+      --a;
+    }
+    if (a < 0) break;
+    extents[static_cast<size_t>(a)] += 1;
+  }
+  return in_tolerance.empty() ? closest : in_tolerance;
+}
+
+namespace {
+
+// Advances a mixed-radix counter; returns false after the last value.
+bool NextCounter(std::vector<Coord>& counter, std::span<const Coord> limits) {
+  for (size_t a = counter.size(); a-- > 0;) {
+    if (counter[a] + 1 < limits[a]) {
+      counter[a] += 1;
+      std::fill(counter.begin() + static_cast<int64_t>(a) + 1, counter.end(), 0);
+      return true;
+    }
+  }
+  return false;
+}
+
+struct RangeAccumulator {
+  RunningStats spread;
+  RunningStats clusters;
+  int64_t max_spread = 0;
+  int64_t max_clusters = 0;
+};
+
+// Slides one concrete window shape over all positions.
+void AccumulateShape(const GridSpec& grid, const LinearOrder& order,
+                     const std::vector<Coord>& extents, bool collect_clusters,
+                     RangeAccumulator& acc) {
+  const int dims = grid.dims();
+  std::vector<Coord> origin(static_cast<size_t>(dims), 0);
+  std::vector<Coord> offset(static_cast<size_t>(dims), 0);
+  std::vector<Coord> cell(static_cast<size_t>(dims));
+  std::vector<Coord> origin_limits(static_cast<size_t>(dims));
+  for (int a = 0; a < dims; ++a) {
+    origin_limits[static_cast<size_t>(a)] =
+        static_cast<Coord>(grid.side(a) - extents[static_cast<size_t>(a)] + 1);
+  }
+  std::vector<int64_t> ranks;
+
+  do {
+    int64_t min_rank = order.size();
+    int64_t max_rank = -1;
+    ranks.clear();
+    std::fill(offset.begin(), offset.end(), 0);
+    do {
+      for (int a = 0; a < dims; ++a) {
+        cell[static_cast<size_t>(a)] = static_cast<Coord>(
+            origin[static_cast<size_t>(a)] + offset[static_cast<size_t>(a)]);
+      }
+      const int64_t rank = order.RankOf(grid.Flatten(cell));
+      min_rank = std::min(min_rank, rank);
+      max_rank = std::max(max_rank, rank);
+      if (collect_clusters) ranks.push_back(rank);
+    } while (NextCounter(offset, extents));
+
+    const int64_t spread = max_rank - min_rank;
+    acc.max_spread = std::max(acc.max_spread, spread);
+    acc.spread.Add(static_cast<double>(spread));
+
+    if (collect_clusters) {
+      std::sort(ranks.begin(), ranks.end());
+      int64_t clusters = 1;
+      for (size_t i = 1; i < ranks.size(); ++i) {
+        if (ranks[i] != ranks[i - 1] + 1) ++clusters;
+      }
+      acc.max_clusters = std::max(acc.max_clusters, clusters);
+      acc.clusters.Add(static_cast<double>(clusters));
+    }
+  } while (NextCounter(origin, origin_limits));
+}
+
+RangeQueryStats FinishStats(const RangeAccumulator& acc,
+                            bool collect_clusters) {
+  RangeQueryStats stats;
+  stats.max_spread = acc.max_spread;
+  stats.num_queries = acc.spread.Count();
+  stats.mean_spread = acc.spread.Mean();
+  stats.stddev_spread = acc.spread.StdDev();
+  if (collect_clusters && acc.clusters.Count() > 0) {
+    stats.mean_clusters = acc.clusters.Mean();
+    stats.max_clusters = acc.max_clusters;
+  }
+  return stats;
+}
+
+}  // namespace
+
+RangeQueryStats EvaluateRangeQueries(const GridSpec& grid,
+                                     const LinearOrder& order,
+                                     const RangeQueryShape& shape,
+                                     const RangeQueryOptions& options) {
+  SPECTRAL_CHECK_EQ(order.size(), grid.NumCells());
+  SPECTRAL_CHECK_EQ(static_cast<int>(shape.extents.size()), grid.dims());
+  const int dims = grid.dims();
+
+  // Window shapes to evaluate: the given extents, or every distinct axis
+  // permutation of them.
+  std::vector<std::vector<Coord>> shapes;
+  auto fits = [&](const std::vector<Coord>& extents) {
+    for (int a = 0; a < dims; ++a) {
+      if (extents[static_cast<size_t>(a)] > grid.side(a)) return false;
+    }
+    return true;
+  };
+  if (options.include_axis_permutations) {
+    std::vector<Coord> perm = shape.extents;
+    std::sort(perm.begin(), perm.end());
+    do {
+      if (fits(perm)) shapes.push_back(perm);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+  } else if (fits(shape.extents)) {
+    shapes.push_back(shape.extents);
+  }
+  SPECTRAL_CHECK(!shapes.empty()) << "query shape does not fit in the grid";
+
+  RangeAccumulator acc;
+  for (const auto& extents : shapes) {
+    AccumulateShape(grid, order, extents, options.collect_clusters, acc);
+  }
+  return FinishStats(acc, options.collect_clusters);
+}
+
+void ForEachRangeQuery(
+    const GridSpec& grid, const LinearOrder& order,
+    const RangeQueryShape& shape,
+    const std::function<void(int64_t min_rank, int64_t max_rank,
+                             int64_t volume)>& fn) {
+  SPECTRAL_CHECK_EQ(order.size(), grid.NumCells());
+  SPECTRAL_CHECK_EQ(static_cast<int>(shape.extents.size()), grid.dims());
+  const int dims = grid.dims();
+  const int64_t volume = shape.Volume();
+  std::vector<Coord> origin(static_cast<size_t>(dims), 0);
+  std::vector<Coord> offset(static_cast<size_t>(dims), 0);
+  std::vector<Coord> cell(static_cast<size_t>(dims));
+  std::vector<Coord> origin_limits(static_cast<size_t>(dims));
+  for (int a = 0; a < dims; ++a) {
+    SPECTRAL_CHECK_LE(shape.extents[static_cast<size_t>(a)], grid.side(a));
+    origin_limits[static_cast<size_t>(a)] = static_cast<Coord>(
+        grid.side(a) - shape.extents[static_cast<size_t>(a)] + 1);
+  }
+  do {
+    int64_t min_rank = order.size();
+    int64_t max_rank = -1;
+    std::fill(offset.begin(), offset.end(), 0);
+    do {
+      for (int a = 0; a < dims; ++a) {
+        cell[static_cast<size_t>(a)] = static_cast<Coord>(
+            origin[static_cast<size_t>(a)] + offset[static_cast<size_t>(a)]);
+      }
+      const int64_t rank = order.RankOf(grid.Flatten(cell));
+      min_rank = std::min(min_rank, rank);
+      max_rank = std::max(max_rank, rank);
+    } while (NextCounter(offset, shape.extents));
+    fn(min_rank, max_rank, volume);
+  } while (NextCounter(origin, origin_limits));
+}
+
+RangeQueryStats EvaluateRangeQueryShapes(const GridSpec& grid,
+                                         const LinearOrder& order,
+                                         std::span<const RangeQueryShape> shapes,
+                                         const RangeQueryOptions& options) {
+  SPECTRAL_CHECK_EQ(order.size(), grid.NumCells());
+  SPECTRAL_CHECK(!shapes.empty());
+  RangeAccumulator acc;
+  for (const RangeQueryShape& shape : shapes) {
+    SPECTRAL_CHECK_EQ(static_cast<int>(shape.extents.size()), grid.dims());
+    for (int a = 0; a < grid.dims(); ++a) {
+      SPECTRAL_CHECK_LE(shape.extents[static_cast<size_t>(a)], grid.side(a));
+    }
+    AccumulateShape(grid, order, shape.extents, options.collect_clusters, acc);
+  }
+  return FinishStats(acc, options.collect_clusters);
+}
+
+}  // namespace spectral

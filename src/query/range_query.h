@@ -1,0 +1,94 @@
+// Range-query locality metrics (paper Figure 6): for every axis-aligned
+// range query of a given volume over a full grid, measure the spread
+// (max - min) of the ranks of the points inside. A small spread means a
+// range query can be answered with one short sequential sweep of the
+// one-dimensional storage.
+
+#ifndef SPECTRAL_LPM_QUERY_RANGE_QUERY_H_
+#define SPECTRAL_LPM_QUERY_RANGE_QUERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/linear_order.h"
+#include "space/grid.h"
+#include "stats/running_stats.h"
+
+namespace spectral {
+
+/// Extents of a hyper-rectangular query window.
+struct RangeQueryShape {
+  std::vector<Coord> extents;
+
+  int64_t Volume() const;
+};
+
+/// The most balanced (sides as equal as possible) hyper-rectangle inside
+/// `grid` whose volume best approximates `volume_fraction` of the grid.
+/// Deterministic; used to translate the paper's "range query size (percent)"
+/// x-axis into window extents.
+RangeQueryShape BalancedShape(const GridSpec& grid, double volume_fraction);
+
+/// Aggregates over all query placements.
+struct RangeQueryStats {
+  /// Figure 6a: the worst spread observed.
+  int64_t max_spread = 0;
+  /// Figure 6b: stddev of the spread over the whole query population.
+  double stddev_spread = 0.0;
+  double mean_spread = 0.0;
+  int64_t num_queries = 0;
+  /// Extension (Moon et al. clustering metric): number of runs of
+  /// consecutive ranks inside a query = number of sequential I/O segments.
+  double mean_clusters = 0.0;
+  int64_t max_clusters = 0;
+};
+
+/// Options for EvaluateRangeQueries.
+struct RangeQueryOptions {
+  /// Also evaluate every distinct axis permutation of the shape ("all
+  /// possible partial range queries with a certain size", paper section 5).
+  bool include_axis_permutations = true;
+  /// Also collect the cluster-count metric (costs a sort per query).
+  bool collect_clusters = false;
+};
+
+/// Slides the query window over every in-grid position (and optionally
+/// every axis permutation of the shape) on a *full grid* point set whose
+/// point index equals the row-major cell id — exactly what
+/// PointSet::FullGrid + any LinearOrder over it provides.
+RangeQueryStats EvaluateRangeQueries(const GridSpec& grid,
+                                     const LinearOrder& order,
+                                     const RangeQueryShape& shape,
+                                     const RangeQueryOptions& options = {});
+
+/// "All possible partial range queries with a certain size" (paper
+/// section 5): every hyper-rectangle shape (each extent in [1, side],
+/// including full-axis slabs) whose volume is within rel_tol of
+/// volume_fraction * NumCells. If no shape lands inside the tolerance the
+/// closest-volume shapes (by log ratio) are returned, so the result is
+/// never empty. Shapes are returned in lexicographic extent order.
+std::vector<RangeQueryShape> ShapesForVolume(const GridSpec& grid,
+                                             double volume_fraction,
+                                             double rel_tol = 0.15);
+
+/// Aggregates EvaluateRangeQueries over a set of shapes (axis permutations
+/// are not added on top: the shape set already enumerates axes explicitly).
+RangeQueryStats EvaluateRangeQueryShapes(
+    const GridSpec& grid, const LinearOrder& order,
+    std::span<const RangeQueryShape> shapes,
+    const RangeQueryOptions& options = {});
+
+/// Per-query access for callers that need more than the aggregate (e.g.
+/// B+-tree I/O accounting): calls fn(min_rank, max_rank, volume) once per
+/// placement of `shape` (no axis permutations).
+void ForEachRangeQuery(
+    const GridSpec& grid, const LinearOrder& order,
+    const RangeQueryShape& shape,
+    const std::function<void(int64_t min_rank, int64_t max_rank,
+                             int64_t volume)>& fn);
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_QUERY_RANGE_QUERY_H_

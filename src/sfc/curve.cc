@@ -1,0 +1,33 @@
+#include "sfc/curve.h"
+
+#include <string>
+
+namespace spectral {
+namespace internal {
+
+StatusOr<int> UniformPowerDigits(const GridSpec& grid, int base,
+                                 std::string_view curve_name) {
+  const Coord side = grid.side(0);
+  for (int a = 1; a < grid.dims(); ++a) {
+    if (grid.side(a) != side) {
+      return InvalidArgumentError(std::string(curve_name) +
+                                  " requires a uniform (hyper-cube) grid");
+    }
+  }
+  int digits = 0;
+  int64_t s = 1;
+  while (s < side) {
+    s *= base;
+    ++digits;
+  }
+  if (s != side) {
+    return InvalidArgumentError(std::string(curve_name) +
+                                " requires the side to be a power of " +
+                                std::to_string(base));
+  }
+  // digits == 0 (side 1) is legal: a single cell per axis.
+  return digits;
+}
+
+}  // namespace internal
+}  // namespace spectral

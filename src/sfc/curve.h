@@ -1,0 +1,55 @@
+// Space-filling curve interface: a bijection between the cells of a finite
+// grid and the interval [0, NumCells). These are the fractal (and sweep)
+// baselines the paper compares Spectral LPM against.
+
+#ifndef SPECTRAL_LPM_SFC_CURVE_H_
+#define SPECTRAL_LPM_SFC_CURVE_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "space/grid.h"
+#include "util/status.h"
+
+namespace spectral {
+
+/// Bijective mapping grid cell <-> curve position. Implementations are
+/// immutable and thread-compatible.
+class SpaceFillingCurve {
+ public:
+  virtual ~SpaceFillingCurve() = default;
+  SpaceFillingCurve(const SpaceFillingCurve&) = delete;
+  SpaceFillingCurve& operator=(const SpaceFillingCurve&) = delete;
+
+  /// Short lowercase identifier ("hilbert", "zorder", ...).
+  virtual std::string_view name() const = 0;
+
+  const GridSpec& grid() const { return grid_; }
+  int dims() const { return grid_.dims(); }
+  int64_t NumCells() const { return grid_.NumCells(); }
+
+  /// Curve position of cell `p`; requires grid().Contains(p).
+  virtual uint64_t IndexOf(std::span<const Coord> p) const = 0;
+
+  /// Cell at curve position `index`; requires index < NumCells().
+  virtual void PointOf(uint64_t index, std::span<Coord> out) const = 0;
+
+ protected:
+  explicit SpaceFillingCurve(GridSpec grid) : grid_(std::move(grid)) {}
+
+  GridSpec grid_;
+};
+
+namespace internal {
+
+/// Shared validation: all sides equal and a power of `base` (2 or 3).
+/// Returns the number of base-`base` digits per axis on success.
+StatusOr<int> UniformPowerDigits(const GridSpec& grid, int base,
+                                 std::string_view curve_name);
+
+}  // namespace internal
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_SFC_CURVE_H_

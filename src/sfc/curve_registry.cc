@@ -1,0 +1,111 @@
+#include "sfc/curve_registry.h"
+
+#include <string>
+
+#include "sfc/gray.h"
+#include "sfc/hilbert.h"
+#include "sfc/morton.h"
+#include "sfc/peano.h"
+#include "sfc/snake.h"
+#include "sfc/spiral.h"
+#include "sfc/sweep.h"
+#include "util/check.h"
+
+namespace spectral {
+
+std::string_view CurveKindName(CurveKind kind) {
+  switch (kind) {
+    case CurveKind::kSweep:
+      return "sweep";
+    case CurveKind::kSnake:
+      return "snake";
+    case CurveKind::kZOrder:
+      return "zorder";
+    case CurveKind::kGray:
+      return "gray";
+    case CurveKind::kHilbert:
+      return "hilbert";
+    case CurveKind::kPeano:
+      return "peano";
+    case CurveKind::kSpiral:
+      return "spiral";
+  }
+  SPECTRAL_CHECK(false) << "unknown CurveKind";
+  return "";
+}
+
+StatusOr<CurveKind> CurveKindFromName(std::string_view name) {
+  for (CurveKind kind : AllCurveKinds()) {
+    if (CurveKindName(kind) == name) return kind;
+  }
+  return NotFoundError("unknown curve name: " + std::string(name));
+}
+
+std::vector<CurveKind> AllCurveKinds() {
+  return {CurveKind::kSweep,   CurveKind::kSnake, CurveKind::kZOrder,
+          CurveKind::kGray,    CurveKind::kHilbert, CurveKind::kPeano,
+          CurveKind::kSpiral};
+}
+
+StatusOr<std::unique_ptr<SpaceFillingCurve>> MakeCurve(CurveKind kind,
+                                                       const GridSpec& grid) {
+  switch (kind) {
+    case CurveKind::kSweep:
+      return std::unique_ptr<SpaceFillingCurve>(new SweepCurve(grid));
+    case CurveKind::kSnake:
+      return std::unique_ptr<SpaceFillingCurve>(new SnakeCurve(grid));
+    case CurveKind::kZOrder: {
+      auto curve = MortonCurve::Create(grid);
+      if (!curve.ok()) return curve.status();
+      return std::unique_ptr<SpaceFillingCurve>(std::move(*curve));
+    }
+    case CurveKind::kGray: {
+      auto curve = GrayCurve::Create(grid);
+      if (!curve.ok()) return curve.status();
+      return std::unique_ptr<SpaceFillingCurve>(std::move(*curve));
+    }
+    case CurveKind::kHilbert: {
+      auto curve = HilbertCurve::Create(grid);
+      if (!curve.ok()) return curve.status();
+      return std::unique_ptr<SpaceFillingCurve>(std::move(*curve));
+    }
+    case CurveKind::kPeano: {
+      auto curve = PeanoCurve::Create(grid);
+      if (!curve.ok()) return curve.status();
+      return std::unique_ptr<SpaceFillingCurve>(std::move(*curve));
+    }
+    case CurveKind::kSpiral: {
+      auto curve = SpiralCurve::Create(grid);
+      if (!curve.ok()) return curve.status();
+      return std::unique_ptr<SpaceFillingCurve>(std::move(*curve));
+    }
+  }
+  SPECTRAL_CHECK(false) << "unknown CurveKind";
+  return InternalError("unreachable");
+}
+
+GridSpec EnclosingGridFor(CurveKind kind, int dims, Coord extent) {
+  SPECTRAL_CHECK_GE(extent, 1);
+  Coord side = extent;
+  switch (kind) {
+    case CurveKind::kSweep:
+    case CurveKind::kSnake:
+    case CurveKind::kSpiral:
+      break;  // exact
+    case CurveKind::kZOrder:
+    case CurveKind::kGray:
+    case CurveKind::kHilbert: {
+      side = 1;
+      while (side < extent) side *= 2;
+      break;
+    }
+    case CurveKind::kPeano: {
+      side = 1;
+      while (side < extent) side *= 3;
+      break;
+    }
+  }
+  return GridSpec::Uniform(dims, side);
+}
+
+}  // namespace spectral

@@ -1,0 +1,49 @@
+// Name-based curve construction so benches and examples can iterate over
+// all baselines uniformly.
+
+#ifndef SPECTRAL_LPM_SFC_CURVE_REGISTRY_H_
+#define SPECTRAL_LPM_SFC_CURVE_REGISTRY_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "sfc/curve.h"
+
+namespace spectral {
+
+/// All curve families in the library.
+enum class CurveKind {
+  kSweep,
+  kSnake,
+  /// Z-order; the "Peano" of the paper's Figure 1a.
+  kZOrder,
+  kGray,
+  kHilbert,
+  /// True triadic Peano.
+  kPeano,
+  /// Concentric spiral (2-d square grids only).
+  kSpiral,
+};
+
+/// Stable lowercase name ("sweep", "zorder", ...).
+std::string_view CurveKindName(CurveKind kind);
+
+/// Parses a name produced by CurveKindName.
+StatusOr<CurveKind> CurveKindFromName(std::string_view name);
+
+/// All kinds, in presentation order.
+std::vector<CurveKind> AllCurveKinds();
+
+/// Instantiates a curve over `grid`; fails if the grid shape is unsupported
+/// by the family (e.g. non-power-of-two side for hilbert).
+StatusOr<std::unique_ptr<SpaceFillingCurve>> MakeCurve(CurveKind kind,
+                                                       const GridSpec& grid);
+
+/// Smallest uniform grid of the family-required side (power of 2, power of
+/// 3, or exact) that covers `extent` cells per axis.
+GridSpec EnclosingGridFor(CurveKind kind, int dims, Coord extent);
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_SFC_CURVE_REGISTRY_H_

@@ -1,0 +1,45 @@
+#include "sfc/gray.h"
+
+#include <vector>
+
+#include "util/bit_ops.h"
+#include "util/check.h"
+
+namespace spectral {
+
+StatusOr<std::unique_ptr<GrayCurve>> GrayCurve::Create(const GridSpec& grid) {
+  auto digits = internal::UniformPowerDigits(grid, 2, "gray");
+  if (!digits.ok()) return digits.status();
+  const int bits = *digits;
+  if (bits * grid.dims() > 63) {
+    return InvalidArgumentError("gray: dims * log2(side) must be <= 63");
+  }
+  return std::unique_ptr<GrayCurve>(new GrayCurve(grid, bits == 0 ? 1 : bits));
+}
+
+GrayCurve::GrayCurve(GridSpec grid, int bits)
+    : SpaceFillingCurve(std::move(grid)), bits_(bits) {}
+
+uint64_t GrayCurve::IndexOf(std::span<const Coord> p) const {
+  SPECTRAL_DCHECK(grid_.Contains(p));
+  std::vector<uint32_t> coords(static_cast<size_t>(dims()));
+  for (int a = 0; a < dims(); ++a) {
+    coords[static_cast<size_t>(dims() - 1 - a)] =
+        static_cast<uint32_t>(p[static_cast<size_t>(a)]);
+  }
+  const uint64_t z = InterleaveBits(coords, bits_);
+  return GrayDecode(z);
+}
+
+void GrayCurve::PointOf(uint64_t index, std::span<Coord> out) const {
+  SPECTRAL_DCHECK_LT(index, static_cast<uint64_t>(NumCells()));
+  const uint64_t z = GrayEncode(index);
+  std::vector<uint32_t> coords(static_cast<size_t>(dims()));
+  DeinterleaveBits(z, bits_, coords);
+  for (int a = 0; a < dims(); ++a) {
+    out[static_cast<size_t>(a)] =
+        static_cast<Coord>(coords[static_cast<size_t>(dims() - 1 - a)]);
+  }
+}
+
+}  // namespace spectral

@@ -1,0 +1,32 @@
+// Gray-code curve (Faloutsos): position i visits the cell whose interleaved
+// coordinate bits equal the binary reflected Gray code of i. Consecutive
+// positions differ in exactly one interleaved bit. One of the paper's three
+// fractal baselines (Figure 1b).
+
+#ifndef SPECTRAL_LPM_SFC_GRAY_H_
+#define SPECTRAL_LPM_SFC_GRAY_H_
+
+#include <memory>
+
+#include "sfc/curve.h"
+
+namespace spectral {
+
+/// Gray-code ordering over a hyper-cube grid with power-of-two side.
+class GrayCurve : public SpaceFillingCurve {
+ public:
+  static StatusOr<std::unique_ptr<GrayCurve>> Create(const GridSpec& grid);
+
+  std::string_view name() const override { return "gray"; }
+  uint64_t IndexOf(std::span<const Coord> p) const override;
+  void PointOf(uint64_t index, std::span<Coord> out) const override;
+
+ private:
+  GrayCurve(GridSpec grid, int bits);
+
+  int bits_;
+};
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_SFC_GRAY_H_

@@ -1,0 +1,130 @@
+#include "sfc/hilbert.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace spectral {
+
+namespace {
+
+// Skilling's in-place transforms on the "transpose" representation: X[i]
+// holds the b bits of axis i.
+
+// Hilbert transpose -> axes (decode).
+void TransposeToAxes(std::vector<uint32_t>& x, int b) {
+  const int n = static_cast<int>(x.size());
+  const uint32_t top = uint32_t{1} << (b - 1);
+  // Gray decode by H ^ (H/2).
+  uint32_t t = x[static_cast<size_t>(n - 1)] >> 1;
+  for (int i = n - 1; i > 0; --i) {
+    x[static_cast<size_t>(i)] ^= x[static_cast<size_t>(i - 1)];
+  }
+  x[0] ^= t;
+  // Undo excess work.
+  for (uint32_t q = 2; q != top << 1; q <<= 1) {
+    const uint32_t p = q - 1;
+    for (int i = n - 1; i >= 0; --i) {
+      if (x[static_cast<size_t>(i)] & q) {
+        x[0] ^= p;  // invert low bits of axis 0
+      } else {
+        t = (x[0] ^ x[static_cast<size_t>(i)]) & p;
+        x[0] ^= t;
+        x[static_cast<size_t>(i)] ^= t;
+      }
+    }
+  }
+}
+
+// Axes -> Hilbert transpose (encode).
+void AxesToTranspose(std::vector<uint32_t>& x, int b) {
+  const int n = static_cast<int>(x.size());
+  const uint32_t top = uint32_t{1} << (b - 1);
+  uint32_t t;
+  // Inverse undo.
+  for (uint32_t q = top; q > 1; q >>= 1) {
+    const uint32_t p = q - 1;
+    for (int i = 0; i < n; ++i) {
+      if (x[static_cast<size_t>(i)] & q) {
+        x[0] ^= p;
+      } else {
+        t = (x[0] ^ x[static_cast<size_t>(i)]) & p;
+        x[0] ^= t;
+        x[static_cast<size_t>(i)] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < n; ++i) {
+    x[static_cast<size_t>(i)] ^= x[static_cast<size_t>(i - 1)];
+  }
+  t = 0;
+  for (uint32_t q = top; q > 1; q >>= 1) {
+    if (x[static_cast<size_t>(n - 1)] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < n; ++i) x[static_cast<size_t>(i)] ^= t;
+}
+
+// Packs the transpose into a linear index: bit j of axis i lands so that
+// (axis 0, bit b-1) is the most significant index bit.
+uint64_t TransposeToIndex(const std::vector<uint32_t>& x, int b) {
+  uint64_t h = 0;
+  for (int j = b - 1; j >= 0; --j) {
+    for (const uint32_t xi : x) {
+      h = (h << 1) | ((xi >> j) & 1u);
+    }
+  }
+  return h;
+}
+
+void IndexToTranspose(uint64_t h, int b, std::vector<uint32_t>& x) {
+  const int n = static_cast<int>(x.size());
+  for (auto& xi : x) xi = 0;
+  int pos = b * n - 1;  // bit position in h, MSB first
+  for (int j = b - 1; j >= 0; --j) {
+    for (int i = 0; i < n; ++i) {
+      const uint32_t bit = static_cast<uint32_t>((h >> pos) & 1u);
+      x[static_cast<size_t>(i)] |= bit << j;
+      --pos;
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<HilbertCurve>> HilbertCurve::Create(
+    const GridSpec& grid) {
+  auto digits = internal::UniformPowerDigits(grid, 2, "hilbert");
+  if (!digits.ok()) return digits.status();
+  const int bits = *digits;
+  if (bits * grid.dims() > 63) {
+    return InvalidArgumentError("hilbert: dims * log2(side) must be <= 63");
+  }
+  return std::unique_ptr<HilbertCurve>(
+      new HilbertCurve(grid, bits == 0 ? 1 : bits));
+}
+
+HilbertCurve::HilbertCurve(GridSpec grid, int bits)
+    : SpaceFillingCurve(std::move(grid)), bits_(bits) {}
+
+uint64_t HilbertCurve::IndexOf(std::span<const Coord> p) const {
+  SPECTRAL_DCHECK(grid_.Contains(p));
+  std::vector<uint32_t> x(static_cast<size_t>(dims()));
+  for (int a = 0; a < dims(); ++a) {
+    x[static_cast<size_t>(a)] = static_cast<uint32_t>(p[static_cast<size_t>(a)]);
+  }
+  AxesToTranspose(x, bits_);
+  return TransposeToIndex(x, bits_);
+}
+
+void HilbertCurve::PointOf(uint64_t index, std::span<Coord> out) const {
+  SPECTRAL_DCHECK_LT(index, static_cast<uint64_t>(NumCells()));
+  std::vector<uint32_t> x(static_cast<size_t>(dims()));
+  IndexToTranspose(index, bits_, x);
+  TransposeToAxes(x, bits_);
+  for (int a = 0; a < dims(); ++a) {
+    out[static_cast<size_t>(a)] = static_cast<Coord>(x[static_cast<size_t>(a)]);
+  }
+}
+
+}  // namespace spectral

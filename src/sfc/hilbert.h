@@ -1,0 +1,33 @@
+// n-dimensional Hilbert curve via Skilling's transform ("Programming the
+// Hilbert curve", AIP Conf. Proc. 707, 2004). The strongest of the paper's
+// fractal baselines (Figure 1c): continuous, with consecutive positions at
+// Manhattan distance exactly 1.
+
+#ifndef SPECTRAL_LPM_SFC_HILBERT_H_
+#define SPECTRAL_LPM_SFC_HILBERT_H_
+
+#include <memory>
+
+#include "sfc/curve.h"
+
+namespace spectral {
+
+/// Hilbert curve over a hyper-cube grid with power-of-two side. Requires
+/// dims * log2(side) <= 63.
+class HilbertCurve : public SpaceFillingCurve {
+ public:
+  static StatusOr<std::unique_ptr<HilbertCurve>> Create(const GridSpec& grid);
+
+  std::string_view name() const override { return "hilbert"; }
+  uint64_t IndexOf(std::span<const Coord> p) const override;
+  void PointOf(uint64_t index, std::span<Coord> out) const override;
+
+ private:
+  HilbertCurve(GridSpec grid, int bits);
+
+  int bits_;
+};
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_SFC_HILBERT_H_

@@ -1,0 +1,47 @@
+#include "sfc/morton.h"
+
+#include <vector>
+
+#include "util/bit_ops.h"
+#include "util/check.h"
+
+namespace spectral {
+
+StatusOr<std::unique_ptr<MortonCurve>> MortonCurve::Create(
+    const GridSpec& grid) {
+  auto digits = internal::UniformPowerDigits(grid, 2, "zorder");
+  if (!digits.ok()) return digits.status();
+  const int bits = *digits;
+  if (bits * grid.dims() > 63) {
+    return InvalidArgumentError("zorder: dims * log2(side) must be <= 63");
+  }
+  return std::unique_ptr<MortonCurve>(
+      new MortonCurve(grid, bits == 0 ? 1 : bits));
+}
+
+MortonCurve::MortonCurve(GridSpec grid, int bits)
+    : SpaceFillingCurve(std::move(grid)), bits_(bits) {}
+
+uint64_t MortonCurve::IndexOf(std::span<const Coord> p) const {
+  SPECTRAL_DCHECK(grid_.Contains(p));
+  // Axis 0 is the most significant within each bit group, mirroring the
+  // sweep convention.
+  std::vector<uint32_t> coords(static_cast<size_t>(dims()));
+  for (int a = 0; a < dims(); ++a) {
+    coords[static_cast<size_t>(dims() - 1 - a)] =
+        static_cast<uint32_t>(p[static_cast<size_t>(a)]);
+  }
+  return InterleaveBits(coords, bits_);
+}
+
+void MortonCurve::PointOf(uint64_t index, std::span<Coord> out) const {
+  SPECTRAL_DCHECK_LT(index, static_cast<uint64_t>(NumCells()));
+  std::vector<uint32_t> coords(static_cast<size_t>(dims()));
+  DeinterleaveBits(index, bits_, coords);
+  for (int a = 0; a < dims(); ++a) {
+    out[static_cast<size_t>(a)] =
+        static_cast<Coord>(coords[static_cast<size_t>(dims() - 1 - a)]);
+  }
+}
+
+}  // namespace spectral

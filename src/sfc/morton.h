@@ -1,0 +1,34 @@
+// Z-order (Morton) curve: bit interleaving. This is the curve the database
+// literature of the paper's era calls the "Peano" curve (quadrant-recursive
+// Z shapes, Figure 1a of the paper); see sfc/peano.h for the true triadic
+// Peano curve.
+
+#ifndef SPECTRAL_LPM_SFC_MORTON_H_
+#define SPECTRAL_LPM_SFC_MORTON_H_
+
+#include <memory>
+
+#include "sfc/curve.h"
+
+namespace spectral {
+
+/// Z-order over a hyper-cube grid with power-of-two side. Requires
+/// dims * log2(side) <= 63.
+class MortonCurve : public SpaceFillingCurve {
+ public:
+  /// Validates the grid shape.
+  static StatusOr<std::unique_ptr<MortonCurve>> Create(const GridSpec& grid);
+
+  std::string_view name() const override { return "zorder"; }
+  uint64_t IndexOf(std::span<const Coord> p) const override;
+  void PointOf(uint64_t index, std::span<Coord> out) const override;
+
+ private:
+  MortonCurve(GridSpec grid, int bits);
+
+  int bits_;  // bits per axis
+};
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_SFC_MORTON_H_

@@ -1,0 +1,87 @@
+#include "sfc/peano.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace spectral {
+
+StatusOr<std::unique_ptr<PeanoCurve>> PeanoCurve::Create(
+    const GridSpec& grid) {
+  auto digits = internal::UniformPowerDigits(grid, 3, "peano");
+  if (!digits.ok()) return digits.status();
+  if (*digits * grid.dims() > 39) {
+    return InvalidArgumentError("peano: dims * log3(side) must be <= 39");
+  }
+  return std::unique_ptr<PeanoCurve>(
+      new PeanoCurve(grid, *digits == 0 ? 1 : *digits));
+}
+
+PeanoCurve::PeanoCurve(GridSpec grid, int digits)
+    : SpaceFillingCurve(std::move(grid)), digits_(digits) {}
+
+// The curve index has digits_ * dims base-3 digits t_0 t_1 ... (most
+// significant first). Position p belongs to axis a = p % dims at refinement
+// level p / dims. Peano's construction: the coordinate digit equals the
+// index digit, complemented (t -> 2 - t) iff the sum of all *earlier* index
+// digits belonging to *other* axes is odd.
+
+uint64_t PeanoCurve::IndexOf(std::span<const Coord> p) const {
+  SPECTRAL_DCHECK(grid_.Contains(p));
+  const int n = dims();
+  // Coordinate digits, most significant first.
+  std::vector<int> coord_digits(static_cast<size_t>(n * digits_));
+  for (int a = 0; a < n; ++a) {
+    int64_t c = p[static_cast<size_t>(a)];
+    for (int l = digits_ - 1; l >= 0; --l) {
+      coord_digits[static_cast<size_t>(a * digits_ + l)] = static_cast<int>(c % 3);
+      c /= 3;
+    }
+  }
+  uint64_t index = 0;
+  std::vector<int> axis_digit_sum(static_cast<size_t>(n), 0);
+  int total_digit_sum = 0;
+  for (int pos = 0; pos < n * digits_; ++pos) {
+    const int axis = pos % n;
+    const int level = pos / n;
+    const int flag =
+        (total_digit_sum - axis_digit_sum[static_cast<size_t>(axis)]) & 1;
+    const int coord_digit =
+        coord_digits[static_cast<size_t>(axis * digits_ + level)];
+    const int index_digit = flag ? 2 - coord_digit : coord_digit;
+    index = index * 3 + static_cast<uint64_t>(index_digit);
+    axis_digit_sum[static_cast<size_t>(axis)] += index_digit;
+    total_digit_sum += index_digit;
+  }
+  return index;
+}
+
+void PeanoCurve::PointOf(uint64_t index, std::span<Coord> out) const {
+  SPECTRAL_DCHECK_LT(index, static_cast<uint64_t>(NumCells()));
+  const int n = dims();
+  const int total = n * digits_;
+  std::vector<int> index_digits(static_cast<size_t>(total));
+  for (int pos = total - 1; pos >= 0; --pos) {
+    index_digits[static_cast<size_t>(pos)] = static_cast<int>(index % 3);
+    index /= 3;
+  }
+  std::vector<int64_t> coords(static_cast<size_t>(n), 0);
+  std::vector<int> axis_digit_sum(static_cast<size_t>(n), 0);
+  int total_digit_sum = 0;
+  for (int pos = 0; pos < total; ++pos) {
+    const int axis = pos % n;
+    const int flag =
+        (total_digit_sum - axis_digit_sum[static_cast<size_t>(axis)]) & 1;
+    const int index_digit = index_digits[static_cast<size_t>(pos)];
+    const int coord_digit = flag ? 2 - index_digit : index_digit;
+    coords[static_cast<size_t>(axis)] =
+        coords[static_cast<size_t>(axis)] * 3 + coord_digit;
+    axis_digit_sum[static_cast<size_t>(axis)] += index_digit;
+    total_digit_sum += index_digit;
+  }
+  for (int a = 0; a < n; ++a) {
+    out[static_cast<size_t>(a)] = static_cast<Coord>(coords[static_cast<size_t>(a)]);
+  }
+}
+
+}  // namespace spectral

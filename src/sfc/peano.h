@@ -1,0 +1,33 @@
+// True triadic Peano curve (Peano 1890), arbitrary dimension: base-3 digit
+// construction with reflections. Continuous like Hilbert (consecutive
+// positions at Manhattan distance 1) but built on 3x3 serpentines. Included
+// beyond the paper's baselines (its "Peano" is Z-order; see sfc/morton.h).
+
+#ifndef SPECTRAL_LPM_SFC_PEANO_H_
+#define SPECTRAL_LPM_SFC_PEANO_H_
+
+#include <memory>
+
+#include "sfc/curve.h"
+
+namespace spectral {
+
+/// Triadic Peano curve over a hyper-cube grid with power-of-three side.
+/// Requires dims * log3(side) <= 39 (index fits in 63 bits).
+class PeanoCurve : public SpaceFillingCurve {
+ public:
+  static StatusOr<std::unique_ptr<PeanoCurve>> Create(const GridSpec& grid);
+
+  std::string_view name() const override { return "peano"; }
+  uint64_t IndexOf(std::span<const Coord> p) const override;
+  void PointOf(uint64_t index, std::span<Coord> out) const override;
+
+ private:
+  PeanoCurve(GridSpec grid, int digits);
+
+  int digits_;  // base-3 digits per axis
+};
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_SFC_PEANO_H_

@@ -1,0 +1,50 @@
+#include "sfc/snake.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace spectral {
+
+SnakeCurve::SnakeCurve(GridSpec grid) : SpaceFillingCurve(std::move(grid)) {}
+
+// Recursive serpentine: within axis k, the whole suffix ordering is
+// traversed forward when the digit c_k is even and backward when it is odd
+// (I -> S - 1 - I). The backward traversal of a serpentine sequence is again
+// serpentine, so the reflection composes correctly for any radices — this is
+// what keeps consecutive positions at Manhattan distance exactly 1.
+
+uint64_t SnakeCurve::IndexOf(std::span<const Coord> p) const {
+  SPECTRAL_DCHECK(grid_.Contains(p));
+  const int d = dims();
+  int64_t index = p[static_cast<size_t>(d - 1)];
+  int64_t suffix = grid_.side(d - 1);
+  for (int k = d - 2; k >= 0; --k) {
+    const int64_t c = p[static_cast<size_t>(k)];
+    const int64_t inner = (c % 2 == 0) ? index : suffix - 1 - index;
+    index = c * suffix + inner;
+    suffix *= grid_.side(k);
+  }
+  return static_cast<uint64_t>(index);
+}
+
+void SnakeCurve::PointOf(uint64_t index, std::span<Coord> out) const {
+  SPECTRAL_DCHECK_LT(index, static_cast<uint64_t>(NumCells()));
+  SPECTRAL_CHECK_EQ(static_cast<int>(out.size()), dims());
+  const int d = dims();
+  // Suffix cell counts: suffix[k] = product of sides k+1..d-1.
+  std::vector<int64_t> suffix(static_cast<size_t>(d), 1);
+  for (int k = d - 2; k >= 0; --k) {
+    suffix[static_cast<size_t>(k)] =
+        suffix[static_cast<size_t>(k + 1)] * grid_.side(k + 1);
+  }
+  int64_t rest = static_cast<int64_t>(index);
+  for (int k = 0; k < d; ++k) {
+    const int64_t c = rest / suffix[static_cast<size_t>(k)];
+    rest = rest % suffix[static_cast<size_t>(k)];
+    if (c % 2 != 0) rest = suffix[static_cast<size_t>(k)] - 1 - rest;
+    out[static_cast<size_t>(k)] = static_cast<Coord>(c);
+  }
+}
+
+}  // namespace spectral

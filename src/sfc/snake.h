@@ -1,0 +1,25 @@
+// Snake (boustrophedon) mapping: row-major with alternating direction, i.e.
+// the reflected mixed-radix Gray code over the coordinates. Continuous
+// (consecutive positions are grid neighbors) on any grid — a useful
+// non-fractal, non-spectral reference point beyond the paper's baselines.
+
+#ifndef SPECTRAL_LPM_SFC_SNAKE_H_
+#define SPECTRAL_LPM_SFC_SNAKE_H_
+
+#include "sfc/curve.h"
+
+namespace spectral {
+
+/// Boustrophedon scan of any grid.
+class SnakeCurve : public SpaceFillingCurve {
+ public:
+  explicit SnakeCurve(GridSpec grid);
+
+  std::string_view name() const override { return "snake"; }
+  uint64_t IndexOf(std::span<const Coord> p) const override;
+  void PointOf(uint64_t index, std::span<Coord> out) const override;
+};
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_SFC_SNAKE_H_

@@ -1,0 +1,72 @@
+#include "sfc/spiral.h"
+
+#include "util/check.h"
+
+namespace spectral {
+
+StatusOr<std::unique_ptr<SpiralCurve>> SpiralCurve::Create(
+    const GridSpec& grid) {
+  if (grid.dims() != 2) {
+    return InvalidArgumentError("spiral requires a 2-d grid");
+  }
+  if (grid.side(0) != grid.side(1)) {
+    return InvalidArgumentError("spiral requires a square grid");
+  }
+  return std::unique_ptr<SpiralCurve>(new SpiralCurve(grid));
+}
+
+SpiralCurve::SpiralCurve(GridSpec grid) : SpaceFillingCurve(std::move(grid)) {
+  const int64_t n = NumCells();
+  index_of_cell_.assign(static_cast<size_t>(n), -1);
+  cell_of_index_.assign(static_cast<size_t>(n), -1);
+
+  // Walk the spiral: right along the top row, down the right column, left
+  // along the bottom, up the left column, then recurse inward.
+  const Coord side = grid_.side(0);
+  Coord top = 0, bottom = static_cast<Coord>(side - 1);
+  Coord left = 0, right = static_cast<Coord>(side - 1);
+  int64_t next = 0;
+  std::vector<Coord> p(2);
+  auto emit = [&](Coord row, Coord col) {
+    p[0] = row;
+    p[1] = col;
+    const int64_t cell = grid_.Flatten(p);
+    index_of_cell_[static_cast<size_t>(cell)] = next;
+    cell_of_index_[static_cast<size_t>(next)] = cell;
+    ++next;
+  };
+  while (top <= bottom && left <= right) {
+    for (Coord col = left; col <= right; ++col) emit(top, col);
+    for (Coord row = static_cast<Coord>(top + 1); row <= bottom; ++row) {
+      emit(row, right);
+    }
+    if (top < bottom) {
+      for (Coord col = static_cast<Coord>(right - 1); col >= left; --col) {
+        emit(bottom, col);
+      }
+    }
+    if (left < right) {
+      for (Coord row = static_cast<Coord>(bottom - 1); row > top; --row) {
+        emit(row, left);
+      }
+    }
+    ++top;
+    --bottom;
+    ++left;
+    --right;
+  }
+  SPECTRAL_CHECK_EQ(next, n);
+}
+
+uint64_t SpiralCurve::IndexOf(std::span<const Coord> p) const {
+  SPECTRAL_DCHECK(grid_.Contains(p));
+  return static_cast<uint64_t>(
+      index_of_cell_[static_cast<size_t>(grid_.Flatten(p))]);
+}
+
+void SpiralCurve::PointOf(uint64_t index, std::span<Coord> out) const {
+  SPECTRAL_DCHECK_LT(index, static_cast<uint64_t>(NumCells()));
+  grid_.Unflatten(cell_of_index_[static_cast<size_t>(index)], out);
+}
+
+}  // namespace spectral

@@ -1,0 +1,37 @@
+// Spiral ("onion") order for 2-d square grids: visits cells ring by ring
+// from the outside in, walking each ring contiguously. Continuous like
+// Snake, but concentric instead of row-oriented — a useful extra
+// non-fractal baseline for boundary-effect studies.
+
+#ifndef SPECTRAL_LPM_SFC_SPIRAL_H_
+#define SPECTRAL_LPM_SFC_SPIRAL_H_
+
+#include <memory>
+#include <vector>
+
+#include "sfc/curve.h"
+
+namespace spectral {
+
+/// Clockwise inward spiral over a square 2-d grid (any side >= 1).
+class SpiralCurve : public SpaceFillingCurve {
+ public:
+  /// Fails unless the grid is 2-d and square.
+  static StatusOr<std::unique_ptr<SpiralCurve>> Create(const GridSpec& grid);
+
+  std::string_view name() const override { return "spiral"; }
+  uint64_t IndexOf(std::span<const Coord> p) const override;
+  void PointOf(uint64_t index, std::span<Coord> out) const override;
+
+ private:
+  explicit SpiralCurve(GridSpec grid);
+
+  // Small grids are cheap to tabulate; index_of_cell_[Flatten(p)] and its
+  // inverse make both directions O(1).
+  std::vector<int64_t> index_of_cell_;
+  std::vector<int64_t> cell_of_index_;
+};
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_SFC_SPIRAL_H_

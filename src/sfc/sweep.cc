@@ -1,0 +1,19 @@
+#include "sfc/sweep.h"
+
+#include "util/check.h"
+
+namespace spectral {
+
+SweepCurve::SweepCurve(GridSpec grid) : SpaceFillingCurve(std::move(grid)) {}
+
+uint64_t SweepCurve::IndexOf(std::span<const Coord> p) const {
+  SPECTRAL_DCHECK(grid_.Contains(p));
+  return static_cast<uint64_t>(grid_.Flatten(p));
+}
+
+void SweepCurve::PointOf(uint64_t index, std::span<Coord> out) const {
+  SPECTRAL_DCHECK_LT(index, static_cast<uint64_t>(NumCells()));
+  grid_.Unflatten(static_cast<int64_t>(index), out);
+}
+
+}  // namespace spectral

@@ -1,0 +1,25 @@
+// Sweep (row-major) mapping: the paper's simple non-fractal baseline. Axis 0
+// varies slowest; axis d-1 is scanned contiguously.
+
+#ifndef SPECTRAL_LPM_SFC_SWEEP_H_
+#define SPECTRAL_LPM_SFC_SWEEP_H_
+
+#include <memory>
+
+#include "sfc/curve.h"
+
+namespace spectral {
+
+/// Row-major linearization of any grid.
+class SweepCurve : public SpaceFillingCurve {
+ public:
+  explicit SweepCurve(GridSpec grid);
+
+  std::string_view name() const override { return "sweep"; }
+  uint64_t IndexOf(std::span<const Coord> p) const override;
+  void PointOf(uint64_t index, std::span<Coord> out) const override;
+};
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_SFC_SWEEP_H_

@@ -1,0 +1,89 @@
+#include "space/grid.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "util/check.h"
+
+namespace spectral {
+
+GridSpec::GridSpec(std::vector<Coord> sides) : sides_(std::move(sides)) {
+  SPECTRAL_CHECK(!sides_.empty()) << "grid needs at least one axis";
+  num_cells_ = 1;
+  for (Coord s : sides_) {
+    SPECTRAL_CHECK_GE(s, 1);
+    SPECTRAL_CHECK_LE(num_cells_,
+                      std::numeric_limits<int64_t>::max() / s)
+        << "grid cell count overflows int64";
+    num_cells_ *= s;
+  }
+}
+
+GridSpec GridSpec::Uniform(int dims, Coord side) {
+  SPECTRAL_CHECK_GE(dims, 1);
+  return GridSpec(std::vector<Coord>(static_cast<size_t>(dims), side));
+}
+
+Coord GridSpec::side(int axis) const {
+  SPECTRAL_CHECK_GE(axis, 0);
+  SPECTRAL_CHECK_LT(axis, dims());
+  return sides_[static_cast<size_t>(axis)];
+}
+
+int64_t GridSpec::MaxManhattanDistance() const {
+  int64_t total = 0;
+  for (Coord s : sides_) total += s - 1;
+  return total;
+}
+
+bool GridSpec::Contains(std::span<const Coord> p) const {
+  SPECTRAL_CHECK_EQ(static_cast<int>(p.size()), dims());
+  for (int a = 0; a < dims(); ++a) {
+    if (p[static_cast<size_t>(a)] < 0 ||
+        p[static_cast<size_t>(a)] >= sides_[static_cast<size_t>(a)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int64_t GridSpec::Flatten(std::span<const Coord> p) const {
+  SPECTRAL_DCHECK(Contains(p));
+  int64_t cell = 0;
+  for (int a = 0; a < dims(); ++a) {
+    cell = cell * sides_[static_cast<size_t>(a)] + p[static_cast<size_t>(a)];
+  }
+  return cell;
+}
+
+void GridSpec::Unflatten(int64_t cell, std::span<Coord> out) const {
+  SPECTRAL_CHECK_EQ(static_cast<int>(out.size()), dims());
+  SPECTRAL_DCHECK_GE(cell, 0);
+  SPECTRAL_DCHECK_LT(cell, num_cells_);
+  for (int a = dims() - 1; a >= 0; --a) {
+    const Coord side = sides_[static_cast<size_t>(a)];
+    out[static_cast<size_t>(a)] = static_cast<Coord>(cell % side);
+    cell /= side;
+  }
+}
+
+int64_t ManhattanDistance(std::span<const Coord> a, std::span<const Coord> b) {
+  SPECTRAL_DCHECK_EQ(a.size(), b.size());
+  int64_t d = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    d += std::abs(static_cast<int64_t>(a[i]) - b[i]);
+  }
+  return d;
+}
+
+int64_t ChebyshevDistance(std::span<const Coord> a, std::span<const Coord> b) {
+  SPECTRAL_DCHECK_EQ(a.size(), b.size());
+  int64_t d = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    d = std::max(d, std::abs(static_cast<int64_t>(a[i]) - b[i]));
+  }
+  return d;
+}
+
+}  // namespace spectral

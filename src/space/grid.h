@@ -1,0 +1,61 @@
+// Multi-dimensional grid geometry: axis extents, row-major linearization,
+// and coordinate arithmetic shared by the graph builders, the space-filling
+// curves, and the query harness.
+
+#ifndef SPECTRAL_LPM_SPACE_GRID_H_
+#define SPECTRAL_LPM_SPACE_GRID_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace spectral {
+
+/// Integer coordinate type of every point in the library.
+using Coord = int32_t;
+
+/// A finite d-dimensional grid [0, side_0) x ... x [0, side_{d-1}).
+///
+/// Linearization is row-major with axis 0 slowest and axis d-1 fastest,
+/// matching the enumeration order of PointSet::FullGrid and the Sweep curve.
+class GridSpec {
+ public:
+  /// Requires at least one axis; every side >= 1.
+  explicit GridSpec(std::vector<Coord> sides);
+
+  /// d axes of equal side.
+  static GridSpec Uniform(int dims, Coord side);
+
+  int dims() const { return static_cast<int>(sides_.size()); }
+  Coord side(int axis) const;
+  const std::vector<Coord>& sides() const { return sides_; }
+
+  /// Total number of cells (product of sides). Checked against overflow.
+  int64_t NumCells() const { return num_cells_; }
+
+  /// Max Manhattan distance between two cells: sum of (side - 1).
+  int64_t MaxManhattanDistance() const;
+
+  /// True if `p` lies inside the grid. `p` must have dims() entries.
+  bool Contains(std::span<const Coord> p) const;
+
+  /// Row-major cell id of `p`; requires Contains(p).
+  int64_t Flatten(std::span<const Coord> p) const;
+
+  /// Inverse of Flatten; writes dims() coordinates.
+  void Unflatten(int64_t cell, std::span<Coord> out) const;
+
+ private:
+  std::vector<Coord> sides_;
+  int64_t num_cells_ = 0;
+};
+
+/// Manhattan (L1) distance between two points of equal dimension.
+int64_t ManhattanDistance(std::span<const Coord> a, std::span<const Coord> b);
+
+/// Chebyshev (L-infinity) distance between two points of equal dimension.
+int64_t ChebyshevDistance(std::span<const Coord> a, std::span<const Coord> b);
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_SPACE_GRID_H_

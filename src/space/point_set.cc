@@ -1,0 +1,128 @@
+#include "space/point_set.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace spectral {
+
+PointSet::PointSet(int dims) : dims_(dims) {
+  SPECTRAL_CHECK_GE(dims, 1);
+}
+
+PointSet PointSet::FullGrid(const GridSpec& grid) {
+  PointSet set(grid.dims());
+  set.coords_.reserve(static_cast<size_t>(grid.NumCells() * grid.dims()));
+  std::vector<Coord> p(static_cast<size_t>(grid.dims()), 0);
+  for (int64_t cell = 0; cell < grid.NumCells(); ++cell) {
+    grid.Unflatten(cell, p);
+    set.Add(p);
+  }
+  return set;
+}
+
+int64_t PointSet::Add(std::span<const Coord> p) {
+  SPECTRAL_CHECK_EQ(static_cast<int>(p.size()), dims_);
+  const int64_t index = size();
+  coords_.insert(coords_.end(), p.begin(), p.end());
+  sorted_.clear();  // invalidate lookup index
+  return index;
+}
+
+std::span<const Coord> PointSet::operator[](int64_t i) const {
+  SPECTRAL_DCHECK_GE(i, 0);
+  SPECTRAL_DCHECK_LT(i, size());
+  return std::span<const Coord>(coords_.data() + i * dims_,
+                                static_cast<size_t>(dims_));
+}
+
+Coord PointSet::At(int64_t i, int axis) const {
+  SPECTRAL_DCHECK_GE(axis, 0);
+  SPECTRAL_DCHECK_LT(axis, dims_);
+  return (*this)[i][static_cast<size_t>(axis)];
+}
+
+bool PointSet::LexLess(int64_t a, int64_t b) const {
+  const auto pa = (*this)[a];
+  const auto pb = (*this)[b];
+  for (int k = 0; k < dims_; ++k) {
+    if (pa[static_cast<size_t>(k)] != pb[static_cast<size_t>(k)]) {
+      return pa[static_cast<size_t>(k)] < pb[static_cast<size_t>(k)];
+    }
+  }
+  return a < b;  // stable: duplicates keep insertion order
+}
+
+bool PointSet::LexLessThanPoint(int64_t a, std::span<const Coord> p) const {
+  const auto pa = (*this)[a];
+  for (int k = 0; k < dims_; ++k) {
+    if (pa[static_cast<size_t>(k)] != p[static_cast<size_t>(k)]) {
+      return pa[static_cast<size_t>(k)] < p[static_cast<size_t>(k)];
+    }
+  }
+  return false;
+}
+
+void PointSet::BuildIndex() {
+  sorted_.resize(static_cast<size_t>(size()));
+  std::iota(sorted_.begin(), sorted_.end(), 0);
+  std::sort(sorted_.begin(), sorted_.end(),
+            [this](int64_t a, int64_t b) { return LexLess(a, b); });
+}
+
+int64_t PointSet::Find(std::span<const Coord> p) const {
+  SPECTRAL_CHECK(has_index()) << "call BuildIndex() before Find()";
+  SPECTRAL_CHECK_EQ(static_cast<int>(p.size()), dims_);
+  auto it = std::lower_bound(
+      sorted_.begin(), sorted_.end(), p,
+      [this](int64_t a, std::span<const Coord> q) {
+        return LexLessThanPoint(a, q);
+      });
+  if (it == sorted_.end()) return -1;
+  const auto candidate = (*this)[*it];
+  for (int k = 0; k < dims_; ++k) {
+    if (candidate[static_cast<size_t>(k)] != p[static_cast<size_t>(k)]) {
+      return -1;
+    }
+  }
+  return *it;
+}
+
+void PointSet::Bounds(std::vector<Coord>* lo, std::vector<Coord>* hi) const {
+  SPECTRAL_CHECK(!empty());
+  SPECTRAL_CHECK(lo != nullptr);
+  SPECTRAL_CHECK(hi != nullptr);
+  lo->assign((*this)[0].begin(), (*this)[0].end());
+  hi->assign((*this)[0].begin(), (*this)[0].end());
+  for (int64_t i = 1; i < size(); ++i) {
+    const auto p = (*this)[i];
+    for (int k = 0; k < dims_; ++k) {
+      (*lo)[static_cast<size_t>(k)] =
+          std::min((*lo)[static_cast<size_t>(k)], p[static_cast<size_t>(k)]);
+      (*hi)[static_cast<size_t>(k)] =
+          std::max((*hi)[static_cast<size_t>(k)], p[static_cast<size_t>(k)]);
+    }
+  }
+}
+
+int64_t PointSet::Distance(int64_t i, int64_t j) const {
+  return ManhattanDistance((*this)[i], (*this)[j]);
+}
+
+std::vector<std::vector<double>> PointSet::CenteredAxisFunctions() const {
+  std::vector<std::vector<double>> axes(
+      static_cast<size_t>(dims_),
+      std::vector<double>(static_cast<size_t>(size()), 0.0));
+  for (int a = 0; a < dims_; ++a) {
+    double mean = 0.0;
+    for (int64_t i = 0; i < size(); ++i) mean += At(i, a);
+    mean /= static_cast<double>(size());
+    for (int64_t i = 0; i < size(); ++i) {
+      axes[static_cast<size_t>(a)][static_cast<size_t>(i)] = At(i, a) - mean;
+    }
+  }
+  return axes;
+}
+
+}  // namespace spectral

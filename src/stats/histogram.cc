@@ -1,0 +1,65 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace spectral {
+
+Histogram::Histogram(double lo, double hi, int num_bins)
+    : lo_(lo), hi_(hi), counts_(static_cast<size_t>(num_bins), 0) {
+  SPECTRAL_CHECK_LT(lo, hi);
+  SPECTRAL_CHECK_GE(num_bins, 1);
+  bin_width_ = (hi - lo) / num_bins;
+}
+
+void Histogram::Add(double x) {
+  int bin = static_cast<int>(std::floor((x - lo_) / bin_width_));
+  bin = std::clamp(bin, 0, num_bins() - 1);
+  counts_[static_cast<size_t>(bin)] += 1;
+  total_ += 1;
+}
+
+int64_t Histogram::bin_count(int bin) const {
+  SPECTRAL_CHECK_GE(bin, 0);
+  SPECTRAL_CHECK_LT(bin, num_bins());
+  return counts_[static_cast<size_t>(bin)];
+}
+
+double Histogram::bin_lo(int bin) const { return lo_ + bin * bin_width_; }
+double Histogram::bin_hi(int bin) const { return lo_ + (bin + 1) * bin_width_; }
+
+double Histogram::Quantile(double p) const {
+  SPECTRAL_CHECK_GE(p, 0.0);
+  SPECTRAL_CHECK_LE(p, 1.0);
+  if (total_ == 0) return lo_;
+  const double target = p * static_cast<double>(total_);
+  double cum = 0.0;
+  for (int b = 0; b < num_bins(); ++b) {
+    const double next = cum + static_cast<double>(counts_[static_cast<size_t>(b)]);
+    if (next >= target) {
+      const double in_bin =
+          counts_[static_cast<size_t>(b)] > 0
+              ? (target - cum) / static_cast<double>(counts_[static_cast<size_t>(b)])
+              : 0.0;
+      return bin_lo(b) + in_bin * bin_width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+double ExactQuantile(std::vector<double> values, double p) {
+  SPECTRAL_CHECK(!values.empty());
+  SPECTRAL_CHECK_GE(p, 0.0);
+  SPECTRAL_CHECK_LE(p, 1.0);
+  const size_t n = values.size();
+  size_t rank = static_cast<size_t>(std::ceil(p * static_cast<double>(n)));
+  if (rank > 0) rank -= 1;  // nearest-rank, 0-based
+  std::nth_element(values.begin(), values.begin() + static_cast<int64_t>(rank),
+                   values.end());
+  return values[rank];
+}
+
+}  // namespace spectral

@@ -1,0 +1,49 @@
+// Fixed-width histogram plus exact percentile helpers for metric
+// distributions (e.g. the distribution of one-dimensional distances of all
+// point pairs at a given Manhattan distance).
+
+#ifndef SPECTRAL_LPM_STATS_HISTOGRAM_H_
+#define SPECTRAL_LPM_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace spectral {
+
+/// Uniform-bin histogram over [lo, hi). Values outside the range are clamped
+/// to the first/last bin so totals always match the number of Add calls.
+class Histogram {
+ public:
+  /// Creates `num_bins` equal bins covering [lo, hi); requires lo < hi and
+  /// num_bins >= 1.
+  Histogram(double lo, double hi, int num_bins);
+
+  void Add(double x);
+
+  int num_bins() const { return static_cast<int>(counts_.size()); }
+  int64_t bin_count(int bin) const;
+  int64_t total_count() const { return total_; }
+  /// Inclusive lower edge of `bin`.
+  double bin_lo(int bin) const;
+  /// Exclusive upper edge of `bin`.
+  double bin_hi(int bin) const;
+
+  /// Approximate p-quantile (0 <= p <= 1) assuming uniform density within
+  /// each bin. Returns lo for an empty histogram.
+  double Quantile(double p) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  int64_t total_ = 0;
+  std::vector<int64_t> counts_;
+};
+
+/// Exact p-quantile of `values` (nearest-rank). Copies and partially sorts.
+/// Requires non-empty input and 0 <= p <= 1.
+double ExactQuantile(std::vector<double> values, double p);
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_STATS_HISTOGRAM_H_

@@ -1,0 +1,48 @@
+#include "stats/rank_correlation.h"
+
+#include "util/check.h"
+
+namespace spectral {
+
+double SpearmanRho(std::span<const int64_t> ranks_a,
+                   std::span<const int64_t> ranks_b) {
+  SPECTRAL_CHECK_EQ(ranks_a.size(), ranks_b.size());
+  const int64_t n = static_cast<int64_t>(ranks_a.size());
+  if (n < 2) return 0.0;
+  // Distinct integer ranks 0..n-1: rho = 1 - 6 sum d^2 / (n (n^2 - 1)).
+  double sum_d2 = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(ranks_a[static_cast<size_t>(i)] -
+                                         ranks_b[static_cast<size_t>(i)]);
+    sum_d2 += d * d;
+  }
+  const double dn = static_cast<double>(n);
+  return 1.0 - 6.0 * sum_d2 / (dn * (dn * dn - 1.0));
+}
+
+double KendallTau(std::span<const int64_t> ranks_a,
+                  std::span<const int64_t> ranks_b) {
+  SPECTRAL_CHECK_EQ(ranks_a.size(), ranks_b.size());
+  const int64_t n = static_cast<int64_t>(ranks_a.size());
+  if (n < 2) return 0.0;
+  int64_t concordant = 0;
+  int64_t discordant = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      const int64_t da = ranks_a[static_cast<size_t>(i)] -
+                         ranks_a[static_cast<size_t>(j)];
+      const int64_t db = ranks_b[static_cast<size_t>(i)] -
+                         ranks_b[static_cast<size_t>(j)];
+      const int64_t sign = (da > 0 ? 1 : -1) * (db > 0 ? 1 : -1);
+      if (sign > 0) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  return static_cast<double>(concordant - discordant) /
+         (0.5 * static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+}  // namespace spectral

@@ -1,0 +1,26 @@
+// Rank correlation between linear orders: quantifies how similar two
+// mappings are (e.g. how far the spectral order is from a sweep) without
+// eyeballing grids.
+
+#ifndef SPECTRAL_LPM_STATS_RANK_CORRELATION_H_
+#define SPECTRAL_LPM_STATS_RANK_CORRELATION_H_
+
+#include <cstdint>
+#include <span>
+
+namespace spectral {
+
+/// Spearman's rho between two rank assignments over the same items (both
+/// must be permutations of [0, n)). 1 = identical, -1 = exactly reversed.
+/// Returns 0 for n < 2.
+double SpearmanRho(std::span<const int64_t> ranks_a,
+                   std::span<const int64_t> ranks_b);
+
+/// Kendall's tau-a (pair concordance) between two rank assignments.
+/// O(n^2); intended for analysis, not hot paths. Returns 0 for n < 2.
+double KendallTau(std::span<const int64_t> ranks_a,
+                  std::span<const int64_t> ranks_b);
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_STATS_RANK_CORRELATION_H_

@@ -1,0 +1,61 @@
+#include "stats/running_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace spectral {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  count_ += 1;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const int64_t total = count_ + other.count_;
+  m2_ += other.m2_ + delta * delta *
+                         (static_cast<double>(count_) * other.count_ / total);
+  mean_ += delta * other.count_ / static_cast<double>(total);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = total;
+}
+
+double RunningStats::Mean() const { return count_ > 0 ? mean_ : 0.0; }
+
+double RunningStats::PopulationVariance() const {
+  return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double RunningStats::SampleVariance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::StdDev() const { return std::sqrt(PopulationVariance()); }
+
+double RunningStats::Min() const {
+  SPECTRAL_CHECK_GT(count_, 0);
+  return min_;
+}
+
+double RunningStats::Max() const {
+  SPECTRAL_CHECK_GT(count_, 0);
+  return max_;
+}
+
+}  // namespace spectral

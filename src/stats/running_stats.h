@@ -1,0 +1,46 @@
+// Streaming summary statistics (Welford's algorithm) used by the fairness
+// metrics: the paper's Figure 5b/6b report standard deviations over large
+// populations of queries, which we accumulate without materializing them.
+
+#ifndef SPECTRAL_LPM_STATS_RUNNING_STATS_H_
+#define SPECTRAL_LPM_STATS_RUNNING_STATS_H_
+
+#include <cstdint>
+
+namespace spectral {
+
+/// Accumulates count, mean, variance, min and max of a stream of doubles in
+/// O(1) memory. Numerically stable (Welford).
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void Merge(const RunningStats& other);
+
+  int64_t Count() const { return count_; }
+  double Mean() const;
+  /// Population variance (divide by n). Zero for fewer than one sample.
+  double PopulationVariance() const;
+  /// Sample variance (divide by n-1). Zero for fewer than two samples.
+  double SampleVariance() const;
+  /// Population standard deviation (matches how the paper aggregates
+  /// "StDev. Distance" over the full query population).
+  double StdDev() const;
+  double Min() const;
+  double Max() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations from the running mean
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_STATS_RUNNING_STATS_H_

@@ -1,0 +1,41 @@
+#include "storage/buffer_pool.h"
+
+#include "util/check.h"
+
+namespace spectral {
+
+LruBufferPool::LruBufferPool(int64_t capacity) : capacity_(capacity) {
+  SPECTRAL_CHECK_GE(capacity, 1);
+}
+
+bool LruBufferPool::Access(int64_t page_id) {
+  auto it = where_.find(page_id);
+  if (it != where_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    hits_ += 1;
+    return true;
+  }
+  misses_ += 1;
+  if (static_cast<int64_t>(lru_.size()) == capacity_) {
+    where_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(page_id);
+  where_[page_id] = lru_.begin();
+  return false;
+}
+
+double LruBufferPool::HitRate() const {
+  const int64_t total = accesses();
+  return total > 0 ? static_cast<double>(hits_) / static_cast<double>(total)
+                   : 0.0;
+}
+
+void LruBufferPool::Reset() {
+  hits_ = 0;
+  misses_ = 0;
+  lru_.clear();
+  where_.clear();
+}
+
+}  // namespace spectral

@@ -1,0 +1,40 @@
+// LRU buffer-pool simulator: measures how a mapping's locality translates
+// into cache hit rates under a spatially local access stream.
+
+#ifndef SPECTRAL_LPM_STORAGE_BUFFER_POOL_H_
+#define SPECTRAL_LPM_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace spectral {
+
+/// Fixed-capacity LRU page cache with hit/miss accounting.
+class LruBufferPool {
+ public:
+  /// capacity = number of resident pages, >= 1.
+  explicit LruBufferPool(int64_t capacity);
+
+  /// Touches `page_id`; returns true on hit. Misses evict the LRU page.
+  bool Access(int64_t page_id);
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  int64_t accesses() const { return hits_ + misses_; }
+  double HitRate() const;
+
+  /// Drops all cached pages and statistics.
+  void Reset();
+
+ private:
+  int64_t capacity_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  std::list<int64_t> lru_;  // front = most recent
+  std::unordered_map<int64_t, std::list<int64_t>::iterator> where_;
+};
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_STORAGE_BUFFER_POOL_H_

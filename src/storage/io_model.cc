@@ -1,0 +1,14 @@
+#include "storage/io_model.h"
+
+#include "util/check.h"
+
+namespace spectral {
+
+double IoCost(const PageFootprint& footprint, const IoCostModel& model) {
+  SPECTRAL_CHECK_GE(footprint.distinct_pages, 0);
+  SPECTRAL_CHECK_GE(footprint.page_runs, 0);
+  return model.seek_cost * static_cast<double>(footprint.page_runs) +
+         model.transfer_cost * static_cast<double>(footprint.distinct_pages);
+}
+
+}  // namespace spectral

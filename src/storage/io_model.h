@@ -1,0 +1,25 @@
+// A simple disk cost model: a seek per sequential segment plus a transfer
+// per page. Turns the footprint metrics into an I/O time estimate so
+// benches can report a single cost number per mapping.
+
+#ifndef SPECTRAL_LPM_STORAGE_IO_MODEL_H_
+#define SPECTRAL_LPM_STORAGE_IO_MODEL_H_
+
+#include "storage/page_map.h"
+
+namespace spectral {
+
+/// Relative device costs (defaults roughly model a 2000s-era disk where one
+/// seek buys ~40 sequential page transfers).
+struct IoCostModel {
+  double seek_cost = 40.0;
+  double transfer_cost = 1.0;
+};
+
+/// Cost of reading a query's pages: page_runs seeks + distinct_pages
+/// transfers.
+double IoCost(const PageFootprint& footprint, const IoCostModel& model = {});
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_STORAGE_IO_MODEL_H_

@@ -1,0 +1,57 @@
+#include "storage/layout.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace spectral {
+
+StorageLayout::StorageLayout(const LinearOrder& order, int64_t page_size)
+    : page_size_(page_size) {
+  SPECTRAL_CHECK_GE(page_size, 1);
+  const int64_t n = order.size();
+  point_of_rank_.resize(static_cast<size_t>(n));
+  rank_of_point_.resize(static_cast<size_t>(n));
+  for (int64_t r = 0; r < n; ++r) {
+    const int64_t p = order.PointAtRank(r);
+    point_of_rank_[static_cast<size_t>(r)] = p;
+    rank_of_point_[static_cast<size_t>(p)] = r;
+  }
+}
+
+int64_t StorageLayout::num_pages() const {
+  return (num_records() + page_size_ - 1) / page_size_;
+}
+
+std::span<const int64_t> StorageLayout::PointsOnPage(int64_t page) const {
+  SPECTRAL_CHECK_GE(page, 0);
+  SPECTRAL_CHECK_LT(page, num_pages());
+  const int64_t begin = page * page_size_;
+  const int64_t end = std::min<int64_t>(begin + page_size_, num_records());
+  return std::span<const int64_t>(point_of_rank_.data() + begin,
+                                  static_cast<size_t>(end - begin));
+}
+
+int64_t StorageLayout::PageOfRank(int64_t rank) const {
+  SPECTRAL_CHECK_GE(rank, 0);
+  SPECTRAL_CHECK_LT(rank, num_records());
+  return rank / page_size_;
+}
+
+int64_t StorageLayout::PageOfPoint(int64_t point) const {
+  return RankOfPoint(point) / page_size_;
+}
+
+int64_t StorageLayout::RankOfPoint(int64_t point) const {
+  SPECTRAL_CHECK_GE(point, 0);
+  SPECTRAL_CHECK_LT(point, num_records());
+  return rank_of_point_[static_cast<size_t>(point)];
+}
+
+int64_t StorageLayout::PointOfRank(int64_t rank) const {
+  SPECTRAL_CHECK_GE(rank, 0);
+  SPECTRAL_CHECK_LT(rank, num_records());
+  return point_of_rank_[static_cast<size_t>(rank)];
+}
+
+}  // namespace spectral

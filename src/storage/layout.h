@@ -1,0 +1,47 @@
+// Physical layout: the rank order materialized into fixed-size pages.
+// Records (point indices) are stored in rank order, page r/B holds ranks
+// [r*B, (r+1)*B) — the placement the paper's mapping is for.
+
+#ifndef SPECTRAL_LPM_STORAGE_LAYOUT_H_
+#define SPECTRAL_LPM_STORAGE_LAYOUT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/linear_order.h"
+
+namespace spectral {
+
+/// Immutable page layout of a mapped dataset.
+class StorageLayout {
+ public:
+  /// Lays out `order` into pages of `page_size` records.
+  StorageLayout(const LinearOrder& order, int64_t page_size);
+
+  int64_t page_size() const { return page_size_; }
+  int64_t num_records() const {
+    return static_cast<int64_t>(point_of_rank_.size());
+  }
+  int64_t num_pages() const;
+
+  /// Point indices stored on `page`, in rank order.
+  std::span<const int64_t> PointsOnPage(int64_t page) const;
+
+  int64_t PageOfRank(int64_t rank) const;
+  int64_t PageOfPoint(int64_t point) const;
+
+  /// The stored permutation (copies of the LinearOrder used at build time,
+  /// so the layout is self-contained).
+  int64_t RankOfPoint(int64_t point) const;
+  int64_t PointOfRank(int64_t rank) const;
+
+ private:
+  int64_t page_size_;
+  std::vector<int64_t> point_of_rank_;  // rank -> point index
+  std::vector<int64_t> rank_of_point_;  // point index -> rank
+};
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_STORAGE_LAYOUT_H_

@@ -1,0 +1,41 @@
+#include "storage/page_map.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace spectral {
+
+PageMap::PageMap(int64_t page_size) : page_size_(page_size) {
+  SPECTRAL_CHECK_GE(page_size, 1);
+}
+
+int64_t PageMap::PageOfRank(int64_t rank) const {
+  SPECTRAL_DCHECK_GE(rank, 0);
+  return rank / page_size_;
+}
+
+int64_t PageMap::NumPages(int64_t num_records) const {
+  SPECTRAL_CHECK_GE(num_records, 0);
+  return (num_records + page_size_ - 1) / page_size_;
+}
+
+PageFootprint ComputePageFootprint(std::span<const int64_t> ranks,
+                                   const PageMap& pages) {
+  PageFootprint fp;
+  if (ranks.empty()) return fp;
+  std::vector<int64_t> page_ids;
+  page_ids.reserve(ranks.size());
+  for (int64_t r : ranks) page_ids.push_back(pages.PageOfRank(r));
+  std::sort(page_ids.begin(), page_ids.end());
+  page_ids.erase(std::unique(page_ids.begin(), page_ids.end()),
+                 page_ids.end());
+  fp.distinct_pages = static_cast<int64_t>(page_ids.size());
+  fp.page_runs = 1;
+  for (size_t i = 1; i < page_ids.size(); ++i) {
+    if (page_ids[i] != page_ids[i - 1] + 1) fp.page_runs += 1;
+  }
+  return fp;
+}
+
+}  // namespace spectral

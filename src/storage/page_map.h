@@ -1,0 +1,45 @@
+// Rank -> disk-page layout. The whole point of a locality-preserving
+// mapping is that consecutive ranks share pages; these helpers quantify the
+// page-level behaviour of a LinearOrder (distinct pages touched, sequential
+// runs — the clustering metric of Moon et al., the paper's reference [4]).
+
+#ifndef SPECTRAL_LPM_STORAGE_PAGE_MAP_H_
+#define SPECTRAL_LPM_STORAGE_PAGE_MAP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace spectral {
+
+/// Fixed-capacity page layout: rank r lives on page r / page_size.
+class PageMap {
+ public:
+  /// page_size = records per page, >= 1.
+  explicit PageMap(int64_t page_size);
+
+  int64_t page_size() const { return page_size_; }
+  int64_t PageOfRank(int64_t rank) const;
+  int64_t NumPages(int64_t num_records) const;
+
+ private:
+  int64_t page_size_;
+};
+
+/// Page-level footprint of one query result (any order of `ranks`).
+struct PageFootprint {
+  /// Distinct pages the result touches (random-read count with a cold
+  /// cache).
+  int64_t distinct_pages = 0;
+  /// Maximal runs of consecutive page ids (sequential-I/O segments; the
+  /// "clusters" of Moon et al.).
+  int64_t page_runs = 0;
+};
+
+/// Computes the footprint of a result set given as ranks.
+PageFootprint ComputePageFootprint(std::span<const int64_t> ranks,
+                                   const PageMap& pages);
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_STORAGE_PAGE_MAP_H_

@@ -1,0 +1,76 @@
+#include "util/bit_ops.h"
+
+#include <bit>
+
+#include "util/check.h"
+
+namespace spectral {
+
+int FloorLog2(uint64_t x) {
+  SPECTRAL_CHECK_GT(x, 0u);
+  return 63 - std::countl_zero(x);
+}
+
+int CeilLog2(uint64_t x) {
+  SPECTRAL_CHECK_GT(x, 0u);
+  int f = FloorLog2(x);
+  return IsPowerOfTwo(x) ? f : f + 1;
+}
+
+uint64_t GrayDecode(uint64_t g) {
+  uint64_t x = g;
+  for (int shift = 1; shift < 64; shift <<= 1) {
+    x ^= x >> shift;
+  }
+  return x;
+}
+
+uint64_t InterleaveBits(std::span<const uint32_t> coords, int bits) {
+  const int dims = static_cast<int>(coords.size());
+  SPECTRAL_CHECK_GT(dims, 0);
+  SPECTRAL_CHECK_GT(bits, 0);
+  SPECTRAL_CHECK_LE(dims * bits, 64);
+  uint64_t code = 0;
+  for (int b = 0; b < bits; ++b) {
+    for (int k = 0; k < dims; ++k) {
+      SPECTRAL_DCHECK_LT(coords[k], uint64_t{1} << bits);
+      uint64_t bit = (coords[k] >> b) & 1u;
+      code |= bit << (b * dims + k);
+    }
+  }
+  return code;
+}
+
+void DeinterleaveBits(uint64_t code, int bits, std::span<uint32_t> coords) {
+  const int dims = static_cast<int>(coords.size());
+  SPECTRAL_CHECK_GT(dims, 0);
+  SPECTRAL_CHECK_GT(bits, 0);
+  SPECTRAL_CHECK_LE(dims * bits, 64);
+  for (int k = 0; k < dims; ++k) coords[k] = 0;
+  for (int b = 0; b < bits; ++b) {
+    for (int k = 0; k < dims; ++k) {
+      uint32_t bit = static_cast<uint32_t>((code >> (b * dims + k)) & 1u);
+      coords[k] |= bit << b;
+    }
+  }
+}
+
+uint64_t RotateLeftBits(uint64_t x, int amount, int width) {
+  SPECTRAL_CHECK_GT(width, 0);
+  SPECTRAL_CHECK_LE(width, 64);
+  const uint64_t mask =
+      width == 64 ? ~uint64_t{0} : ((uint64_t{1} << width) - 1);
+  SPECTRAL_DCHECK_EQ(x & ~mask, 0u);
+  amount %= width;
+  if (amount < 0) amount += width;
+  if (amount == 0) return x;
+  return ((x << amount) | (x >> (width - amount))) & mask;
+}
+
+uint64_t RotateRightBits(uint64_t x, int amount, int width) {
+  amount %= width;
+  if (amount < 0) amount += width;
+  return RotateLeftBits(x, width - amount, width);
+}
+
+}  // namespace spectral

@@ -1,0 +1,47 @@
+// Bit-manipulation primitives shared by the space-filling-curve encoders and
+// the linear-algebra utilities: power-of-two tests, integer logs, binary
+// reflected Gray codes, and d-dimensional bit interleaving (Morton codes).
+
+#ifndef SPECTRAL_LPM_UTIL_BIT_OPS_H_
+#define SPECTRAL_LPM_UTIL_BIT_OPS_H_
+
+#include <cstdint>
+#include <span>
+
+namespace spectral {
+
+/// True iff `x` is a power of two (0 is not).
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// floor(log2(x)); requires x > 0.
+int FloorLog2(uint64_t x);
+
+/// ceil(log2(x)); requires x > 0. CeilLog2(1) == 0.
+int CeilLog2(uint64_t x);
+
+/// Binary reflected Gray code of `x`.
+constexpr uint64_t GrayEncode(uint64_t x) { return x ^ (x >> 1); }
+
+/// Inverse of GrayEncode.
+uint64_t GrayDecode(uint64_t g);
+
+/// Interleaves the low `bits` bits of each coordinate into a single integer:
+/// bit b of coordinate k lands at position b * dims + k, so the result cycles
+/// through dimensions from the least-significant bit upward (Z-order / Morton
+/// code, most-significant interleave first across dims in the usual sense).
+/// Requires dims * bits <= 64 and every coordinate < 2^bits.
+uint64_t InterleaveBits(std::span<const uint32_t> coords, int bits);
+
+/// Inverse of InterleaveBits; writes coords.size() coordinates.
+void DeinterleaveBits(uint64_t code, int bits, std::span<uint32_t> coords);
+
+/// Rotates the low `width` bits of `x` left by `amount` (mod width). Bits at
+/// or above `width` must be zero. Used by the Hilbert transform.
+uint64_t RotateLeftBits(uint64_t x, int amount, int width);
+
+/// Rotates the low `width` bits of `x` right by `amount` (mod width).
+uint64_t RotateRightBits(uint64_t x, int amount, int width);
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_UTIL_BIT_OPS_H_

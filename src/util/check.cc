@@ -1,0 +1,20 @@
+#include "util/check.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace spectral {
+namespace internal {
+
+CheckFailure::CheckFailure(const char* condition, const char* file, int line) {
+  stream_ << "[CHECK failed] " << file << ":" << line << ": " << condition
+          << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  std::cerr << stream_.str() << std::endl;
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace spectral

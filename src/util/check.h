@@ -1,0 +1,71 @@
+// Assertion macros for invariant and precondition checking.
+//
+// SPECTRAL_CHECK* macros are always on (release and debug): they guard
+// programmer errors that must never ship. SPECTRAL_DCHECK* compile away in
+// NDEBUG builds and may be used on hot paths.
+//
+// All macros support message streaming:
+//   SPECTRAL_CHECK(n > 0) << "need a positive size, got " << n;
+
+#ifndef SPECTRAL_LPM_UTIL_CHECK_H_
+#define SPECTRAL_LPM_UTIL_CHECK_H_
+
+#include <ostream>
+#include <sstream>
+
+namespace spectral {
+namespace internal {
+
+// Collects a failure message and aborts the process when destroyed.
+class CheckFailure {
+ public:
+  CheckFailure(const char* condition, const char* file, int line);
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+  [[noreturn]] ~CheckFailure();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows the ostream produced by the streaming arm of the CHECK ternary so
+// both arms have type void.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace spectral
+
+#define SPECTRAL_CHECK(condition)                             \
+  (condition) ? (void)0                                       \
+              : ::spectral::internal::Voidify() &             \
+                    ::spectral::internal::CheckFailure(       \
+                        #condition, __FILE__, __LINE__)       \
+                        .stream()
+
+#define SPECTRAL_CHECK_EQ(a, b) SPECTRAL_CHECK((a) == (b))
+#define SPECTRAL_CHECK_NE(a, b) SPECTRAL_CHECK((a) != (b))
+#define SPECTRAL_CHECK_LT(a, b) SPECTRAL_CHECK((a) < (b))
+#define SPECTRAL_CHECK_LE(a, b) SPECTRAL_CHECK((a) <= (b))
+#define SPECTRAL_CHECK_GT(a, b) SPECTRAL_CHECK((a) > (b))
+#define SPECTRAL_CHECK_GE(a, b) SPECTRAL_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+// Short-circuit keeps the condition syntactically alive (no unused-variable
+// warnings) without evaluating it.
+#define SPECTRAL_DCHECK(condition) SPECTRAL_CHECK(true || (condition))
+#else
+#define SPECTRAL_DCHECK(condition) SPECTRAL_CHECK(condition)
+#endif
+
+#define SPECTRAL_DCHECK_EQ(a, b) SPECTRAL_DCHECK((a) == (b))
+#define SPECTRAL_DCHECK_NE(a, b) SPECTRAL_DCHECK((a) != (b))
+#define SPECTRAL_DCHECK_LT(a, b) SPECTRAL_DCHECK((a) < (b))
+#define SPECTRAL_DCHECK_LE(a, b) SPECTRAL_DCHECK((a) <= (b))
+#define SPECTRAL_DCHECK_GT(a, b) SPECTRAL_DCHECK((a) > (b))
+#define SPECTRAL_DCHECK_GE(a, b) SPECTRAL_DCHECK((a) >= (b))
+
+#endif  // SPECTRAL_LPM_UTIL_CHECK_H_

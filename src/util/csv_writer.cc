@@ -1,0 +1,53 @@
+#include "util/csv_writer.h"
+
+#include <filesystem>
+
+namespace spectral {
+
+namespace {
+
+std::string EscapeCsvField(const std::string& field) {
+  bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Status CsvWriter::Open(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+    if (ec) {
+      return InternalError("cannot create directory " +
+                           p.parent_path().string() + ": " + ec.message());
+    }
+  }
+  out_.open(path, std::ios::out | std::ios::trunc);
+  if (!out_.is_open()) {
+    return InternalError("cannot open " + path + " for writing");
+  }
+  return OkStatus();
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (!is_open()) return;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << EscapeCsvField(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::Close() {
+  if (out_.is_open()) out_.close();
+}
+
+}  // namespace spectral

@@ -1,0 +1,42 @@
+// CSV output for benchmark results. Every bench binary mirrors the table it
+// prints to stdout into a .csv so figures can be re-plotted offline.
+
+#ifndef SPECTRAL_LPM_UTIL_CSV_WRITER_H_
+#define SPECTRAL_LPM_UTIL_CSV_WRITER_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace spectral {
+
+/// Writes rows of comma-separated values to a file. Fields containing commas
+/// or quotes are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  CsvWriter() = default;
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Opens `path` for writing (truncates), creating parent directories.
+  Status Open(const std::string& path);
+
+  /// True if Open succeeded and the stream is healthy.
+  bool is_open() const { return out_.is_open() && out_.good(); }
+
+  /// Writes one row. No-op (but safe) when the writer is not open, so bench
+  /// code does not need to branch on CSV availability.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Flushes and closes the file.
+  void Close();
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_UTIL_CSV_WRITER_H_

@@ -1,0 +1,28 @@
+// Small string helpers used by the table/CSV writers and benchmarks.
+
+#ifndef SPECTRAL_LPM_UTIL_STRING_UTIL_H_
+#define SPECTRAL_LPM_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spectral {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Splits `text` on the single character `sep`; keeps empty fields.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Formats a double with `precision` significant decimal digits after the
+/// point, trimming trailing zeros ("3.25", "14", "0.002").
+std::string FormatDouble(double value, int precision = 6);
+
+/// Formats an integer count ("1024").
+std::string FormatInt(int64_t value);
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_UTIL_STRING_UTIL_H_

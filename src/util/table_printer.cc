@@ -1,0 +1,45 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+
+namespace spectral {
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  std::vector<size_t> width(cols, 0);
+  auto account = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  };
+  account(header_);
+  for (const auto& row : rows_) account(row);
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < cols; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << cell << std::string(width[i] - cell.size(), ' ');
+      if (i + 1 < cols) os << "  ";
+    }
+    os << '\n';
+  };
+
+  if (!header_.empty()) {
+    print_row(header_);
+    size_t total = 0;
+    for (size_t i = 0; i < cols; ++i) total += width[i] + (i + 1 < cols ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace spectral

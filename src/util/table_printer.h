@@ -1,0 +1,41 @@
+// Aligned plain-text tables for bench output. The printed series mirror the
+// rows of the paper's figures (one row per x-axis value, one column per
+// mapping algorithm).
+
+#ifndef SPECTRAL_LPM_UTIL_TABLE_PRINTER_H_
+#define SPECTRAL_LPM_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spectral {
+
+/// Collects a header plus rows of string cells and prints them with columns
+/// padded to equal width.
+class TablePrinter {
+ public:
+  TablePrinter() = default;
+
+  /// Sets the column headers; defines the column count.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a row; shorter rows are padded with empty cells, longer rows
+  /// extend the column count.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table. A separator line follows the header.
+  void Print(std::ostream& os) const;
+
+  /// All rows (header excluded), e.g. for forwarding into a CsvWriter.
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+  const std::vector<std::string>& header() const { return header_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_UTIL_TABLE_PRINTER_H_

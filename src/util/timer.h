@@ -1,0 +1,30 @@
+// Wall-clock timer for benchmarks and solver diagnostics.
+
+#ifndef SPECTRAL_LPM_UTIL_TIMER_H_
+#define SPECTRAL_LPM_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace spectral {
+
+/// Measures elapsed wall time in seconds. Starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_UTIL_TIMER_H_

@@ -1,0 +1,118 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "util/check.h"
+
+namespace spectral {
+
+PointSet MakeFullGrid(const GridSpec& grid) { return PointSet::FullGrid(grid); }
+
+PointSet SampleUniformPoints(const GridSpec& grid, int64_t count, Rng& rng) {
+  SPECTRAL_CHECK_GE(count, 0);
+  SPECTRAL_CHECK_LE(count, grid.NumCells());
+  std::unordered_set<int64_t> chosen;
+  chosen.reserve(static_cast<size_t>(count) * 2);
+  PointSet points(grid.dims());
+  std::vector<Coord> p(static_cast<size_t>(grid.dims()));
+  while (static_cast<int64_t>(chosen.size()) < count) {
+    const int64_t cell = rng.UniformInt(0, grid.NumCells() - 1);
+    if (!chosen.insert(cell).second) continue;
+    grid.Unflatten(cell, p);
+    points.Add(p);
+  }
+  return points;
+}
+
+PointSet SampleGaussianClusters(const GridSpec& grid, int num_clusters,
+                                int64_t count, double stddev_fraction,
+                                Rng& rng) {
+  SPECTRAL_CHECK_GE(num_clusters, 1);
+  SPECTRAL_CHECK_GE(count, 0);
+  SPECTRAL_CHECK_LE(count, grid.NumCells());
+  SPECTRAL_CHECK_GT(stddev_fraction, 0.0);
+
+  std::vector<std::vector<double>> centers(
+      static_cast<size_t>(num_clusters),
+      std::vector<double>(static_cast<size_t>(grid.dims()), 0.0));
+  for (auto& center : centers) {
+    for (int a = 0; a < grid.dims(); ++a) {
+      center[static_cast<size_t>(a)] =
+          rng.UniformDouble(0.0, static_cast<double>(grid.side(a)));
+    }
+  }
+
+  std::unordered_set<int64_t> chosen;
+  PointSet points(grid.dims());
+  std::vector<Coord> p(static_cast<size_t>(grid.dims()));
+  while (static_cast<int64_t>(chosen.size()) < count) {
+    const auto& center =
+        centers[static_cast<size_t>(rng.UniformInt(0, num_clusters - 1))];
+    for (int a = 0; a < grid.dims(); ++a) {
+      const double stddev = stddev_fraction * grid.side(a);
+      const double x = rng.Gaussian(center[static_cast<size_t>(a)], stddev);
+      p[static_cast<size_t>(a)] = static_cast<Coord>(std::clamp<int64_t>(
+          static_cast<int64_t>(std::llround(x)), 0, grid.side(a) - 1));
+    }
+    const int64_t cell = grid.Flatten(p);
+    if (!chosen.insert(cell).second) continue;
+    points.Add(p);
+  }
+  return points;
+}
+
+PointSet SampleConnectedBlob(const GridSpec& grid, int64_t count, Rng& rng) {
+  SPECTRAL_CHECK_GE(count, 1);
+  SPECTRAL_CHECK_LE(count, grid.NumCells());
+
+  std::unordered_set<int64_t> in_blob;
+  std::vector<int64_t> frontier;
+  std::vector<Coord> p(static_cast<size_t>(grid.dims()));
+  std::vector<Coord> q(static_cast<size_t>(grid.dims()));
+
+  const int64_t seed_cell = rng.UniformInt(0, grid.NumCells() - 1);
+  in_blob.insert(seed_cell);
+  frontier.push_back(seed_cell);
+
+  auto push_neighbors = [&](int64_t cell) {
+    grid.Unflatten(cell, p);
+    for (int a = 0; a < grid.dims(); ++a) {
+      for (int step = -1; step <= 1; step += 2) {
+        q = p;
+        q[static_cast<size_t>(a)] =
+            static_cast<Coord>(q[static_cast<size_t>(a)] + step);
+        if (q[static_cast<size_t>(a)] < 0 ||
+            q[static_cast<size_t>(a)] >= grid.side(a)) {
+          continue;
+        }
+        const int64_t nb = grid.Flatten(q);
+        if (in_blob.find(nb) == in_blob.end()) frontier.push_back(nb);
+      }
+    }
+  };
+  push_neighbors(seed_cell);
+
+  while (static_cast<int64_t>(in_blob.size()) < count && !frontier.empty()) {
+    const size_t pick =
+        static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(frontier.size()) - 1));
+    const int64_t cell = frontier[pick];
+    frontier[pick] = frontier.back();
+    frontier.pop_back();
+    if (!in_blob.insert(cell).second) continue;
+    push_neighbors(cell);
+  }
+
+  PointSet points(grid.dims());
+  std::vector<int64_t> cells(in_blob.begin(), in_blob.end());
+  std::sort(cells.begin(), cells.end());  // deterministic insertion order
+  for (int64_t cell : cells) {
+    grid.Unflatten(cell, p);
+    points.Add(p);
+  }
+  return points;
+}
+
+}  // namespace spectral

@@ -1,0 +1,39 @@
+// Synthetic point workloads. The paper evaluates on full grids; the extra
+// generators (uniform samples, Gaussian clusters) exercise the mapper on
+// the sparse, skewed data layouts real multi-dimensional databases hold.
+
+#ifndef SPECTRAL_LPM_WORKLOAD_GENERATORS_H_
+#define SPECTRAL_LPM_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+
+#include "space/grid.h"
+#include "space/point_set.h"
+#include "util/random.h"
+
+namespace spectral {
+
+/// All cells of `grid` in row-major order (alias of PointSet::FullGrid for
+/// discoverability next to the other generators).
+PointSet MakeFullGrid(const GridSpec& grid);
+
+/// `count` distinct cells drawn uniformly from `grid`. Requires
+/// count <= grid.NumCells().
+PointSet SampleUniformPoints(const GridSpec& grid, int64_t count, Rng& rng);
+
+/// `count` distinct cells drawn from `num_clusters` Gaussian blobs with
+/// stddev = stddev_fraction * side, centers uniform in the grid. Draws are
+/// clamped to the grid; duplicates are re-drawn (requires
+/// count <= grid.NumCells()).
+PointSet SampleGaussianClusters(const GridSpec& grid, int num_clusters,
+                                int64_t count, double stddev_fraction,
+                                Rng& rng);
+
+/// A random connected blob: BFS-style growth from a random seed cell,
+/// expanding a uniformly random frontier cell each step. Produces irregular
+/// but connected regions (the shapes GIS polygons rasterize to).
+PointSet SampleConnectedBlob(const GridSpec& grid, int64_t count, Rng& rng);
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,83 @@
+#include "workload/trace.h"
+
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace spectral {
+
+CorrelatedTrace MakeCorrelatedTrace(int64_t num_points,
+                                    const CorrelatedTraceOptions& options) {
+  SPECTRAL_CHECK_GE(num_points, 2);
+  SPECTRAL_CHECK_GE(options.num_hot_pairs, 1);
+  SPECTRAL_CHECK_LE(2 * options.num_hot_pairs, num_points);
+  SPECTRAL_CHECK_GE(options.follow_probability, 0.0);
+  SPECTRAL_CHECK_LE(options.follow_probability, 1.0);
+  SPECTRAL_CHECK_GE(options.hot_fraction, 0.0);
+  SPECTRAL_CHECK_LE(options.hot_fraction, 1.0);
+
+  Rng rng(options.seed);
+  CorrelatedTrace trace;
+
+  // Disjoint hot pairs.
+  std::unordered_set<int64_t> used;
+  while (static_cast<int>(trace.hot_pairs.size()) < options.num_hot_pairs) {
+    const int64_t p = rng.UniformInt(0, num_points - 1);
+    const int64_t q = rng.UniformInt(0, num_points - 1);
+    if (p == q || used.count(p) > 0 || used.count(q) > 0) continue;
+    used.insert(p);
+    used.insert(q);
+    trace.hot_pairs.emplace_back(p, q);
+  }
+
+  trace.accesses.reserve(static_cast<size_t>(options.length));
+  while (static_cast<int64_t>(trace.accesses.size()) < options.length) {
+    if (rng.Bernoulli(options.hot_fraction)) {
+      const auto& pair = trace.hot_pairs[static_cast<size_t>(
+          rng.UniformInt(0, options.num_hot_pairs - 1))];
+      trace.accesses.push_back(pair.first);
+      if (rng.Bernoulli(options.follow_probability)) {
+        trace.accesses.push_back(pair.second);
+      }
+    } else {
+      trace.accesses.push_back(rng.UniformInt(0, num_points - 1));
+    }
+  }
+  trace.accesses.resize(static_cast<size_t>(options.length));
+  return trace;
+}
+
+std::vector<int64_t> MakeRandomWalkTrace(const GridSpec& grid,
+                                         const RandomWalkOptions& options) {
+  SPECTRAL_CHECK_GE(options.length, 1);
+  SPECTRAL_CHECK_GE(options.restart_probability, 0.0);
+  SPECTRAL_CHECK_LE(options.restart_probability, 1.0);
+
+  Rng rng(options.seed);
+  std::vector<int64_t> trace;
+  trace.reserve(static_cast<size_t>(options.length));
+
+  std::vector<Coord> p(static_cast<size_t>(grid.dims()));
+  grid.Unflatten(rng.UniformInt(0, grid.NumCells() - 1), p);
+  for (int64_t step = 0; step < options.length; ++step) {
+    if (rng.Bernoulli(options.restart_probability)) {
+      grid.Unflatten(rng.UniformInt(0, grid.NumCells() - 1), p);
+    } else {
+      // Try random orthogonal steps until one stays inside the grid.
+      while (true) {
+        const int axis = static_cast<int>(rng.UniformInt(0, grid.dims() - 1));
+        const int dir = rng.Bernoulli(0.5) ? 1 : -1;
+        const int64_t next = p[static_cast<size_t>(axis)] + dir;
+        if (next >= 0 && next < grid.side(axis)) {
+          p[static_cast<size_t>(axis)] = static_cast<Coord>(next);
+          break;
+        }
+      }
+    }
+    trace.push_back(grid.Flatten(p));
+  }
+  return trace;
+}
+
+}  // namespace spectral

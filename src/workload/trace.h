@@ -1,0 +1,58 @@
+// Access traces: sequences of point accesses used by the affinity-edge
+// experiment (paper section 4's "whenever p is accessed, q follows soon
+// after") and by the buffer-pool benchmark.
+
+#ifndef SPECTRAL_LPM_WORKLOAD_TRACE_H_
+#define SPECTRAL_LPM_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "space/grid.h"
+
+namespace spectral {
+
+/// Options for MakeCorrelatedTrace.
+struct CorrelatedTraceOptions {
+  int64_t length = 10000;
+  /// Number of (p, q) hot pairs with correlated accesses.
+  int num_hot_pairs = 16;
+  /// Probability that an access to p is immediately followed by its partner
+  /// q (the paper's "very high probability" scenario).
+  double follow_probability = 0.9;
+  /// Probability that a step targets some hot pair at all (the rest is
+  /// uniform background noise).
+  double hot_fraction = 0.7;
+  uint64_t seed = 0x7ace5ull;
+};
+
+/// A trace over point indices plus the hot pairs that generated it.
+struct CorrelatedTrace {
+  std::vector<int64_t> accesses;
+  std::vector<std::pair<int64_t, int64_t>> hot_pairs;
+};
+
+/// Builds a trace over `num_points` point indices with correlated hot
+/// pairs. Pairs are sampled without overlap; requires
+/// 2 * num_hot_pairs <= num_points.
+CorrelatedTrace MakeCorrelatedTrace(int64_t num_points,
+                                    const CorrelatedTraceOptions& options);
+
+/// Options for MakeRandomWalkTrace.
+struct RandomWalkOptions {
+  int64_t length = 20000;
+  /// Probability of teleporting to a fresh uniform cell instead of stepping
+  /// to an orthogonal neighbor.
+  double restart_probability = 0.01;
+  uint64_t seed = 0x3a1bull;
+};
+
+/// Spatial random walk over the cells of `grid` (row-major cell ids):
+/// models a query stream with spatial locality for the buffer-pool bench.
+std::vector<int64_t> MakeRandomWalkTrace(const GridSpec& grid,
+                                         const RandomWalkOptions& options);
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_WORKLOAD_TRACE_H_

@@ -1,0 +1,200 @@
+// Arrangement objectives, rank correlation, spiral curve, and torus grids.
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "core/curve_order.h"
+#include "core/spectral_lpm.h"
+#include "eigen/fiedler.h"
+#include "graph/grid_graph.h"
+#include "graph/laplacian.h"
+#include "query/arrangement.h"
+#include "sfc/curve_registry.h"
+#include "stats/rank_correlation.h"
+
+namespace spectral {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Arrangement, PathIdentityOrder) {
+  const Graph g = BuildGridGraph(GridSpec({5}));
+  const auto m = ComputeArrangementMetrics(g, LinearOrder::Identity(5));
+  EXPECT_DOUBLE_EQ(m.squared, 4.0);
+  EXPECT_DOUBLE_EQ(m.linear, 4.0);
+  EXPECT_EQ(m.bandwidth, 1);
+  EXPECT_DOUBLE_EQ(m.mean_gap, 1.0);
+}
+
+TEST(Arrangement, SweepOn2DGrid) {
+  // WxH row-major: horizontal edges gap 1, vertical edges gap H.
+  const GridSpec grid({3, 4});
+  const Graph g = BuildGridGraph(grid);
+  const auto m = ComputeArrangementMetrics(g, LinearOrder::Identity(12));
+  // 3 rows x 3 horizontal edges = 9 edges gap 1; 2x4 vertical edges gap 4.
+  EXPECT_DOUBLE_EQ(m.linear, 9.0 * 1 + 8.0 * 4);
+  EXPECT_DOUBLE_EQ(m.squared, 9.0 * 1 + 8.0 * 16);
+  EXPECT_EQ(m.bandwidth, 4);
+}
+
+TEST(Arrangement, LowerBoundHolsForEveryMapping) {
+  const GridSpec grid({6, 6});
+  const PointSet points = PointSet::FullGrid(grid);
+  const Graph g = BuildGridGraph(grid);
+  auto spectral_result = SpectralMapper().Map(points);
+  ASSERT_TRUE(spectral_result.ok());
+  const double bound =
+      SquaredArrangementLowerBound(spectral_result->lambda2, 36);
+  for (CurveKind kind : AllCurveKinds()) {
+    auto order = OrderByCurve(points, kind);
+    ASSERT_TRUE(order.ok()) << CurveKindName(kind);
+    const auto m = ComputeArrangementMetrics(g, *order);
+    EXPECT_GE(m.squared, bound - 1e-9) << CurveKindName(kind);
+  }
+  const auto spectral_metrics =
+      ComputeArrangementMetrics(g, spectral_result->order);
+  EXPECT_GE(spectral_metrics.squared, bound - 1e-9);
+}
+
+TEST(Arrangement, WeightsScaleObjectives) {
+  std::vector<GraphEdge> light = {{0, 1, 1.0}, {1, 2, 1.0}};
+  std::vector<GraphEdge> heavy = {{0, 1, 3.0}, {1, 2, 3.0}};
+  const LinearOrder order = LinearOrder::Identity(3);
+  const auto a = ComputeArrangementMetrics(Graph::FromEdges(3, light), order);
+  const auto b = ComputeArrangementMetrics(Graph::FromEdges(3, heavy), order);
+  EXPECT_DOUBLE_EQ(b.squared, 3.0 * a.squared);
+  EXPECT_DOUBLE_EQ(b.linear, 3.0 * a.linear);
+  EXPECT_EQ(a.bandwidth, b.bandwidth);  // bandwidth ignores weights
+}
+
+TEST(RankCorrelation, IdenticalAndReversed) {
+  const std::vector<int64_t> a = {0, 1, 2, 3, 4};
+  const std::vector<int64_t> r = {4, 3, 2, 1, 0};
+  EXPECT_DOUBLE_EQ(SpearmanRho(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(SpearmanRho(a, r), -1.0);
+  EXPECT_DOUBLE_EQ(KendallTau(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(KendallTau(a, r), -1.0);
+}
+
+TEST(RankCorrelation, KnownIntermediateValue) {
+  const std::vector<int64_t> a = {0, 1, 2, 3};
+  const std::vector<int64_t> b = {0, 1, 3, 2};
+  // One discordant pair out of 6: tau = (5 - 1) / 6.
+  EXPECT_NEAR(KendallTau(a, b), 4.0 / 6.0, 1e-12);
+  EXPECT_GT(SpearmanRho(a, b), 0.7);
+}
+
+TEST(RankCorrelation, TinyInputs) {
+  const std::vector<int64_t> one = {0};
+  EXPECT_DOUBLE_EQ(SpearmanRho(one, one), 0.0);
+  EXPECT_DOUBLE_EQ(KendallTau(one, one), 0.0);
+}
+
+TEST(RankCorrelation, SpectralCloserToSnakeThanToScrambled) {
+  const GridSpec grid({8, 8});
+  const PointSet points = PointSet::FullGrid(grid);
+  auto snake = OrderByCurve(points, CurveKind::kSnake);
+  ASSERT_TRUE(snake.ok());
+  auto spectral_result = SpectralMapper().Map(points);
+  ASSERT_TRUE(spectral_result.ok());
+
+  std::vector<int64_t> spec_ranks(64), snake_ranks(64), scram_ranks(64);
+  for (int64_t i = 0; i < 64; ++i) {
+    spec_ranks[static_cast<size_t>(i)] = spectral_result->order.RankOf(i);
+    snake_ranks[static_cast<size_t>(i)] = snake->RankOf(i);
+    scram_ranks[static_cast<size_t>(i)] = (i * 37) % 64;
+  }
+  EXPECT_GT(std::fabs(SpearmanRho(spec_ranks, snake_ranks)),
+            std::fabs(SpearmanRho(spec_ranks, scram_ranks)));
+}
+
+TEST(Spiral, KnownOrder3x3) {
+  const GridSpec grid = GridSpec::Uniform(2, 3);
+  auto curve = MakeCurve(CurveKind::kSpiral, grid);
+  ASSERT_TRUE(curve.ok());
+  // Clockwise from the top-left; center last.
+  const std::vector<std::vector<Coord>> expected = {
+      {0, 0}, {0, 1}, {0, 2}, {1, 2}, {2, 2}, {2, 1}, {2, 0}, {1, 0}, {1, 1}};
+  std::vector<Coord> p(2);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    (*curve)->PointOf(i, p);
+    EXPECT_EQ(p, expected[i]) << "position " << i;
+  }
+}
+
+TEST(Spiral, BijectiveAndContinuous) {
+  const GridSpec grid = GridSpec::Uniform(2, 7);
+  auto curve = MakeCurve(CurveKind::kSpiral, grid);
+  ASSERT_TRUE(curve.ok());
+  std::vector<Coord> prev(2), next(2);
+  std::set<int64_t> cells;
+  (*curve)->PointOf(0, prev);
+  cells.insert(grid.Flatten(prev));
+  for (int64_t i = 1; i < grid.NumCells(); ++i) {
+    (*curve)->PointOf(static_cast<uint64_t>(i), next);
+    EXPECT_EQ(ManhattanDistance(prev, next), 1) << "step " << i;
+    cells.insert(grid.Flatten(next));
+    prev = next;
+  }
+  EXPECT_EQ(static_cast<int64_t>(cells.size()), grid.NumCells());
+  // Round trip.
+  for (int64_t i = 0; i < grid.NumCells(); ++i) {
+    (*curve)->PointOf(static_cast<uint64_t>(i), next);
+    EXPECT_EQ((*curve)->IndexOf(next), static_cast<uint64_t>(i));
+  }
+}
+
+TEST(Spiral, ShapeValidation) {
+  EXPECT_FALSE(MakeCurve(CurveKind::kSpiral, GridSpec({3, 4})).ok());
+  EXPECT_FALSE(MakeCurve(CurveKind::kSpiral, GridSpec::Uniform(3, 3)).ok());
+  EXPECT_TRUE(MakeCurve(CurveKind::kSpiral, GridSpec::Uniform(2, 1)).ok());
+}
+
+TEST(TorusGrid, DegreesAndEdgeCount) {
+  GridGraphOptions options;
+  options.periodic = true;
+  const Graph g = BuildGridGraph(GridSpec({4, 4}), options);
+  for (int64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(g.Degree(v), 4) << v;  // every torus vertex is interior
+  }
+  EXPECT_EQ(g.num_edges(), 32);
+}
+
+TEST(TorusGrid, SmallSidesDoNotWrap) {
+  GridGraphOptions options;
+  options.periodic = true;
+  // Side 2: the wrap edge would duplicate the existing edge.
+  const Graph g = BuildGridGraph(GridSpec({2, 5}), options);
+  EXPECT_EQ(g.Degree(0), 1 + 2);  // one axis-0 edge, wrap on axis 1
+}
+
+TEST(TorusGrid, CycleSpectrum) {
+  // 1-d periodic grid = cycle: lambda2 = 2 - 2 cos(2 pi / n), degenerate.
+  const int n = 10;
+  GridGraphOptions options;
+  options.periodic = true;
+  const Graph g = BuildGridGraph(GridSpec({n}), options);
+  FiedlerOptions fo;
+  fo.num_pairs = 3;
+  auto result = ComputeFiedler(BuildLaplacian(g), fo);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->lambda2, 2.0 - 2.0 * std::cos(2.0 * kPi / n), 1e-9);
+  EXPECT_EQ(result->degenerate_dim, 2);
+}
+
+TEST(TorusGrid, TorusLambda2ExceedsOpenGrid) {
+  GridGraphOptions periodic;
+  periodic.periodic = true;
+  auto open_result =
+      ComputeFiedler(BuildLaplacian(BuildGridGraph(GridSpec({8, 8}))));
+  auto torus_result = ComputeFiedler(
+      BuildLaplacian(BuildGridGraph(GridSpec({8, 8}), periodic)));
+  ASSERT_TRUE(open_result.ok());
+  ASSERT_TRUE(torus_result.ok());
+  EXPECT_GT(torus_result->lambda2, open_result->lambda2);
+}
+
+}  // namespace
+}  // namespace spectral

@@ -1,0 +1,131 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/bplus_tree.h"
+#include "util/random.h"
+
+namespace spectral {
+namespace {
+
+std::vector<int64_t> Iota(int64_t n) {
+  std::vector<int64_t> keys(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) keys[static_cast<size_t>(i)] = i;
+  return keys;
+}
+
+TEST(BPlusTree, SingleLeaf) {
+  const auto keys = Iota(5);
+  const StaticBPlusTree tree = StaticBPlusTree::Build(keys);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_EQ(tree.num_leaves(), 1);
+  EXPECT_EQ(tree.num_keys(), 5);
+  EXPECT_TRUE(tree.Lookup(3).found);
+  EXPECT_FALSE(tree.Lookup(9).found);
+}
+
+TEST(BPlusTree, MultiLevelShape) {
+  StaticBPlusTree::BuildOptions options;
+  options.leaf_capacity = 4;
+  options.fanout = 4;
+  const StaticBPlusTree tree = StaticBPlusTree::Build(Iota(100), options);
+  EXPECT_EQ(tree.num_leaves(), 25);
+  EXPECT_EQ(tree.height(), 4);  // 25 leaves -> 7 -> 2 -> 1
+  EXPECT_EQ(tree.num_nodes(), 25 + 7 + 2 + 1);
+}
+
+TEST(BPlusTree, LookupEveryKey) {
+  StaticBPlusTree::BuildOptions options;
+  options.leaf_capacity = 3;
+  options.fanout = 3;
+  const StaticBPlusTree tree = StaticBPlusTree::Build(Iota(200), options);
+  for (int64_t k = 0; k < 200; ++k) {
+    const auto result = tree.Lookup(k);
+    EXPECT_TRUE(result.found) << k;
+    EXPECT_EQ(result.nodes_read, tree.height()) << k;
+  }
+  EXPECT_FALSE(tree.Lookup(-1).found);
+  EXPECT_FALSE(tree.Lookup(200).found);
+}
+
+TEST(BPlusTree, LookupSparseKeys) {
+  const std::vector<int64_t> keys = {2, 5, 11, 17, 23, 40, 41, 99};
+  StaticBPlusTree::BuildOptions options;
+  options.leaf_capacity = 2;
+  options.fanout = 2;
+  const StaticBPlusTree tree = StaticBPlusTree::Build(keys, options);
+  for (int64_t k : keys) EXPECT_TRUE(tree.Lookup(k).found) << k;
+  for (int64_t k : {0, 3, 12, 50, 100}) {
+    EXPECT_FALSE(tree.Lookup(k).found) << k;
+  }
+}
+
+TEST(BPlusTree, RangeScanCounts) {
+  StaticBPlusTree::BuildOptions options;
+  options.leaf_capacity = 4;
+  options.fanout = 4;
+  const StaticBPlusTree tree = StaticBPlusTree::Build(Iota(64), options);
+  const auto scan = tree.RangeScan(10, 25);
+  EXPECT_EQ(scan.records, 16);
+  // Keys 10..25 live in leaves [8,12) [12,16) [16,20) [20,24) [24,28).
+  EXPECT_EQ(scan.leaves_read, 5);
+  EXPECT_EQ(scan.internal_read, tree.height() - 1);
+}
+
+TEST(BPlusTree, RangeScanFull) {
+  const StaticBPlusTree tree = StaticBPlusTree::Build(Iota(128));
+  const auto scan = tree.RangeScan(0, 127);
+  EXPECT_EQ(scan.records, 128);
+  EXPECT_EQ(scan.leaves_read, tree.num_leaves());
+}
+
+TEST(BPlusTree, RangeScanEmptyInterval) {
+  const StaticBPlusTree tree = StaticBPlusTree::Build(Iota(32));
+  EXPECT_EQ(tree.RangeScan(10, 5).records, 0);
+  EXPECT_EQ(tree.RangeScan(100, 200).records, 0);
+}
+
+TEST(BPlusTree, RangeScanBeyondBothEnds) {
+  const StaticBPlusTree tree = StaticBPlusTree::Build(Iota(32));
+  const auto scan = tree.RangeScan(-10, 100);
+  EXPECT_EQ(scan.records, 32);
+}
+
+TEST(BPlusTree, RangeScanMatchesBruteForceOnSparseKeys) {
+  Rng rng(77);
+  std::vector<int64_t> keys;
+  int64_t k = 0;
+  for (int i = 0; i < 500; ++i) {
+    k += 1 + rng.UniformInt(0, 9);
+    keys.push_back(k);
+  }
+  StaticBPlusTree::BuildOptions options;
+  options.leaf_capacity = 7;
+  options.fanout = 5;
+  const StaticBPlusTree tree = StaticBPlusTree::Build(keys, options);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int64_t lo = rng.UniformInt(0, k);
+    const int64_t hi = lo + rng.UniformInt(0, 200);
+    int64_t expected = 0;
+    for (int64_t key : keys) {
+      if (key >= lo && key <= hi) ++expected;
+    }
+    EXPECT_EQ(tree.RangeScan(lo, hi).records, expected)
+        << "[" << lo << ", " << hi << "]";
+  }
+}
+
+TEST(BPlusTree, ScanCostProportionalToSpread) {
+  StaticBPlusTree::BuildOptions options;
+  options.leaf_capacity = 8;
+  options.fanout = 8;
+  const StaticBPlusTree tree = StaticBPlusTree::Build(Iota(512), options);
+  const auto narrow = tree.RangeScan(100, 115);
+  const auto wide = tree.RangeScan(100, 355);
+  EXPECT_LT(narrow.leaves_read, wide.leaves_read);
+  // Leaves read ~ spread / leaf_capacity (+1 boundary).
+  EXPECT_LE(wide.leaves_read, (355 - 100) / 8 + 2);
+}
+
+}  // namespace
+}  // namespace spectral

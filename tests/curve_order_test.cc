@@ -1,0 +1,117 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/curve_order.h"
+#include "space/point_set.h"
+
+namespace spectral {
+namespace {
+
+TEST(CurveOrder, FullGridSweepIsIdentity) {
+  const PointSet points = PointSet::FullGrid(GridSpec({4, 5}));
+  auto order = OrderByCurve(points, CurveKind::kSweep);
+  ASSERT_TRUE(order.ok());
+  for (int64_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(order->RankOf(i), i);
+  }
+}
+
+TEST(CurveOrder, FullPowerOfTwoGridMatchesCurvePositions) {
+  const GridSpec grid = GridSpec::Uniform(2, 8);
+  const PointSet points = PointSet::FullGrid(grid);
+  auto curve = MakeCurve(CurveKind::kHilbert, grid);
+  ASSERT_TRUE(curve.ok());
+  auto order = OrderByCurve(points, CurveKind::kHilbert);
+  ASSERT_TRUE(order.ok());
+  for (int64_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(order->RankOf(i),
+              static_cast<int64_t>((*curve)->IndexOf(points[i])));
+  }
+}
+
+TEST(CurveOrder, TranslationInvariant) {
+  // Shifting all points by a constant must not change the order.
+  PointSet base(2), shifted(2);
+  const std::vector<std::vector<Coord>> raw = {
+      {0, 0}, {1, 2}, {3, 1}, {2, 3}, {0, 3}};
+  for (const auto& p : raw) {
+    base.Add(p);
+    shifted.Add(std::vector<Coord>{static_cast<Coord>(p[0] - 7),
+                                   static_cast<Coord>(p[1] + 11)});
+  }
+  for (CurveKind kind : AllCurveKinds()) {
+    auto a = OrderByCurve(base, kind);
+    auto b = OrderByCurve(shifted, kind);
+    ASSERT_TRUE(a.ok()) << CurveKindName(kind);
+    ASSERT_TRUE(b.ok()) << CurveKindName(kind);
+    for (int64_t i = 0; i < base.size(); ++i) {
+      EXPECT_EQ(a->RankOf(i), b->RankOf(i)) << CurveKindName(kind);
+    }
+  }
+}
+
+TEST(CurveOrder, NonPowerOfTwoExtentUsesEnclosingGrid) {
+  // A 6x6 grid needs an 8x8 Hilbert curve; the restriction is still a
+  // valid permutation of the 36 points.
+  const PointSet points = PointSet::FullGrid(GridSpec({6, 6}));
+  for (CurveKind kind : AllCurveKinds()) {
+    auto order = OrderByCurve(points, kind);
+    ASSERT_TRUE(order.ok()) << CurveKindName(kind);
+    std::vector<bool> seen(36, false);
+    for (int64_t i = 0; i < 36; ++i) {
+      const int64_t r = order->RankOf(i);
+      ASSERT_GE(r, 0);
+      ASSERT_LT(r, 36);
+      EXPECT_FALSE(seen[static_cast<size_t>(r)]);
+      seen[static_cast<size_t>(r)] = true;
+    }
+  }
+}
+
+TEST(CurveOrder, RelativeOrderPreservedUnderRestriction) {
+  // The restriction keeps the relative curve order of the surviving points.
+  const GridSpec grid = GridSpec::Uniform(2, 8);
+  auto curve = MakeCurve(CurveKind::kHilbert, grid);
+  ASSERT_TRUE(curve.ok());
+  PointSet points(2);
+  points.Add(std::vector<Coord>{0, 0});
+  points.Add(std::vector<Coord>{5, 5});
+  points.Add(std::vector<Coord>{3, 1});
+  auto order = OrderByCurveOnGrid(points, **curve);
+  ASSERT_TRUE(order.ok());
+  std::vector<std::pair<uint64_t, int64_t>> expected;
+  for (int64_t i = 0; i < points.size(); ++i) {
+    expected.emplace_back((*curve)->IndexOf(points[i]), i);
+  }
+  std::sort(expected.begin(), expected.end());
+  for (int64_t r = 0; r < points.size(); ++r) {
+    EXPECT_EQ(order->PointAtRank(r), expected[static_cast<size_t>(r)].second);
+  }
+}
+
+TEST(CurveOrder, OnGridRejectsOutsidePoints) {
+  const GridSpec grid = GridSpec::Uniform(2, 4);
+  auto curve = MakeCurve(CurveKind::kZOrder, grid);
+  ASSERT_TRUE(curve.ok());
+  PointSet points(2);
+  points.Add(std::vector<Coord>{5, 0});
+  EXPECT_FALSE(OrderByCurveOnGrid(points, **curve).ok());
+}
+
+TEST(CurveOrder, EmptyInputRejected) {
+  PointSet points(2);
+  EXPECT_FALSE(OrderByCurve(points, CurveKind::kSweep).ok());
+}
+
+TEST(CurveOrder, DimensionMismatchRejected) {
+  const GridSpec grid = GridSpec::Uniform(3, 4);
+  auto curve = MakeCurve(CurveKind::kZOrder, grid);
+  ASSERT_TRUE(curve.ok());
+  PointSet points(2);
+  points.Add(std::vector<Coord>{0, 0});
+  EXPECT_FALSE(OrderByCurveOnGrid(points, **curve).ok());
+}
+
+}  // namespace
+}  // namespace spectral

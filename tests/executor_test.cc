@@ -1,0 +1,120 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/curve_order.h"
+#include "core/spectral_lpm.h"
+#include "query/executor.h"
+#include "storage/layout.h"
+
+namespace spectral {
+namespace {
+
+TEST(StorageLayout, PageContents) {
+  auto order = LinearOrder::FromRanks({2, 0, 3, 1});  // pts 1,3,0,2 by rank
+  ASSERT_TRUE(order.ok());
+  const StorageLayout layout(*order, 2);
+  EXPECT_EQ(layout.num_pages(), 2);
+  const auto page0 = layout.PointsOnPage(0);
+  ASSERT_EQ(page0.size(), 2u);
+  EXPECT_EQ(page0[0], 1);
+  EXPECT_EQ(page0[1], 3);
+  EXPECT_EQ(layout.PageOfPoint(0), 1);
+  EXPECT_EQ(layout.PageOfPoint(1), 0);
+  EXPECT_EQ(layout.PageOfRank(3), 1);
+}
+
+TEST(StorageLayout, PartialLastPage) {
+  const StorageLayout layout(LinearOrder::Identity(5), 2);
+  EXPECT_EQ(layout.num_pages(), 3);
+  EXPECT_EQ(layout.PointsOnPage(2).size(), 1u);
+}
+
+TEST(Executor, CountsMatchesExactly) {
+  const GridSpec grid({8, 8});
+  const PointSet points = PointSet::FullGrid(grid);
+  auto order = OrderByCurve(points, CurveKind::kHilbert);
+  ASSERT_TRUE(order.ok());
+  const GridRangeExecutor executor(grid, *order);
+
+  const std::vector<Coord> lo = {2, 3};
+  const std::vector<Coord> hi = {5, 6};
+  const auto result = executor.Execute(lo, hi);
+  EXPECT_EQ(result.matches, 16);
+  EXPECT_GE(result.records_scanned, result.matches);
+  EXPECT_GT(result.index_nodes_read, 0);
+  EXPECT_GT(result.pages_read, 0);
+  EXPECT_GT(result.io_cost, 0.0);
+}
+
+TEST(Executor, EmptyBox) {
+  const GridSpec grid({4, 4});
+  const GridRangeExecutor executor(grid, LinearOrder::Identity(16));
+  const std::vector<Coord> lo = {3, 3};
+  const std::vector<Coord> hi = {1, 1};
+  const auto result = executor.Execute(lo, hi);
+  EXPECT_EQ(result.matches, 0);
+  EXPECT_EQ(result.records_scanned, 0);
+  EXPECT_EQ(result.pages_read, 0);
+}
+
+TEST(Executor, ClampsToGrid) {
+  const GridSpec grid({4, 4});
+  const GridRangeExecutor executor(grid, LinearOrder::Identity(16));
+  const std::vector<Coord> lo = {-5, -5};
+  const std::vector<Coord> hi = {10, 10};
+  const auto result = executor.Execute(lo, hi);
+  EXPECT_EQ(result.matches, 16);
+  EXPECT_EQ(result.records_scanned, 16);
+}
+
+TEST(Executor, IdentityOrderScansExactlyTheMatchesOnRowBoxes) {
+  // Row-major order + full-width row box => rank interval == matches.
+  const GridSpec grid({8, 8});
+  const GridRangeExecutor executor(grid, LinearOrder::Identity(64));
+  const std::vector<Coord> lo = {2, 0};
+  const std::vector<Coord> hi = {4, 7};
+  const auto result = executor.Execute(lo, hi);
+  EXPECT_EQ(result.matches, 24);
+  EXPECT_EQ(result.records_scanned, 24);  // perfectly contiguous
+}
+
+TEST(Executor, BetterOrderScansFewerRecords) {
+  const GridSpec grid({8, 8});
+  const PointSet points = PointSet::FullGrid(grid);
+  auto hilbert = OrderByCurve(points, CurveKind::kHilbert);
+  ASSERT_TRUE(hilbert.ok());
+  // Scrambled order: spreads every box over nearly the full file.
+  std::vector<int64_t> scrambled_ranks(64);
+  for (int64_t i = 0; i < 64; ++i) {
+    scrambled_ranks[static_cast<size_t>(i)] = (i * 37) % 64;
+  }
+  auto scrambled = LinearOrder::FromRanks(scrambled_ranks);
+  ASSERT_TRUE(scrambled.ok());
+
+  const GridRangeExecutor good(grid, *hilbert);
+  const GridRangeExecutor bad(grid, *scrambled);
+  const std::vector<Coord> lo = {1, 1};
+  const std::vector<Coord> hi = {3, 3};
+  EXPECT_LT(good.Execute(lo, hi).records_scanned,
+            bad.Execute(lo, hi).records_scanned);
+}
+
+TEST(Executor, SpectralEndToEnd) {
+  const GridSpec grid({8, 8});
+  const PointSet points = PointSet::FullGrid(grid);
+  auto mapped = SpectralMapper().Map(points);
+  ASSERT_TRUE(mapped.ok());
+  GridRangeExecutor::Options options;
+  options.page_size = 8;
+  const GridRangeExecutor executor(grid, mapped->order, options);
+  const std::vector<Coord> lo = {0, 0};
+  const std::vector<Coord> hi = {7, 7};
+  const auto result = executor.Execute(lo, hi);
+  EXPECT_EQ(result.matches, 64);
+  EXPECT_EQ(result.records_scanned, 64);
+  EXPECT_EQ(result.pages_read, 8);
+}
+
+}  // namespace
+}  // namespace spectral

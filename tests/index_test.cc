@@ -1,0 +1,171 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/curve_order.h"
+#include "index/declustering.h"
+#include "index/packed_rtree.h"
+#include "space/point_set.h"
+
+namespace spectral {
+namespace {
+
+TEST(Mbr, ExpandAndContains) {
+  Mbr mbr = Mbr::Empty(2);
+  EXPECT_TRUE(mbr.IsEmpty());
+  mbr.Expand(std::vector<Coord>{1, 2});
+  EXPECT_FALSE(mbr.IsEmpty());
+  mbr.Expand(std::vector<Coord>{3, 0});
+  EXPECT_TRUE(mbr.Contains(std::vector<Coord>{2, 1}));
+  EXPECT_FALSE(mbr.Contains(std::vector<Coord>{4, 1}));
+  EXPECT_DOUBLE_EQ(mbr.Volume(), 3.0 * 3.0);
+  EXPECT_DOUBLE_EQ(mbr.Margin(), 6.0);
+}
+
+TEST(Mbr, IntersectsAndOverlap) {
+  Mbr a = Mbr::Empty(2);
+  a.Expand(std::vector<Coord>{0, 0});
+  a.Expand(std::vector<Coord>{3, 3});
+  Mbr b = Mbr::Empty(2);
+  b.Expand(std::vector<Coord>{2, 2});
+  b.Expand(std::vector<Coord>{5, 5});
+  EXPECT_TRUE(a.Intersects(b.lo, b.hi));
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(b), 4.0);  // 2x2 cells
+  Mbr c = Mbr::Empty(2);
+  c.Expand(std::vector<Coord>{10, 10});
+  EXPECT_FALSE(a.Intersects(c.lo, c.hi));
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(c), 0.0);
+}
+
+TEST(PackedRTree, QueryMatchesBruteForce) {
+  const GridSpec grid({9, 9});
+  const PointSet points = PointSet::FullGrid(grid);
+  auto order = OrderByCurve(points, CurveKind::kHilbert);
+  ASSERT_TRUE(order.ok());
+  const PackedRTree tree = PackedRTree::Build(points, *order, 8, 4);
+
+  const std::vector<std::pair<std::vector<Coord>, std::vector<Coord>>> queries =
+      {{{0, 0}, {2, 2}},
+       {{3, 1}, {7, 4}},
+       {{8, 8}, {8, 8}},
+       {{0, 0}, {8, 8}},
+       {{5, 5}, {4, 4}}};  // empty (lo > hi)
+  for (const auto& [lo, hi] : queries) {
+    int64_t expected = 0;
+    for (int64_t i = 0; i < points.size(); ++i) {
+      const auto p = points[i];
+      if (p[0] >= lo[0] && p[0] <= hi[0] && p[1] >= lo[1] && p[1] <= hi[1]) {
+        ++expected;
+      }
+    }
+    const auto result = tree.RangeQuery(lo, hi);
+    EXPECT_EQ(result.matches, expected);
+  }
+}
+
+TEST(PackedRTree, StatsShape) {
+  const GridSpec grid({8, 8});
+  const PointSet points = PointSet::FullGrid(grid);
+  auto order = OrderByCurve(points, CurveKind::kHilbert);
+  ASSERT_TRUE(order.ok());
+  const PackedRTree tree = PackedRTree::Build(points, *order, 8, 4);
+  const auto stats = tree.ComputeStats();
+  EXPECT_EQ(stats.num_leaves, 8);
+  EXPECT_EQ(stats.height, 3);  // 8 leaves -> 2 nodes -> 1 root
+  EXPECT_GT(stats.total_leaf_volume, 0.0);
+}
+
+TEST(PackedRTree, HilbertPacksTighterThanScrambled) {
+  const GridSpec grid({16, 16});
+  const PointSet points = PointSet::FullGrid(grid);
+  auto hilbert = OrderByCurve(points, CurveKind::kHilbert);
+  ASSERT_TRUE(hilbert.ok());
+  std::vector<int64_t> scrambled_ranks(256);
+  for (int64_t i = 0; i < 256; ++i) {
+    scrambled_ranks[static_cast<size_t>(i)] = (i * 101) % 256;
+  }
+  auto scrambled = LinearOrder::FromRanks(scrambled_ranks);
+  ASSERT_TRUE(scrambled.ok());
+
+  const auto good = PackedRTree::Build(points, *hilbert, 16, 8).ComputeStats();
+  const auto bad =
+      PackedRTree::Build(points, *scrambled, 16, 8).ComputeStats();
+  EXPECT_LT(good.total_leaf_volume, bad.total_leaf_volume);
+  EXPECT_LT(good.leaf_overlap_volume, bad.leaf_overlap_volume);
+}
+
+TEST(PackedRTree, NodeVisitsBoundedByTotalNodes) {
+  const GridSpec grid({8, 8});
+  const PointSet points = PointSet::FullGrid(grid);
+  auto order = OrderByCurve(points, CurveKind::kZOrder);
+  ASSERT_TRUE(order.ok());
+  const PackedRTree tree = PackedRTree::Build(points, *order, 4, 4);
+  const auto result = tree.RangeQuery(std::vector<Coord>{0, 0},
+                                      std::vector<Coord>{7, 7});
+  EXPECT_EQ(result.matches, 64);
+  EXPECT_EQ(result.leaves_visited, 16);
+}
+
+TEST(PackedRTree, SinglePoint) {
+  PointSet points(2);
+  points.Add(std::vector<Coord>{3, 4});
+  const PackedRTree tree =
+      PackedRTree::Build(points, LinearOrder::Identity(1), 4, 4);
+  const auto hit = tree.RangeQuery(std::vector<Coord>{3, 4},
+                                   std::vector<Coord>{3, 4});
+  EXPECT_EQ(hit.matches, 1);
+  const auto miss = tree.RangeQuery(std::vector<Coord>{0, 0},
+                                    std::vector<Coord>{2, 2});
+  EXPECT_EQ(miss.matches, 0);
+}
+
+TEST(Decluster, RoundRobinAssignment) {
+  const RoundRobinDecluster decluster(4);
+  EXPECT_EQ(decluster.DiskOfRank(0), 0);
+  EXPECT_EQ(decluster.DiskOfRank(5), 1);
+  EXPECT_EQ(decluster.DiskOfRank(7), 3);
+}
+
+TEST(Decluster, PerfectBalanceOnContiguousOrder) {
+  // Identity order + full-row windows: ranks in a window are contiguous, so
+  // round-robin is perfectly balanced whenever volume % disks == 0.
+  const GridSpec grid({8, 8});
+  const LinearOrder order = LinearOrder::Identity(64);
+  RangeQueryShape shape;
+  shape.extents = {2, 8};  // volume 16, contiguous ranks
+  const auto stats = EvaluateDeclustering(grid, order, shape, 4);
+  EXPECT_DOUBLE_EQ(stats.mean_balance_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max_balance_ratio, 1.0);
+}
+
+TEST(Decluster, SingleDiskDegenerate) {
+  const GridSpec grid({4, 4});
+  const LinearOrder order = LinearOrder::Identity(16);
+  RangeQueryShape shape;
+  shape.extents = {2, 2};
+  const auto stats = EvaluateDeclustering(grid, order, shape, 1);
+  EXPECT_DOUBLE_EQ(stats.mean_balance_ratio, 1.0);
+}
+
+TEST(Decluster, BadOrderWorseThanGoodOrder) {
+  const GridSpec grid({8, 8});
+  const PointSet points = PointSet::FullGrid(grid);
+  auto hilbert = OrderByCurve(points, CurveKind::kHilbert);
+  ASSERT_TRUE(hilbert.ok());
+  // Adversarial order: rank = 4 * cell mod 64 + offset, so cells in a row
+  // tend to collide on the same disk under 4-disk round-robin.
+  std::vector<int64_t> bad_ranks(64);
+  for (int64_t i = 0; i < 64; ++i) {
+    bad_ranks[static_cast<size_t>(i)] = (i * 4 + i / 16) % 64;
+  }
+  auto bad = LinearOrder::FromRanks(bad_ranks);
+  ASSERT_TRUE(bad.ok());
+  RangeQueryShape shape;
+  shape.extents = {4, 4};
+  const auto good_stats = EvaluateDeclustering(grid, *hilbert, shape, 4);
+  const auto bad_stats = EvaluateDeclustering(grid, *bad, shape, 4);
+  EXPECT_LE(good_stats.mean_balance_ratio, bad_stats.mean_balance_ratio);
+}
+
+}  // namespace
+}  // namespace spectral

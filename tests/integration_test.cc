@@ -1,0 +1,224 @@
+// Cross-module integration tests: the paper's qualitative claims, checked
+// end-to-end (spectral vs. fractal vs. sweep on real metrics).
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/curve_order.h"
+#include "core/spectral_lpm.h"
+#include "graph/grid_graph.h"
+#include "graph/laplacian.h"
+#include "query/pair_metrics.h"
+#include "query/range_query.h"
+#include "storage/page_map.h"
+
+namespace spectral {
+namespace {
+
+std::map<std::string, LinearOrder> AllOrders(const PointSet& points) {
+  std::map<std::string, LinearOrder> orders;
+  for (CurveKind kind : AllCurveKinds()) {
+    auto order = OrderByCurve(points, kind);
+    if (order.ok()) orders.emplace(CurveKindName(kind), std::move(*order));
+  }
+  auto spectral_result = SpectralMapper().Map(points);
+  if (spectral_result.ok()) {
+    orders.emplace("spectral", std::move(spectral_result->order));
+  }
+  return orders;
+}
+
+TEST(Integration, AllMappingsArePermutations) {
+  const GridSpec grid({6, 6});
+  const PointSet points = PointSet::FullGrid(grid);
+  const auto orders = AllOrders(points);
+  EXPECT_GE(orders.size(), 6u);
+  for (const auto& [name, order] : orders) {
+    std::vector<bool> seen(static_cast<size_t>(order.size()), false);
+    for (int64_t i = 0; i < order.size(); ++i) {
+      const int64_t r = order.RankOf(i);
+      ASSERT_GE(r, 0) << name;
+      ASSERT_LT(r, order.size()) << name;
+      EXPECT_FALSE(seen[static_cast<size_t>(r)]) << name;
+      seen[static_cast<size_t>(r)] = true;
+    }
+  }
+}
+
+TEST(Integration, Lambda2LowerBoundsEveryOrder) {
+  // Theorem 2 gives: for any permutation pi (as a centered unit vector),
+  // energy(pi) >= lambda2. Check every mapping on an 8x8 grid.
+  const GridSpec grid({8, 8});
+  const PointSet points = PointSet::FullGrid(grid);
+  const Graph g = BuildGridGraph(grid);
+  auto spectral_result = SpectralMapper().Map(points);
+  ASSERT_TRUE(spectral_result.ok());
+  const double lambda2 = spectral_result->lambda2;
+
+  for (const auto& [name, order] : AllOrders(points)) {
+    Vector x(static_cast<size_t>(order.size()));
+    for (int64_t i = 0; i < order.size(); ++i) {
+      x[static_cast<size_t>(i)] = static_cast<double>(order.RankOf(i));
+    }
+    const double mean = Sum(x) / static_cast<double>(x.size());
+    for (double& v : x) v -= mean;
+    Normalize(x);
+    EXPECT_GE(DirichletEnergy(g, x), lambda2 - 1e-9) << name;
+  }
+}
+
+TEST(Integration, SpectralValuesAchieveTheBound) {
+  const GridSpec grid({8, 8});
+  const PointSet points = PointSet::FullGrid(grid);
+  const Graph g = BuildGridGraph(grid);
+  auto result = SpectralMapper().Map(points);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(DirichletEnergy(g, result->values), result->lambda2, 1e-7);
+}
+
+TEST(Integration, SpectralBeatsBaselinesOnPartialRangeQueries) {
+  // Figure 6's setting: 4-dimensional grid, all partial range queries of a
+  // given size. Spectral has (a) the lowest worst-case spread (Fig. 6a) and
+  // (b) by far the lowest stddev of the spread (Fig. 6b).
+  const GridSpec grid = GridSpec::Uniform(4, 6);
+  const PointSet points = PointSet::FullGrid(grid);
+  auto sweep = OrderByCurve(points, CurveKind::kSweep);
+  auto hilbert = OrderByCurve(points, CurveKind::kHilbert);
+  ASSERT_TRUE(sweep.ok());
+  ASSERT_TRUE(hilbert.ok());
+  auto spectral_result = SpectralMapper().Map(points);
+  ASSERT_TRUE(spectral_result.ok());
+
+  const auto shapes = ShapesForVolume(grid, 0.02);
+  const auto sweep_stats = EvaluateRangeQueryShapes(grid, *sweep, shapes);
+  const auto hilbert_stats = EvaluateRangeQueryShapes(grid, *hilbert, shapes);
+  const auto spectral_stats =
+      EvaluateRangeQueryShapes(grid, spectral_result->order, shapes);
+
+  EXPECT_LT(spectral_stats.max_spread, sweep_stats.max_spread);
+  EXPECT_LT(spectral_stats.max_spread, hilbert_stats.max_spread);
+  EXPECT_LT(spectral_stats.stddev_spread, sweep_stats.stddev_spread);
+  EXPECT_LT(spectral_stats.stddev_spread, hilbert_stats.stddev_spread);
+}
+
+TEST(Integration, SpectralIsAxisFairSweepIsNot) {
+  // Figure 5b: sweep's max rank distance along the two axes differs by the
+  // grid side; spectral's are comparable.
+  const GridSpec grid({8, 8});
+  PointSet points = PointSet::FullGrid(grid);
+  points.BuildIndex();
+  const auto orders = AllOrders(points);
+  const std::vector<int64_t> distances = {1, 2};
+
+  const auto sweep_x =
+      ComputeAxisPairSeries(points, orders.at("sweep"), 1, distances);
+  const auto sweep_y =
+      ComputeAxisPairSeries(points, orders.at("sweep"), 0, distances);
+  const auto spec_x =
+      ComputeAxisPairSeries(points, orders.at("spectral"), 1, distances);
+  const auto spec_y =
+      ComputeAxisPairSeries(points, orders.at("spectral"), 0, distances);
+
+  const double sweep_gap =
+      std::fabs(static_cast<double>(sweep_x.max_rank_distance[0] -
+                                    sweep_y.max_rank_distance[0]));
+  const double spec_gap =
+      std::fabs(static_cast<double>(spec_x.max_rank_distance[0] -
+                                    spec_y.max_rank_distance[0]));
+  EXPECT_GT(sweep_gap, 4);       // sweep heavily favours one axis
+  EXPECT_LT(spec_gap, sweep_gap);  // spectral is (much) fairer
+}
+
+TEST(Integration, ContinuousCurvesHaveUnitNeighborRankGaps) {
+  // Hilbert/snake visit neighbors consecutively, so min rank distance at
+  // Manhattan distance 1 is 1; the mean for spectral should still be small.
+  const GridSpec grid({8, 8});
+  const PointSet points = PointSet::FullGrid(grid);
+  const auto orders = AllOrders(points);
+  const std::vector<int64_t> distances = {1};
+  const auto hilbert =
+      ComputePairDistanceSeries(points, orders.at("hilbert"), distances);
+  const auto spectral_series =
+      ComputePairDistanceSeries(points, orders.at("spectral"), distances);
+  EXPECT_GT(hilbert.pair_count[0], 0);
+  // Spectral mean neighbor rank distance stays within a small factor of
+  // Hilbert's (both are locality preserving).
+  EXPECT_LT(spectral_series.mean_rank_distance[0],
+            4.0 * hilbert.mean_rank_distance[0] + 1.0);
+}
+
+TEST(Integration, PageFootprintImprovesWithLocality) {
+  // Range query results under a locality-preserving order touch fewer
+  // page runs than under a scrambled order.
+  const GridSpec grid({8, 8});
+  const PointSet points = PointSet::FullGrid(grid);
+  const auto orders = AllOrders(points);
+  const PageMap pages(4);
+
+  auto footprint_for = [&](const LinearOrder& order) {
+    // 3x3 window at (2,2).
+    std::vector<int64_t> ranks;
+    std::vector<Coord> p(2);
+    for (Coord x = 2; x < 5; ++x) {
+      for (Coord y = 2; y < 5; ++y) {
+        p = {x, y};
+        ranks.push_back(order.RankOf(grid.Flatten(p)));
+      }
+    }
+    return ComputePageFootprint(ranks, pages);
+  };
+
+  std::vector<int64_t> scrambled_ranks(64);
+  for (int64_t i = 0; i < 64; ++i) {
+    scrambled_ranks[static_cast<size_t>(i)] = (i * 37) % 64;
+  }
+  auto scrambled = LinearOrder::FromRanks(scrambled_ranks);
+  ASSERT_TRUE(scrambled.ok());
+
+  const auto spectral_fp = footprint_for(orders.at("spectral"));
+  const auto scrambled_fp = footprint_for(*scrambled);
+  EXPECT_LT(spectral_fp.page_runs, scrambled_fp.page_runs);
+}
+
+TEST(Integration, FiveDimensionalPipeline) {
+  // Small 5-d end-to-end run (the Figure 5a setting, shrunk): every mapping
+  // produces a permutation and spectral's worst neighbor gap is finite.
+  const GridSpec grid = GridSpec::Uniform(5, 2);
+  const PointSet points = PointSet::FullGrid(grid);
+  const auto orders = AllOrders(points);
+  EXPECT_GE(orders.size(), 6u);
+  const std::vector<int64_t> distances = {1, 2, 3};
+  for (const auto& [name, order] : orders) {
+    const auto series = ComputePairDistanceSeries(points, order, distances);
+    EXPECT_GT(series.pair_count[0], 0) << name;
+    EXPECT_LT(series.max_rank_distance[0], 32) << name;
+  }
+}
+
+TEST(Integration, WeightedAffinityImprovesTraceLocality) {
+  // Section 4 end-to-end: affinity edges derived from a correlated trace
+  // reduce the mean rank distance between hot partners.
+  const GridSpec grid({6, 6});
+  const PointSet points = PointSet::FullGrid(grid);
+
+  // Hot pair: two opposite corners.
+  const int64_t p = grid.Flatten(std::vector<Coord>{0, 0});
+  const int64_t q = grid.Flatten(std::vector<Coord>{5, 5});
+
+  auto plain = SpectralMapper().Map(points);
+  ASSERT_TRUE(plain.ok());
+  SpectralLpmOptions options;
+  options.affinity_edges.push_back({p, q, 5.0});
+  auto tuned = SpectralMapper(options).Map(points);
+  ASSERT_TRUE(tuned.ok());
+
+  const int64_t before = std::abs(plain->order.RankOf(p) - plain->order.RankOf(q));
+  const int64_t after = std::abs(tuned->order.RankOf(p) - tuned->order.RankOf(q));
+  EXPECT_LT(after, before);
+}
+
+}  // namespace
+}  // namespace spectral

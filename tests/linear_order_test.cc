@@ -1,0 +1,107 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/linear_order.h"
+#include "graph/grid_graph.h"
+
+namespace spectral {
+namespace {
+
+TEST(LinearOrder, FromRanksValidPermutation) {
+  auto order = LinearOrder::FromRanks({2, 0, 1});
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(order->size(), 3);
+  EXPECT_EQ(order->RankOf(0), 2);
+  EXPECT_EQ(order->PointAtRank(2), 0);
+  EXPECT_EQ(order->PointAtRank(0), 1);
+}
+
+TEST(LinearOrder, FromRanksRejectsNonPermutation) {
+  EXPECT_FALSE(LinearOrder::FromRanks({0, 0, 1}).ok());
+  EXPECT_FALSE(LinearOrder::FromRanks({0, 3, 1}).ok());
+  EXPECT_FALSE(LinearOrder::FromRanks({-1, 0, 1}).ok());
+}
+
+TEST(LinearOrder, FromValuesSortsAscending) {
+  const std::vector<double> values = {0.5, -1.0, 0.0};
+  const LinearOrder order = LinearOrder::FromValues(values);
+  EXPECT_EQ(order.RankOf(1), 0);  // -1.0 first
+  EXPECT_EQ(order.RankOf(2), 1);
+  EXPECT_EQ(order.RankOf(0), 2);
+}
+
+TEST(LinearOrder, FromValuesTieBreaksByIndex) {
+  const std::vector<double> values = {1.0, 1.0, 0.0};
+  const LinearOrder order = LinearOrder::FromValues(values);
+  EXPECT_EQ(order.RankOf(2), 0);
+  EXPECT_EQ(order.RankOf(0), 1);  // index 0 before index 1 on ties
+  EXPECT_EQ(order.RankOf(1), 2);
+}
+
+TEST(LinearOrder, FromKeys) {
+  const std::vector<uint64_t> keys = {42, 7, 99};
+  const LinearOrder order = LinearOrder::FromKeys(keys);
+  EXPECT_EQ(order.RankOf(1), 0);
+  EXPECT_EQ(order.RankOf(0), 1);
+  EXPECT_EQ(order.RankOf(2), 2);
+}
+
+TEST(LinearOrder, IdentityAndInverseConsistency) {
+  const LinearOrder order = LinearOrder::Identity(5);
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(order.RankOf(i), i);
+    EXPECT_EQ(order.PointAtRank(i), i);
+  }
+}
+
+TEST(LinearOrder, ReversedFlipsRanks) {
+  auto order = LinearOrder::FromRanks({2, 0, 1});
+  ASSERT_TRUE(order.ok());
+  const LinearOrder rev = order->Reversed();
+  EXPECT_EQ(rev.RankOf(0), 0);
+  EXPECT_EQ(rev.RankOf(1), 2);
+  EXPECT_EQ(rev.RankOf(2), 1);
+}
+
+TEST(LinearOrder, ArrangementCostsOnPath) {
+  // Path 0-1-2-3 with identity order: squared cost = 3, linear cost = 3.
+  const Graph g = BuildGridGraph(GridSpec({4}));
+  const LinearOrder identity = LinearOrder::Identity(4);
+  EXPECT_DOUBLE_EQ(identity.SquaredArrangementCost(g), 3.0);
+  EXPECT_DOUBLE_EQ(identity.LinearArrangementCost(g), 3.0);
+
+  // Order (0,2,1,3): edges 0-1 span 2, 1-2 span 1, 2-3 span 2.
+  auto shuffled = LinearOrder::FromRanks({0, 2, 1, 3});
+  ASSERT_TRUE(shuffled.ok());
+  EXPECT_DOUBLE_EQ(shuffled->SquaredArrangementCost(g), 4.0 + 1.0 + 4.0);
+  EXPECT_DOUBLE_EQ(shuffled->LinearArrangementCost(g), 5.0);
+}
+
+TEST(LinearOrder, ReversalPreservesCosts) {
+  const Graph g = BuildGridGraph(GridSpec({3, 3}));
+  auto order = LinearOrder::FromRanks({4, 2, 8, 0, 6, 1, 7, 3, 5});
+  ASSERT_TRUE(order.ok());
+  const LinearOrder rev = order->Reversed();
+  EXPECT_DOUBLE_EQ(order->SquaredArrangementCost(g),
+                   rev.SquaredArrangementCost(g));
+  EXPECT_DOUBLE_EQ(order->LinearArrangementCost(g),
+                   rev.LinearArrangementCost(g));
+}
+
+TEST(LinearOrder, ToGridString) {
+  const PointSet points = PointSet::FullGrid(GridSpec({2, 2}));
+  const LinearOrder order = LinearOrder::Identity(4);
+  EXPECT_EQ(order.ToGridString(points), "0 1\n2 3\n");
+}
+
+TEST(LinearOrder, ToGridStringWithHoles) {
+  PointSet points(2);
+  points.Add(std::vector<Coord>{0, 0});
+  points.Add(std::vector<Coord>{1, 1});
+  const LinearOrder order = LinearOrder::Identity(2);
+  EXPECT_EQ(order.ToGridString(points), "0 .\n. 1\n");
+}
+
+}  // namespace
+}  // namespace spectral

@@ -1,0 +1,210 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/curve_order.h"
+#include "query/knn.h"
+#include "query/pair_metrics.h"
+#include "query/range_query.h"
+#include "space/point_set.h"
+
+namespace spectral {
+namespace {
+
+TEST(PairMetrics, SweepOn1DPath) {
+  // Identity order on a path: rank distance == Manhattan distance.
+  const PointSet points = PointSet::FullGrid(GridSpec({10}));
+  const LinearOrder order = LinearOrder::Identity(10);
+  const std::vector<int64_t> distances = {1, 3, 5};
+  const auto series = ComputePairDistanceSeries(points, order, distances);
+  ASSERT_EQ(series.manhattan_distance.size(), 3u);
+  for (size_t i = 0; i < distances.size(); ++i) {
+    EXPECT_EQ(series.max_rank_distance[i], distances[static_cast<size_t>(i)]);
+    EXPECT_EQ(series.mean_rank_distance[i],
+              static_cast<double>(distances[static_cast<size_t>(i)]));
+    EXPECT_EQ(series.pair_count[i], 10 - distances[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(PairMetrics, SweepOn2DGridWorstCase) {
+  // Row-major on WxH: two vertically adjacent cells are H ranks apart.
+  const GridSpec grid({4, 8});  // axis1 (fastest) has side 8
+  const PointSet points = PointSet::FullGrid(grid);
+  const LinearOrder order = LinearOrder::Identity(grid.NumCells());
+  const std::vector<int64_t> distances = {1};
+  const auto series = ComputePairDistanceSeries(points, order, distances);
+  EXPECT_EQ(series.max_rank_distance[0], 8);  // vertical neighbor
+  EXPECT_EQ(series.pair_count[0], 4 * 7 + 3 * 8);  // horizontal + vertical
+}
+
+TEST(PairMetrics, EmptyBucketForUnreachableDistance) {
+  const PointSet points = PointSet::FullGrid(GridSpec({3}));
+  const LinearOrder order = LinearOrder::Identity(3);
+  const std::vector<int64_t> distances = {9};
+  const auto series = ComputePairDistanceSeries(points, order, distances);
+  EXPECT_EQ(series.pair_count[0], 0);
+  EXPECT_EQ(series.max_rank_distance[0], 0);
+}
+
+TEST(PairMetrics, SamplingApproximatesExact) {
+  const GridSpec grid({8, 8});
+  const PointSet points = PointSet::FullGrid(grid);
+  auto order = OrderByCurve(points, CurveKind::kHilbert);
+  ASSERT_TRUE(order.ok());
+  const std::vector<int64_t> distances = {1, 2};
+  const auto exact = ComputePairDistanceSeries(points, *order, distances);
+  PairMetricsOptions options;
+  options.sample_pairs = 200000;
+  const auto sampled =
+      ComputePairDistanceSeries(points, *order, distances, options);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_GT(sampled.pair_count[i], 0);
+    // Sampled max cannot exceed the exact max; means should be close.
+    EXPECT_LE(sampled.max_rank_distance[i], exact.max_rank_distance[i]);
+    EXPECT_NEAR(sampled.mean_rank_distance[i], exact.mean_rank_distance[i],
+                0.25 * exact.mean_rank_distance[i] + 1.0);
+  }
+}
+
+TEST(AxisPairMetrics, SweepIsAnisotropic) {
+  // Row-major 8x8: along the fastest axis rank distance = d; along the
+  // slowest axis it's d * 8.
+  const GridSpec grid({8, 8});
+  PointSet points = PointSet::FullGrid(grid);
+  points.BuildIndex();
+  const LinearOrder order = LinearOrder::Identity(grid.NumCells());
+  const std::vector<int64_t> distances = {1, 2, 3};
+  const auto along_fast = ComputeAxisPairSeries(points, order, 1, distances);
+  const auto along_slow = ComputeAxisPairSeries(points, order, 0, distances);
+  for (size_t i = 0; i < distances.size(); ++i) {
+    EXPECT_EQ(along_fast.max_rank_distance[i], distances[i]);
+    EXPECT_EQ(along_slow.max_rank_distance[i], 8 * distances[i]);
+  }
+}
+
+TEST(AxisPairMetrics, PairCounts) {
+  const GridSpec grid({4, 4});
+  PointSet points = PointSet::FullGrid(grid);
+  points.BuildIndex();
+  const LinearOrder order = LinearOrder::Identity(16);
+  const std::vector<int64_t> distances = {2};
+  const auto series = ComputeAxisPairSeries(points, order, 0, distances);
+  EXPECT_EQ(series.pair_count[0], 2 * 4);  // (side - d) * other_side
+}
+
+TEST(RangeQueryShape, BalancedShapeHitsTarget) {
+  const GridSpec grid = GridSpec::Uniform(4, 6);  // 1296 cells
+  const RangeQueryShape s2 = BalancedShape(grid, 0.02);
+  EXPECT_NEAR(static_cast<double>(s2.Volume()), 0.02 * 1296, 14.0);
+  const RangeQueryShape s64 = BalancedShape(grid, 0.64);
+  EXPECT_NEAR(static_cast<double>(s64.Volume()), 0.64 * 1296, 180.0);
+  // Extents balanced: max - min <= 1 unless capped by the side.
+  Coord lo = s2.extents[0], hi = s2.extents[0];
+  for (Coord e : s2.extents) {
+    lo = std::min(lo, e);
+    hi = std::max(hi, e);
+  }
+  EXPECT_LE(hi - lo, 1);
+}
+
+TEST(RangeQueryShape, FullVolumeIsWholeGrid) {
+  const GridSpec grid({4, 4});
+  const RangeQueryShape shape = BalancedShape(grid, 1.0);
+  EXPECT_EQ(shape.Volume(), 16);
+}
+
+TEST(RangeQuery, SweepSpreadFormula) {
+  // Row-major on an 8x8 grid, w x h window at origin rows r..r+w-1:
+  // spread = (w - 1) * 8 + (h - 1).
+  const GridSpec grid({8, 8});
+  const LinearOrder order = LinearOrder::Identity(64);
+  RangeQueryShape shape;
+  shape.extents = {3, 2};
+  RangeQueryOptions options;
+  options.include_axis_permutations = false;
+  const auto stats = EvaluateRangeQueries(grid, order, shape, options);
+  EXPECT_EQ(stats.max_spread, 2 * 8 + 1);
+  EXPECT_EQ(stats.mean_spread, 2 * 8 + 1);  // same for every placement
+  EXPECT_EQ(stats.stddev_spread, 0.0);
+  EXPECT_EQ(stats.num_queries, 6 * 7);
+}
+
+TEST(RangeQuery, PermutationsIncreaseQueryCount) {
+  const GridSpec grid({6, 6});
+  const LinearOrder order = LinearOrder::Identity(36);
+  RangeQueryShape shape;
+  shape.extents = {2, 3};
+  RangeQueryOptions no_perm;
+  no_perm.include_axis_permutations = false;
+  const auto without = EvaluateRangeQueries(grid, order, shape, no_perm);
+  const auto with = EvaluateRangeQueries(grid, order, shape);
+  EXPECT_GT(with.num_queries, without.num_queries);
+}
+
+TEST(RangeQuery, ClusterCounting) {
+  // Identity order, full-width rows: each w x 8 window on the 8x8 grid is
+  // one contiguous rank run.
+  const GridSpec grid({8, 8});
+  const LinearOrder order = LinearOrder::Identity(64);
+  RangeQueryShape shape;
+  shape.extents = {2, 8};
+  RangeQueryOptions options;
+  options.include_axis_permutations = false;
+  options.collect_clusters = true;
+  const auto stats = EvaluateRangeQueries(grid, order, shape, options);
+  EXPECT_EQ(stats.mean_clusters, 1.0);
+  EXPECT_EQ(stats.max_clusters, 1);
+
+  // A 2-wide column window touches 2 separate runs per row pair.
+  shape.extents = {8, 2};
+  const auto split = EvaluateRangeQueries(grid, order, shape, options);
+  EXPECT_EQ(split.max_clusters, 8);
+}
+
+TEST(RangeQuery, SpreadLowerBound) {
+  // Spread >= volume - 1 for any order (pigeonhole).
+  const GridSpec grid({5, 5});
+  const PointSet points = PointSet::FullGrid(grid);
+  auto order = OrderByCurve(points, CurveKind::kSnake);
+  ASSERT_TRUE(order.ok());
+  RangeQueryShape shape;
+  shape.extents = {3, 3};
+  const auto stats = EvaluateRangeQueries(grid, *order, shape);
+  EXPECT_GE(stats.max_spread, shape.Volume() - 1);
+}
+
+TEST(Knn, PerfectRecallWithFullWindow) {
+  const GridSpec grid({6, 6});
+  const PointSet points = PointSet::FullGrid(grid);
+  const LinearOrder order = LinearOrder::Identity(36);
+  KnnOptions options;
+  options.k = 4;
+  options.window = 36;  // window covers everything
+  options.num_queries = 20;
+  const auto stats = EvaluateKnnRecall(points, order, options);
+  EXPECT_DOUBLE_EQ(stats.mean_recall, 1.0);
+  EXPECT_NEAR(stats.mean_distance_ratio, 1.0, 1e-12);
+}
+
+TEST(Knn, LocalityOrderBeatsScrambledOrder) {
+  const GridSpec grid({8, 8});
+  const PointSet points = PointSet::FullGrid(grid);
+  auto hilbert = OrderByCurve(points, CurveKind::kHilbert);
+  ASSERT_TRUE(hilbert.ok());
+  // A deliberately scrambled order: multiply ranks by 37 mod 64.
+  std::vector<int64_t> scrambled_ranks(64);
+  for (int64_t i = 0; i < 64; ++i) scrambled_ranks[static_cast<size_t>(i)] = (i * 37) % 64;
+  auto scrambled = LinearOrder::FromRanks(scrambled_ranks);
+  ASSERT_TRUE(scrambled.ok());
+
+  KnnOptions options;
+  options.k = 5;
+  options.window = 8;
+  options.num_queries = 64;
+  const auto good = EvaluateKnnRecall(points, *hilbert, options);
+  const auto bad = EvaluateKnnRecall(points, *scrambled, options);
+  EXPECT_GT(good.mean_recall, bad.mean_recall);
+}
+
+}  // namespace
+}  // namespace spectral

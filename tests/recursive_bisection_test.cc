@@ -1,0 +1,176 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/recursive_bisection.h"
+#include "graph/grid_graph.h"
+#include "graph/subgraph.h"
+#include "workload/generators.h"
+
+namespace spectral {
+namespace {
+
+TEST(Subgraph, InducedEdgesAndMapping) {
+  // Path 0-1-2-3-4; induce {1, 2, 4}.
+  const Graph g = BuildGridGraph(GridSpec({5}));
+  const std::vector<int64_t> verts = {1, 2, 4};
+  const InducedSubgraph sub = BuildInducedSubgraph(g, verts);
+  EXPECT_EQ(sub.graph.num_vertices(), 3);
+  EXPECT_EQ(sub.graph.num_edges(), 1);  // only 1-2 survives
+  EXPECT_EQ(sub.local_to_global[0], 1);
+  EXPECT_EQ(sub.local_to_global[2], 4);
+  EXPECT_EQ(sub.graph.Degree(2), 0);  // vertex 4 is isolated
+}
+
+TEST(Subgraph, KeepsWeights) {
+  std::vector<GraphEdge> edges = {{0, 1, 2.5}, {1, 2, 1.0}};
+  const Graph g = Graph::FromEdges(3, edges);
+  const std::vector<int64_t> verts = {0, 1};
+  const InducedSubgraph sub = BuildInducedSubgraph(g, verts);
+  EXPECT_DOUBLE_EQ(sub.graph.WeightedDegree(0), 2.5);
+}
+
+TEST(Subgraph, EmptySelection) {
+  const Graph g = BuildGridGraph(GridSpec({3}));
+  const InducedSubgraph sub = BuildInducedSubgraph(g, {});
+  EXPECT_EQ(sub.graph.num_vertices(), 0);
+}
+
+TEST(RecursiveBisection, PathOrderIsContiguous) {
+  const PointSet points = PointSet::FullGrid(GridSpec({32}));
+  auto result = RecursiveSpectralOrder(points);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const bool forward = result->order.RankOf(0) == 0;
+  for (int64_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(result->order.RankOf(i), forward ? i : points.size() - 1 - i);
+  }
+  EXPECT_GT(result->num_solves, 1);  // actually recursed
+  EXPECT_GT(result->depth, 0);
+}
+
+TEST(RecursiveBisection, ProducesPermutationOn2DGrid) {
+  const PointSet points = PointSet::FullGrid(GridSpec({9, 7}));
+  auto result = RecursiveSpectralOrder(points);
+  ASSERT_TRUE(result.ok());
+  std::vector<bool> seen(static_cast<size_t>(points.size()), false);
+  for (int64_t i = 0; i < points.size(); ++i) {
+    const int64_t r = result->order.RankOf(i);
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, points.size());
+    EXPECT_FALSE(seen[static_cast<size_t>(r)]);
+    seen[static_cast<size_t>(r)] = true;
+  }
+}
+
+TEST(RecursiveBisection, LeafSizeControlsSolves) {
+  const PointSet points = PointSet::FullGrid(GridSpec({16}));
+  RecursiveBisectionOptions coarse;
+  coarse.leaf_size = 16;  // no split needed
+  auto one = RecursiveSpectralOrder(points, coarse);
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->num_solves, 1);
+  EXPECT_EQ(one->depth, 0);
+
+  RecursiveBisectionOptions fine;
+  fine.leaf_size = 2;
+  auto many = RecursiveSpectralOrder(points, fine);
+  ASSERT_TRUE(many.ok());
+  EXPECT_GT(many->num_solves, 3);
+}
+
+TEST(RecursiveBisection, HandlesDisconnectedInput) {
+  PointSet points(2);
+  for (Coord i = 0; i < 6; ++i) points.Add(std::vector<Coord>{0, i});
+  for (Coord i = 0; i < 3; ++i) points.Add(std::vector<Coord>{10, i});
+  auto result = RecursiveSpectralOrder(points);
+  ASSERT_TRUE(result.ok());
+  // Larger component (6 points) first.
+  for (int64_t i = 0; i < 6; ++i) EXPECT_LT(result->order.RankOf(i), 6);
+  for (int64_t i = 6; i < 9; ++i) EXPECT_GE(result->order.RankOf(i), 6);
+}
+
+TEST(RecursiveBisection, MedianCutHalvesAreRankContiguous) {
+  // After the first cut, the lower half of Fiedler values occupies ranks
+  // [0, n/2): verify on a path where the halves are the two ends.
+  const PointSet points = PointSet::FullGrid(GridSpec({20}));
+  RecursiveBisectionOptions options;
+  options.leaf_size = 10;
+  auto result = RecursiveSpectralOrder(points, options);
+  ASSERT_TRUE(result.ok());
+  // Ranks 0..9 must be one contiguous end of the path.
+  std::vector<int64_t> low_points;
+  for (int64_t r = 0; r < 10; ++r) {
+    low_points.push_back(result->order.PointAtRank(r));
+  }
+  std::sort(low_points.begin(), low_points.end());
+  const bool left_end = low_points[0] == 0 && low_points[9] == 9;
+  const bool right_end = low_points[0] == 10 && low_points[9] == 19;
+  EXPECT_TRUE(left_end || right_end);
+}
+
+TEST(RecursiveBisection, QualityComparableToDirectOrder) {
+  // Both spectral variants produce low-cost arrangements: within an order
+  // of magnitude of each other and far below a scrambled order. (On square
+  // grids the direct order benefits from the degenerate diagonal mix, so
+  // the variants are not expected to tie exactly.)
+  const GridSpec grid({8, 8});
+  const PointSet points = PointSet::FullGrid(grid);
+  const Graph g = BuildGridGraph(grid);
+  auto direct = SpectralMapper().Map(points);
+  auto bisect = RecursiveSpectralOrder(points);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(bisect.ok());
+  const double direct_cost = direct->order.SquaredArrangementCost(g);
+  const double bisect_cost = bisect->order.SquaredArrangementCost(g);
+  EXPECT_LT(bisect_cost, 10.0 * direct_cost);
+  EXPECT_LT(direct_cost, 10.0 * bisect_cost);
+
+  std::vector<int64_t> scrambled_ranks(64);
+  for (int64_t i = 0; i < 64; ++i) {
+    scrambled_ranks[static_cast<size_t>(i)] = (i * 37) % 64;
+  }
+  auto scrambled = LinearOrder::FromRanks(scrambled_ranks);
+  ASSERT_TRUE(scrambled.ok());
+  const double scrambled_cost = scrambled->SquaredArrangementCost(g);
+  EXPECT_LT(bisect_cost, scrambled_cost);
+  EXPECT_LT(direct_cost, scrambled_cost);
+}
+
+TEST(RecursiveBisection, GraphInputWithWeights) {
+  std::vector<GraphEdge> edges = {
+      {0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}, {3, 4, 1.0}, {4, 5, 1.0}};
+  const Graph g = Graph::FromEdges(6, edges);
+  RecursiveBisectionOptions options;
+  options.leaf_size = 2;
+  auto result = RecursiveSpectralOrderGraph(g, nullptr, options);
+  ASSERT_TRUE(result.ok());
+  const bool forward = result->order.RankOf(0) == 0;
+  for (int64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(result->order.RankOf(i), forward ? i : 5 - i);
+  }
+}
+
+TEST(RecursiveBisection, AffinityEdgesHonored) {
+  const PointSet points = PointSet::FullGrid(GridSpec({12}));
+  RecursiveBisectionOptions plain;
+  auto base = RecursiveSpectralOrder(points, plain);
+  ASSERT_TRUE(base.ok());
+  const int64_t before =
+      std::abs(base->order.RankOf(1) - base->order.RankOf(10));
+
+  RecursiveBisectionOptions tuned;
+  tuned.base.affinity_edges.push_back({1, 10, 6.0});
+  auto result = RecursiveSpectralOrder(points, tuned);
+  ASSERT_TRUE(result.ok());
+  const int64_t after =
+      std::abs(result->order.RankOf(1) - result->order.RankOf(10));
+  EXPECT_LT(after, before);
+}
+
+TEST(RecursiveBisection, EmptyInputRejected) {
+  PointSet points(2);
+  EXPECT_FALSE(RecursiveSpectralOrder(points).ok());
+}
+
+}  // namespace
+}  // namespace spectral

@@ -1,0 +1,102 @@
+#include <filesystem>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/serialization.h"
+#include "core/spectral_lpm.h"
+#include "space/point_set.h"
+
+namespace spectral {
+namespace {
+
+TEST(Serialization, LinearOrderRoundTrip) {
+  auto order = LinearOrder::FromRanks({3, 1, 4, 0, 2});
+  ASSERT_TRUE(order.ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteLinearOrder(*order, buffer).ok());
+  auto loaded = ReadLinearOrder(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), 5);
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(loaded->RankOf(i), order->RankOf(i));
+  }
+}
+
+TEST(Serialization, LinearOrderRejectsBadMagic) {
+  std::stringstream buffer("not-an-order\n3\n0\n1\n2\n");
+  EXPECT_FALSE(ReadLinearOrder(buffer).ok());
+}
+
+TEST(Serialization, LinearOrderRejectsTruncation) {
+  std::stringstream buffer("spectral-lpm-order v1\n5\n0\n1\n2\n");
+  EXPECT_FALSE(ReadLinearOrder(buffer).ok());
+}
+
+TEST(Serialization, LinearOrderRejectsNonPermutation) {
+  std::stringstream buffer("spectral-lpm-order v1\n3\n0\n0\n1\n");
+  EXPECT_FALSE(ReadLinearOrder(buffer).ok());
+}
+
+TEST(Serialization, PointSetRoundTrip) {
+  PointSet points(3);
+  points.Add(std::vector<Coord>{1, -2, 3});
+  points.Add(std::vector<Coord>{0, 0, 0});
+  points.Add(std::vector<Coord>{7, 8, -9});
+  std::stringstream buffer;
+  ASSERT_TRUE(WritePointSet(points, buffer).ok());
+  auto loaded = ReadPointSet(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), 3);
+  ASSERT_EQ(loaded->dims(), 3);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int a = 0; a < 3; ++a) {
+      EXPECT_EQ(loaded->At(i, a), points.At(i, a));
+    }
+  }
+}
+
+TEST(Serialization, PointSetRejectsBadHeader) {
+  std::stringstream buffer("spectral-lpm-points v1\n-1 2\n");
+  EXPECT_FALSE(ReadPointSet(buffer).ok());
+}
+
+TEST(Serialization, FileRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string order_path = (dir / "spectral_order_test.txt").string();
+  const std::string points_path = (dir / "spectral_points_test.txt").string();
+
+  const PointSet points = PointSet::FullGrid(GridSpec({4, 4}));
+  auto mapped = SpectralMapper().Map(points);
+  ASSERT_TRUE(mapped.ok());
+
+  ASSERT_TRUE(SaveLinearOrderToFile(mapped->order, order_path).ok());
+  ASSERT_TRUE(SavePointSetToFile(points, points_path).ok());
+
+  auto order = LoadLinearOrderFromFile(order_path);
+  auto pts = LoadPointSetFromFile(points_path);
+  ASSERT_TRUE(order.ok());
+  ASSERT_TRUE(pts.ok());
+  EXPECT_EQ(order->size(), points.size());
+  EXPECT_EQ(pts->size(), points.size());
+  for (int64_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(order->RankOf(i), mapped->order.RankOf(i));
+  }
+
+  EXPECT_FALSE(LoadLinearOrderFromFile("/nonexistent/path.txt").ok());
+  std::filesystem::remove(order_path);
+  std::filesystem::remove(points_path);
+}
+
+TEST(Serialization, EmptyOrderRoundTrip) {
+  auto order = LinearOrder::FromRanks({});
+  ASSERT_TRUE(order.ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteLinearOrder(*order, buffer).ok());
+  auto loaded = ReadLinearOrder(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 0);
+}
+
+}  // namespace
+}  // namespace spectral

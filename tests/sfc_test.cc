@@ -1,0 +1,271 @@
+// Space-filling-curve tests: bijectivity sweeps (parameterized over curve
+// family, dimension, and side), continuity properties for the continuous
+// curves, and exact small-case orders.
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sfc/curve_registry.h"
+#include "sfc/snake.h"
+#include "sfc/sweep.h"
+#include "space/grid.h"
+
+namespace spectral {
+namespace {
+
+using CurveCase = std::tuple<CurveKind, int /*dims*/, Coord /*side*/>;
+
+class CurveBijectivityTest : public ::testing::TestWithParam<CurveCase> {};
+
+TEST_P(CurveBijectivityTest, IndexOfIsBijective) {
+  const auto [kind, dims, side] = GetParam();
+  const GridSpec grid = GridSpec::Uniform(dims, side);
+  auto curve = MakeCurve(kind, grid);
+  ASSERT_TRUE(curve.ok()) << curve.status();
+
+  std::set<uint64_t> seen;
+  std::vector<Coord> p(static_cast<size_t>(dims));
+  for (int64_t cell = 0; cell < grid.NumCells(); ++cell) {
+    grid.Unflatten(cell, p);
+    const uint64_t index = (*curve)->IndexOf(p);
+    EXPECT_LT(index, static_cast<uint64_t>(grid.NumCells()));
+    EXPECT_TRUE(seen.insert(index).second) << "duplicate index " << index;
+  }
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), grid.NumCells());
+}
+
+TEST_P(CurveBijectivityTest, PointOfInvertsIndexOf) {
+  const auto [kind, dims, side] = GetParam();
+  const GridSpec grid = GridSpec::Uniform(dims, side);
+  auto curve = MakeCurve(kind, grid);
+  ASSERT_TRUE(curve.ok()) << curve.status();
+
+  std::vector<Coord> p(static_cast<size_t>(dims));
+  std::vector<Coord> q(static_cast<size_t>(dims));
+  for (int64_t cell = 0; cell < grid.NumCells(); ++cell) {
+    grid.Unflatten(cell, p);
+    const uint64_t index = (*curve)->IndexOf(p);
+    (*curve)->PointOf(index, q);
+    EXPECT_EQ(p, q) << "cell " << cell;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PowerOfTwoCurves, CurveBijectivityTest,
+    ::testing::Combine(::testing::Values(CurveKind::kZOrder, CurveKind::kGray,
+                                         CurveKind::kHilbert),
+                       ::testing::Values(1, 2, 3, 4),
+                       ::testing::Values<Coord>(2, 4, 8)),
+    [](const ::testing::TestParamInfo<CurveCase>& info) {
+      return std::string(CurveKindName(std::get<0>(info.param))) + "_d" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    AnyGridCurves, CurveBijectivityTest,
+    ::testing::Combine(::testing::Values(CurveKind::kSweep, CurveKind::kSnake),
+                       ::testing::Values(1, 2, 3, 4),
+                       ::testing::Values<Coord>(2, 3, 5)),
+    [](const ::testing::TestParamInfo<CurveCase>& info) {
+      return std::string(CurveKindName(std::get<0>(info.param))) + "_d" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    PeanoCurves, CurveBijectivityTest,
+    ::testing::Combine(::testing::Values(CurveKind::kPeano),
+                       ::testing::Values(1, 2, 3),
+                       ::testing::Values<Coord>(3, 9)),
+    [](const ::testing::TestParamInfo<CurveCase>& info) {
+      return std::string(CurveKindName(std::get<0>(info.param))) + "_d" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// Continuity: Hilbert, Peano, and Snake visit grid neighbors consecutively.
+class CurveContinuityTest : public ::testing::TestWithParam<CurveCase> {};
+
+TEST_P(CurveContinuityTest, ConsecutivePositionsAreGridNeighbors) {
+  const auto [kind, dims, side] = GetParam();
+  const GridSpec grid = GridSpec::Uniform(dims, side);
+  auto curve = MakeCurve(kind, grid);
+  ASSERT_TRUE(curve.ok()) << curve.status();
+
+  std::vector<Coord> prev(static_cast<size_t>(dims));
+  std::vector<Coord> next(static_cast<size_t>(dims));
+  (*curve)->PointOf(0, prev);
+  for (int64_t i = 1; i < grid.NumCells(); ++i) {
+    (*curve)->PointOf(static_cast<uint64_t>(i), next);
+    EXPECT_EQ(ManhattanDistance(prev, next), 1) << "step " << i;
+    prev = next;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Continuous, CurveContinuityTest,
+    ::testing::Values(CurveCase{CurveKind::kHilbert, 2, 8},
+                      CurveCase{CurveKind::kHilbert, 3, 4},
+                      CurveCase{CurveKind::kHilbert, 4, 4},
+                      CurveCase{CurveKind::kHilbert, 5, 2},
+                      CurveCase{CurveKind::kPeano, 2, 9},
+                      CurveCase{CurveKind::kPeano, 3, 9},
+                      CurveCase{CurveKind::kPeano, 4, 3},
+                      CurveCase{CurveKind::kSnake, 2, 7},
+                      CurveCase{CurveKind::kSnake, 3, 4}),
+    [](const ::testing::TestParamInfo<CurveCase>& info) {
+      return std::string(CurveKindName(std::get<0>(info.param))) + "_d" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(Sweep, MatchesFlatten) {
+  const GridSpec grid({3, 4});
+  SweepCurve sweep{grid};
+  std::vector<Coord> p(2);
+  for (int64_t cell = 0; cell < grid.NumCells(); ++cell) {
+    grid.Unflatten(cell, p);
+    EXPECT_EQ(sweep.IndexOf(p), static_cast<uint64_t>(cell));
+  }
+}
+
+TEST(Snake, KnownOrder2x3) {
+  // Rows alternate direction: (0,0) (0,1) (0,2) (1,2) (1,1) (1,0).
+  SnakeCurve snake{GridSpec({2, 3})};
+  const std::vector<std::vector<Coord>> expected = {
+      {0, 0}, {0, 1}, {0, 2}, {1, 2}, {1, 1}, {1, 0}};
+  std::vector<Coord> p(2);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    snake.PointOf(i, p);
+    EXPECT_EQ(p, expected[i]) << "position " << i;
+  }
+}
+
+TEST(ZOrder, KnownOrder4x4FirstQuadrant) {
+  // With axis 0 major, the first four positions fill the 2x2 block in
+  // "Z" order: (0,0) (0,1) (1,0) (1,1).
+  const GridSpec grid = GridSpec::Uniform(2, 4);
+  auto curve = MakeCurve(CurveKind::kZOrder, grid);
+  ASSERT_TRUE(curve.ok());
+  const std::vector<std::vector<Coord>> expected = {
+      {0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  std::vector<Coord> p(2);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    (*curve)->PointOf(i, p);
+    EXPECT_EQ(p, expected[i]) << "position " << i;
+  }
+}
+
+TEST(ZOrder, QuadrantLocality) {
+  // All positions 0..3 in one quadrant of the 4x4, 4..7 in the next, etc.
+  const GridSpec grid = GridSpec::Uniform(2, 4);
+  auto curve = MakeCurve(CurveKind::kZOrder, grid);
+  ASSERT_TRUE(curve.ok());
+  std::vector<Coord> p(2);
+  for (uint64_t i = 0; i < 16; ++i) {
+    (*curve)->PointOf(i, p);
+    const int quadrant = static_cast<int>(i / 4);
+    EXPECT_EQ((p[0] / 2) * 2 + (p[1] / 2), quadrant);
+  }
+}
+
+TEST(Gray, ConsecutiveDifferInOneInterleavedBit) {
+  const GridSpec grid = GridSpec::Uniform(2, 8);
+  auto curve = MakeCurve(CurveKind::kGray, grid);
+  ASSERT_TRUE(curve.ok());
+  std::vector<Coord> prev(2), next(2);
+  (*curve)->PointOf(0, prev);
+  for (uint64_t i = 1; i < 64; ++i) {
+    (*curve)->PointOf(i, next);
+    // Exactly one coordinate changes, and the change is a power of two.
+    int changed = 0;
+    for (int a = 0; a < 2; ++a) {
+      const int delta = std::abs(next[static_cast<size_t>(a)] -
+                                 prev[static_cast<size_t>(a)]);
+      if (delta != 0) {
+        ++changed;
+        EXPECT_TRUE(delta == 1 || delta == 2 || delta == 4) << "step " << i;
+      }
+    }
+    EXPECT_EQ(changed, 1) << "step " << i;
+    prev = next;
+  }
+}
+
+TEST(Hilbert, KnownOrder2x2) {
+  // The 2x2 Hilbert curve is a U: each step is a grid neighbor and all
+  // cells are covered (orientation is implementation-defined).
+  const GridSpec grid = GridSpec::Uniform(2, 2);
+  auto curve = MakeCurve(CurveKind::kHilbert, grid);
+  ASSERT_TRUE(curve.ok());
+  std::vector<Coord> prev(2), next(2);
+  (*curve)->PointOf(0, prev);
+  for (uint64_t i = 1; i < 4; ++i) {
+    (*curve)->PointOf(i, next);
+    EXPECT_EQ(ManhattanDistance(prev, next), 1);
+    prev = next;
+  }
+}
+
+TEST(Hilbert, StartsAtOrigin) {
+  const GridSpec grid = GridSpec::Uniform(2, 8);
+  auto curve = MakeCurve(CurveKind::kHilbert, grid);
+  ASSERT_TRUE(curve.ok());
+  std::vector<Coord> p(2);
+  (*curve)->PointOf(0, p);
+  EXPECT_EQ(p, (std::vector<Coord>{0, 0}));
+}
+
+TEST(Peano, KnownOrder3x3) {
+  // First column up, second down, third up (axis-0-major serpentine).
+  const GridSpec grid = GridSpec::Uniform(2, 3);
+  auto curve = MakeCurve(CurveKind::kPeano, grid);
+  ASSERT_TRUE(curve.ok());
+  const std::vector<std::vector<Coord>> expected = {
+      {0, 0}, {0, 1}, {0, 2}, {1, 2}, {1, 1}, {1, 0}, {2, 0}, {2, 1}, {2, 2}};
+  std::vector<Coord> p(2);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    (*curve)->PointOf(i, p);
+    EXPECT_EQ(p, expected[i]) << "position " << i;
+  }
+}
+
+TEST(Registry, NamesRoundTrip) {
+  for (CurveKind kind : AllCurveKinds()) {
+    auto parsed = CurveKindFromName(CurveKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(CurveKindFromName("nonsense").ok());
+}
+
+TEST(Registry, ShapeValidation) {
+  EXPECT_FALSE(MakeCurve(CurveKind::kHilbert, GridSpec({4, 8})).ok());
+  EXPECT_FALSE(MakeCurve(CurveKind::kHilbert, GridSpec::Uniform(2, 6)).ok());
+  EXPECT_FALSE(MakeCurve(CurveKind::kPeano, GridSpec::Uniform(2, 4)).ok());
+  EXPECT_TRUE(MakeCurve(CurveKind::kPeano, GridSpec::Uniform(2, 27)).ok());
+  EXPECT_TRUE(MakeCurve(CurveKind::kSweep, GridSpec({4, 6, 5})).ok());
+}
+
+TEST(Registry, EnclosingGrid) {
+  EXPECT_EQ(EnclosingGridFor(CurveKind::kHilbert, 2, 6).side(0), 8);
+  EXPECT_EQ(EnclosingGridFor(CurveKind::kPeano, 2, 6).side(0), 9);
+  EXPECT_EQ(EnclosingGridFor(CurveKind::kSweep, 2, 6).side(0), 6);
+  EXPECT_EQ(EnclosingGridFor(CurveKind::kZOrder, 3, 8).side(0), 8);
+}
+
+TEST(Registry, IndexWidthLimits) {
+  // A grid whose cell count overflows int64 is a programmer error caught at
+  // GridSpec construction (before any curve-level check can run).
+  EXPECT_DEATH(GridSpec::Uniform(5, 65536), "overflows");
+  // Near the limit everything still works: 3 dims x 20 bits = 60 bits.
+  EXPECT_TRUE(
+      MakeCurve(CurveKind::kHilbert, GridSpec::Uniform(3, 1 << 20)).ok());
+}
+
+}  // namespace
+}  // namespace spectral

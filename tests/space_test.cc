@@ -1,0 +1,135 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "space/grid.h"
+#include "space/point_set.h"
+
+namespace spectral {
+namespace {
+
+TEST(GridSpec, BasicProperties) {
+  const GridSpec grid({4, 3, 2});
+  EXPECT_EQ(grid.dims(), 3);
+  EXPECT_EQ(grid.NumCells(), 24);
+  EXPECT_EQ(grid.side(0), 4);
+  EXPECT_EQ(grid.side(2), 2);
+  EXPECT_EQ(grid.MaxManhattanDistance(), 3 + 2 + 1);
+}
+
+TEST(GridSpec, Uniform) {
+  const GridSpec grid = GridSpec::Uniform(5, 4);
+  EXPECT_EQ(grid.dims(), 5);
+  EXPECT_EQ(grid.NumCells(), 1024);
+}
+
+TEST(GridSpec, FlattenRowMajor) {
+  const GridSpec grid({3, 4});
+  const std::vector<Coord> p = {1, 2};
+  EXPECT_EQ(grid.Flatten(p), 1 * 4 + 2);
+  const std::vector<Coord> origin = {0, 0};
+  EXPECT_EQ(grid.Flatten(origin), 0);
+  const std::vector<Coord> last = {2, 3};
+  EXPECT_EQ(grid.Flatten(last), 11);
+}
+
+TEST(GridSpec, FlattenUnflattenRoundTrip) {
+  const GridSpec grid({3, 5, 2});
+  std::vector<Coord> p(3);
+  for (int64_t cell = 0; cell < grid.NumCells(); ++cell) {
+    grid.Unflatten(cell, p);
+    EXPECT_TRUE(grid.Contains(p));
+    EXPECT_EQ(grid.Flatten(p), cell);
+  }
+}
+
+TEST(GridSpec, Contains) {
+  const GridSpec grid({2, 2});
+  EXPECT_TRUE(grid.Contains(std::vector<Coord>{0, 1}));
+  EXPECT_FALSE(grid.Contains(std::vector<Coord>{2, 0}));
+  EXPECT_FALSE(grid.Contains(std::vector<Coord>{0, -1}));
+}
+
+TEST(Distances, ManhattanAndChebyshev) {
+  const std::vector<Coord> a = {0, 3, -2};
+  const std::vector<Coord> b = {2, 0, -2};
+  EXPECT_EQ(ManhattanDistance(a, b), 5);
+  EXPECT_EQ(ChebyshevDistance(a, b), 3);
+  EXPECT_EQ(ManhattanDistance(a, a), 0);
+}
+
+TEST(PointSet, AddAndAccess) {
+  PointSet set(2);
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.Add(std::vector<Coord>{1, 2}), 0);
+  EXPECT_EQ(set.Add(std::vector<Coord>{3, 4}), 1);
+  EXPECT_EQ(set.size(), 2);
+  EXPECT_EQ(set.At(0, 0), 1);
+  EXPECT_EQ(set.At(1, 1), 4);
+  EXPECT_EQ(set[1][0], 3);
+}
+
+TEST(PointSet, FullGridMatchesFlattenOrder) {
+  const GridSpec grid({3, 4});
+  const PointSet set = PointSet::FullGrid(grid);
+  ASSERT_EQ(set.size(), grid.NumCells());
+  for (int64_t i = 0; i < set.size(); ++i) {
+    EXPECT_EQ(grid.Flatten(set[i]), i);
+  }
+}
+
+TEST(PointSet, FindAfterBuildIndex) {
+  PointSet set(2);
+  set.Add(std::vector<Coord>{5, 5});
+  set.Add(std::vector<Coord>{0, 1});
+  set.Add(std::vector<Coord>{-3, 7});
+  set.BuildIndex();
+  EXPECT_EQ(set.Find(std::vector<Coord>{0, 1}), 1);
+  EXPECT_EQ(set.Find(std::vector<Coord>{-3, 7}), 2);
+  EXPECT_EQ(set.Find(std::vector<Coord>{5, 5}), 0);
+  EXPECT_EQ(set.Find(std::vector<Coord>{9, 9}), -1);
+  EXPECT_EQ(set.Find(std::vector<Coord>{0, 2}), -1);
+}
+
+TEST(PointSet, FindReturnsLowestDuplicate) {
+  PointSet set(1);
+  set.Add(std::vector<Coord>{7});
+  set.Add(std::vector<Coord>{7});
+  set.BuildIndex();
+  EXPECT_EQ(set.Find(std::vector<Coord>{7}), 0);
+}
+
+TEST(PointSet, Bounds) {
+  PointSet set(2);
+  set.Add(std::vector<Coord>{3, -1});
+  set.Add(std::vector<Coord>{0, 5});
+  set.Add(std::vector<Coord>{2, 2});
+  std::vector<Coord> lo, hi;
+  set.Bounds(&lo, &hi);
+  EXPECT_EQ(lo, (std::vector<Coord>{0, -1}));
+  EXPECT_EQ(hi, (std::vector<Coord>{3, 5}));
+}
+
+TEST(PointSet, Distance) {
+  PointSet set(3);
+  set.Add(std::vector<Coord>{0, 0, 0});
+  set.Add(std::vector<Coord>{1, -2, 3});
+  EXPECT_EQ(set.Distance(0, 1), 6);
+}
+
+TEST(PointSet, CenteredAxisFunctionsSumToZero) {
+  const PointSet set = PointSet::FullGrid(GridSpec({3, 5}));
+  const auto axes = set.CenteredAxisFunctions();
+  ASSERT_EQ(axes.size(), 2u);
+  for (const auto& axis : axes) {
+    double sum = 0.0;
+    for (double v : axis) sum += v;
+    EXPECT_NEAR(sum, 0.0, 1e-10);
+  }
+  // Axis 0 of the full grid is (flatten / 5) - mean.
+  EXPECT_NEAR(axes[0][0] - axes[0][5], -1.0, 1e-12);
+  EXPECT_NEAR(axes[1][0] - axes[1][1], -1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace spectral

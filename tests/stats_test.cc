@@ -1,0 +1,103 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.h"
+#include "stats/running_stats.h"
+
+namespace spectral {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.Count(), 0);
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.PopulationVariance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.Count(), 1);
+  EXPECT_EQ(s.Mean(), 5.0);
+  EXPECT_EQ(s.Min(), 5.0);
+  EXPECT_EQ(s.Max(), 5.0);
+  EXPECT_EQ(s.PopulationVariance(), 0.0);
+  EXPECT_EQ(s.SampleVariance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.Count(), 8);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.PopulationVariance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.StdDev(), 2.0);
+  EXPECT_EQ(s.Min(), 2.0);
+  EXPECT_EQ(s.Max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.Add(x);
+    (i < 37 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.Count(), all.Count());
+  EXPECT_NEAR(left.Mean(), all.Mean(), 1e-12);
+  EXPECT_NEAR(left.PopulationVariance(), all.PopulationVariance(), 1e-10);
+  EXPECT_EQ(left.Min(), all.Min());
+  EXPECT_EQ(left.Max(), all.Max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.Count(), 2);
+  RunningStats b;
+  b.Merge(a);
+  EXPECT_EQ(b.Count(), 2);
+  EXPECT_DOUBLE_EQ(b.Mean(), 2.0);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.5);    // bin 0
+  h.Add(9.99);   // bin 4
+  h.Add(-3.0);   // clamped to bin 0
+  h.Add(100.0);  // clamped to bin 4
+  EXPECT_EQ(h.total_count(), 4);
+  EXPECT_EQ(h.bin_count(0), 2);
+  EXPECT_EQ(h.bin_count(4), 2);
+  EXPECT_EQ(h.bin_count(2), 0);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, QuantileUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  for (int i = 0; i < 1000; ++i) h.Add((i + 0.5) / 1000.0);
+  EXPECT_NEAR(h.Quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.Quantile(0.9), 0.9, 0.02);
+}
+
+TEST(ExactQuantile, NearestRank) {
+  std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_EQ(ExactQuantile(v, 0.0), 1.0);
+  EXPECT_EQ(ExactQuantile(v, 0.5), 3.0);
+  EXPECT_EQ(ExactQuantile(v, 1.0), 5.0);
+}
+
+}  // namespace
+}  // namespace spectral

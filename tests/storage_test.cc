@@ -1,0 +1,126 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+#include "storage/io_model.h"
+#include "storage/page_map.h"
+
+namespace spectral {
+namespace {
+
+TEST(PageMap, PageOfRank) {
+  const PageMap pages(4);
+  EXPECT_EQ(pages.PageOfRank(0), 0);
+  EXPECT_EQ(pages.PageOfRank(3), 0);
+  EXPECT_EQ(pages.PageOfRank(4), 1);
+  EXPECT_EQ(pages.PageOfRank(11), 2);
+}
+
+TEST(PageMap, NumPages) {
+  const PageMap pages(4);
+  EXPECT_EQ(pages.NumPages(0), 0);
+  EXPECT_EQ(pages.NumPages(1), 1);
+  EXPECT_EQ(pages.NumPages(4), 1);
+  EXPECT_EQ(pages.NumPages(5), 2);
+}
+
+TEST(PageFootprint, EmptyResult) {
+  const PageMap pages(4);
+  const auto fp = ComputePageFootprint({}, pages);
+  EXPECT_EQ(fp.distinct_pages, 0);
+  EXPECT_EQ(fp.page_runs, 0);
+}
+
+TEST(PageFootprint, ContiguousRanksOneRun) {
+  const PageMap pages(4);
+  const std::vector<int64_t> ranks = {0, 1, 2, 3, 4, 5, 6, 7};
+  const auto fp = ComputePageFootprint(ranks, pages);
+  EXPECT_EQ(fp.distinct_pages, 2);
+  EXPECT_EQ(fp.page_runs, 1);
+}
+
+TEST(PageFootprint, ScatteredRanksManyRuns) {
+  const PageMap pages(4);
+  const std::vector<int64_t> ranks = {0, 40, 80};
+  const auto fp = ComputePageFootprint(ranks, pages);
+  EXPECT_EQ(fp.distinct_pages, 3);
+  EXPECT_EQ(fp.page_runs, 3);
+}
+
+TEST(PageFootprint, DuplicatePagesCountedOnce) {
+  const PageMap pages(4);
+  const std::vector<int64_t> ranks = {0, 1, 2, 9, 8};
+  const auto fp = ComputePageFootprint(ranks, pages);
+  EXPECT_EQ(fp.distinct_pages, 2);
+  EXPECT_EQ(fp.page_runs, 2);  // pages 0 and 2
+}
+
+TEST(PageFootprint, UnsortedInputHandled) {
+  const PageMap pages(2);
+  const std::vector<int64_t> ranks = {9, 0, 4, 1, 8, 5};
+  const auto fp = ComputePageFootprint(ranks, pages);
+  EXPECT_EQ(fp.distinct_pages, 3);  // pages 0, 2, 4
+  EXPECT_EQ(fp.page_runs, 3);
+}
+
+TEST(LruBufferPool, HitsAndMisses) {
+  LruBufferPool pool(2);
+  EXPECT_FALSE(pool.Access(1));  // miss
+  EXPECT_FALSE(pool.Access(2));  // miss
+  EXPECT_TRUE(pool.Access(1));   // hit
+  EXPECT_FALSE(pool.Access(3));  // miss, evicts 2 (LRU)
+  EXPECT_TRUE(pool.Access(1));   // hit
+  EXPECT_FALSE(pool.Access(2));  // miss (was evicted)
+  EXPECT_EQ(pool.hits(), 2);
+  EXPECT_EQ(pool.misses(), 4);
+  EXPECT_NEAR(pool.HitRate(), 2.0 / 6.0, 1e-12);
+}
+
+TEST(LruBufferPool, EvictionOrderIsLru) {
+  LruBufferPool pool(3);
+  pool.Access(1);
+  pool.Access(2);
+  pool.Access(3);
+  pool.Access(1);   // 1 becomes MRU; LRU is 2
+  pool.Access(4);   // evicts 2
+  EXPECT_TRUE(pool.Access(1));
+  EXPECT_TRUE(pool.Access(3));
+  EXPECT_FALSE(pool.Access(2));
+}
+
+TEST(LruBufferPool, Reset) {
+  LruBufferPool pool(2);
+  pool.Access(1);
+  pool.Access(1);
+  pool.Reset();
+  EXPECT_EQ(pool.accesses(), 0);
+  EXPECT_FALSE(pool.Access(1));  // cold again
+}
+
+TEST(LruBufferPool, CapacityOne) {
+  LruBufferPool pool(1);
+  EXPECT_FALSE(pool.Access(1));
+  EXPECT_TRUE(pool.Access(1));
+  EXPECT_FALSE(pool.Access(2));
+  EXPECT_FALSE(pool.Access(1));
+}
+
+TEST(IoModel, CostFormula) {
+  PageFootprint fp;
+  fp.distinct_pages = 10;
+  fp.page_runs = 2;
+  IoCostModel model;
+  model.seek_cost = 40.0;
+  model.transfer_cost = 1.0;
+  EXPECT_DOUBLE_EQ(IoCost(fp, model), 90.0);
+}
+
+TEST(IoModel, SequentialBeatsScattered) {
+  PageFootprint seq{10, 1};
+  PageFootprint scattered{10, 10};
+  EXPECT_LT(IoCost(seq), IoCost(scattered));
+}
+
+}  // namespace
+}  // namespace spectral

@@ -1,0 +1,245 @@
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/bit_ops.h"
+#include "util/csv_writer.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace spectral {
+namespace {
+
+TEST(BitOps, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(uint64_t{1} << 63));
+  EXPECT_FALSE(IsPowerOfTwo((uint64_t{1} << 63) + 1));
+}
+
+TEST(BitOps, FloorLog2) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(4), 2);
+  EXPECT_EQ(FloorLog2(uint64_t{1} << 40), 40);
+}
+
+TEST(BitOps, CeilLog2) {
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(5), 3);
+  EXPECT_EQ(CeilLog2(8), 3);
+}
+
+TEST(BitOps, GrayCodeRoundTrip) {
+  for (uint64_t x = 0; x < 1024; ++x) {
+    EXPECT_EQ(GrayDecode(GrayEncode(x)), x);
+  }
+  EXPECT_EQ(GrayDecode(GrayEncode(0xDEADBEEFCAFEull)), 0xDEADBEEFCAFEull);
+}
+
+TEST(BitOps, GrayCodeAdjacencyProperty) {
+  // Consecutive Gray codes differ in exactly one bit.
+  for (uint64_t x = 0; x + 1 < 4096; ++x) {
+    const uint64_t diff = GrayEncode(x) ^ GrayEncode(x + 1);
+    EXPECT_TRUE(IsPowerOfTwo(diff)) << "x=" << x;
+  }
+}
+
+TEST(BitOps, InterleaveRoundTrip2D) {
+  uint32_t coords[2];
+  for (uint32_t x = 0; x < 16; ++x) {
+    for (uint32_t y = 0; y < 16; ++y) {
+      coords[0] = x;
+      coords[1] = y;
+      const uint64_t code = InterleaveBits(coords, 4);
+      uint32_t out[2] = {0, 0};
+      DeinterleaveBits(code, 4, out);
+      EXPECT_EQ(out[0], x);
+      EXPECT_EQ(out[1], y);
+    }
+  }
+}
+
+TEST(BitOps, InterleaveIsBijective3D) {
+  std::set<uint64_t> codes;
+  uint32_t coords[3];
+  for (uint32_t x = 0; x < 8; ++x) {
+    for (uint32_t y = 0; y < 8; ++y) {
+      for (uint32_t z = 0; z < 8; ++z) {
+        coords[0] = x;
+        coords[1] = y;
+        coords[2] = z;
+        codes.insert(InterleaveBits(coords, 3));
+      }
+    }
+  }
+  EXPECT_EQ(codes.size(), 512u);
+  EXPECT_EQ(*codes.rbegin(), 511u);
+}
+
+TEST(BitOps, RotateLeftBits) {
+  EXPECT_EQ(RotateLeftBits(0b001, 1, 3), 0b010u);
+  EXPECT_EQ(RotateLeftBits(0b100, 1, 3), 0b001u);
+  EXPECT_EQ(RotateLeftBits(0b101, 2, 3), 0b110u);
+  EXPECT_EQ(RotateLeftBits(0xF, 4, 4), 0xFu);  // full rotation
+}
+
+TEST(BitOps, RotateRightInvertsRotateLeft) {
+  for (uint64_t x = 0; x < 32; ++x) {
+    for (int amount = 0; amount < 5; ++amount) {
+      EXPECT_EQ(RotateRightBits(RotateLeftBits(x, amount, 5), amount, 5), x);
+    }
+  }
+}
+
+TEST(Random, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Random, UniformIntBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Random, UniformIntCoversRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Random, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Random, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Random, ShufflePermutes) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, sorted);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Status, OkAndErrors) {
+  EXPECT_TRUE(OkStatus().ok());
+  const Status bad = InvalidArgumentError("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.message(), "nope");
+  EXPECT_EQ(bad.ToString(), "INVALID_ARGUMENT: nope");
+}
+
+TEST(Status, StatusOrHoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(Status, StatusOrHoldsError) {
+  StatusOr<int> v = NotFoundError("missing");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StringUtil, StrJoin) {
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"a"}, ","), "a");
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringUtil, StrSplit) {
+  const auto parts = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtil, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.25, 4), "3.25");
+  EXPECT_EQ(FormatDouble(14.0, 2), "14");
+  EXPECT_EQ(FormatDouble(0.002, 4), "0.002");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(CsvWriter, WritesQuotedFields) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "spectral_csv_test.csv")
+          .string();
+  {
+    CsvWriter csv;
+    ASSERT_TRUE(csv.Open(path).ok());
+    csv.WriteRow({"a", "b,c", "d\"e"});
+    csv.Close();
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,\"b,c\",\"d\"\"e\"");
+  std::filesystem::remove(path);
+}
+
+TEST(CsvWriter, SilentWhenNotOpen) {
+  CsvWriter csv;
+  csv.WriteRow({"ignored"});  // must not crash
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table;
+  table.SetHeader({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "22"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name    value"), std::string::npos);
+  EXPECT_NE(out.find("longer  22"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spectral

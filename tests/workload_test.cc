@@ -1,0 +1,162 @@
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "workload/generators.h"
+#include "workload/trace.h"
+
+namespace spectral {
+namespace {
+
+TEST(Generators, FullGridCount) {
+  const PointSet points = MakeFullGrid(GridSpec({3, 4}));
+  EXPECT_EQ(points.size(), 12);
+}
+
+TEST(Generators, UniformSampleDistinctAndInGrid) {
+  const GridSpec grid({10, 10});
+  Rng rng(1);
+  const PointSet points = SampleUniformPoints(grid, 40, rng);
+  EXPECT_EQ(points.size(), 40);
+  std::set<int64_t> cells;
+  for (int64_t i = 0; i < points.size(); ++i) {
+    EXPECT_TRUE(grid.Contains(points[i]));
+    cells.insert(grid.Flatten(points[i]));
+  }
+  EXPECT_EQ(cells.size(), 40u);
+}
+
+TEST(Generators, UniformSampleFullGrid) {
+  const GridSpec grid({4, 4});
+  Rng rng(2);
+  const PointSet points = SampleUniformPoints(grid, 16, rng);
+  EXPECT_EQ(points.size(), 16);
+}
+
+TEST(Generators, GaussianClustersAreClustered) {
+  const GridSpec grid({64, 64});
+  Rng rng(3);
+  const PointSet points = SampleGaussianClusters(grid, 2, 200, 0.04, rng);
+  EXPECT_EQ(points.size(), 200);
+  // Clustered data occupies a small fraction of the bounding box.
+  std::set<int64_t> rows;
+  for (int64_t i = 0; i < points.size(); ++i) {
+    EXPECT_TRUE(grid.Contains(points[i]));
+    rows.insert(points.At(i, 0));
+  }
+  EXPECT_LT(rows.size(), 64u);
+}
+
+TEST(Generators, ConnectedBlobIsConnectedAndSized) {
+  const GridSpec grid({20, 20});
+  Rng rng(4);
+  const PointSet points = SampleConnectedBlob(grid, 50, rng);
+  EXPECT_EQ(points.size(), 50);
+  // Connectivity: BFS over Manhattan-1 neighbors reaches everything.
+  std::unordered_set<int64_t> cells;
+  for (int64_t i = 0; i < points.size(); ++i) {
+    cells.insert(grid.Flatten(points[i]));
+  }
+  std::vector<int64_t> stack = {grid.Flatten(points[0])};
+  std::unordered_set<int64_t> visited = {stack[0]};
+  std::vector<Coord> p(2), q(2);
+  while (!stack.empty()) {
+    const int64_t cell = stack.back();
+    stack.pop_back();
+    grid.Unflatten(cell, p);
+    for (int a = 0; a < 2; ++a) {
+      for (int step = -1; step <= 1; step += 2) {
+        q = p;
+        q[static_cast<size_t>(a)] = static_cast<Coord>(q[static_cast<size_t>(a)] + step);
+        if (!grid.Contains(q)) continue;
+        const int64_t nb = grid.Flatten(q);
+        if (cells.count(nb) > 0 && visited.insert(nb).second) {
+          stack.push_back(nb);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(visited.size(), cells.size());
+}
+
+TEST(Generators, Deterministic) {
+  const GridSpec grid({16, 16});
+  Rng a(9), b(9);
+  const PointSet pa = SampleUniformPoints(grid, 30, a);
+  const PointSet pb = SampleUniformPoints(grid, 30, b);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (int64_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa.At(i, 0), pb.At(i, 0));
+    EXPECT_EQ(pa.At(i, 1), pb.At(i, 1));
+  }
+}
+
+TEST(Trace, CorrelatedTraceLengthAndRange) {
+  CorrelatedTraceOptions options;
+  options.length = 5000;
+  const CorrelatedTrace trace = MakeCorrelatedTrace(100, options);
+  EXPECT_EQ(static_cast<int64_t>(trace.accesses.size()), 5000);
+  for (int64_t a : trace.accesses) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 100);
+  }
+  EXPECT_EQ(static_cast<int>(trace.hot_pairs.size()), options.num_hot_pairs);
+}
+
+TEST(Trace, HotPairsAreDisjoint) {
+  CorrelatedTraceOptions options;
+  options.num_hot_pairs = 20;
+  const CorrelatedTrace trace = MakeCorrelatedTrace(100, options);
+  std::set<int64_t> endpoints;
+  for (const auto& [p, q] : trace.hot_pairs) {
+    EXPECT_TRUE(endpoints.insert(p).second);
+    EXPECT_TRUE(endpoints.insert(q).second);
+  }
+}
+
+TEST(Trace, CorrelationIsPresent) {
+  // With follow_probability 1 and hot_fraction 1, every access to p is
+  // followed by its partner q.
+  CorrelatedTraceOptions options;
+  options.length = 1000;
+  options.follow_probability = 1.0;
+  options.hot_fraction = 1.0;
+  const CorrelatedTrace trace = MakeCorrelatedTrace(50, options);
+  std::map<int64_t, int64_t> partner;
+  for (const auto& [p, q] : trace.hot_pairs) partner[p] = q;
+  for (size_t i = 0; i + 1 < trace.accesses.size(); i += 2) {
+    auto it = partner.find(trace.accesses[i]);
+    ASSERT_NE(it, partner.end());
+    EXPECT_EQ(trace.accesses[i + 1], it->second);
+  }
+}
+
+TEST(Trace, RandomWalkStepsAreLocal) {
+  const GridSpec grid({16, 16});
+  RandomWalkOptions options;
+  options.length = 2000;
+  options.restart_probability = 0.0;
+  const auto trace = MakeRandomWalkTrace(grid, options);
+  ASSERT_EQ(static_cast<int64_t>(trace.size()), 2000);
+  std::vector<Coord> a(2), b(2);
+  for (size_t i = 1; i < trace.size(); ++i) {
+    grid.Unflatten(trace[i - 1], a);
+    grid.Unflatten(trace[i], b);
+    EXPECT_EQ(ManhattanDistance(a, b), 1) << "step " << i;
+  }
+}
+
+TEST(Trace, RandomWalkRestartsTeleport) {
+  const GridSpec grid({32, 32});
+  RandomWalkOptions options;
+  options.length = 500;
+  options.restart_probability = 1.0;  // every step teleports
+  const auto trace = MakeRandomWalkTrace(grid, options);
+  // With constant teleporting the trace should touch many distinct cells.
+  std::set<int64_t> distinct(trace.begin(), trace.end());
+  EXPECT_GT(distinct.size(), 300u);
+}
+
+}  // namespace
+}  // namespace spectral

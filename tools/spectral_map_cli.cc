@@ -1,0 +1,166 @@
+// Command-line mapper: read a point file, compute a linear order, write it
+// back out. Lets the (expensive) eigensolve run offline and the resulting
+// order ship to whatever system lays the data out.
+//
+// Usage:
+//   spectral_map_cli <points.txt> <order.txt> [options]
+// Options:
+//   --mapping=spectral|bisection|sweep|snake|zorder|gray|hilbert|peano
+//   --connectivity=orthogonal|moore      (spectral/bisection only)
+//   --radius=N                           (default 1)
+//   --multilevel=N    use the multilevel solver for components >= N
+//   --quiet           suppress the summary line
+//
+// The points file uses the core/serialization.h text format; see
+// examples/offline_pipeline.cpp for a producer.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/curve_order.h"
+#include "core/recursive_bisection.h"
+#include "core/serialization.h"
+#include "core/spectral_lpm.h"
+#include "util/timer.h"
+
+namespace spectral {
+namespace {
+
+struct CliArgs {
+  std::string points_path;
+  std::string order_path;
+  std::string mapping = "spectral";
+  GridConnectivity connectivity = GridConnectivity::kOrthogonal;
+  int radius = 1;
+  int64_t multilevel = 0;
+  bool quiet = false;
+};
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+int Usage() {
+  std::cerr
+      << "usage: spectral_map_cli <points.txt> <order.txt> "
+         "[--mapping=spectral|bisection|sweep|snake|zorder|gray|hilbert|"
+         "peano] [--connectivity=orthogonal|moore] [--radius=N] "
+         "[--multilevel=N] [--quiet]\n";
+  return 2;
+}
+
+int RunCli(const CliArgs& args) {
+  auto points = LoadPointSetFromFile(args.points_path);
+  if (!points.ok()) {
+    std::cerr << "error reading points: " << points.status() << "\n";
+    return 1;
+  }
+
+  WallTimer timer;
+  LinearOrder order;
+  std::string summary;
+  if (args.mapping == "spectral" || args.mapping == "bisection") {
+    SpectralLpmOptions options;
+    options.graph.connectivity = args.connectivity;
+    options.graph.radius = args.radius;
+    options.multilevel_threshold = args.multilevel;
+    if (args.mapping == "spectral") {
+      auto result = SpectralMapper(options).Map(*points);
+      if (!result.ok()) {
+        std::cerr << "mapping failed: " << result.status() << "\n";
+        return 1;
+      }
+      order = std::move(result->order);
+      summary = "lambda2=" + std::to_string(result->lambda2) +
+                " components=" + std::to_string(result->num_components) +
+                " engine=" + result->method_used;
+    } else {
+      RecursiveBisectionOptions options_bisect;
+      options_bisect.base = options;
+      auto result = RecursiveSpectralOrder(*points, options_bisect);
+      if (!result.ok()) {
+        std::cerr << "mapping failed: " << result.status() << "\n";
+        return 1;
+      }
+      order = std::move(result->order);
+      summary = "solves=" + std::to_string(result->num_solves) +
+                " depth=" + std::to_string(result->depth);
+    }
+  } else {
+    auto kind = CurveKindFromName(args.mapping);
+    if (!kind.ok()) {
+      std::cerr << "unknown mapping '" << args.mapping << "'\n";
+      return 2;
+    }
+    auto result = OrderByCurve(*points, *kind);
+    if (!result.ok()) {
+      std::cerr << "mapping failed: " << result.status() << "\n";
+      return 1;
+    }
+    order = std::move(*result);
+    summary = "curve=" + args.mapping;
+  }
+  const double seconds = timer.ElapsedSeconds();
+
+  if (const Status s = SaveLinearOrderToFile(order, args.order_path);
+      !s.ok()) {
+    std::cerr << "error writing order: " << s << "\n";
+    return 1;
+  }
+  if (!args.quiet) {
+    std::cout << "mapped " << points->size() << " points (" << points->dims()
+              << "-d) with " << args.mapping << " in "
+              << static_cast<int64_t>(seconds * 1e3) << " ms; " << summary
+              << "; wrote " << args.order_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace spectral
+
+int main(int argc, char** argv) {
+  spectral::CliArgs args;
+  std::string value;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (spectral::ParseFlag(arg, "mapping", &value)) {
+      args.mapping = value;
+    } else if (spectral::ParseFlag(arg, "connectivity", &value)) {
+      if (value == "moore") {
+        args.connectivity = spectral::GridConnectivity::kMoore;
+      } else if (value == "orthogonal") {
+        args.connectivity = spectral::GridConnectivity::kOrthogonal;
+      } else {
+        return spectral::Usage();
+      }
+    } else if (spectral::ParseFlag(arg, "radius", &value)) {
+      args.radius = std::atoi(value.c_str());
+      if (args.radius < 1) return spectral::Usage();
+    } else if (spectral::ParseFlag(arg, "multilevel", &value)) {
+      args.multilevel = std::atoll(value.c_str());
+    } else if (arg == "--quiet") {
+      args.quiet = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return spectral::Usage();
+    } else if (positional == 0) {
+      args.points_path = arg;
+      ++positional;
+    } else if (positional == 1) {
+      args.order_path = arg;
+      ++positional;
+    } else {
+      return spectral::Usage();
+    }
+  }
+  if (positional != 2) return spectral::Usage();
+  return spectral::RunCli(args);
+}
