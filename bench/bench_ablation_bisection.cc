@@ -7,7 +7,6 @@
 #include <vector>
 
 #include "bench/bench_common.h"
-#include "core/recursive_bisection.h"
 #include "graph/grid_graph.h"
 #include "query/range_query.h"
 #include "util/check.h"
@@ -23,16 +22,21 @@ void RunGrid(const GridSpec& grid, const std::string& label,
   const PointSet points = PointSet::FullGrid(grid);
   const Graph g = BuildGridGraph(grid);
 
+  OrderingEngineOptions engine_options;
+  engine_options.spectral = DefaultSpectralOptions(grid.dims());
+  engine_options.bisection.leaf_size = 8;
+  auto direct_engine = MakeOrderingEngine("spectral", engine_options);
+  auto bisect_engine = MakeOrderingEngine("bisection", engine_options);
+  SPECTRAL_CHECK(direct_engine.ok());
+  SPECTRAL_CHECK(bisect_engine.ok());
+
   WallTimer direct_timer;
-  auto direct = SpectralMapper(DefaultSpectralOptions(grid.dims())).Map(points);
+  auto direct = (*direct_engine)->Order(points);
   const double direct_seconds = direct_timer.ElapsedSeconds();
   SPECTRAL_CHECK(direct.ok());
 
-  RecursiveBisectionOptions bisect_options;
-  bisect_options.base = DefaultSpectralOptions(grid.dims());
-  bisect_options.leaf_size = 8;
   WallTimer bisect_timer;
-  auto bisect = RecursiveSpectralOrder(points, bisect_options);
+  auto bisect = (*bisect_engine)->Order(points);
   const double bisect_seconds = bisect_timer.ElapsedSeconds();
   SPECTRAL_CHECK(bisect.ok());
 

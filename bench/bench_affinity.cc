@@ -82,13 +82,23 @@ void Run() {
     ++edges_added;
   }
 
-  const SpectralLpmOptions plain = DefaultSpectralOptions(2);
-  auto plain_result = SpectralMapper(plain).Map(points);
-  auto tuned_result = SpectralMapper(tuned).Map(points);
+  OrderingEngineOptions plain_options;
+  plain_options.spectral = DefaultSpectralOptions(2);
+  OrderingEngineOptions tuned_options;
+  tuned_options.spectral = tuned;
+  auto plain_engine = MakeOrderingEngine("spectral", plain_options);
+  auto tuned_engine = MakeOrderingEngine("spectral", tuned_options);
+  auto hilbert_engine = MakeOrderingEngine("hilbert");
+  SPECTRAL_CHECK(plain_engine.ok());
+  SPECTRAL_CHECK(tuned_engine.ok());
+  SPECTRAL_CHECK(hilbert_engine.ok());
+  auto plain_result = (*plain_engine)->Order(points);
+  auto tuned_result = (*tuned_engine)->Order(points);
+  auto hilbert_result = (*hilbert_engine)->Order(points);
   SPECTRAL_CHECK(plain_result.ok());
   SPECTRAL_CHECK(tuned_result.ok());
-  auto hilbert = OrderByCurve(points, CurveKind::kHilbert);
-  SPECTRAL_CHECK(hilbert.ok());
+  SPECTRAL_CHECK(hilbert_result.ok());
+  const LinearOrder& hilbert = hilbert_result->order;
 
   std::cout << "affinity edges derived from the trace: " << edges_added
             << "\n\n";
@@ -99,8 +109,8 @@ void Run() {
   TablePrinter table;
   table.SetHeader({"mapping", "mean_hot_pair_rank_gap", "lru_hit_rate"});
   table.AddRow(
-      {"Hilbert", FormatDouble(MeanHotPairRankGap(trace, *hilbert), 2),
-       FormatDouble(ReplayHitRate(trace, *hilbert, kPageSize, kPoolPages), 4)});
+      {"Hilbert", FormatDouble(MeanHotPairRankGap(trace, hilbert), 2),
+       FormatDouble(ReplayHitRate(trace, hilbert, kPageSize, kPoolPages), 4)});
   table.AddRow({"Spectral (plain)",
                 FormatDouble(MeanHotPairRankGap(trace, plain_result->order), 2),
                 FormatDouble(ReplayHitRate(trace, plain_result->order,

@@ -26,8 +26,11 @@ void RunGrid(const GridSpec& grid, const std::string& label,
   build.spectral = DefaultSpectralOptions(grid.dims());
   const auto orders = BuildOrders(points, build);
 
-  auto spectral_result =
-      SpectralMapper(DefaultSpectralOptions(grid.dims())).Map(points);
+  OrderingEngineOptions engine_options;
+  engine_options.spectral = DefaultSpectralOptions(grid.dims());
+  auto engine = MakeOrderingEngine("spectral", engine_options);
+  SPECTRAL_CHECK(engine.ok());
+  auto spectral_result = (*engine)->Order(points);
   SPECTRAL_CHECK(spectral_result.ok());
   const double bound = SquaredArrangementLowerBound(spectral_result->lambda2,
                                                     grid.NumCells());

@@ -18,29 +18,42 @@ SpectralLpmOptions DefaultSpectralOptions(int dims) {
 
 std::vector<NamedOrder> BuildOrders(const PointSet& points,
                                     const BuildOrdersOptions& options) {
-  std::vector<NamedOrder> orders;
-  auto add_curve = [&](const std::string& label, CurveKind kind,
-                       bool required) {
-    auto order = OrderByCurve(points, kind);
-    if (!order.ok()) {
-      SPECTRAL_CHECK(!required) << label << ": " << order.status();
-      return;  // optional extras may not support this grid shape
-    }
-    orders.push_back({label, std::move(*order)});
+  OrderingEngineOptions engine_options;
+  engine_options.spectral = options.spectral;
+
+  // Paper figure label -> registry engine name. The paper calls Z-order
+  // "Peano"; the true triadic Peano rides along as the "Peano3" extra.
+  struct LabeledEngine {
+    const char* label;
+    const char* engine;
+    bool required;
   };
-  add_curve("Sweep", CurveKind::kSweep, true);
-  add_curve("Peano", CurveKind::kZOrder, true);  // the paper's "Peano"
-  add_curve("Gray", CurveKind::kGray, true);
-  add_curve("Hilbert", CurveKind::kHilbert, true);
+  std::vector<LabeledEngine> lineup = {
+      {"Sweep", "sweep", true},
+      {"Peano", "zorder", true},
+      {"Gray", "gray", true},
+      {"Hilbert", "hilbert", true},
+  };
   if (options.include_extras) {
-    add_curve("Snake", CurveKind::kSnake, false);
-    add_curve("Peano3", CurveKind::kPeano, false);
-    add_curve("Spiral", CurveKind::kSpiral, false);
+    lineup.push_back({"Snake", "snake", false});
+    lineup.push_back({"Peano3", "peano", false});
+    lineup.push_back({"Spiral", "spiral", false});
   }
-  auto spectral_result = SpectralMapper(options.spectral).Map(points);
-  SPECTRAL_CHECK(spectral_result.ok())
-      << "Spectral: " << spectral_result.status();
-  orders.push_back({"Spectral", std::move(spectral_result->order)});
+  lineup.push_back({"Spectral", "spectral", true});
+
+  std::vector<NamedOrder> orders;
+  for (const LabeledEngine& entry : lineup) {
+    auto engine = MakeOrderingEngine(entry.engine, engine_options);
+    SPECTRAL_CHECK(engine.ok()) << entry.engine << ": " << engine.status();
+    auto result = (*engine)->Order(points);
+    if (!result.ok()) {
+      // Optional extras may not support this grid shape (e.g. spiral off a
+      // square); required lineup members must always succeed.
+      SPECTRAL_CHECK(!entry.required) << entry.label << ": " << result.status();
+      continue;
+    }
+    orders.push_back({entry.label, std::move(result->order)});
+  }
   return orders;
 }
 

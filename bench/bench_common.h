@@ -1,7 +1,8 @@
 // Shared helpers for the reproduction benches: build the paper's five
 // mappings (Sweep, Peano=Z-order, Gray, Hilbert, Spectral) plus this
-// library's extras over a point set, and mirror printed tables into CSV
-// files under ./bench_results/.
+// library's extras over a point set — all through the OrderingEngine
+// registry — and mirror printed tables into CSV files under
+// ./bench_results/.
 
 #ifndef SPECTRAL_LPM_BENCH_BENCH_COMMON_H_
 #define SPECTRAL_LPM_BENCH_BENCH_COMMON_H_
@@ -9,9 +10,8 @@
 #include <string>
 #include <vector>
 
-#include "core/curve_order.h"
 #include "core/linear_order.h"
-#include "core/spectral_lpm.h"
+#include "core/ordering_engine.h"
 #include "space/point_set.h"
 #include "util/table_printer.h"
 
@@ -33,8 +33,9 @@ struct BuildOrdersOptions {
   SpectralLpmOptions spectral;
 };
 
-/// Builds every mapping for `points`. Labels follow the paper: "Sweep",
-/// "Peano" (Z-order), "Gray", "Hilbert", "Spectral" (+ "Snake", "Peano3").
+/// Builds every mapping for `points` by iterating the OrderingEngine
+/// registry. Labels follow the paper: "Sweep", "Peano" (the zorder engine),
+/// "Gray", "Hilbert", "Spectral" (+ "Snake", "Peano3", "Spiral" extras).
 /// CHECK-fails on mapper errors: benches run on known-good configurations.
 std::vector<NamedOrder> BuildOrders(const PointSet& points,
                                     const BuildOrdersOptions& options = {});

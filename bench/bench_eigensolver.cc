@@ -79,6 +79,7 @@ void BM_SpectralMap_EndToEnd(benchmark::State& state) {
   const PointSet points = PointSet::FullGrid(GridSpec::Uniform(2, side));
   SpectralLpmOptions options;
   options.fiedler.num_pairs = 3;
+  options.parallelism = 1;
   const SpectralMapper mapper(options);
   for (auto _ : state) {
     auto result = mapper.Map(points);
@@ -87,6 +88,32 @@ void BM_SpectralMap_EndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_SpectralMap_EndToEnd)->Arg(8)->Arg(16)->Arg(32)
     ->Unit(benchmark::kMillisecond);
+
+// Parallel component solves: 4 disconnected 24x24 islands, swept over the
+// solver thread count (1 = the serial baseline; output is identical for
+// every value — see tests/ordering_engine_test.cc).
+void BM_SpectralMap_MultiComponent(benchmark::State& state) {
+  const Coord kSide = 24;
+  PointSet points(2);
+  for (Coord island = 0; island < 4; ++island) {
+    const Coord x0 = island * 1000;
+    for (Coord x = 0; x < kSide; ++x) {
+      for (Coord y = 0; y < kSide; ++y) {
+        points.Add(std::vector<Coord>{static_cast<Coord>(x0 + x), y});
+      }
+    }
+  }
+  SpectralLpmOptions options;
+  options.fiedler.num_pairs = 3;
+  options.parallelism = static_cast<int>(state.range(0));
+  const SpectralMapper mapper(options);
+  for (auto _ : state) {
+    auto result = mapper.Map(points);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SpectralMap_MultiComponent)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 }  // namespace spectral

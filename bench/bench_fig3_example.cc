@@ -38,16 +38,18 @@ void Run() {
     std::cout << '\n';
   }
 
-  BuildOrdersOptions build;
-  build.spectral = DefaultSpectralOptions(2);
-  auto result = SpectralMapper(build.spectral).Map(points);
+  OrderingEngineOptions engine_options;
+  engine_options.spectral = DefaultSpectralOptions(2);
+  auto engine = MakeOrderingEngine("spectral", engine_options);
+  SPECTRAL_CHECK(engine.ok());
+  auto result = (*engine)->Order(points);
   SPECTRAL_CHECK(result.ok());
 
   std::cout << "\n(d) second smallest eigenvalue lambda2 = "
             << FormatDouble(result->lambda2, 6) << " (paper: l = 1)\n";
   std::cout << "    Fiedler vector X = (";
-  for (size_t i = 0; i < result->values.size(); ++i) {
-    std::cout << (i > 0 ? ", " : "") << FormatDouble(result->values[i], 2);
+  for (size_t i = 0; i < result->embedding.size(); ++i) {
+    std::cout << (i > 0 ? ", " : "") << FormatDouble(result->embedding[i], 2);
   }
   std::cout << ")\n    (the paper's X = (-0.01, -0.29, -0.57, 0.28, 0, "
                "-0.28, 0.57, 0.29, 0.01) spans the same degenerate "
@@ -64,7 +66,7 @@ void Run() {
 
   const Graph graph = BuildGridGraph(grid);
   std::cout << "\nDirichlet energy of our Fiedler vector = "
-            << FormatDouble(DirichletEnergy(graph, result->values), 6)
+            << FormatDouble(DirichletEnergy(graph, result->embedding), 6)
             << " == lambda2 (optimal by Theorems 1-3)\n\n";
 
   TablePrinter table;
@@ -72,7 +74,7 @@ void Run() {
   table.AddRow({"lambda2", "1", FormatDouble(result->lambda2, 6)});
   table.AddRow({"degenerate_dim", "2 (implicit)", "2"});
   table.AddRow({"energy(fiedler)", "1",
-                FormatDouble(DirichletEnergy(graph, result->values), 6)});
+                FormatDouble(DirichletEnergy(graph, result->embedding), 6)});
   EmitTable("fig3_example", table);
 }
 

@@ -22,13 +22,19 @@ void Run() {
   const GridSpec grid({4, 4});
   const PointSet points = PointSet::FullGrid(grid);
 
-  SpectralLpmOptions four = DefaultSpectralOptions(2);
-  auto four_result = SpectralMapper(four).Map(points);
+  OrderingEngineOptions four;
+  four.spectral = DefaultSpectralOptions(2);
+  auto four_engine = MakeOrderingEngine("spectral", four);
+  SPECTRAL_CHECK(four_engine.ok());
+  auto four_result = (*four_engine)->Order(points);
   SPECTRAL_CHECK(four_result.ok());
 
-  SpectralLpmOptions eight = DefaultSpectralOptions(2);
-  eight.graph.connectivity = GridConnectivity::kMoore;
-  auto eight_result = SpectralMapper(eight).Map(points);
+  OrderingEngineOptions eight;
+  eight.spectral = DefaultSpectralOptions(2);
+  eight.spectral.graph.connectivity = GridConnectivity::kMoore;
+  auto eight_engine = MakeOrderingEngine("spectral", eight);
+  SPECTRAL_CHECK(eight_engine.ok());
+  auto eight_result = (*eight_engine)->Order(points);
   SPECTRAL_CHECK(eight_result.ok());
 
   std::cout << "Figure 4: spectral order under different graph models "
@@ -40,16 +46,16 @@ void Run() {
             << FormatDouble(eight_result->lambda2, 4) << "):\n"
             << eight_result->order.ToGridString(points) << '\n';
 
-  const double dot = std::fabs(Dot(four_result->values, eight_result->values));
+  const double dot = std::fabs(Dot(four_result->embedding, eight_result->embedding));
   std::cout << "|<v4, v8>| = " << FormatDouble(dot, 6)
             << " (different Fiedler directions for different models)\n\n";
 
   TablePrinter table;
   table.SetHeader({"model", "lambda2", "matvecs", "engine"});
   table.AddRow({"4-connectivity", FormatDouble(four_result->lambda2, 6),
-                FormatInt(four_result->matvecs), four_result->method_used});
+                FormatInt(four_result->matvecs), four_result->method});
   table.AddRow({"8-connectivity", FormatDouble(eight_result->lambda2, 6),
-                FormatInt(eight_result->matvecs), eight_result->method_used});
+                FormatInt(eight_result->matvecs), eight_result->method});
   EmitTable("fig4_connectivity", table);
 }
 

@@ -1,0 +1,117 @@
+// Registry smoke bench: every OrderingEngine on one 64x64 grid — wall
+// time plus Spearman rank correlation against the spectral order — and a
+// multi-component parallel-solve scaling section. One CSV row per engine
+// seeds the perf trajectory for future tracking.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "stats/rank_correlation.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace spectral {
+namespace bench {
+namespace {
+
+std::vector<int64_t> Ranks(const LinearOrder& order) {
+  std::vector<int64_t> ranks(static_cast<size_t>(order.size()));
+  for (int64_t i = 0; i < order.size(); ++i) {
+    ranks[static_cast<size_t>(i)] = order.RankOf(i);
+  }
+  return ranks;
+}
+
+// Four far-apart 24x24 islands: a disconnected input whose components the
+// spectral solver can process concurrently.
+PointSet MultiComponentPoints() {
+  PointSet points(2);
+  const Coord kSide = 24;
+  const Coord kGap = 1000;
+  for (Coord island = 0; island < 4; ++island) {
+    const Coord x0 = island * kGap;
+    for (Coord x = 0; x < kSide; ++x) {
+      for (Coord y = 0; y < kSide; ++y) {
+        points.Add(std::vector<Coord>{static_cast<Coord>(x0 + x), y});
+      }
+    }
+  }
+  return points;
+}
+
+void RunRegistry() {
+  const GridSpec grid = GridSpec::Uniform(2, 64);
+  const PointSet points = PointSet::FullGrid(grid);
+
+  std::cout << "OrderingEngine registry on a 64x64 grid: wall time and "
+               "Spearman rho vs the spectral order\n\n";
+
+  OrderingEngineOptions options;
+  options.spectral = DefaultSpectralOptions(2);
+
+  // Reference order for the correlation column.
+  auto spectral_engine = MakeOrderingEngine("spectral", options);
+  SPECTRAL_CHECK(spectral_engine.ok());
+  auto spectral_result = (*spectral_engine)->Order(points);
+  SPECTRAL_CHECK(spectral_result.ok());
+  const std::vector<int64_t> spectral_ranks = Ranks(spectral_result->order);
+
+  TablePrinter table;
+  table.SetHeader({"engine", "ms", "spearman_vs_spectral", "detail"});
+  for (const std::string& name : AllOrderingEngineNames()) {
+    auto engine = MakeOrderingEngine(name, options);
+    SPECTRAL_CHECK(engine.ok()) << name;
+    WallTimer timer;
+    auto result = (*engine)->Order(points);
+    const double ms = timer.ElapsedSeconds() * 1e3;
+    SPECTRAL_CHECK(result.ok()) << name << ": " << result.status();
+    const double rho = SpearmanRho(spectral_ranks, Ranks(result->order));
+    table.AddRow({name, FormatDouble(ms, 2), FormatDouble(rho, 4),
+                  result->detail});
+  }
+  EmitTable("ordering_engines", table);
+}
+
+void RunParallelScaling() {
+  const PointSet points = MultiComponentPoints();
+  std::cout << "\nParallel spectral solve, 4 disconnected 24x24 components ("
+            << points.size() << " points): wall time by thread count\n\n";
+
+  TablePrinter table;
+  table.SetHeader({"parallelism", "ms", "speedup_vs_serial", "identical"});
+  double serial_ms = 0.0;
+  std::vector<int64_t> serial_ranks;
+  for (int parallelism : {1, 2, 4}) {
+    OrderingEngineOptions options;
+    options.spectral = DefaultSpectralOptions(2);
+    options.spectral.parallelism = parallelism;
+    auto engine = MakeOrderingEngine("spectral", options);
+    SPECTRAL_CHECK(engine.ok());
+    WallTimer timer;
+    auto result = (*engine)->Order(points);
+    const double ms = timer.ElapsedSeconds() * 1e3;
+    SPECTRAL_CHECK(result.ok()) << result.status();
+    SPECTRAL_CHECK_EQ(result->num_components, 4);
+
+    const std::vector<int64_t> ranks = Ranks(result->order);
+    if (parallelism == 1) {
+      serial_ms = ms;
+      serial_ranks = ranks;
+    }
+    table.AddRow({FormatInt(parallelism), FormatDouble(ms, 2),
+                  FormatDouble(serial_ms / ms, 2),
+                  ranks == serial_ranks ? "yes" : "NO"});
+  }
+  EmitTable("ordering_engines_parallel", table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spectral
+
+int main() {
+  spectral::bench::RunRegistry();
+  spectral::bench::RunParallelScaling();
+  return 0;
+}

@@ -7,7 +7,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/spectral_lpm.h"
+#include "core/ordering_engine.h"
 #include "space/point_set.h"
 
 int main() {
@@ -29,7 +29,8 @@ int main() {
               << std::abs(order.RankOf(b1) - order.RankOf(b2)) << "\n";
   };
 
-  auto plain = SpectralMapper().Map(points);
+  auto plain_engine = MakeOrderingEngine("spectral");
+  auto plain = (*plain_engine)->Order(points);
   if (!plain.ok()) {
     std::cerr << plain.status() << "\n";
     return EXIT_FAILURE;
@@ -37,10 +38,11 @@ int main() {
   report("plain spectral    ", plain->order);
 
   // Affinity edges tell the mapper these pairs behave as if adjacent.
-  SpectralLpmOptions options;
-  options.affinity_edges.push_back({a1, a2, 3.0});
-  options.affinity_edges.push_back({b1, b2, 3.0});
-  auto tuned = SpectralMapper(options).Map(points);
+  OrderingEngineOptions options;
+  options.spectral.affinity_edges.push_back({a1, a2, 3.0});
+  options.spectral.affinity_edges.push_back({b1, b2, 3.0});
+  auto tuned_engine = MakeOrderingEngine("spectral", options);
+  auto tuned = (*tuned_engine)->Order(points);
   if (!tuned.ok()) {
     std::cerr << tuned.status() << "\n";
     return EXIT_FAILURE;

@@ -7,8 +7,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/curve_order.h"
-#include "core/spectral_lpm.h"
+#include "core/ordering_engine.h"
 #include "index/declustering.h"
 #include "query/range_query.h"
 #include "space/point_set.h"
@@ -19,9 +18,14 @@ int main() {
   const GridSpec grid({16, 16});
   const PointSet points = PointSet::FullGrid(grid);
 
-  auto sweep = OrderByCurve(points, CurveKind::kSweep);
-  auto hilbert = OrderByCurve(points, CurveKind::kHilbert);
-  auto spectral_result = SpectralMapper().Map(points);
+  auto order_by = [&](const char* engine_name) {
+    auto engine = MakeOrderingEngine(engine_name);
+    if (!engine.ok()) return StatusOr<OrderingResult>(engine.status());
+    return (*engine)->Order(points);
+  };
+  auto sweep = order_by("sweep");
+  auto hilbert = order_by("hilbert");
+  auto spectral_result = order_by("spectral");
   if (!sweep.ok() || !hilbert.ok() || !spectral_result.ok()) {
     std::cerr << "order construction failed\n";
     return EXIT_FAILURE;
@@ -39,8 +43,8 @@ int main() {
     std::cout << name << ": mean balance " << stats.mean_balance_ratio
               << ", worst " << stats.max_balance_ratio << "\n";
   };
-  report("sweep   ", *sweep);
-  report("hilbert ", *hilbert);
+  report("sweep   ", sweep->order);
+  report("hilbert ", hilbert->order);
   report("spectral", spectral_result->order);
   return EXIT_SUCCESS;
 }

@@ -9,9 +9,8 @@
 #include <filesystem>
 #include <iostream>
 
-#include "core/curve_order.h"
+#include "core/ordering_engine.h"
 #include "core/serialization.h"
-#include "core/spectral_lpm.h"
 #include "query/executor.h"
 #include "space/point_set.h"
 
@@ -30,14 +29,20 @@ int main() {
     return EXIT_FAILURE;
   }
 
-  // 2. Offline mapping step: load, map, persist the order.
+  // 2. Offline mapping step: load, map (any registry engine works; the CLI
+  //    exposes the same names), persist the order.
   {
     auto loaded = LoadPointSetFromFile(points_path);
     if (!loaded.ok()) {
       std::cerr << loaded.status() << "\n";
       return EXIT_FAILURE;
     }
-    auto mapped = SpectralMapper().Map(*loaded);
+    auto engine = MakeOrderingEngine("spectral");
+    if (!engine.ok()) {
+      std::cerr << engine.status() << "\n";
+      return EXIT_FAILURE;
+    }
+    auto mapped = (*engine)->Order(*loaded);
     if (!mapped.ok()) {
       std::cerr << mapped.status() << "\n";
       return EXIT_FAILURE;
@@ -61,8 +66,13 @@ int main() {
   exec_options.page_size = 16;
   const GridRangeExecutor executor(grid, *order, exec_options);
 
-  auto hilbert = OrderByCurve(points, CurveKind::kHilbert);
-  const GridRangeExecutor hilbert_executor(grid, *hilbert, exec_options);
+  auto hilbert_engine = MakeOrderingEngine("hilbert");
+  auto hilbert = (*hilbert_engine)->Order(points);
+  if (!hilbert.ok()) {
+    std::cerr << hilbert.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  const GridRangeExecutor hilbert_executor(grid, hilbert->order, exec_options);
 
   std::cout << "\nquery              spectral(scan/pages)  hilbert(scan/pages)\n";
   const std::vector<std::pair<std::vector<Coord>, std::vector<Coord>>> boxes =

@@ -6,8 +6,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/curve_order.h"
-#include "core/spectral_lpm.h"
+#include "core/ordering_engine.h"
 #include "space/point_set.h"
 
 int main() {
@@ -18,10 +17,16 @@ int main() {
   const GridSpec grid({8, 8});
   const PointSet points = PointSet::FullGrid(grid);
 
-  // 2. Run Spectral LPM (graph build -> Laplacian -> Fiedler vector ->
-  //    sort). Options control connectivity, weights, and affinity edges.
-  SpectralMapper mapper;
-  auto result = mapper.Map(points);
+  // 2. Every mapping method is an OrderingEngine constructed by name —
+  //    "spectral" runs the paper's pipeline (graph build -> Laplacian ->
+  //    Fiedler vector -> sort); OrderingEngineOptions control connectivity,
+  //    weights, affinity edges, and solver parallelism.
+  auto engine = MakeOrderingEngine("spectral");
+  if (!engine.ok()) {
+    std::cerr << engine.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  auto result = (*engine)->Order(points);
   if (!result.ok()) {
     std::cerr << "mapping failed: " << result.status() << "\n";
     return EXIT_FAILURE;
@@ -29,18 +34,23 @@ int main() {
 
   std::cout << "Spectral LPM on an 8x8 grid\n";
   std::cout << "lambda2 (algebraic connectivity) = " << result->lambda2
-            << ", solver: " << result->method_used << "\n\n";
+            << ", solver: " << result->method << "\n\n";
   std::cout << "spectral order (rank of each cell):\n"
             << result->order.ToGridString(points) << "\n";
 
-  // 3. Compare with a fractal baseline.
-  auto hilbert = OrderByCurve(points, CurveKind::kHilbert);
+  // 3. Compare with a fractal baseline — same interface, different name.
+  auto hilbert_engine = MakeOrderingEngine("hilbert");
+  if (!hilbert_engine.ok()) {
+    std::cerr << hilbert_engine.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  auto hilbert = (*hilbert_engine)->Order(points);
   if (!hilbert.ok()) {
     std::cerr << "hilbert failed: " << hilbert.status() << "\n";
     return EXIT_FAILURE;
   }
   std::cout << "hilbert order for comparison:\n"
-            << hilbert->ToGridString(points) << "\n";
+            << hilbert->order.ToGridString(points) << "\n";
 
   // 4. Use the order: rank lookups are O(1) in both directions.
   const std::vector<Coord> center = {4, 4};

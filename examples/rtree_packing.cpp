@@ -7,8 +7,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/curve_order.h"
-#include "core/spectral_lpm.h"
+#include "core/ordering_engine.h"
 #include "index/packed_rtree.h"
 #include "util/random.h"
 #include "workload/generators.h"
@@ -27,16 +26,19 @@ int main() {
   };
   std::vector<Candidate> candidates;
 
-  auto hilbert = OrderByCurve(points, CurveKind::kHilbert);
-  auto sweep = OrderByCurve(points, CurveKind::kSweep);
-  auto spectral_result = SpectralMapper().Map(points);
-  if (!hilbert.ok() || !sweep.ok() || !spectral_result.ok()) {
-    std::cerr << "order construction failed\n";
-    return EXIT_FAILURE;
+  for (const char* engine_name : {"sweep", "hilbert", "spectral"}) {
+    auto engine = MakeOrderingEngine(engine_name);
+    if (!engine.ok()) {
+      std::cerr << engine.status() << "\n";
+      return EXIT_FAILURE;
+    }
+    auto result = (*engine)->Order(points);
+    if (!result.ok()) {
+      std::cerr << engine_name << ": order construction failed\n";
+      return EXIT_FAILURE;
+    }
+    candidates.push_back({engine_name, std::move(result->order)});
   }
-  candidates.push_back({"sweep", std::move(*sweep)});
-  candidates.push_back({"hilbert", std::move(*hilbert)});
-  candidates.push_back({"spectral", std::move(spectral_result->order)});
 
   std::cout << "Packed R-tree from each order (leaf=16, fanout=8), 600 "
                "clustered points\n\n";

@@ -8,7 +8,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/spectral_lpm.h"
+#include "core/ordering_engine.h"
 #include "graph/graph.h"
 
 int main() {
@@ -27,7 +27,14 @@ int main() {
   edges.push_back({8, 4, 0.5});
   const Graph graph = Graph::FromEdges(9, edges);
 
-  auto result = SpectralMapper().MapGraph(graph, nullptr);
+  // The graph-overload capability: spectral-family engines accept a
+  // caller-built graph directly (curve engines report Unimplemented).
+  auto engine = MakeOrderingEngine("spectral");
+  if (!engine.ok() || !(*engine)->supports_graph_input()) {
+    std::cerr << "spectral engine unavailable\n";
+    return EXIT_FAILURE;
+  }
+  auto result = (*engine)->OrderGraph(graph, nullptr);
   if (!result.ok()) {
     std::cerr << result.status() << "\n";
     return EXIT_FAILURE;

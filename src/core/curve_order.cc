@@ -7,7 +7,7 @@
 
 namespace spectral {
 
-StatusOr<LinearOrder> OrderByCurve(const PointSet& points, CurveKind kind) {
+StatusOr<GridSpec> CurveEnclosingGrid(const PointSet& points, CurveKind kind) {
   if (points.empty()) {
     return InvalidArgumentError("cannot order an empty point set");
   }
@@ -19,10 +19,17 @@ StatusOr<LinearOrder> OrderByCurve(const PointSet& points, CurveKind kind) {
                       static_cast<Coord>(hi[static_cast<size_t>(a)] -
                                          lo[static_cast<size_t>(a)] + 1));
   }
-  const GridSpec grid = EnclosingGridFor(kind, points.dims(), extent);
-  auto curve = MakeCurve(kind, grid);
+  return EnclosingGridFor(kind, points.dims(), extent);
+}
+
+StatusOr<LinearOrder> OrderByCurve(const PointSet& points, CurveKind kind) {
+  auto grid = CurveEnclosingGrid(points, kind);
+  if (!grid.ok()) return grid.status();
+  auto curve = MakeCurve(kind, *grid);
   if (!curve.ok()) return curve.status();
 
+  std::vector<Coord> lo, hi;
+  points.Bounds(&lo, &hi);
   std::vector<uint64_t> keys(static_cast<size_t>(points.size()));
   std::vector<Coord> shifted(static_cast<size_t>(points.dims()));
   for (int64_t i = 0; i < points.size(); ++i) {

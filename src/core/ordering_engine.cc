@@ -1,0 +1,173 @@
+#include "core/ordering_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/curve_order.h"
+#include "util/string_util.h"
+
+namespace spectral {
+
+StatusOr<OrderingResult> OrderingEngine::OrderGraph(const Graph& graph,
+                                                    const PointSet* points) const {
+  (void)graph;
+  (void)points;
+  return UnimplementedError("engine '" + std::string(name()) +
+                            "' does not accept graph input");
+}
+
+namespace {
+
+constexpr std::string_view kSpectralName = "spectral";
+constexpr std::string_view kSpectralMultilevelName = "spectral-multilevel";
+constexpr std::string_view kBisectionName = "bisection";
+
+OrderingResult FromSpectralResult(SpectralLpmResult result) {
+  OrderingResult out;
+  out.order = std::move(result.order);
+  out.method = result.method_used;
+  out.lambda2 = result.lambda2;
+  out.num_components = result.num_components;
+  out.matvecs = result.matvecs;
+  out.embedding = std::move(result.values);
+  out.detail = "engine=" + out.method +
+               " lambda2=" + FormatDouble(out.lambda2) +
+               " components=" + FormatInt(out.num_components);
+  return out;
+}
+
+/// "spectral" and "spectral-multilevel": direct Fiedler-order adapters over
+/// SpectralMapper.
+class SpectralEngine : public OrderingEngine {
+ public:
+  SpectralEngine(std::string_view name, SpectralLpmOptions options)
+      : name_(name), mapper_(std::move(options)) {}
+
+  std::string_view name() const override { return name_; }
+  bool supports_graph_input() const override { return true; }
+
+  StatusOr<OrderingResult> Order(const PointSet& points) const override {
+    auto result = mapper_.Map(points);
+    if (!result.ok()) return result.status();
+    return FromSpectralResult(std::move(*result));
+  }
+
+  StatusOr<OrderingResult> OrderGraph(const Graph& graph,
+                                      const PointSet* points) const override {
+    auto result = mapper_.MapGraph(graph, points);
+    if (!result.ok()) return result.status();
+    return FromSpectralResult(std::move(*result));
+  }
+
+ private:
+  std::string_view name_;
+  SpectralMapper mapper_;
+};
+
+/// "bisection": recursive spectral median-cut adapter.
+class BisectionEngine : public OrderingEngine {
+ public:
+  explicit BisectionEngine(RecursiveBisectionOptions options)
+      : options_(std::move(options)) {}
+
+  std::string_view name() const override { return kBisectionName; }
+  bool supports_graph_input() const override { return true; }
+
+  StatusOr<OrderingResult> Order(const PointSet& points) const override {
+    auto result = RecursiveSpectralOrder(points, options_);
+    if (!result.ok()) return result.status();
+    return FromBisectionResult(std::move(*result));
+  }
+
+  StatusOr<OrderingResult> OrderGraph(const Graph& graph,
+                                      const PointSet* points) const override {
+    auto result = RecursiveSpectralOrderGraph(graph, points, options_);
+    if (!result.ok()) return result.status();
+    return FromBisectionResult(std::move(*result));
+  }
+
+ private:
+  static OrderingResult FromBisectionResult(RecursiveBisectionResult result) {
+    OrderingResult out;
+    out.order = std::move(result.order);
+    out.method = "median-cut";
+    out.num_solves = result.num_solves;
+    out.depth = result.depth;
+    out.detail = "solves=" + FormatInt(result.num_solves) +
+                 " depth=" + FormatInt(result.depth);
+    return out;
+  }
+
+  RecursiveBisectionOptions options_;
+};
+
+/// Curve-family adapter: orders by curve index on the smallest legal
+/// enclosing grid, reporting the padding in the diagnostics.
+class CurveEngine : public OrderingEngine {
+ public:
+  explicit CurveEngine(CurveKind kind) : kind_(kind) {}
+
+  std::string_view name() const override { return CurveKindName(kind_); }
+
+  StatusOr<OrderingResult> Order(const PointSet& points) const override {
+    auto grid = CurveEnclosingGrid(points, kind_);
+    if (!grid.ok()) return grid.status();
+    auto order = OrderByCurve(points, kind_);
+    if (!order.ok()) return order.status();
+
+    OrderingResult out;
+    out.order = std::move(*order);
+    out.method = std::string(CurveKindName(kind_));
+    out.grid_side = grid->side(0);
+    out.grid_cells = grid->NumCells();
+    out.detail = "grid_side=" + FormatInt(out.grid_side) +
+                 " grid_cells=" + FormatInt(out.grid_cells);
+    return out;
+  }
+
+ private:
+  CurveKind kind_;
+};
+
+}  // namespace
+
+std::vector<std::string> AllOrderingEngineNames() {
+  std::vector<std::string> names = {std::string(kSpectralName),
+                                    std::string(kSpectralMultilevelName),
+                                    std::string(kBisectionName)};
+  for (CurveKind kind : AllCurveKinds()) {
+    names.emplace_back(CurveKindName(kind));
+  }
+  return names;
+}
+
+StatusOr<std::unique_ptr<OrderingEngine>> MakeOrderingEngine(
+    std::string_view name, const OrderingEngineOptions& options) {
+  if (name == kSpectralName) {
+    return std::unique_ptr<OrderingEngine>(
+        new SpectralEngine(kSpectralName, options.spectral));
+  }
+  if (name == kSpectralMultilevelName) {
+    SpectralLpmOptions spectral = options.spectral;
+    if (spectral.multilevel_threshold <= 0) {
+      spectral.multilevel_threshold = options.multilevel_default_threshold;
+    }
+    return std::unique_ptr<OrderingEngine>(
+        new SpectralEngine(kSpectralMultilevelName, std::move(spectral)));
+  }
+  if (name == kBisectionName) {
+    RecursiveBisectionOptions bisection = options.bisection;
+    bisection.base = options.spectral;
+    return std::unique_ptr<OrderingEngine>(
+        new BisectionEngine(std::move(bisection)));
+  }
+  auto kind = CurveKindFromName(name);
+  if (kind.ok()) {
+    return std::unique_ptr<OrderingEngine>(new CurveEngine(*kind));
+  }
+  return NotFoundError("unknown ordering engine '" + std::string(name) +
+                       "'; known engines: " +
+                       StrJoin(AllOrderingEngineNames(), ", "));
+}
+
+}  // namespace spectral

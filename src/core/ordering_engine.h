@@ -1,0 +1,112 @@
+// OrderingEngine: one interface over every linear-order producer in the
+// library — the spectral mapper (the paper's contribution), recursive
+// spectral bisection, and all fractal/sweep curve baselines. Benches, the
+// CLI, and examples construct engines by name through MakeOrderingEngine
+// instead of switching on method enums, so adding a backend (a sharded
+// solver, a cached order store, a learned mapping) is one registry entry.
+//
+// The registry mirrors sfc/curve_registry.h one level up: curve names map
+// to CurveKind adapters, and the spectral family adds "spectral",
+// "spectral-multilevel", and "bisection".
+
+#ifndef SPECTRAL_LPM_CORE_ORDERING_ENGINE_H_
+#define SPECTRAL_LPM_CORE_ORDERING_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/linear_order.h"
+#include "core/recursive_bisection.h"
+#include "core/spectral_lpm.h"
+#include "graph/graph.h"
+#include "sfc/curve_registry.h"
+#include "space/point_set.h"
+#include "util/status.h"
+
+namespace spectral {
+
+/// A linear order plus the diagnostics of whichever method produced it.
+/// Fields a method does not populate keep their zero defaults.
+struct OrderingResult {
+  LinearOrder order;
+
+  /// Which concrete solver/curve produced the order ("lanczos",
+  /// "dense-jacobi", "median-cut", a curve name, ...).
+  std::string method;
+
+  // Spectral family (spectral, spectral-multilevel, bisection).
+  double lambda2 = 0.0;
+  int64_t num_components = 0;
+  int64_t matvecs = 0;
+  /// The 1-d embedding the order was sorted from (the concatenated
+  /// per-component Fiedler vectors); empty for non-spectral engines.
+  Vector embedding;
+
+  // Recursive bisection.
+  int64_t num_solves = 0;
+  int depth = 0;
+
+  // Curve family: the per-axis side and cell count of the padded enclosing
+  // grid the curve was instantiated on (power of 2 / power of 3 rounding
+  // means the grid can be much larger than the data's bounding box).
+  Coord grid_side = 0;
+  int64_t grid_cells = 0;
+
+  /// One-line, method-specific summary ("engine=lanczos", "grid_side=64",
+  /// ...) for CLIs and bench logs.
+  std::string detail;
+};
+
+/// Abstract producer of linear orders over point sets.
+class OrderingEngine {
+ public:
+  virtual ~OrderingEngine() = default;
+
+  /// The registry name this engine was constructed under.
+  virtual std::string_view name() const = 0;
+
+  /// True when OrderGraph is implemented: the spectral family accepts a
+  /// caller-built graph (section-4 custom weights); curve baselines are
+  /// geometry-only and return Unimplemented.
+  virtual bool supports_graph_input() const { return false; }
+
+  /// Orders `points`; the engine's geometry/graph pipeline is applied per
+  /// its construction-time options.
+  virtual StatusOr<OrderingResult> Order(const PointSet& points) const = 0;
+
+  /// Orders the vertices of `graph` (weights encode mapping priority).
+  /// `points` is optional and only used for degenerate-eigenspace
+  /// canonicalization. Default: Unimplemented.
+  virtual StatusOr<OrderingResult> OrderGraph(const Graph& graph,
+                                              const PointSet* points) const;
+};
+
+/// Construction-time configuration shared by the registry.
+struct OrderingEngineOptions {
+  /// Graph build + eigensolver configuration for the spectral family (also
+  /// the `base` of bisection). `parallelism` lives here.
+  SpectralLpmOptions spectral;
+  /// multilevel_threshold used by "spectral-multilevel" when
+  /// spectral.multilevel_threshold is 0 (the flat engine's default).
+  int64_t multilevel_default_threshold = 256;
+  /// Recursion shape for "bisection"; its `base` member is ignored in favor
+  /// of `spectral` above.
+  RecursiveBisectionOptions bisection;
+};
+
+/// Every registry name, in presentation order: "spectral",
+/// "spectral-multilevel", "bisection", then the curve families
+/// ("sweep", "snake", "zorder", "gray", "hilbert", "peano", "spiral").
+std::vector<std::string> AllOrderingEngineNames();
+
+/// Constructs the engine registered under `name`; NotFound for unknown
+/// names (the message lists the registry).
+StatusOr<std::unique_ptr<OrderingEngine>> MakeOrderingEngine(
+    std::string_view name, const OrderingEngineOptions& options = {});
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_CORE_ORDERING_ENGINE_H_

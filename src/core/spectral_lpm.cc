@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numeric>
 
 #include "graph/laplacian.h"
 #include "graph/traversal.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace spectral {
 
@@ -90,6 +92,85 @@ StatusOr<SpectralLpmResult> SpectralMapper::MapGraph(
     return members[static_cast<size_t>(a)][0] < members[static_cast<size_t>(b)][0];
   });
 
+  // Per-component eigensolves. Components are independent Fiedler problems,
+  // so they run concurrently on a pool (fed largest-first: the biggest solve
+  // dominates the critical path); large single components instead gain from
+  // row-partitioned matvecs inside Lanczos. Every solve is deterministic and
+  // the concatenation below walks comp_order serially, so the result does
+  // not depend on the thread count.
+  struct ComponentSolve {
+    Status status;
+    Vector values;
+    double lambda2 = 0.0;
+    int64_t matvecs = 0;
+    std::string method_used;
+    bool solved = false;  // true iff the component needed an eigensolve
+  };
+  std::vector<ComponentSolve> solves(static_cast<size_t>(num_components));
+
+  int threads = options_.parallelism;
+  if (threads <= 0) threads = ThreadPool::DefaultThreads();
+  // Spawning workers is only worth it when there is concurrent work: more
+  // than one component, or a single component big enough for SparseOperator
+  // to row-partition its matvecs (2048 = its min_parallel_rows default).
+  const int64_t largest_component =
+      static_cast<int64_t>(members[static_cast<size_t>(comp_order[0])].size());
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1 && (num_components > 1 || largest_component >= 2048)) {
+    pool = std::make_unique<ThreadPool>(threads);
+  }
+
+  auto solve_component = [&](int64_t c) {
+    ComponentSolve& out = solves[static_cast<size_t>(c)];
+    const auto& verts = members[static_cast<size_t>(c)];
+    const int64_t m = static_cast<int64_t>(verts.size());
+    out.values.assign(static_cast<size_t>(m), 0.0);
+    if (m <= 1) return;
+
+    const Graph sub = Graph::FromEdges(m, comp_edges[static_cast<size_t>(c)]);
+    const bool use_multilevel = options_.multilevel_threshold > 0 &&
+                                m >= options_.multilevel_threshold;
+    StatusOr<FiedlerResult> fiedler = [&]() -> StatusOr<FiedlerResult> {
+      if (use_multilevel) {
+        MultilevelOptions multilevel = options_.multilevel;
+        multilevel.fiedler.matvec_pool = pool.get();
+        return ComputeFiedlerMultilevel(sub, multilevel);
+      }
+      std::vector<Vector> axes;
+      if (points != nullptr && options_.canonicalize_with_axes) {
+        PointSet sub_points(points->dims());
+        for (int64_t v : verts) sub_points.Add((*points)[v]);
+        axes = sub_points.CenteredAxisFunctions();
+      }
+      FiedlerOptions fiedler_options = options_.fiedler;
+      fiedler_options.matvec_pool = pool.get();
+      return ComputeFiedler(BuildLaplacian(sub), fiedler_options, axes);
+    }();
+    if (!fiedler.ok()) {
+      out.status = fiedler.status();
+      return;
+    }
+    out.values = fiedler->fiedler;
+    out.lambda2 = fiedler->lambda2;
+    out.matvecs = fiedler->matvecs;
+    out.method_used = fiedler->method_used;
+    out.solved = true;
+  };
+
+  if (pool != nullptr) {
+    for (int64_t c : comp_order) {
+      pool->Submit([&solve_component, c] { solve_component(c); });
+    }
+    pool->WaitIdle();
+  } else {
+    for (int64_t c : comp_order) solve_component(c);
+  }
+  for (int64_t c : comp_order) {
+    if (!solves[static_cast<size_t>(c)].status.ok()) {
+      return solves[static_cast<size_t>(c)].status;
+    }
+  }
+
   SpectralLpmResult result;
   result.num_components = num_components;
   result.values.assign(static_cast<size_t>(n), 0.0);
@@ -100,31 +181,14 @@ StatusOr<SpectralLpmResult> SpectralMapper::MapGraph(
   for (int64_t c : comp_order) {
     const auto& verts = members[static_cast<size_t>(c)];
     const int64_t m = static_cast<int64_t>(verts.size());
-    Vector values(static_cast<size_t>(m), 0.0);
+    ComponentSolve& solve = solves[static_cast<size_t>(c)];
+    Vector& values = solve.values;
 
-    if (m > 1) {
-      const Graph sub = Graph::FromEdges(m, comp_edges[static_cast<size_t>(c)]);
-
-      const bool use_multilevel = options_.multilevel_threshold > 0 &&
-                                  m >= options_.multilevel_threshold;
-      StatusOr<FiedlerResult> fiedler = [&]() -> StatusOr<FiedlerResult> {
-        if (use_multilevel) {
-          return ComputeFiedlerMultilevel(sub, options_.multilevel);
-        }
-        std::vector<Vector> axes;
-        if (points != nullptr && options_.canonicalize_with_axes) {
-          PointSet sub_points(points->dims());
-          for (int64_t v : verts) sub_points.Add((*points)[v]);
-          axes = sub_points.CenteredAxisFunctions();
-        }
-        return ComputeFiedler(BuildLaplacian(sub), options_.fiedler, axes);
-      }();
-      if (!fiedler.ok()) return fiedler.status();
-      values = fiedler->fiedler;
-      result.matvecs += fiedler->matvecs;
+    if (solve.solved) {
+      result.matvecs += solve.matvecs;
       if (!recorded_main) {
-        result.lambda2 = fiedler->lambda2;
-        result.method_used = fiedler->method_used;
+        result.lambda2 = solve.lambda2;
+        result.method_used = solve.method_used;
         recorded_main = true;
       }
     }

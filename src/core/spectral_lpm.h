@@ -56,6 +56,14 @@ struct SpectralLpmOptions {
   /// embedded FiedlerOptions governs the coarsest solve; `fiedler` above
   /// still governs flat solves of small components.
   MultilevelOptions multilevel;
+  /// Worker threads for the mapping. Disconnected components are solved
+  /// concurrently (largest-first work queue) and Lanczos matvecs on large
+  /// components are row-partitioned across the same pool. 0 = use
+  /// hardware_concurrency; 1 = the historical serial path. The output is
+  /// byte-identical for every value: each component's solve is independent
+  /// and deterministic, and the concatenation order is fixed before any
+  /// solve starts.
+  int parallelism = 0;
 };
 
 /// Result of a spectral mapping.

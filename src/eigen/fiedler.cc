@@ -122,7 +122,7 @@ StatusOr<FiedlerResult> LanczosPath(const SparseMatrix& laplacian,
   const int64_t n = laplacian.rows();
   const double shift = laplacian.GershgorinBound() * 1.0001 + 1e-12;
 
-  SparseOperator lap_op(&laplacian);
+  SparseOperator lap_op(&laplacian, options.matvec_pool);
   ShiftNegateOperator op(&lap_op, shift);
 
   // Deflate the exact kernel vector 1/sqrt(n).

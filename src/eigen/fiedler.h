@@ -25,6 +25,8 @@
 
 namespace spectral {
 
+class ThreadPool;
+
 /// Engine selection for ComputeFiedler.
 enum class FiedlerMethod {
   /// Dense for n <= dense_threshold, Lanczos otherwise.
@@ -64,6 +66,11 @@ struct FiedlerOptions {
   double degeneracy_rel_tol = 1e-5;
   double degeneracy_abs_tol = 1e-8;
   DegeneracyPolicy degeneracy_policy = DegeneracyPolicy::kBalancedMix;
+  /// Optional worker pool (not owned; must outlive the solve). When set,
+  /// Lanczos matvecs on sufficiently large Laplacians are row-partitioned
+  /// across the pool. Results are bit-identical to the serial path; see
+  /// SparseOperator in eigen/operator.h.
+  ThreadPool* matvec_pool = nullptr;
 };
 
 /// One eigenpair of the Laplacian.

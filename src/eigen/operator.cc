@@ -1,10 +1,15 @@
 #include "eigen/operator.h"
 
+#include <algorithm>
+
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace spectral {
 
-SparseOperator::SparseOperator(const SparseMatrix* matrix) : matrix_(matrix) {
+SparseOperator::SparseOperator(const SparseMatrix* matrix, ThreadPool* pool,
+                               int64_t min_parallel_rows)
+    : matrix_(matrix), pool_(pool), min_parallel_rows_(min_parallel_rows) {
   SPECTRAL_CHECK(matrix != nullptr);
   SPECTRAL_CHECK_EQ(matrix->rows(), matrix->cols());
 }
@@ -13,7 +18,21 @@ int64_t SparseOperator::Dim() const { return matrix_->rows(); }
 
 void SparseOperator::Apply(std::span<const double> x,
                            std::span<double> y) const {
-  matrix_->MatVec(x, y);
+  const int64_t rows = matrix_->rows();
+  if (pool_ == nullptr || pool_->num_threads() < 2 ||
+      rows < min_parallel_rows_) {
+    matrix_->MatVec(x, y);
+    return;
+  }
+  // One chunk per worker plus the caller; each chunk covers a disjoint row
+  // range, so the partition only decides who computes which rows.
+  const int64_t num_chunks = pool_->num_threads() + 1;
+  const int64_t chunk_rows = (rows + num_chunks - 1) / num_chunks;
+  pool_->ParallelFor(0, num_chunks, 1, [&](int64_t chunk) {
+    const int64_t first = chunk * chunk_rows;
+    const int64_t last = std::min(rows, first + chunk_rows);
+    if (first < last) matrix_->MatVecRows(first, last, x, y);
+  });
 }
 
 ShiftNegateOperator::ShiftNegateOperator(const LinearOperator* inner,

@@ -12,6 +12,8 @@
 
 namespace spectral {
 
+class ThreadPool;
+
 /// Square linear operator interface.
 class LinearOperator {
  public:
@@ -24,17 +26,26 @@ class LinearOperator {
   virtual void Apply(std::span<const double> x, std::span<double> y) const = 0;
 };
 
-/// Wraps a CSR matrix; requires a square matrix.
+/// Wraps a CSR matrix; requires a square matrix. With a thread pool the
+/// matvec is row-partitioned across the pool's workers; each output entry
+/// is accumulated by exactly one thread in the same order as the serial
+/// code, so parallel and serial results are bit-identical.
 class SparseOperator : public LinearOperator {
  public:
-  /// Does not take ownership; `matrix` must outlive the operator.
-  explicit SparseOperator(const SparseMatrix* matrix);
+  /// Does not take ownership; `matrix` (and `pool`, when non-null) must
+  /// outlive the operator. A null pool or a matrix smaller than
+  /// `min_parallel_rows` keeps the serial path.
+  explicit SparseOperator(const SparseMatrix* matrix,
+                          ThreadPool* pool = nullptr,
+                          int64_t min_parallel_rows = 2048);
 
   int64_t Dim() const override;
   void Apply(std::span<const double> x, std::span<double> y) const override;
 
  private:
   const SparseMatrix* matrix_;
+  ThreadPool* pool_;
+  int64_t min_parallel_rows_;
 };
 
 /// y = shift * x - A x. With shift >= lambda_max(A) this maps the smallest

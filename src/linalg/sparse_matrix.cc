@@ -51,9 +51,18 @@ SparseMatrix SparseMatrix::FromTriplets(int64_t rows, int64_t cols,
 
 void SparseMatrix::MatVec(std::span<const double> x,
                           std::span<double> y) const {
+  MatVecRows(0, rows_, x, y);
+}
+
+void SparseMatrix::MatVecRows(int64_t first, int64_t last,
+                              std::span<const double> x,
+                              std::span<double> y) const {
   SPECTRAL_CHECK_EQ(static_cast<int64_t>(x.size()), cols_);
   SPECTRAL_CHECK_EQ(static_cast<int64_t>(y.size()), rows_);
-  for (int64_t i = 0; i < rows_; ++i) {
+  SPECTRAL_CHECK_GE(first, 0);
+  SPECTRAL_CHECK_LE(first, last);
+  SPECTRAL_CHECK_LE(last, rows_);
+  for (int64_t i = first; i < last; ++i) {
     double acc = 0.0;
     for (int64_t k = row_begin(i); k < row_end(i); ++k) {
       acc += values_[static_cast<size_t>(k)] *

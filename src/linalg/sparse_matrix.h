@@ -48,6 +48,13 @@ class SparseMatrix {
   /// y = A x.
   void MatVec(std::span<const double> x, std::span<double> y) const;
 
+  /// Computes y[i] = (A x)[i] for rows i in [first, last) only; the rest of
+  /// y is untouched. Each y[i] is accumulated exactly as in MatVec, so a
+  /// row partition of [0, rows) reproduces MatVec bit for bit — this is the
+  /// building block of the parallel operator in eigen/operator.h.
+  void MatVecRows(int64_t first, int64_t last, std::span<const double> x,
+                  std::span<double> y) const;
+
   /// max over i of |A_ii| + sum_j |A_ij| — a Gershgorin bound on the
   /// spectral radius for symmetric matrices.
   double GershgorinBound() const;

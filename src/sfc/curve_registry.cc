@@ -1,5 +1,6 @@
 #include "sfc/curve_registry.h"
 
+#include <limits>
 #include <string>
 
 #include "sfc/gray.h"
@@ -84,9 +85,13 @@ StatusOr<std::unique_ptr<SpaceFillingCurve>> MakeCurve(CurveKind kind,
   return InternalError("unreachable");
 }
 
-GridSpec EnclosingGridFor(CurveKind kind, int dims, Coord extent) {
+StatusOr<GridSpec> EnclosingGridFor(CurveKind kind, int dims, Coord extent) {
   SPECTRAL_CHECK_GE(extent, 1);
-  Coord side = extent;
+  SPECTRAL_CHECK_GE(dims, 1);
+  // Round up in 64 bits: the power-of-base families can need a side beyond
+  // the Coord (int32) range even for representable extents (e.g. rounding
+  // 2^30 + 1 up to 2^31), which used to wrap silently.
+  int64_t side = extent;
   switch (kind) {
     case CurveKind::kSweep:
     case CurveKind::kSnake:
@@ -105,7 +110,26 @@ GridSpec EnclosingGridFor(CurveKind kind, int dims, Coord extent) {
       break;
     }
   }
-  return GridSpec::Uniform(dims, side);
+  if (side > std::numeric_limits<Coord>::max()) {
+    return InvalidArgumentError(
+        std::string(CurveKindName(kind)) + ": enclosing side " +
+        std::to_string(side) + " for extent " + std::to_string(extent) +
+        " exceeds the coordinate range");
+  }
+  // The curve index is a uint64 and GridSpec itself only supports int64
+  // cell counts; reject dims * log2(side) overflowing 63 bits instead of
+  // tripping the GridSpec CHECK.
+  int64_t cells = 1;
+  for (int a = 0; a < dims; ++a) {
+    if (cells > std::numeric_limits<int64_t>::max() / side) {
+      return InvalidArgumentError(
+          std::string(CurveKindName(kind)) + ": " + std::to_string(dims) +
+          "-d grid of side " + std::to_string(side) +
+          " overflows the 64-bit curve index width");
+    }
+    cells *= side;
+  }
+  return GridSpec::Uniform(dims, static_cast<Coord>(side));
 }
 
 }  // namespace spectral

@@ -41,8 +41,11 @@ StatusOr<std::unique_ptr<SpaceFillingCurve>> MakeCurve(CurveKind kind,
                                                        const GridSpec& grid);
 
 /// Smallest uniform grid of the family-required side (power of 2, power of
-/// 3, or exact) that covers `extent` cells per axis.
-GridSpec EnclosingGridFor(CurveKind kind, int dims, Coord extent);
+/// 3, or exact) that covers `extent` cells per axis. Returns
+/// InvalidArgument when the rounded-up side exceeds the coordinate range
+/// or the cell count overflows the 64-bit curve index width — callers used
+/// to see a silently wrapped grid near the 2^31 coordinate boundary.
+StatusOr<GridSpec> EnclosingGridFor(CurveKind kind, int dims, Coord extent);
 
 }  // namespace spectral
 

@@ -1,0 +1,132 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "util/check.h"
+
+namespace spectral {
+
+namespace {
+
+// Shared state of one ParallelFor call. Helper tasks may outlive the call
+// (a worker can pick one up after the caller drained every chunk), so the
+// state is reference-counted.
+struct ForLoopState {
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t grain = 1;
+  const std::function<void(int64_t)>* fn = nullptr;
+  std::atomic<int64_t> next_chunk{0};
+  std::atomic<int64_t> chunks_done{0};
+  int64_t num_chunks = 0;
+  std::mutex mu;
+  std::condition_variable done_cv;
+
+  // Claims and runs chunks until the cursor passes the end. Returns after
+  // notifying the waiter when the final chunk completes.
+  void Drain() {
+    while (true) {
+      const int64_t chunk = next_chunk.fetch_add(1);
+      if (chunk >= num_chunks) return;
+      const int64_t lo = begin + chunk * grain;
+      const int64_t hi = std::min(end, lo + grain);
+      for (int64_t i = lo; i < hi; ++i) (*fn)(i);
+      if (chunks_done.fetch_add(1) + 1 == num_chunks) {
+        std::lock_guard<std::mutex> lock(mu);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+int ThreadPool::DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  SPECTRAL_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SPECTRAL_CHECK(!stop_) << "Submit after shutdown";
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t)>& fn) {
+  if (begin >= end) return;
+  SPECTRAL_CHECK_GE(grain, 1);
+  const int64_t total = end - begin;
+  const int64_t num_chunks = (total + grain - 1) / grain;
+  if (num_chunks == 1) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<ForLoopState>();
+  state->begin = begin;
+  state->end = end;
+  state->grain = grain;
+  state->fn = &fn;
+  state->num_chunks = num_chunks;
+
+  const int64_t helpers = std::min<int64_t>(num_threads(), num_chunks - 1);
+  for (int64_t h = 0; h < helpers; ++h) {
+    Submit([state] { state->Drain(); });
+  }
+  state->Drain();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&state] {
+    return state->chunks_done.load() == state->num_chunks;
+  });
+}
+
+}  // namespace spectral

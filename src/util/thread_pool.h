@@ -1,0 +1,70 @@
+// Fixed-size worker pool shared by the spectral solvers. Two usage shapes:
+//
+//   * Submit(fn): fire-and-forget task, tracked by WaitIdle().
+//   * ParallelFor(begin, end, grain, fn): blocking data-parallel loop. The
+//     calling thread always participates in executing chunks, so nesting a
+//     ParallelFor inside a Submit-ted task (component solve -> row-partitioned
+//     matvec) cannot deadlock: if every worker is busy, the caller simply
+//     drains all chunks itself and the loop degrades to serial execution.
+//
+// Chunks are assigned by an atomic cursor over a fixed partition, so the
+// work each index receives — and therefore every floating-point result —
+// is independent of which thread runs it.
+
+#ifndef SPECTRAL_LPM_UTIL_THREAD_POOL_H_
+#define SPECTRAL_LPM_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spectral {
+
+/// A fixed set of worker threads consuming a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; values < 1 are clamped to 1. A pool of
+  /// one worker still runs tasks off the calling thread.
+  explicit ThreadPool(int num_threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  /// Blocks until queued tasks finish, then joins the workers.
+  ~ThreadPool();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `task` for execution on a worker thread.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void WaitIdle();
+
+  /// Runs fn(i) for every i in [begin, end), splitting the range into
+  /// chunks of at most `grain` indices. Blocks until the whole range is
+  /// done. The caller participates, so this is safe to invoke from inside a
+  /// pool task. fn must not throw.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t)>& fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  int64_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_UTIL_THREAD_POOL_H_

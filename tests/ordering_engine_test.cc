@@ -1,0 +1,219 @@
+// OrderingEngine registry tests: round-trip construction of every name,
+// adapter-vs-direct equivalence against the underlying producers, the
+// graph-input capability flag, and byte-identical output across solver
+// thread counts.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/curve_order.h"
+#include "core/ordering_engine.h"
+#include "core/recursive_bisection.h"
+#include "core/spectral_lpm.h"
+#include "space/point_set.h"
+
+namespace spectral {
+namespace {
+
+std::vector<int64_t> Ranks(const LinearOrder& order) {
+  std::vector<int64_t> ranks(static_cast<size_t>(order.size()));
+  for (int64_t i = 0; i < order.size(); ++i) {
+    ranks[static_cast<size_t>(i)] = order.RankOf(i);
+  }
+  return ranks;
+}
+
+// A 5-point strip, a 3-point strip, a 2-point strip, and a singleton — four
+// components of distinct sizes, far enough apart to stay disconnected.
+PointSet FourComponentPoints() {
+  PointSet points(2);
+  for (Coord i = 0; i < 5; ++i) points.Add(std::vector<Coord>{0, i});
+  for (Coord i = 0; i < 3; ++i) points.Add(std::vector<Coord>{100, i});
+  for (Coord i = 0; i < 2; ++i) points.Add(std::vector<Coord>{200, i});
+  points.Add(std::vector<Coord>{300, 0});
+  return points;
+}
+
+TEST(OrderingEngineRegistry, EveryNameConstructsAndOrders) {
+  const PointSet points = PointSet::FullGrid(GridSpec({8, 8}));
+  for (const std::string& name : AllOrderingEngineNames()) {
+    auto engine = MakeOrderingEngine(name);
+    ASSERT_TRUE(engine.ok()) << name << ": " << engine.status();
+    EXPECT_EQ((*engine)->name(), name);
+    auto result = (*engine)->Order(points);
+    ASSERT_TRUE(result.ok()) << name << ": " << result.status();
+    EXPECT_EQ(result->order.size(), points.size());
+    EXPECT_FALSE(result->detail.empty()) << name;
+    EXPECT_FALSE(result->method.empty()) << name;
+  }
+}
+
+TEST(OrderingEngineRegistry, UnknownNameIsNotFound) {
+  auto engine = MakeOrderingEngine("no-such-engine");
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kNotFound);
+  // The error names the registry so CLI users can self-serve.
+  EXPECT_NE(engine.status().message().find("spectral"), std::string::npos);
+}
+
+TEST(OrderingEngineRegistry, SpectralAdapterMatchesDirectMapper) {
+  const PointSet points = PointSet::FullGrid(GridSpec({16, 16}));
+  SpectralLpmOptions options;
+  options.fiedler.num_pairs = 3;
+
+  auto direct = SpectralMapper(options).Map(points);
+  ASSERT_TRUE(direct.ok());
+
+  OrderingEngineOptions engine_options;
+  engine_options.spectral = options;
+  auto engine = MakeOrderingEngine("spectral", engine_options);
+  ASSERT_TRUE(engine.ok());
+  auto via_engine = (*engine)->Order(points);
+  ASSERT_TRUE(via_engine.ok());
+
+  EXPECT_EQ(Ranks(direct->order), Ranks(via_engine->order));
+  EXPECT_EQ(direct->lambda2, via_engine->lambda2);
+  EXPECT_EQ(direct->num_components, via_engine->num_components);
+  EXPECT_EQ(direct->method_used, via_engine->method);
+  EXPECT_EQ(direct->values, via_engine->embedding);
+}
+
+TEST(OrderingEngineRegistry, CurveAdaptersMatchOrderByCurve) {
+  const PointSet points = PointSet::FullGrid(GridSpec({16, 16}));
+  for (CurveKind kind : AllCurveKinds()) {
+    auto direct = OrderByCurve(points, kind);
+    ASSERT_TRUE(direct.ok()) << CurveKindName(kind);
+
+    auto engine = MakeOrderingEngine(CurveKindName(kind));
+    ASSERT_TRUE(engine.ok());
+    auto via_engine = (*engine)->Order(points);
+    ASSERT_TRUE(via_engine.ok()) << CurveKindName(kind);
+
+    EXPECT_EQ(Ranks(*direct), Ranks(via_engine->order)) << CurveKindName(kind);
+    // Power-of-two families fit 16 exactly; peano pads to 27.
+    EXPECT_EQ(via_engine->grid_side, kind == CurveKind::kPeano ? 27 : 16)
+        << CurveKindName(kind);
+    EXPECT_EQ(via_engine->grid_cells,
+              static_cast<int64_t>(via_engine->grid_side) *
+                  via_engine->grid_side)
+        << CurveKindName(kind);
+  }
+}
+
+TEST(OrderingEngineRegistry, CurvePaddingDiagnostics) {
+  // A 5x5 extent forces power-of-two and power-of-three padding.
+  const PointSet points = PointSet::FullGrid(GridSpec({5, 5}));
+  auto hilbert = MakeOrderingEngine("hilbert");
+  auto result = (*hilbert)->Order(points);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->grid_side, 8);
+  EXPECT_EQ(result->grid_cells, 64);
+
+  auto peano = MakeOrderingEngine("peano");
+  auto peano_result = (*peano)->Order(points);
+  ASSERT_TRUE(peano_result.ok());
+  EXPECT_EQ(peano_result->grid_side, 9);
+}
+
+TEST(OrderingEngineRegistry, BisectionAdapterMatchesDirect) {
+  const PointSet points = PointSet::FullGrid(GridSpec({16, 16}));
+  RecursiveBisectionOptions options;
+  options.leaf_size = 8;
+
+  auto direct = RecursiveSpectralOrder(points, options);
+  ASSERT_TRUE(direct.ok());
+
+  OrderingEngineOptions engine_options;
+  engine_options.bisection.leaf_size = 8;
+  auto engine = MakeOrderingEngine("bisection", engine_options);
+  ASSERT_TRUE(engine.ok());
+  auto via_engine = (*engine)->Order(points);
+  ASSERT_TRUE(via_engine.ok());
+
+  EXPECT_EQ(Ranks(direct->order), Ranks(via_engine->order));
+  EXPECT_EQ(direct->num_solves, via_engine->num_solves);
+  EXPECT_EQ(direct->depth, via_engine->depth);
+}
+
+TEST(OrderingEngineRegistry, GraphInputCapability) {
+  std::vector<GraphEdge> edges = {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}};
+  const Graph graph = Graph::FromEdges(4, edges);
+
+  for (const std::string& name : AllOrderingEngineNames()) {
+    auto engine = MakeOrderingEngine(name);
+    ASSERT_TRUE(engine.ok()) << name;
+    const bool is_spectral_family = name == "spectral" ||
+                                    name == "spectral-multilevel" ||
+                                    name == "bisection";
+    EXPECT_EQ((*engine)->supports_graph_input(), is_spectral_family) << name;
+    auto result = (*engine)->OrderGraph(graph, nullptr);
+    if (is_spectral_family) {
+      ASSERT_TRUE(result.ok()) << name << ": " << result.status();
+      EXPECT_EQ(result->order.size(), 4);
+    } else {
+      ASSERT_FALSE(result.ok()) << name;
+      EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented) << name;
+    }
+  }
+}
+
+TEST(OrderingEngineRegistry, ParallelSolveIsByteIdenticalToSerial) {
+  const PointSet points = FourComponentPoints();
+
+  OrderingEngineOptions serial_options;
+  serial_options.spectral.parallelism = 1;
+  auto serial_engine = MakeOrderingEngine("spectral", serial_options);
+  auto serial = (*serial_engine)->Order(points);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_EQ(serial->num_components, 4);
+
+  OrderingEngineOptions parallel_options;
+  parallel_options.spectral.parallelism = 8;
+  auto parallel_engine = MakeOrderingEngine("spectral", parallel_options);
+  auto parallel = (*parallel_engine)->Order(points);
+  ASSERT_TRUE(parallel.ok());
+
+  EXPECT_EQ(Ranks(serial->order), Ranks(parallel->order));
+  // Byte-identical, not just rank-identical: the Fiedler components, the
+  // diagnostics, and the solver label all match the serial run.
+  EXPECT_EQ(serial->embedding, parallel->embedding);
+  EXPECT_EQ(serial->lambda2, parallel->lambda2);
+  EXPECT_EQ(serial->matvecs, parallel->matvecs);
+  EXPECT_EQ(serial->method, parallel->method);
+}
+
+TEST(OrderingEngineRegistry, ParallelSolveOnLargeSingleComponent) {
+  // Exercises the row-partitioned matvec path (grid big enough to clear
+  // the SparseOperator parallel threshold) and checks it against serial.
+  const PointSet points = PointSet::FullGrid(GridSpec({64, 64}));
+  OrderingEngineOptions serial_options;
+  serial_options.spectral.parallelism = 1;
+  OrderingEngineOptions parallel_options;
+  parallel_options.spectral.parallelism = 4;
+
+  auto serial = (*MakeOrderingEngine("spectral", serial_options))->Order(points);
+  auto parallel =
+      (*MakeOrderingEngine("spectral", parallel_options))->Order(points);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(Ranks(serial->order), Ranks(parallel->order));
+  EXPECT_EQ(serial->embedding, parallel->embedding);
+  EXPECT_EQ(serial->matvecs, parallel->matvecs);
+}
+
+TEST(OrderingEngineRegistry, MultilevelEngineAppliesDefaultThreshold) {
+  // 32x32 = 1024 vertices > the 256 default threshold: the multilevel
+  // engine must produce a valid permutation of the same size.
+  const PointSet points = PointSet::FullGrid(GridSpec({32, 32}));
+  auto engine = MakeOrderingEngine("spectral-multilevel");
+  ASSERT_TRUE(engine.ok());
+  auto result = (*engine)->Order(points);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->order.size(), points.size());
+  EXPECT_GT(result->lambda2, 0.0);
+}
+
+}  // namespace
+}  // namespace spectral

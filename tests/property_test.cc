@@ -192,7 +192,9 @@ TEST_P(CurveOrderPropertyTest, SubsetKeepsRelativeOrder) {
   }
   // NOTE: OrderByCurve translates by the bounding box, which can differ
   // between the two sets; pin both orders to the same explicit grid.
-  auto curve = MakeCurve(kind, EnclosingGridFor(kind, 2, 16));
+  auto enclosing = EnclosingGridFor(kind, 2, 16);
+  ASSERT_TRUE(enclosing.ok()) << CurveKindName(kind);
+  auto curve = MakeCurve(kind, *enclosing);
   ASSERT_TRUE(curve.ok()) << CurveKindName(kind);
   auto full = OrderByCurveOnGrid(all, **curve);
   auto sub = OrderByCurveOnGrid(survivors, **curve);

@@ -2,6 +2,7 @@
 // family, dimension, and side), continuity properties for the continuous
 // curves, and exact small-case orders.
 
+#include <limits>
 #include <set>
 #include <tuple>
 #include <vector>
@@ -252,10 +253,40 @@ TEST(Registry, ShapeValidation) {
 }
 
 TEST(Registry, EnclosingGrid) {
-  EXPECT_EQ(EnclosingGridFor(CurveKind::kHilbert, 2, 6).side(0), 8);
-  EXPECT_EQ(EnclosingGridFor(CurveKind::kPeano, 2, 6).side(0), 9);
-  EXPECT_EQ(EnclosingGridFor(CurveKind::kSweep, 2, 6).side(0), 6);
-  EXPECT_EQ(EnclosingGridFor(CurveKind::kZOrder, 3, 8).side(0), 8);
+  EXPECT_EQ(EnclosingGridFor(CurveKind::kHilbert, 2, 6)->side(0), 8);
+  EXPECT_EQ(EnclosingGridFor(CurveKind::kPeano, 2, 6)->side(0), 9);
+  EXPECT_EQ(EnclosingGridFor(CurveKind::kSweep, 2, 6)->side(0), 6);
+  EXPECT_EQ(EnclosingGridFor(CurveKind::kZOrder, 3, 8)->side(0), 8);
+}
+
+TEST(Registry, EnclosingGridRejectsCoordinateOverflow) {
+  // Regression for the 2^31 boundary: rounding an extent just past 2^30 up
+  // to the next power of two lands on 2^31, which is not representable as a
+  // Coord (int32). This used to wrap silently; now it is a Status.
+  const Coord just_past = (Coord{1} << 30) + 1;
+  auto grid = EnclosingGridFor(CurveKind::kHilbert, 2, just_past);
+  ASSERT_FALSE(grid.ok());
+  EXPECT_EQ(grid.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(EnclosingGridFor(CurveKind::kZOrder, 1, just_past).ok());
+  EXPECT_FALSE(EnclosingGridFor(CurveKind::kGray, 3, just_past).ok());
+  // Peano rounds past 2^31 even earlier (3^20 > 2^31).
+  const Coord max_extent = std::numeric_limits<Coord>::max();
+  EXPECT_FALSE(EnclosingGridFor(CurveKind::kPeano, 2, max_extent).ok());
+  // The exact families accept the full Coord range per axis in 1-d.
+  auto sweep = EnclosingGridFor(CurveKind::kSweep, 1, max_extent);
+  ASSERT_TRUE(sweep.ok());
+  EXPECT_EQ(sweep->side(0), max_extent);
+}
+
+TEST(Registry, EnclosingGridRejectsIndexWidthOverflow) {
+  // Cell count must fit the 64-bit index: 4 dims x 2^30 sides = 120 bits.
+  const Coord big = Coord{1} << 30;
+  EXPECT_FALSE(EnclosingGridFor(CurveKind::kZOrder, 4, big).ok());
+  EXPECT_FALSE(EnclosingGridFor(CurveKind::kSweep, 3, big).ok());
+  // 2 dims x 2^30 = 60 bits still fits.
+  auto ok_grid = EnclosingGridFor(CurveKind::kZOrder, 2, big);
+  ASSERT_TRUE(ok_grid.ok());
+  EXPECT_EQ(ok_grid->side(0), big);
 }
 
 TEST(Registry, IndexWidthLimits) {

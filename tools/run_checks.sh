@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Repo verification driver.
+#
+#   tools/run_checks.sh              configure (-Wall -Wextra -Werror),
+#                                    build everything, run ctest, then lint
+#   tools/run_checks.sh --lint-only  banned-pattern source lint only (this
+#                                    mode is registered as a ctest test, so
+#                                    a plain ctest run also lints)
+#
+# Exit status is non-zero on the first failing stage.
+
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "${repo_root}"
+
+lint() {
+  local failed=0
+
+  # Build artifacts must never be included.
+  if grep -rn --include='*.cc' --include='*.h' --include='*.cpp' \
+       '#include "build/' src tests bench tools examples 2>/dev/null; then
+    echo "FAIL: '#include \"build/...\"' found (see above)"
+    failed=1
+  fi
+
+  # Headers must not inject namespaces into every includer.
+  if grep -rn --include='*.h' 'using namespace std' src bench 2>/dev/null; then
+    echo "FAIL: 'using namespace std' in a header (see above)"
+    failed=1
+  fi
+
+  # Relative includes break the single src/ include root.
+  if grep -rn --include='*.cc' --include='*.h' '#include "\.\./' \
+       src tests bench tools examples 2>/dev/null; then
+    echo "FAIL: relative '../' include found (see above)"
+    failed=1
+  fi
+
+  # std::cout/cerr in the libraries (fine in benches/tools/examples).
+  if grep -rln --include='*.cc' 'std::cout' src 2>/dev/null; then
+    echo "FAIL: std::cout in library code (see above)"
+    failed=1
+  fi
+
+  if [ "${failed}" -ne 0 ]; then
+    return 1
+  fi
+  echo "lint: OK"
+}
+
+if [ "${1:-}" = "--lint-only" ]; then
+  lint
+  exit $?
+fi
+
+build_dir="${BUILD_DIR:-build-checks}"
+
+echo "== configure (${build_dir}, -Werror) =="
+cmake -B "${build_dir}" -S . -DSPECTRAL_WERROR=ON \
+  -DCMAKE_BUILD_TYPE=Release || exit 1
+
+echo "== build =="
+cmake --build "${build_dir}" -j "$(nproc)" || exit 1
+
+echo "== ctest =="
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" || exit 1
+
+echo "== lint =="
+lint || exit 1
+
+echo "run_checks: all stages passed"

@@ -5,10 +5,15 @@
 // Usage:
 //   spectral_map_cli <points.txt> <order.txt> [options]
 // Options:
-//   --mapping=spectral|bisection|sweep|snake|zorder|gray|hilbert|peano
-//   --connectivity=orthogonal|moore      (spectral/bisection only)
+//   --mapping=NAME    any OrderingEngine registry name: spectral,
+//                     spectral-multilevel, bisection, sweep, snake, zorder,
+//                     gray, hilbert, peano, spiral
+//   --connectivity=orthogonal|moore      (spectral family only)
 //   --radius=N                           (default 1)
 //   --multilevel=N    use the multilevel solver for components >= N
+//   --parallelism=N   solver threads (0 = hardware concurrency, 1 = serial;
+//                     spectral/spectral-multilevel only — bisection and the
+//                     curve engines run serially)
 //   --quiet           suppress the summary line
 //
 // The points file uses the core/serialization.h text format; see
@@ -20,10 +25,9 @@
 #include <iostream>
 #include <string>
 
-#include "core/curve_order.h"
-#include "core/recursive_bisection.h"
+#include "core/ordering_engine.h"
 #include "core/serialization.h"
-#include "core/spectral_lpm.h"
+#include "util/string_util.h"
 #include "util/timer.h"
 
 namespace spectral {
@@ -36,6 +40,7 @@ struct CliArgs {
   GridConnectivity connectivity = GridConnectivity::kOrthogonal;
   int radius = 1;
   int64_t multilevel = 0;
+  int parallelism = 0;
   bool quiet = false;
 };
 
@@ -48,11 +53,11 @@ bool ParseFlag(const std::string& arg, const std::string& name,
 }
 
 int Usage() {
-  std::cerr
-      << "usage: spectral_map_cli <points.txt> <order.txt> "
-         "[--mapping=spectral|bisection|sweep|snake|zorder|gray|hilbert|"
-         "peano] [--connectivity=orthogonal|moore] [--radius=N] "
-         "[--multilevel=N] [--quiet]\n";
+  std::cerr << "usage: spectral_map_cli <points.txt> <order.txt> "
+               "[--mapping=NAME] [--connectivity=orthogonal|moore] "
+               "[--radius=N] [--multilevel=N] [--parallelism=N] [--quiet]\n"
+               "known mappings: "
+            << StrJoin(AllOrderingEngineNames(), ", ") << "\n";
   return 2;
 }
 
@@ -63,53 +68,26 @@ int RunCli(const CliArgs& args) {
     return 1;
   }
 
+  OrderingEngineOptions options;
+  options.spectral.graph.connectivity = args.connectivity;
+  options.spectral.graph.radius = args.radius;
+  options.spectral.multilevel_threshold = args.multilevel;
+  options.spectral.parallelism = args.parallelism;
+  auto engine = MakeOrderingEngine(args.mapping, options);
+  if (!engine.ok()) {
+    std::cerr << engine.status().message() << "\n";
+    return 2;
+  }
+
   WallTimer timer;
-  LinearOrder order;
-  std::string summary;
-  if (args.mapping == "spectral" || args.mapping == "bisection") {
-    SpectralLpmOptions options;
-    options.graph.connectivity = args.connectivity;
-    options.graph.radius = args.radius;
-    options.multilevel_threshold = args.multilevel;
-    if (args.mapping == "spectral") {
-      auto result = SpectralMapper(options).Map(*points);
-      if (!result.ok()) {
-        std::cerr << "mapping failed: " << result.status() << "\n";
-        return 1;
-      }
-      order = std::move(result->order);
-      summary = "lambda2=" + std::to_string(result->lambda2) +
-                " components=" + std::to_string(result->num_components) +
-                " engine=" + result->method_used;
-    } else {
-      RecursiveBisectionOptions options_bisect;
-      options_bisect.base = options;
-      auto result = RecursiveSpectralOrder(*points, options_bisect);
-      if (!result.ok()) {
-        std::cerr << "mapping failed: " << result.status() << "\n";
-        return 1;
-      }
-      order = std::move(result->order);
-      summary = "solves=" + std::to_string(result->num_solves) +
-                " depth=" + std::to_string(result->depth);
-    }
-  } else {
-    auto kind = CurveKindFromName(args.mapping);
-    if (!kind.ok()) {
-      std::cerr << "unknown mapping '" << args.mapping << "'\n";
-      return 2;
-    }
-    auto result = OrderByCurve(*points, *kind);
-    if (!result.ok()) {
-      std::cerr << "mapping failed: " << result.status() << "\n";
-      return 1;
-    }
-    order = std::move(*result);
-    summary = "curve=" + args.mapping;
+  auto result = (*engine)->Order(*points);
+  if (!result.ok()) {
+    std::cerr << "mapping failed: " << result.status() << "\n";
+    return 1;
   }
   const double seconds = timer.ElapsedSeconds();
 
-  if (const Status s = SaveLinearOrderToFile(order, args.order_path);
+  if (const Status s = SaveLinearOrderToFile(result->order, args.order_path);
       !s.ok()) {
     std::cerr << "error writing order: " << s << "\n";
     return 1;
@@ -117,8 +95,8 @@ int RunCli(const CliArgs& args) {
   if (!args.quiet) {
     std::cout << "mapped " << points->size() << " points (" << points->dims()
               << "-d) with " << args.mapping << " in "
-              << static_cast<int64_t>(seconds * 1e3) << " ms; " << summary
-              << "; wrote " << args.order_path << "\n";
+              << static_cast<int64_t>(seconds * 1e3) << " ms; "
+              << result->detail << "; wrote " << args.order_path << "\n";
   }
   return 0;
 }
@@ -147,6 +125,9 @@ int main(int argc, char** argv) {
       if (args.radius < 1) return spectral::Usage();
     } else if (spectral::ParseFlag(arg, "multilevel", &value)) {
       args.multilevel = std::atoll(value.c_str());
+    } else if (spectral::ParseFlag(arg, "parallelism", &value)) {
+      args.parallelism = std::atoi(value.c_str());
+      if (args.parallelism < 0) return spectral::Usage();
     } else if (arg == "--quiet") {
       args.quiet = true;
     } else if (arg.rfind("--", 0) == 0) {
