@@ -22,21 +22,24 @@ void RunGrid(const GridSpec& grid, const std::string& label,
   const PointSet points = PointSet::FullGrid(grid);
   const Graph g = BuildGridGraph(grid);
 
-  OrderingEngineOptions engine_options;
-  engine_options.spectral = DefaultSpectralOptions(grid.dims());
-  engine_options.bisection.leaf_size = 8;
-  auto direct_engine = MakeOrderingEngine("spectral", engine_options);
-  auto bisect_engine = MakeOrderingEngine("bisection", engine_options);
+  OrderingRequest direct_request = OrderingRequest::ForPoints(points);
+  direct_request.options.spectral = DefaultSpectralOptions(grid.dims());
+  OrderingRequest bisect_request =
+      OrderingRequest::ForPoints(points, "bisection");
+  bisect_request.options.spectral = DefaultSpectralOptions(grid.dims());
+  bisect_request.options.bisection.leaf_size = 8;
+  auto direct_engine = MakeOrderingEngine("spectral");
+  auto bisect_engine = MakeOrderingEngine("bisection");
   SPECTRAL_CHECK(direct_engine.ok());
   SPECTRAL_CHECK(bisect_engine.ok());
 
   WallTimer direct_timer;
-  auto direct = (*direct_engine)->Order(points);
+  auto direct = (*direct_engine)->Order(direct_request);
   const double direct_seconds = direct_timer.ElapsedSeconds();
   SPECTRAL_CHECK(direct.ok());
 
   WallTimer bisect_timer;
-  auto bisect = (*bisect_engine)->Order(points);
+  auto bisect = (*bisect_engine)->Order(bisect_request);
   const double bisect_seconds = bisect_timer.ElapsedSeconds();
   SPECTRAL_CHECK(bisect.ok());
 

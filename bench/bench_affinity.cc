@@ -70,31 +70,34 @@ void Run() {
   const double mean_count =
       static_cast<double>(trace.accesses.size()) /
       static_cast<double>(points.size() * points.size());
-  SpectralLpmOptions tuned = DefaultSpectralOptions(2);
-  int64_t edges_added = 0;
+  std::vector<GraphEdge> affinity;
   for (const auto& [pair, count] : co_access) {
     // Keep only strong correlations (way above the uniform expectation).
     if (static_cast<double>(count) < 50.0 * (mean_count + 1.0)) continue;
-    tuned.affinity_edges.push_back(
+    affinity.push_back(
         {pair.first, pair.second,
          static_cast<double>(count) * 64.0 /
              static_cast<double>(trace_options.length)});
-    ++edges_added;
   }
+  const int64_t edges_added = static_cast<int64_t>(affinity.size());
 
-  OrderingEngineOptions plain_options;
-  plain_options.spectral = DefaultSpectralOptions(2);
-  OrderingEngineOptions tuned_options;
-  tuned_options.spectral = tuned;
-  auto plain_engine = MakeOrderingEngine("spectral", plain_options);
-  auto tuned_engine = MakeOrderingEngine("spectral", tuned_options);
-  auto hilbert_engine = MakeOrderingEngine("hilbert");
-  SPECTRAL_CHECK(plain_engine.ok());
-  SPECTRAL_CHECK(tuned_engine.ok());
-  SPECTRAL_CHECK(hilbert_engine.ok());
-  auto plain_result = (*plain_engine)->Order(points);
-  auto tuned_result = (*tuned_engine)->Order(points);
-  auto hilbert_result = (*hilbert_engine)->Order(points);
+  // Three heterogeneous requests, one batch: the plain spectral map, the
+  // affinity-tuned map (the section-4 input kind), and the Hilbert baseline.
+  OrderingRequest plain_request = OrderingRequest::ForPoints(points);
+  plain_request.options.spectral = DefaultSpectralOptions(2);
+  OrderingRequest tuned_request =
+      OrderingRequest::ForPointsWithAffinity(points, std::move(affinity));
+  tuned_request.options.spectral = DefaultSpectralOptions(2);
+  const OrderingRequest hilbert_request =
+      OrderingRequest::ForPoints(points, "hilbert");
+
+  MappingService service;
+  const std::vector<OrderingRequest> batch = {plain_request, tuned_request,
+                                              hilbert_request};
+  auto results = service.OrderBatch(batch);
+  auto& plain_result = results[0];
+  auto& tuned_result = results[1];
+  auto& hilbert_result = results[2];
   SPECTRAL_CHECK(plain_result.ok());
   SPECTRAL_CHECK(tuned_result.ok());
   SPECTRAL_CHECK(hilbert_result.ok());

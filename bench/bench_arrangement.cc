@@ -26,11 +26,11 @@ void RunGrid(const GridSpec& grid, const std::string& label,
   build.spectral = DefaultSpectralOptions(grid.dims());
   const auto orders = BuildOrders(points, build);
 
-  OrderingEngineOptions engine_options;
-  engine_options.spectral = DefaultSpectralOptions(grid.dims());
-  auto engine = MakeOrderingEngine("spectral", engine_options);
+  OrderingRequest request = OrderingRequest::ForPoints(points);
+  request.options.spectral = DefaultSpectralOptions(grid.dims());
+  auto engine = MakeOrderingEngine("spectral");
   SPECTRAL_CHECK(engine.ok());
-  auto spectral_result = (*engine)->Order(points);
+  auto spectral_result = (*engine)->Order(request);
   SPECTRAL_CHECK(spectral_result.ok());
   const double bound = SquaredArrangementLowerBound(spectral_result->lambda2,
                                                     grid.NumCells());

@@ -18,9 +18,6 @@ SpectralLpmOptions DefaultSpectralOptions(int dims) {
 
 std::vector<NamedOrder> BuildOrders(const PointSet& points,
                                     const BuildOrdersOptions& options) {
-  OrderingEngineOptions engine_options;
-  engine_options.spectral = options.spectral;
-
   // Paper figure label -> registry engine name. The paper calls Z-order
   // "Peano"; the true triadic Peano rides along as the "Peano3" extra.
   struct LabeledEngine {
@@ -41,18 +38,30 @@ std::vector<NamedOrder> BuildOrders(const PointSet& points,
   }
   lineup.push_back({"Spectral", "spectral", true});
 
-  std::vector<NamedOrder> orders;
+  // The whole lineup is one batch: the service fans the engines out
+  // largest-input-first on its shared pool (output is byte-identical to
+  // ordering serially).
+  std::vector<OrderingRequest> requests;
+  requests.reserve(lineup.size());
   for (const LabeledEngine& entry : lineup) {
-    auto engine = MakeOrderingEngine(entry.engine, engine_options);
-    SPECTRAL_CHECK(engine.ok()) << entry.engine << ": " << engine.status();
-    auto result = (*engine)->Order(points);
+    OrderingRequest request = OrderingRequest::ForPoints(points, entry.engine);
+    request.options.spectral = options.spectral;
+    requests.push_back(std::move(request));
+  }
+  MappingService service;
+  auto results = service.OrderBatch(requests);
+
+  std::vector<NamedOrder> orders;
+  for (size_t i = 0; i < lineup.size(); ++i) {
+    auto& result = results[i];
     if (!result.ok()) {
       // Optional extras may not support this grid shape (e.g. spiral off a
       // square); required lineup members must always succeed.
-      SPECTRAL_CHECK(!entry.required) << entry.label << ": " << result.status();
+      SPECTRAL_CHECK(!lineup[i].required)
+          << lineup[i].label << ": " << result.status();
       continue;
     }
-    orders.push_back({entry.label, std::move(result->order)});
+    orders.push_back({lineup[i].label, std::move(result->order)});
   }
   return orders;
 }

@@ -11,7 +11,8 @@
 #include <vector>
 
 #include "core/linear_order.h"
-#include "core/ordering_engine.h"
+#include "core/mapping_service.h"
+#include "core/ordering_request.h"
 #include "space/point_set.h"
 #include "util/table_printer.h"
 
@@ -33,10 +34,11 @@ struct BuildOrdersOptions {
   SpectralLpmOptions spectral;
 };
 
-/// Builds every mapping for `points` by iterating the OrderingEngine
-/// registry. Labels follow the paper: "Sweep", "Peano" (the zorder engine),
-/// "Gray", "Hilbert", "Spectral" (+ "Snake", "Peano3", "Spiral" extras).
-/// CHECK-fails on mapper errors: benches run on known-good configurations.
+/// Builds every mapping for `points` as one MappingService::OrderBatch over
+/// the OrderingEngine registry. Labels follow the paper: "Sweep", "Peano"
+/// (the zorder engine), "Gray", "Hilbert", "Spectral" (+ "Snake", "Peano3",
+/// "Spiral" extras). CHECK-fails on mapper errors: benches run on
+/// known-good configurations.
 std::vector<NamedOrder> BuildOrders(const PointSet& points,
                                     const BuildOrdersOptions& options = {});
 

@@ -6,8 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
-#include "core/spectral_lpm.h"
+#include "core/ordering_engine.h"
+#include "core/ordering_request.h"
 #include "eigen/fiedler.h"
+#include "util/check.h"
 #include "graph/grid_graph.h"
 #include "graph/laplacian.h"
 #include "linalg/sparse_matrix.h"
@@ -77,12 +79,13 @@ BENCHMARK(BM_Fiedler_Lanczos_Path)->Arg(256)->Arg(1024)->Arg(2048)
 void BM_SpectralMap_EndToEnd(benchmark::State& state) {
   const Coord side = static_cast<Coord>(state.range(0));
   const PointSet points = PointSet::FullGrid(GridSpec::Uniform(2, side));
-  SpectralLpmOptions options;
-  options.fiedler.num_pairs = 3;
-  options.parallelism = 1;
-  const SpectralMapper mapper(options);
+  OrderingRequest request = OrderingRequest::ForPoints(points);
+  request.options.spectral.fiedler.num_pairs = 3;
+  request.options.spectral.parallelism = 1;
+  const auto engine = MakeOrderingEngine("spectral");
+  SPECTRAL_CHECK(engine.ok()) << engine.status();
   for (auto _ : state) {
-    auto result = mapper.Map(points);
+    auto result = (*engine)->Order(request);
     benchmark::DoNotOptimize(result);
   }
 }
@@ -103,12 +106,13 @@ void BM_SpectralMap_MultiComponent(benchmark::State& state) {
       }
     }
   }
-  SpectralLpmOptions options;
-  options.fiedler.num_pairs = 3;
-  options.parallelism = static_cast<int>(state.range(0));
-  const SpectralMapper mapper(options);
+  OrderingRequest request = OrderingRequest::ForPoints(points);
+  request.options.spectral.fiedler.num_pairs = 3;
+  request.options.spectral.parallelism = static_cast<int>(state.range(0));
+  const auto engine = MakeOrderingEngine("spectral");
+  SPECTRAL_CHECK(engine.ok()) << engine.status();
   for (auto _ : state) {
-    auto result = mapper.Map(points);
+    auto result = (*engine)->Order(request);
     benchmark::DoNotOptimize(result);
   }
 }

@@ -38,11 +38,11 @@ void Run() {
     std::cout << '\n';
   }
 
-  OrderingEngineOptions engine_options;
-  engine_options.spectral = DefaultSpectralOptions(2);
-  auto engine = MakeOrderingEngine("spectral", engine_options);
+  OrderingRequest request = OrderingRequest::ForPoints(points);
+  request.options.spectral = DefaultSpectralOptions(2);
+  auto engine = MakeOrderingEngine("spectral");
   SPECTRAL_CHECK(engine.ok());
-  auto result = (*engine)->Order(points);
+  auto result = (*engine)->Order(request);
   SPECTRAL_CHECK(result.ok());
 
   std::cout << "\n(d) second smallest eigenvalue lambda2 = "

@@ -22,19 +22,19 @@ void Run() {
   const GridSpec grid({4, 4});
   const PointSet points = PointSet::FullGrid(grid);
 
-  OrderingEngineOptions four;
-  four.spectral = DefaultSpectralOptions(2);
-  auto four_engine = MakeOrderingEngine("spectral", four);
-  SPECTRAL_CHECK(four_engine.ok());
-  auto four_result = (*four_engine)->Order(points);
-  SPECTRAL_CHECK(four_result.ok());
+  // The same point set under two graph models: one batch, two requests
+  // whose fingerprints differ only in the connectivity option.
+  OrderingRequest four_request = OrderingRequest::ForPoints(points);
+  four_request.options.spectral = DefaultSpectralOptions(2);
+  OrderingRequest eight_request = four_request;
+  eight_request.options.spectral.graph.connectivity = GridConnectivity::kMoore;
 
-  OrderingEngineOptions eight;
-  eight.spectral = DefaultSpectralOptions(2);
-  eight.spectral.graph.connectivity = GridConnectivity::kMoore;
-  auto eight_engine = MakeOrderingEngine("spectral", eight);
-  SPECTRAL_CHECK(eight_engine.ok());
-  auto eight_result = (*eight_engine)->Order(points);
+  MappingService service;
+  const std::vector<OrderingRequest> batch = {four_request, eight_request};
+  auto results = service.OrderBatch(batch);
+  auto& four_result = results[0];
+  auto& eight_result = results[1];
+  SPECTRAL_CHECK(four_result.ok());
   SPECTRAL_CHECK(eight_result.ok());
 
   std::cout << "Figure 4: spectral order under different graph models "

@@ -1,8 +1,13 @@
-// Registry smoke bench: every OrderingEngine on one 64x64 grid — wall
-// time plus Spearman rank correlation against the spectral order — and a
-// multi-component parallel-solve scaling section. One CSV row per engine
-// seeds the perf trajectory for future tracking.
+// Registry smoke bench: every OrderingEngine on one 64x64 grid through the
+// MappingService facade — cold wall time, warm (cached) wall time, Spearman
+// rank correlation against the spectral order, and the per-engine cache hit
+// rate — plus a multi-component parallel-solve scaling section. Each run
+// emits the human table, a CSV mirror, and a machine-readable
+// bench_results/BENCH_ordering_engines.json (one object per engine) so
+// successive runs are diffable — the perf-tracking trajectory.
 
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
@@ -40,56 +45,124 @@ PointSet MultiComponentPoints() {
   return points;
 }
 
+struct EngineSample {
+  std::string engine;
+  double cold_ms = 0.0;
+  double warm_ms = 0.0;
+  double spearman = 0.0;
+  double cache_hit_rate = 0.0;
+  std::string detail;
+};
+
+void EmitJson(const std::vector<EngineSample>& samples) {
+  const std::string path = "bench_results/BENCH_ordering_engines.json";
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "(could not write " << path << ")\n";
+    return;
+  }
+  out << "[\n";
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const EngineSample& s = samples[i];
+    out << "  {\"engine\": \"" << s.engine << "\", \"cold_ms\": "
+        << FormatDouble(s.cold_ms, 3) << ", \"warm_ms\": "
+        << FormatDouble(s.warm_ms, 3) << ", \"spearman_vs_spectral\": "
+        << FormatDouble(s.spearman, 6) << ", \"cache_hit_rate\": "
+        << FormatDouble(s.cache_hit_rate, 3) << "}"
+        << (i + 1 < samples.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  std::cout << "[json: " << path << "]\n";
+}
+
 void RunRegistry() {
   const GridSpec grid = GridSpec::Uniform(2, 64);
   const PointSet points = PointSet::FullGrid(grid);
 
-  std::cout << "OrderingEngine registry on a 64x64 grid: wall time and "
-               "Spearman rho vs the spectral order\n\n";
+  std::cout << "OrderingEngine registry on a 64x64 grid via MappingService: "
+               "cold/warm wall time, Spearman rho vs the spectral order, and "
+               "cache hit rate\n\n";
 
-  OrderingEngineOptions options;
-  options.spectral = DefaultSpectralOptions(2);
+  MappingService service;  // default parallelism + LRU capacity
 
-  // Reference order for the correlation column.
-  auto spectral_engine = MakeOrderingEngine("spectral", options);
-  SPECTRAL_CHECK(spectral_engine.ok());
-  auto spectral_result = (*spectral_engine)->Order(points);
-  SPECTRAL_CHECK(spectral_result.ok());
-  const std::vector<int64_t> spectral_ranks = Ranks(spectral_result->order);
+  auto request_for = [&](const std::string& name) {
+    OrderingRequest request = OrderingRequest::ForPoints(points, name);
+    request.options.spectral = DefaultSpectralOptions(2);
+    return request;
+  };
 
-  TablePrinter table;
-  table.SetHeader({"engine", "ms", "spearman_vs_spectral", "detail"});
+  // First pass: cold + warm timings per engine ("spectral" first in the
+  // registry, so its order doubles as the correlation reference without
+  // pre-warming any cache).
+  std::vector<EngineSample> samples;
+  std::vector<std::vector<int64_t>> engine_ranks;
   for (const std::string& name : AllOrderingEngineNames()) {
-    auto engine = MakeOrderingEngine(name, options);
-    SPECTRAL_CHECK(engine.ok()) << name;
-    WallTimer timer;
-    auto result = (*engine)->Order(points);
-    const double ms = timer.ElapsedSeconds() * 1e3;
+    const OrderingRequest request = request_for(name);
+    const MappingServiceStats before = service.stats();
+
+    WallTimer cold_timer;
+    auto result = service.Order(request);
+    const double cold_ms = cold_timer.ElapsedSeconds() * 1e3;
     SPECTRAL_CHECK(result.ok()) << name << ": " << result.status();
-    const double rho = SpearmanRho(spectral_ranks, Ranks(result->order));
-    table.AddRow({name, FormatDouble(ms, 2), FormatDouble(rho, 4),
-                  result->detail});
+    WallTimer warm_timer;
+    auto warm = service.Order(request);
+    const double warm_ms = warm_timer.ElapsedSeconds() * 1e3;
+    SPECTRAL_CHECK(warm.ok()) << name << ": " << warm.status();
+
+    const MappingServiceStats after = service.stats();
+    const double served =
+        static_cast<double>(after.requests - before.requests);
+    EngineSample sample;
+    sample.engine = name;
+    sample.cold_ms = cold_ms;
+    sample.warm_ms = warm_ms;
+    sample.cache_hit_rate =
+        static_cast<double>(after.cache_hits - before.cache_hits) / served;
+    sample.detail = result->detail;
+    samples.push_back(sample);
+    engine_ranks.push_back(Ranks(result->order));
+  }
+
+  const std::vector<int64_t>& spectral_ranks = engine_ranks.front();
+  TablePrinter table;
+  table.SetHeader({"engine", "cold_ms", "warm_ms", "spearman_vs_spectral",
+                   "hit_rate", "detail"});
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EngineSample& sample = samples[i];
+    sample.spearman = SpearmanRho(spectral_ranks, engine_ranks[i]);
+    table.AddRow({sample.engine, FormatDouble(sample.cold_ms, 2),
+                  FormatDouble(sample.warm_ms, 2),
+                  FormatDouble(sample.spearman, 4),
+                  FormatDouble(sample.cache_hit_rate, 2), sample.detail});
   }
   EmitTable("ordering_engines", table);
+  EmitJson(samples);
 }
 
 void RunParallelScaling() {
   const PointSet points = MultiComponentPoints();
   std::cout << "\nParallel spectral solve, 4 disconnected 24x24 components ("
-            << points.size() << " points): wall time by thread count\n\n";
+            << points.size() << " points): wall time by service thread "
+               "count (cache off so every run solves)\n\n";
 
   TablePrinter table;
   table.SetHeader({"parallelism", "ms", "speedup_vs_serial", "identical"});
   double serial_ms = 0.0;
   std::vector<int64_t> serial_ranks;
   for (int parallelism : {1, 2, 4}) {
-    OrderingEngineOptions options;
-    options.spectral = DefaultSpectralOptions(2);
-    options.spectral.parallelism = parallelism;
-    auto engine = MakeOrderingEngine("spectral", options);
-    SPECTRAL_CHECK(engine.ok());
+    MappingServiceOptions service_options;
+    service_options.parallelism = parallelism;
+    service_options.cache_capacity = 0;
+    MappingService service(service_options);
+
+    OrderingRequest request = OrderingRequest::ForPoints(points, "spectral");
+    request.options.spectral = DefaultSpectralOptions(2);
+    request.options.spectral.parallelism = parallelism;
+
     WallTimer timer;
-    auto result = (*engine)->Order(points);
+    auto result = service.Order(request);
     const double ms = timer.ElapsedSeconds() * 1e3;
     SPECTRAL_CHECK(result.ok()) << result.status();
     SPECTRAL_CHECK_EQ(result->num_components, 4);

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "core/ordering_engine.h"
+#include "core/ordering_request.h"
 #include "space/point_set.h"
 
 int main() {
@@ -29,20 +30,22 @@ int main() {
               << std::abs(order.RankOf(b1) - order.RankOf(b2)) << "\n";
   };
 
-  auto plain_engine = MakeOrderingEngine("spectral");
-  auto plain = (*plain_engine)->Order(points);
+  auto engine = MakeOrderingEngine("spectral");
+  if (!engine.ok()) {
+    std::cerr << engine.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  auto plain = (*engine)->Order(OrderingRequest::ForPoints(points));
   if (!plain.ok()) {
     std::cerr << plain.status() << "\n";
     return EXIT_FAILURE;
   }
   report("plain spectral    ", plain->order);
 
-  // Affinity edges tell the mapper these pairs behave as if adjacent.
-  OrderingEngineOptions options;
-  options.spectral.affinity_edges.push_back({a1, a2, 3.0});
-  options.spectral.affinity_edges.push_back({b1, b2, 3.0});
-  auto tuned_engine = MakeOrderingEngine("spectral", options);
-  auto tuned = (*tuned_engine)->Order(points);
+  // Affinity edges tell the mapper these pairs behave as if adjacent —
+  // the kPointsWithAffinity input kind.
+  auto tuned = (*engine)->Order(OrderingRequest::ForPointsWithAffinity(
+      points, {{a1, a2, 3.0}, {b1, b2, 3.0}}));
   if (!tuned.ok()) {
     std::cerr << tuned.status() << "\n";
     return EXIT_FAILURE;

@@ -7,7 +7,8 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/ordering_engine.h"
+#include "core/mapping_service.h"
+#include "core/ordering_request.h"
 #include "index/declustering.h"
 #include "query/range_query.h"
 #include "space/point_set.h"
@@ -18,14 +19,16 @@ int main() {
   const GridSpec grid({16, 16});
   const PointSet points = PointSet::FullGrid(grid);
 
-  auto order_by = [&](const char* engine_name) {
-    auto engine = MakeOrderingEngine(engine_name);
-    if (!engine.ok()) return StatusOr<OrderingResult>(engine.status());
-    return (*engine)->Order(points);
-  };
-  auto sweep = order_by("sweep");
-  auto hilbert = order_by("hilbert");
-  auto spectral_result = order_by("spectral");
+  // One batch, three engines: the service fans the solves out and would
+  // serve any repeat from its order cache.
+  MappingService service;
+  auto results = service.OrderBatch(std::vector<OrderingRequest>{
+      OrderingRequest::ForPoints(points, "sweep"),
+      OrderingRequest::ForPoints(points, "hilbert"),
+      OrderingRequest::ForPoints(points, "spectral")});
+  auto& sweep = results[0];
+  auto& hilbert = results[1];
+  auto& spectral_result = results[2];
   if (!sweep.ok() || !hilbert.ok() || !spectral_result.ok()) {
     std::cerr << "order construction failed\n";
     return EXIT_FAILURE;

@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "core/ordering_engine.h"
+#include "core/ordering_request.h"
 #include "core/serialization.h"
 #include "query/executor.h"
 #include "space/point_set.h"
@@ -42,7 +43,7 @@ int main() {
       std::cerr << engine.status() << "\n";
       return EXIT_FAILURE;
     }
-    auto mapped = (*engine)->Order(*loaded);
+    auto mapped = (*engine)->Order(OrderingRequest::ForPoints(*loaded));
     if (!mapped.ok()) {
       std::cerr << mapped.status() << "\n";
       return EXIT_FAILURE;
@@ -67,7 +68,12 @@ int main() {
   const GridRangeExecutor executor(grid, *order, exec_options);
 
   auto hilbert_engine = MakeOrderingEngine("hilbert");
-  auto hilbert = (*hilbert_engine)->Order(points);
+  if (!hilbert_engine.ok()) {
+    std::cerr << hilbert_engine.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  auto hilbert =
+      (*hilbert_engine)->Order(OrderingRequest::ForPoints(points, "hilbert"));
   if (!hilbert.ok()) {
     std::cerr << hilbert.status() << "\n";
     return EXIT_FAILURE;

@@ -1,12 +1,14 @@
 // Quickstart: map an 8x8 grid with Spectral LPM, compare it with the
-// Hilbert curve, and inspect the algebraic connectivity.
+// Hilbert curve, and batch repeated traffic through the MappingService
+// cache.
 //
 //   $ ./example_quickstart
 
 #include <cstdlib>
 #include <iostream>
 
-#include "core/ordering_engine.h"
+#include "core/mapping_service.h"
+#include "core/ordering_request.h"
 #include "space/point_set.h"
 
 int main() {
@@ -17,16 +19,16 @@ int main() {
   const GridSpec grid({8, 8});
   const PointSet points = PointSet::FullGrid(grid);
 
-  // 2. Every mapping method is an OrderingEngine constructed by name —
-  //    "spectral" runs the paper's pipeline (graph build -> Laplacian ->
-  //    Fiedler vector -> sort); OrderingEngineOptions control connectivity,
-  //    weights, affinity edges, and solver parallelism.
+  // 2. Every ask is an OrderingRequest: an engine name from the registry
+  //    ("spectral" runs the paper's pipeline: graph build -> Laplacian ->
+  //    Fiedler vector -> sort), a tagged input, and per-request options
+  //    (connectivity, weights, affinity edges, solver parallelism).
   auto engine = MakeOrderingEngine("spectral");
   if (!engine.ok()) {
     std::cerr << engine.status() << "\n";
     return EXIT_FAILURE;
   }
-  auto result = (*engine)->Order(points);
+  auto result = (*engine)->Order(OrderingRequest::ForPoints(points));
   if (!result.ok()) {
     std::cerr << "mapping failed: " << result.status() << "\n";
     return EXIT_FAILURE;
@@ -38,13 +40,15 @@ int main() {
   std::cout << "spectral order (rank of each cell):\n"
             << result->order.ToGridString(points) << "\n";
 
-  // 3. Compare with a fractal baseline — same interface, different name.
+  // 3. Compare with a fractal baseline — same request shape, different
+  //    engine name.
   auto hilbert_engine = MakeOrderingEngine("hilbert");
   if (!hilbert_engine.ok()) {
     std::cerr << hilbert_engine.status() << "\n";
     return EXIT_FAILURE;
   }
-  auto hilbert = (*hilbert_engine)->Order(points);
+  auto hilbert =
+      (*hilbert_engine)->Order(OrderingRequest::ForPoints(points, "hilbert"));
   if (!hilbert.ok()) {
     std::cerr << "hilbert failed: " << hilbert.status() << "\n";
     return EXIT_FAILURE;
@@ -52,7 +56,30 @@ int main() {
   std::cout << "hilbert order for comparison:\n"
             << hilbert->order.ToGridString(points) << "\n";
 
-  // 4. Use the order: rank lookups are O(1) in both directions.
+  // 4. Serving traffic: MappingService batches heterogeneous requests
+  //    across a shared worker pool and caches orders by request
+  //    fingerprint, so repeated asks cost zero additional eigensolves.
+  MappingService service;
+  const std::vector<OrderingRequest> batch = {
+      OrderingRequest::ForPoints(points, "spectral"),
+      OrderingRequest::ForPoints(points, "hilbert"),
+      OrderingRequest::ForPoints(points, "spectral"),  // served from cache
+  };
+  auto batched = service.OrderBatch(batch);
+  for (size_t i = 0; i < batched.size(); ++i) {
+    if (!batched[i].ok()) {
+      std::cerr << batched[i].status() << "\n";
+      return EXIT_FAILURE;
+    }
+    std::cout << "batch[" << i << "] " << batch[i].engine << ": "
+              << batched[i]->detail << "\n";
+  }
+  const MappingServiceStats stats = service.stats();
+  std::cout << "service stats: requests=" << stats.requests
+            << " solves=" << stats.solves << " hits=" << stats.cache_hits
+            << " misses=" << stats.cache_misses << "\n\n";
+
+  // 5. Use the order: rank lookups are O(1) in both directions.
   const std::vector<Coord> center = {4, 4};
   const int64_t point_index = grid.Flatten(center);
   std::cout << "cell (4,4) -> rank " << result->order.RankOf(point_index)

@@ -7,7 +7,8 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/ordering_engine.h"
+#include "core/mapping_service.h"
+#include "core/ordering_request.h"
 #include "index/packed_rtree.h"
 #include "util/random.h"
 #include "workload/generators.h"
@@ -26,18 +27,20 @@ int main() {
   };
   std::vector<Candidate> candidates;
 
-  for (const char* engine_name : {"sweep", "hilbert", "spectral"}) {
-    auto engine = MakeOrderingEngine(engine_name);
-    if (!engine.ok()) {
-      std::cerr << engine.status() << "\n";
+  const std::vector<const char*> engine_names = {"sweep", "hilbert",
+                                                 "spectral"};
+  std::vector<OrderingRequest> requests;
+  for (const char* engine_name : engine_names) {
+    requests.push_back(OrderingRequest::ForPoints(points, engine_name));
+  }
+  MappingService service;
+  auto results = service.OrderBatch(requests);
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) {
+      std::cerr << engine_names[i] << ": " << results[i].status() << "\n";
       return EXIT_FAILURE;
     }
-    auto result = (*engine)->Order(points);
-    if (!result.ok()) {
-      std::cerr << engine_name << ": order construction failed\n";
-      return EXIT_FAILURE;
-    }
-    candidates.push_back({engine_name, std::move(result->order)});
+    candidates.push_back({engine_names[i], std::move(results[i]->order)});
   }
 
   std::cout << "Packed R-tree from each order (leaf=16, fanout=8), 600 "

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "core/ordering_engine.h"
+#include "core/ordering_request.h"
 #include "graph/graph.h"
 
 int main() {
@@ -27,14 +28,14 @@ int main() {
   edges.push_back({8, 4, 0.5});
   const Graph graph = Graph::FromEdges(9, edges);
 
-  // The graph-overload capability: spectral-family engines accept a
-  // caller-built graph directly (curve engines report Unimplemented).
+  // The kGraph input kind: spectral-family engines accept a caller-built
+  // graph directly (curve engines report Unimplemented).
   auto engine = MakeOrderingEngine("spectral");
   if (!engine.ok() || !(*engine)->supports_graph_input()) {
     std::cerr << "spectral engine unavailable\n";
     return EXIT_FAILURE;
   }
-  auto result = (*engine)->OrderGraph(graph, nullptr);
+  auto result = (*engine)->Order(OrderingRequest::ForGraph(graph));
   if (!result.ok()) {
     std::cerr << result.status() << "\n";
     return EXIT_FAILURE;

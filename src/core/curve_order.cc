@@ -7,29 +7,35 @@
 
 namespace spectral {
 
-StatusOr<GridSpec> CurveEnclosingGrid(const PointSet& points, CurveKind kind) {
+namespace {
+
+// Smallest legal enclosing hyper-cube for a bounding box [lo, hi].
+StatusOr<GridSpec> GridForBounds(CurveKind kind, int dims,
+                                 const std::vector<Coord>& lo,
+                                 const std::vector<Coord>& hi) {
+  Coord extent = 1;
+  for (int a = 0; a < dims; ++a) {
+    extent = std::max(extent,
+                      static_cast<Coord>(hi[static_cast<size_t>(a)] -
+                                         lo[static_cast<size_t>(a)] + 1));
+  }
+  return EnclosingGridFor(kind, dims, extent);
+}
+
+}  // namespace
+
+StatusOr<LinearOrder> OrderByCurve(const PointSet& points, CurveKind kind,
+                                   GridSpec* grid_used) {
   if (points.empty()) {
     return InvalidArgumentError("cannot order an empty point set");
   }
   std::vector<Coord> lo, hi;
   points.Bounds(&lo, &hi);
-  Coord extent = 1;
-  for (int a = 0; a < points.dims(); ++a) {
-    extent = std::max(extent,
-                      static_cast<Coord>(hi[static_cast<size_t>(a)] -
-                                         lo[static_cast<size_t>(a)] + 1));
-  }
-  return EnclosingGridFor(kind, points.dims(), extent);
-}
-
-StatusOr<LinearOrder> OrderByCurve(const PointSet& points, CurveKind kind) {
-  auto grid = CurveEnclosingGrid(points, kind);
+  auto grid = GridForBounds(kind, points.dims(), lo, hi);
   if (!grid.ok()) return grid.status();
   auto curve = MakeCurve(kind, *grid);
   if (!curve.ok()) return curve.status();
 
-  std::vector<Coord> lo, hi;
-  points.Bounds(&lo, &hi);
   std::vector<uint64_t> keys(static_cast<size_t>(points.size()));
   std::vector<Coord> shifted(static_cast<size_t>(points.dims()));
   for (int64_t i = 0; i < points.size(); ++i) {
@@ -40,6 +46,7 @@ StatusOr<LinearOrder> OrderByCurve(const PointSet& points, CurveKind kind) {
     }
     keys[static_cast<size_t>(i)] = (*curve)->IndexOf(shifted);
   }
+  if (grid_used != nullptr) *grid_used = *grid;
   return LinearOrder::FromKeys(keys);
 }
 

@@ -13,17 +13,15 @@
 
 namespace spectral {
 
-/// The grid OrderByCurve instantiates for `points`: the smallest legal
-/// enclosing hyper-cube of the family after translating the bounding box to
-/// the origin. Exposed so diagnostics (e.g. the ordering-engine registry)
-/// report exactly the grid the order was built on.
-StatusOr<GridSpec> CurveEnclosingGrid(const PointSet& points, CurveKind kind);
-
 /// Orders `points` by `kind`. The points are translated to the origin and
-/// the curve is instantiated on CurveEnclosingGrid(points, kind) (exact
-/// extents for sweep/snake). Fails if the enclosing grid exceeds the curve
-/// family's index width.
-StatusOr<LinearOrder> OrderByCurve(const PointSet& points, CurveKind kind);
+/// the curve is instantiated on the smallest legal enclosing hyper-cube of
+/// the family (exact extents for sweep/snake). Fails if the enclosing grid
+/// exceeds the curve family's index width. When `grid_used` is non-null it
+/// receives the grid the order was built on (one bounding-box scan serves
+/// both), which is how the ordering-engine registry reports padding
+/// diagnostics.
+StatusOr<LinearOrder> OrderByCurve(const PointSet& points, CurveKind kind,
+                                   GridSpec* grid_used = nullptr);
 
 /// Orders `points` by an existing curve instance; every point must lie
 /// inside curve.grid().

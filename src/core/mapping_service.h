@@ -1,0 +1,119 @@
+// MappingService: the batching, caching front end over the OrderingEngine
+// registry — the seam a production deployment talks to.
+//
+//   MappingService service;
+//   auto result = service.Order(OrderingRequest::ForPoints(points));
+//   auto batch  = service.OrderBatch(requests);
+//
+// OrderBatch deduplicates requests by fingerprint, consults an LRU order
+// cache (keyed by OrderingRequest::Fingerprint(), a content hash of input +
+// options), and fans the remaining solves out largest-first across one
+// shared util/thread_pool. That same pool is handed down to the spectral
+// engines (SpectralLpmOptions::pool), so request fan-out, per-component
+// Fiedler solves, and row-partitioned matvecs all draw from a single set of
+// workers instead of nesting a pool per request.
+//
+// Determinism contract: results are byte-identical to issuing the requests
+// one at a time against a fresh engine — cache on or off, any parallelism —
+// because every engine solve is deterministic and independent. The only
+// service-added artifact is a " | cache=hit|miss|off" suffix on
+// OrderingResult::detail recording how each request was served; hit/miss/
+// eviction *counters* live in the MappingServiceStats struct. (One
+// divergence from a strict serial replay: within a batch, duplicate
+// requests are served from one solve even if a serial replay would have
+// evicted the entry in between; the order payload is identical either way.)
+
+#ifndef SPECTRAL_LPM_CORE_MAPPING_SERVICE_H_
+#define SPECTRAL_LPM_CORE_MAPPING_SERVICE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/ordering_engine.h"
+#include "core/ordering_request.h"
+#include "util/hash.h"
+#include "util/status.h"
+
+namespace spectral {
+
+class ThreadPool;
+
+/// Options for MappingService.
+struct MappingServiceOptions {
+  /// Worker threads shared by batch fan-out and the spectral engines'
+  /// component/matvec parallelism. 0 = hardware_concurrency, 1 = serial
+  /// (no pool; each request's own parallelism settings apply unchanged).
+  int parallelism = 0;
+  /// Capacity of the LRU order cache, in cached results. 0 disables
+  /// caching (batch-level deduplication still applies).
+  size_t cache_capacity = 128;
+};
+
+/// Service-level counters. Hits count requests served without running an
+/// engine (LRU hit or duplicate-in-batch); misses count engine solves.
+struct MappingServiceStats {
+  int64_t requests = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
+  /// Requests that returned an error (errors are never cached).
+  int64_t failures = 0;
+  /// Engine invocations actually run (== cache_misses).
+  int64_t solves = 0;
+  /// Eigensolver matvecs performed by those solves. Unchanged by a
+  /// warm-cache batch: repeats cost zero additional eigensolver work.
+  int64_t solver_matvecs = 0;
+};
+
+/// Thread-safe facade: Order/OrderBatch may be called from any thread.
+class MappingService {
+ public:
+  explicit MappingService(MappingServiceOptions options = {});
+  ~MappingService();
+  MappingService(const MappingService&) = delete;
+  MappingService& operator=(const MappingService&) = delete;
+
+  /// Orders one request (a batch of one: same cache, same counters).
+  StatusOr<OrderingResult> Order(const OrderingRequest& request);
+
+  /// Orders every request, returning results aligned with the input span.
+  /// Requests are deduplicated by fingerprint, cache-checked, and the
+  /// remaining solves run largest-first on the shared pool. A failed solve
+  /// fails every duplicate of that request with the same status.
+  std::vector<StatusOr<OrderingResult>> OrderBatch(
+      std::span<const OrderingRequest> requests);
+
+  MappingServiceStats stats() const;
+  /// Drops every cached order (counters are retained).
+  void ClearCache();
+  const MappingServiceOptions& options() const { return options_; }
+
+ private:
+  /// Moves `fingerprint` to the front of the LRU, inserting `result` if
+  /// absent; evicts from the back past capacity. Caller holds mu_.
+  void InsertLocked(const Fingerprint128& fingerprint,
+                    const OrderingResult& result);
+
+  const MappingServiceOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // null when serial
+
+  mutable std::mutex mu_;
+  // LRU: most recently used at the front; index_ points into lru_.
+  std::list<std::pair<Fingerprint128, OrderingResult>> lru_;
+  std::unordered_map<Fingerprint128,
+                     std::list<std::pair<Fingerprint128, OrderingResult>>::
+                         iterator,
+                     Fingerprint128Hash>
+      index_;
+  MappingServiceStats stats_;
+};
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_CORE_MAPPING_SERVICE_H_

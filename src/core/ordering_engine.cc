@@ -4,23 +4,44 @@
 #include <utility>
 
 #include "core/curve_order.h"
+#include "core/recursive_bisection.h"
+#include "core/spectral_lpm.h"
 #include "util/string_util.h"
 
 namespace spectral {
-
-StatusOr<OrderingResult> OrderingEngine::OrderGraph(const Graph& graph,
-                                                    const PointSet* points) const {
-  (void)graph;
-  (void)points;
-  return UnimplementedError("engine '" + std::string(name()) +
-                            "' does not accept graph input");
-}
 
 namespace {
 
 constexpr std::string_view kSpectralName = "spectral";
 constexpr std::string_view kSpectralMultilevelName = "spectral-multilevel";
 constexpr std::string_view kBisectionName = "bisection";
+
+// Shared preamble: structural validity plus the addressing check that keeps
+// MappingService routing and cache keys honest.
+Status CheckRequest(const OrderingRequest& request, std::string_view engine) {
+  if (Status s = request.Validate(); !s.ok()) return s;
+  if (request.engine != engine) {
+    return InvalidArgumentError("request addressed to engine '" +
+                                request.engine + "' given to engine '" +
+                                std::string(engine) + "'");
+  }
+  return OkStatus();
+}
+
+// The spectral configuration a request resolves to: the request's affinity
+// edges are appended to any configured ones, and the multilevel engine
+// applies its default threshold when the request leaves it unset.
+SpectralLpmOptions EffectiveSpectralOptions(const OrderingRequest& request,
+                                            bool multilevel_engine) {
+  SpectralLpmOptions spectral = request.options.spectral;
+  if (multilevel_engine && spectral.multilevel_threshold <= 0) {
+    spectral.multilevel_threshold = request.options.multilevel_default_threshold;
+  }
+  spectral.affinity_edges.insert(spectral.affinity_edges.end(),
+                                 request.affinity_edges.begin(),
+                                 request.affinity_edges.end());
+  return spectral;
+}
 
 OrderingResult FromSpectralResult(SpectralLpmResult result) {
   OrderingResult out;
@@ -40,65 +61,54 @@ OrderingResult FromSpectralResult(SpectralLpmResult result) {
 /// SpectralMapper.
 class SpectralEngine : public OrderingEngine {
  public:
-  SpectralEngine(std::string_view name, SpectralLpmOptions options)
-      : name_(name), mapper_(std::move(options)) {}
+  explicit SpectralEngine(bool multilevel)
+      : name_(multilevel ? kSpectralMultilevelName : kSpectralName),
+        multilevel_(multilevel) {}
 
   std::string_view name() const override { return name_; }
   bool supports_graph_input() const override { return true; }
 
-  StatusOr<OrderingResult> Order(const PointSet& points) const override {
-    auto result = mapper_.Map(points);
-    if (!result.ok()) return result.status();
-    return FromSpectralResult(std::move(*result));
-  }
-
-  StatusOr<OrderingResult> OrderGraph(const Graph& graph,
-                                      const PointSet* points) const override {
-    auto result = mapper_.MapGraph(graph, points);
+  StatusOr<OrderingResult> Order(const OrderingRequest& request) const override {
+    if (Status s = CheckRequest(request, name_); !s.ok()) return s;
+    const SpectralMapper mapper(EffectiveSpectralOptions(request, multilevel_));
+    auto result = request.input == OrderingInputKind::kGraph
+                      ? mapper.MapGraph(*request.graph, request.points.get())
+                      : mapper.Map(*request.points);
     if (!result.ok()) return result.status();
     return FromSpectralResult(std::move(*result));
   }
 
  private:
   std::string_view name_;
-  SpectralMapper mapper_;
+  bool multilevel_;
 };
 
 /// "bisection": recursive spectral median-cut adapter.
 class BisectionEngine : public OrderingEngine {
  public:
-  explicit BisectionEngine(RecursiveBisectionOptions options)
-      : options_(std::move(options)) {}
-
   std::string_view name() const override { return kBisectionName; }
   bool supports_graph_input() const override { return true; }
 
-  StatusOr<OrderingResult> Order(const PointSet& points) const override {
-    auto result = RecursiveSpectralOrder(points, options_);
+  StatusOr<OrderingResult> Order(const OrderingRequest& request) const override {
+    if (Status s = CheckRequest(request, kBisectionName); !s.ok()) return s;
+    RecursiveBisectionOptions options = request.options.bisection;
+    options.base = EffectiveSpectralOptions(request, /*multilevel_engine=*/false);
+    auto result =
+        request.input == OrderingInputKind::kGraph
+            ? RecursiveSpectralOrderGraph(*request.graph, request.points.get(),
+                                          options)
+            : RecursiveSpectralOrder(*request.points, options);
     if (!result.ok()) return result.status();
-    return FromBisectionResult(std::move(*result));
-  }
 
-  StatusOr<OrderingResult> OrderGraph(const Graph& graph,
-                                      const PointSet* points) const override {
-    auto result = RecursiveSpectralOrderGraph(graph, points, options_);
-    if (!result.ok()) return result.status();
-    return FromBisectionResult(std::move(*result));
-  }
-
- private:
-  static OrderingResult FromBisectionResult(RecursiveBisectionResult result) {
     OrderingResult out;
-    out.order = std::move(result.order);
+    out.order = std::move(result->order);
     out.method = "median-cut";
-    out.num_solves = result.num_solves;
-    out.depth = result.depth;
-    out.detail = "solves=" + FormatInt(result.num_solves) +
-                 " depth=" + FormatInt(result.depth);
+    out.num_solves = result->num_solves;
+    out.depth = result->depth;
+    out.detail = "solves=" + FormatInt(out.num_solves) +
+                 " depth=" + FormatInt(out.depth);
     return out;
   }
-
-  RecursiveBisectionOptions options_;
 };
 
 /// Curve-family adapter: orders by curve index on the smallest legal
@@ -109,17 +119,23 @@ class CurveEngine : public OrderingEngine {
 
   std::string_view name() const override { return CurveKindName(kind_); }
 
-  StatusOr<OrderingResult> Order(const PointSet& points) const override {
-    auto grid = CurveEnclosingGrid(points, kind_);
-    if (!grid.ok()) return grid.status();
-    auto order = OrderByCurve(points, kind_);
+  StatusOr<OrderingResult> Order(const OrderingRequest& request) const override {
+    if (Status s = CheckRequest(request, name()); !s.ok()) return s;
+    if (request.input != OrderingInputKind::kPoints) {
+      return UnimplementedError(
+          "engine '" + std::string(name()) +
+          "' is geometry-only: it accepts kPoints requests, not graphs or "
+          "affinity edges");
+    }
+    GridSpec grid = GridSpec::Uniform(1, 1);
+    auto order = OrderByCurve(*request.points, kind_, &grid);
     if (!order.ok()) return order.status();
 
     OrderingResult out;
     out.order = std::move(*order);
     out.method = std::string(CurveKindName(kind_));
-    out.grid_side = grid->side(0);
-    out.grid_cells = grid->NumCells();
+    out.grid_side = grid.side(0);
+    out.grid_cells = grid.NumCells();
     out.detail = "grid_side=" + FormatInt(out.grid_side) +
                  " grid_cells=" + FormatInt(out.grid_cells);
     return out;
@@ -142,24 +158,17 @@ std::vector<std::string> AllOrderingEngineNames() {
 }
 
 StatusOr<std::unique_ptr<OrderingEngine>> MakeOrderingEngine(
-    std::string_view name, const OrderingEngineOptions& options) {
+    std::string_view name) {
   if (name == kSpectralName) {
     return std::unique_ptr<OrderingEngine>(
-        new SpectralEngine(kSpectralName, options.spectral));
+        new SpectralEngine(/*multilevel=*/false));
   }
   if (name == kSpectralMultilevelName) {
-    SpectralLpmOptions spectral = options.spectral;
-    if (spectral.multilevel_threshold <= 0) {
-      spectral.multilevel_threshold = options.multilevel_default_threshold;
-    }
     return std::unique_ptr<OrderingEngine>(
-        new SpectralEngine(kSpectralMultilevelName, std::move(spectral)));
+        new SpectralEngine(/*multilevel=*/true));
   }
   if (name == kBisectionName) {
-    RecursiveBisectionOptions bisection = options.bisection;
-    bisection.base = options.spectral;
-    return std::unique_ptr<OrderingEngine>(
-        new BisectionEngine(std::move(bisection)));
+    return std::unique_ptr<OrderingEngine>(new BisectionEngine());
   }
   auto kind = CurveKindFromName(name);
   if (kind.ok()) {

@@ -1,13 +1,20 @@
-// OrderingEngine: one interface over every linear-order producer in the
-// library — the spectral mapper (the paper's contribution), recursive
-// spectral bisection, and all fractal/sweep curve baselines. Benches, the
-// CLI, and examples construct engines by name through MakeOrderingEngine
-// instead of switching on method enums, so adding a backend (a sharded
-// solver, a cached order store, a learned mapping) is one registry entry.
+// OrderingEngine: one request-based interface over every linear-order
+// producer in the library — the spectral mapper (the paper's contribution),
+// recursive spectral bisection, and all fractal/sweep curve baselines.
 //
-// The registry mirrors sfc/curve_registry.h one level up: curve names map
-// to CurveKind adapters, and the spectral family adds "spectral",
-// "spectral-multilevel", and "bisection".
+// The single entry point is Order(const OrderingRequest&): the request
+// names the engine, carries a tagged input (point set | caller-built graph
+// | points + affinity edges), and embeds the full option set, so engines
+// are stateless adapters and there is exactly one way to ask for an order.
+// Requests also expose a stable Fingerprint() (content hash of input +
+// options), which core/mapping_service.h uses to batch, deduplicate, and
+// cache orders across heterogeneous traffic.
+//
+// Consumers construct engines by name through MakeOrderingEngine — or, for
+// batching and caching, go through the MappingService facade — so adding a
+// backend (a sharded solver, a cached order store, a learned mapping) is
+// one registry entry that is instantly reachable from the CLI, the benches,
+// and the examples. The registry mirrors sfc/curve_registry.h one level up.
 
 #ifndef SPECTRAL_LPM_CORE_ORDERING_ENGINE_H_
 #define SPECTRAL_LPM_CORE_ORDERING_ENGINE_H_
@@ -19,11 +26,9 @@
 #include <vector>
 
 #include "core/linear_order.h"
-#include "core/recursive_bisection.h"
-#include "core/spectral_lpm.h"
-#include "graph/graph.h"
-#include "sfc/curve_registry.h"
-#include "space/point_set.h"
+#include "core/ordering_request.h"
+#include "linalg/vector_ops.h"
+#include "space/grid.h"
 #include "util/status.h"
 
 namespace spectral {
@@ -56,11 +61,13 @@ struct OrderingResult {
   int64_t grid_cells = 0;
 
   /// One-line, method-specific summary ("engine=lanczos", "grid_side=64",
-  /// ...) for CLIs and bench logs.
+  /// ...) for CLIs and bench logs. MappingService appends a " | cache=..."
+  /// suffix recording how it served the request.
   std::string detail;
 };
 
-/// Abstract producer of linear orders over point sets.
+/// Abstract producer of linear orders. Stateless: everything a solve needs
+/// travels in the request.
 class OrderingEngine {
  public:
   virtual ~OrderingEngine() = default;
@@ -68,44 +75,27 @@ class OrderingEngine {
   /// The registry name this engine was constructed under.
   virtual std::string_view name() const = 0;
 
-  /// True when OrderGraph is implemented: the spectral family accepts a
-  /// caller-built graph (section-4 custom weights); curve baselines are
+  /// True when kGraph requests are implemented: the spectral family accepts
+  /// a caller-built graph (section-4 custom weights); curve baselines are
   /// geometry-only and return Unimplemented.
   virtual bool supports_graph_input() const { return false; }
 
-  /// Orders `points`; the engine's geometry/graph pipeline is applied per
-  /// its construction-time options.
-  virtual StatusOr<OrderingResult> Order(const PointSet& points) const = 0;
-
-  /// Orders the vertices of `graph` (weights encode mapping priority).
-  /// `points` is optional and only used for degenerate-eigenspace
-  /// canonicalization. Default: Unimplemented.
-  virtual StatusOr<OrderingResult> OrderGraph(const Graph& graph,
-                                              const PointSet* points) const;
+  /// Runs the request. Returns InvalidArgument when the request fails
+  /// Validate() or names a different engine, and Unimplemented when this
+  /// engine cannot consume the request's input kind.
+  virtual StatusOr<OrderingResult> Order(
+      const OrderingRequest& request) const = 0;
 };
 
-/// Construction-time configuration shared by the registry.
-struct OrderingEngineOptions {
-  /// Graph build + eigensolver configuration for the spectral family (also
-  /// the `base` of bisection). `parallelism` lives here.
-  SpectralLpmOptions spectral;
-  /// multilevel_threshold used by "spectral-multilevel" when
-  /// spectral.multilevel_threshold is 0 (the flat engine's default).
-  int64_t multilevel_default_threshold = 256;
-  /// Recursion shape for "bisection"; its `base` member is ignored in favor
-  /// of `spectral` above.
-  RecursiveBisectionOptions bisection;
-};
-
-/// Every registry name, in presentation order: "spectral",
-/// "spectral-multilevel", "bisection", then the curve families
-/// ("sweep", "snake", "zorder", "gray", "hilbert", "peano", "spiral").
+/// Every registry name, in presentation order: the spectral family first,
+/// then the curve families (the concrete list lives in the registry; CLIs
+/// and error messages must derive their listings from this function).
 std::vector<std::string> AllOrderingEngineNames();
 
 /// Constructs the engine registered under `name`; NotFound for unknown
 /// names (the message lists the registry).
 StatusOr<std::unique_ptr<OrderingEngine>> MakeOrderingEngine(
-    std::string_view name, const OrderingEngineOptions& options = {});
+    std::string_view name);
 
 }  // namespace spectral
 

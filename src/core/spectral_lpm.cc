@@ -5,6 +5,7 @@
 #include <memory>
 #include <numeric>
 
+#include "eigen/operator.h"
 #include "graph/laplacian.h"
 #include "graph/traversal.h"
 #include "util/check.h"
@@ -108,16 +109,23 @@ StatusOr<SpectralLpmResult> SpectralMapper::MapGraph(
   };
   std::vector<ComponentSolve> solves(static_cast<size_t>(num_components));
 
-  int threads = options_.parallelism;
-  if (threads <= 0) threads = ThreadPool::DefaultThreads();
-  // Spawning workers is only worth it when there is concurrent work: more
-  // than one component, or a single component big enough for SparseOperator
-  // to row-partition its matvecs (2048 = its min_parallel_rows default).
-  const int64_t largest_component =
-      static_cast<int64_t>(members[static_cast<size_t>(comp_order[0])].size());
-  std::unique_ptr<ThreadPool> pool;
-  if (threads > 1 && (num_components > 1 || largest_component >= 2048)) {
-    pool = std::make_unique<ThreadPool>(threads);
+  // An external pool (options_.pool) is used as-is: the caller — typically
+  // MappingService fanning a batch out — already sized it, and sharing it
+  // avoids nesting one pool per request. Otherwise spawn our own, but only
+  // when there is concurrent work: more than one component, or a single
+  // component big enough for SparseOperator to row-partition its matvecs.
+  ThreadPool* pool = options_.pool;
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (pool == nullptr) {
+    int threads = options_.parallelism;
+    if (threads <= 0) threads = ThreadPool::DefaultThreads();
+    const int64_t largest_component = static_cast<int64_t>(
+        members[static_cast<size_t>(comp_order[0])].size());
+    if (threads > 1 &&
+        (num_components > 1 || largest_component >= kDefaultMinParallelRows)) {
+      owned_pool = std::make_unique<ThreadPool>(threads);
+      pool = owned_pool.get();
+    }
   }
 
   auto solve_component = [&](int64_t c) {
@@ -133,7 +141,7 @@ StatusOr<SpectralLpmResult> SpectralMapper::MapGraph(
     StatusOr<FiedlerResult> fiedler = [&]() -> StatusOr<FiedlerResult> {
       if (use_multilevel) {
         MultilevelOptions multilevel = options_.multilevel;
-        multilevel.fiedler.matvec_pool = pool.get();
+        multilevel.fiedler.matvec_pool = pool;
         return ComputeFiedlerMultilevel(sub, multilevel);
       }
       std::vector<Vector> axes;
@@ -143,7 +151,7 @@ StatusOr<SpectralLpmResult> SpectralMapper::MapGraph(
         axes = sub_points.CenteredAxisFunctions();
       }
       FiedlerOptions fiedler_options = options_.fiedler;
-      fiedler_options.matvec_pool = pool.get();
+      fiedler_options.matvec_pool = pool;
       return ComputeFiedler(BuildLaplacian(sub), fiedler_options, axes);
     }();
     if (!fiedler.ok()) {
@@ -158,10 +166,13 @@ StatusOr<SpectralLpmResult> SpectralMapper::MapGraph(
   };
 
   if (pool != nullptr) {
-    for (int64_t c : comp_order) {
-      pool->Submit([&solve_component, c] { solve_component(c); });
-    }
-    pool->WaitIdle();
+    // ParallelFor (not Submit + WaitIdle) so this stays deadlock-free when
+    // the mapper itself runs inside a task of an external pool: the caller
+    // participates in draining chunks. The atomic cursor walks comp_order,
+    // preserving the largest-first schedule.
+    pool->ParallelFor(0, num_components, 1, [&](int64_t i) {
+      solve_component(comp_order[static_cast<size_t>(i)]);
+    });
   } else {
     for (int64_t c : comp_order) solve_component(c);
   }

@@ -64,6 +64,16 @@ struct SpectralLpmOptions {
   /// and deterministic, and the concatenation order is fixed before any
   /// solve starts.
   int parallelism = 0;
+  /// Optional external worker pool (not owned; must outlive the call). When
+  /// set, component solves and row-partitioned matvecs run on this pool and
+  /// `parallelism` is ignored — MappingService hands its batch fan-out pool
+  /// down here so one set of workers serves requests, components, and
+  /// matvecs instead of pools nesting. Safe to use when the mapper itself
+  /// runs inside a task of the same pool (the loops are ParallelFor-based:
+  /// the caller participates, so they degrade to serial instead of
+  /// deadlocking). Like `parallelism`, it never changes the result and is
+  /// excluded from request fingerprints.
+  ThreadPool* pool = nullptr;
 };
 
 /// Result of a spectral mapping.

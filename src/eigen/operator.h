@@ -14,6 +14,11 @@ namespace spectral {
 
 class ThreadPool;
 
+/// Below this many rows a matvec is not worth partitioning; shared with
+/// core/spectral_lpm.cc's "is a pool worth spawning" gate so the two sites
+/// cannot drift apart.
+inline constexpr int64_t kDefaultMinParallelRows = 2048;
+
 /// Square linear operator interface.
 class LinearOperator {
  public:
@@ -37,7 +42,7 @@ class SparseOperator : public LinearOperator {
   /// `min_parallel_rows` keeps the serial path.
   explicit SparseOperator(const SparseMatrix* matrix,
                           ThreadPool* pool = nullptr,
-                          int64_t min_parallel_rows = 2048);
+                          int64_t min_parallel_rows = kDefaultMinParallelRows);
 
   int64_t Dim() const override;
   void Apply(std::span<const double> x, std::span<double> y) const override;

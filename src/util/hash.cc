@@ -1,0 +1,82 @@
+#include "util/hash.h"
+
+#include <bit>
+
+namespace spectral {
+
+namespace {
+
+// splitmix64 finalizer: full-avalanche mixing of one 64-bit word.
+uint64_t Avalanche(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Hasher::Hasher()
+    : h1_(0x6a09e667f3bcc908ull),  // sqrt(2), sqrt(3) fractional bits
+      h2_(0xbb67ae8584caa73bull) {}
+
+Hasher& Hasher::MixUint(uint64_t value) {
+  // Each lane folds the value with a distinct rotation of the position
+  // counter, so the pair (position, value) decides the contribution.
+  const uint64_t tagged = Avalanche(value + 0x9e3779b97f4a7c15ull * count_);
+  h1_ = Avalanche(h1_ ^ tagged);
+  h2_ = Avalanche(h2_ + std::rotl(tagged, 32));
+  ++count_;
+  return *this;
+}
+
+Hasher& Hasher::MixInt(int64_t value) {
+  return MixUint(static_cast<uint64_t>(value));
+}
+
+Hasher& Hasher::MixDouble(double value) {
+  return MixUint(std::bit_cast<uint64_t>(value));
+}
+
+Hasher& Hasher::MixBool(bool value) { return MixUint(value ? 1u : 0u); }
+
+Hasher& Hasher::MixString(std::string_view value) {
+  MixUint(value.size());
+  uint64_t word = 0;
+  int filled = 0;
+  for (const char c : value) {
+    word = (word << 8) | static_cast<uint8_t>(c);
+    if (++filled == 8) {
+      MixUint(word);
+      word = 0;
+      filled = 0;
+    }
+  }
+  if (filled > 0) MixUint(word);
+  return *this;
+}
+
+Hasher& Hasher::MixDoubles(std::span<const double> values) {
+  MixUint(values.size());
+  for (const double v : values) MixDouble(v);
+  return *this;
+}
+
+Fingerprint128 Hasher::Finish() const {
+  Fingerprint128 fp;
+  fp.hi = Avalanche(h1_ ^ Avalanche(count_));
+  fp.lo = Avalanche(h2_ + h1_);
+  return fp;
+}
+
+std::string Fingerprint128::ToHex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<size_t>(15 - i)] = kDigits[(hi >> (4 * i)) & 0xf];
+    out[static_cast<size_t>(31 - i)] = kDigits[(lo >> (4 * i)) & 0xf];
+  }
+  return out;
+}
+
+}  // namespace spectral

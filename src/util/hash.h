@@ -1,0 +1,80 @@
+// Stable content hashing for cache keys. Hasher folds typed fields into a
+// 128-bit Fingerprint128 whose value depends only on the mixed content (not
+// on process, platform, or pointer identity), so fingerprints are safe to
+// persist and to compare across runs. The primary consumer is
+// OrderingRequest::Fingerprint(), the key of MappingService's order cache.
+//
+// This is not a cryptographic hash: two lanes of multiply-xor mixing with a
+// splitmix-style finalizer. 128 bits keeps accidental collisions out of
+// reach for any realistic cache population.
+
+#ifndef SPECTRAL_LPM_UTIL_HASH_H_
+#define SPECTRAL_LPM_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace spectral {
+
+/// A 128-bit content hash. Value-comparable and hashable, so it can key an
+/// unordered_map directly (see Fingerprint128Hash).
+struct Fingerprint128 {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  friend bool operator==(const Fingerprint128& a, const Fingerprint128& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const Fingerprint128& a, const Fingerprint128& b) {
+    return !(a == b);
+  }
+
+  /// 32 lowercase hex digits (hi then lo), for logs and bench output.
+  std::string ToHex() const;
+};
+
+/// std::hash-style functor for unordered containers keyed by fingerprint.
+struct Fingerprint128Hash {
+  size_t operator()(const Fingerprint128& fp) const {
+    return static_cast<size_t>(fp.hi ^ fp.lo);
+  }
+};
+
+/// Accumulates typed fields into a Fingerprint128. Each Mix* call folds the
+/// value plus an implicit position counter, so field order matters and
+/// adjacent fields cannot alias ("ab" + "c" != "a" + "bc").
+class Hasher {
+ public:
+  Hasher();
+
+  Hasher& MixUint(uint64_t value);
+  Hasher& MixInt(int64_t value);
+  /// Hashes the IEEE-754 bit pattern; +0.0 and -0.0 therefore differ, as do
+  /// distinct NaN payloads. Equal doubles always hash equal.
+  Hasher& MixDouble(double value);
+  Hasher& MixBool(bool value);
+  /// Length-prefixed, so strings never alias with their neighbors.
+  Hasher& MixString(std::string_view value);
+  Hasher& MixDoubles(std::span<const double> values);
+
+  /// Any enum folds as its underlying integral value.
+  template <typename E>
+  Hasher& MixEnum(E value) {
+    return MixInt(static_cast<int64_t>(value));
+  }
+
+  /// The fingerprint of everything mixed so far (does not reset).
+  Fingerprint128 Finish() const;
+
+ private:
+  uint64_t h1_;
+  uint64_t h2_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_UTIL_HASH_H_

@@ -6,7 +6,8 @@
 #include <gtest/gtest.h>
 
 #include "core/curve_order.h"
-#include "core/spectral_lpm.h"
+#include "core/ordering_engine.h"
+#include "core/ordering_request.h"
 #include "eigen/fiedler.h"
 #include "graph/grid_graph.h"
 #include "graph/laplacian.h"
@@ -43,7 +44,9 @@ TEST(Arrangement, LowerBoundHolsForEveryMapping) {
   const GridSpec grid({6, 6});
   const PointSet points = PointSet::FullGrid(grid);
   const Graph g = BuildGridGraph(grid);
-  auto spectral_result = SpectralMapper().Map(points);
+  auto engine = MakeOrderingEngine("spectral");
+  ASSERT_TRUE(engine.ok());
+  auto spectral_result = (*engine)->Order(OrderingRequest::ForPoints(points));
   ASSERT_TRUE(spectral_result.ok());
   const double bound =
       SquaredArrangementLowerBound(spectral_result->lambda2, 36);
@@ -97,7 +100,9 @@ TEST(RankCorrelation, SpectralCloserToSnakeThanToScrambled) {
   const PointSet points = PointSet::FullGrid(grid);
   auto snake = OrderByCurve(points, CurveKind::kSnake);
   ASSERT_TRUE(snake.ok());
-  auto spectral_result = SpectralMapper().Map(points);
+  auto engine = MakeOrderingEngine("spectral");
+  ASSERT_TRUE(engine.ok());
+  auto spectral_result = (*engine)->Order(OrderingRequest::ForPoints(points));
   ASSERT_TRUE(spectral_result.ok());
 
   std::vector<int64_t> spec_ranks(64), snake_ranks(64), scram_ranks(64);

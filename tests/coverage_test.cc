@@ -7,7 +7,8 @@
 
 #include <gtest/gtest.h>
 
-#include "core/spectral_lpm.h"
+#include "core/ordering_engine.h"
+#include "core/ordering_request.h"
 #include "eigen/fiedler.h"
 #include "eigen/lanczos.h"
 #include "eigen/operator.h"
@@ -189,7 +190,9 @@ TEST(ForEachRangeQuery, VisitsEveryPlacementWithCorrectVolume) {
 TEST(ForEachRangeQuery, AgreesWithEvaluate) {
   const GridSpec grid({6, 6});
   const PointSet points = PointSet::FullGrid(grid);
-  auto order = SpectralMapper().Map(points);
+  auto engine = MakeOrderingEngine("spectral");
+  ASSERT_TRUE(engine.ok());
+  auto order = (*engine)->Order(OrderingRequest::ForPoints(points));
   ASSERT_TRUE(order.ok());
   RangeQueryShape shape;
   shape.extents = {3, 2};
@@ -206,10 +209,12 @@ TEST(ForEachRangeQuery, AgreesWithEvaluate) {
 }
 
 TEST(MapperOptions, QuantizationDisabledStillValid) {
-  SpectralLpmOptions options;
-  options.rank_quantum_rel = 0.0;  // raw double ordering
   const PointSet points = PointSet::FullGrid(GridSpec({6, 4}));
-  auto result = SpectralMapper(options).Map(points);
+  OrderingRequest request = OrderingRequest::ForPoints(points);
+  request.options.spectral.rank_quantum_rel = 0.0;  // raw double ordering
+  auto engine = MakeOrderingEngine("spectral");
+  ASSERT_TRUE(engine.ok());
+  auto result = (*engine)->Order(request);
   ASSERT_TRUE(result.ok());
   std::vector<bool> seen(24, false);
   for (int64_t i = 0; i < 24; ++i) {
@@ -219,14 +224,16 @@ TEST(MapperOptions, QuantizationDisabledStillValid) {
 }
 
 TEST(MapperOptions, CanonicalizationOffIsStillOptimal) {
-  SpectralLpmOptions options;
-  options.canonicalize_with_axes = false;
   const GridSpec grid({5, 5});
   const PointSet points = PointSet::FullGrid(grid);
-  auto result = SpectralMapper(options).Map(points);
+  OrderingRequest request = OrderingRequest::ForPoints(points);
+  request.options.spectral.canonicalize_with_axes = false;
+  auto engine = MakeOrderingEngine("spectral");
+  ASSERT_TRUE(engine.ok());
+  auto result = (*engine)->Order(request);
   ASSERT_TRUE(result.ok());
   const Graph g = BuildGridGraph(grid);
-  EXPECT_NEAR(DirichletEnergy(g, result->values), result->lambda2, 1e-7);
+  EXPECT_NEAR(DirichletEnergy(g, result->embedding), result->lambda2, 1e-7);
 }
 
 }  // namespace

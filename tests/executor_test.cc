@@ -3,7 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "core/curve_order.h"
-#include "core/spectral_lpm.h"
+#include "core/ordering_engine.h"
+#include "core/ordering_request.h"
 #include "query/executor.h"
 #include "storage/layout.h"
 
@@ -103,7 +104,9 @@ TEST(Executor, BetterOrderScansFewerRecords) {
 TEST(Executor, SpectralEndToEnd) {
   const GridSpec grid({8, 8});
   const PointSet points = PointSet::FullGrid(grid);
-  auto mapped = SpectralMapper().Map(points);
+  auto engine = MakeOrderingEngine("spectral");
+  ASSERT_TRUE(engine.ok());
+  auto mapped = (*engine)->Order(OrderingRequest::ForPoints(points));
   ASSERT_TRUE(mapped.ok());
   GridRangeExecutor::Options options;
   options.page_size = 8;

@@ -8,7 +8,8 @@
 #include <gtest/gtest.h>
 
 #include "core/curve_order.h"
-#include "core/spectral_lpm.h"
+#include "core/ordering_engine.h"
+#include "core/ordering_request.h"
 #include "graph/grid_graph.h"
 #include "graph/laplacian.h"
 #include "query/pair_metrics.h"
@@ -18,24 +19,30 @@
 namespace spectral {
 namespace {
 
+// One engine request per registry name; engines that cannot handle the
+// grid shape (e.g. spiral off a square) are skipped.
 std::map<std::string, LinearOrder> AllOrders(const PointSet& points) {
   std::map<std::string, LinearOrder> orders;
-  for (CurveKind kind : AllCurveKinds()) {
-    auto order = OrderByCurve(points, kind);
-    if (order.ok()) orders.emplace(CurveKindName(kind), std::move(*order));
-  }
-  auto spectral_result = SpectralMapper().Map(points);
-  if (spectral_result.ok()) {
-    orders.emplace("spectral", std::move(spectral_result->order));
+  for (const std::string& name : AllOrderingEngineNames()) {
+    auto engine = MakeOrderingEngine(name);
+    if (!engine.ok()) continue;
+    auto result = (*engine)->Order(OrderingRequest::ForPoints(points, name));
+    if (result.ok()) orders.emplace(name, std::move(result->order));
   }
   return orders;
+}
+
+StatusOr<OrderingResult> SpectralOrder(const OrderingRequest& request) {
+  auto engine = MakeOrderingEngine("spectral");
+  if (!engine.ok()) return engine.status();
+  return (*engine)->Order(request);
 }
 
 TEST(Integration, AllMappingsArePermutations) {
   const GridSpec grid({6, 6});
   const PointSet points = PointSet::FullGrid(grid);
   const auto orders = AllOrders(points);
-  EXPECT_GE(orders.size(), 6u);
+  EXPECT_GE(orders.size(), 7u);
   for (const auto& [name, order] : orders) {
     std::vector<bool> seen(static_cast<size_t>(order.size()), false);
     for (int64_t i = 0; i < order.size(); ++i) {
@@ -54,7 +61,7 @@ TEST(Integration, Lambda2LowerBoundsEveryOrder) {
   const GridSpec grid({8, 8});
   const PointSet points = PointSet::FullGrid(grid);
   const Graph g = BuildGridGraph(grid);
-  auto spectral_result = SpectralMapper().Map(points);
+  auto spectral_result = SpectralOrder(OrderingRequest::ForPoints(points));
   ASSERT_TRUE(spectral_result.ok());
   const double lambda2 = spectral_result->lambda2;
 
@@ -74,9 +81,9 @@ TEST(Integration, SpectralValuesAchieveTheBound) {
   const GridSpec grid({8, 8});
   const PointSet points = PointSet::FullGrid(grid);
   const Graph g = BuildGridGraph(grid);
-  auto result = SpectralMapper().Map(points);
+  auto result = SpectralOrder(OrderingRequest::ForPoints(points));
   ASSERT_TRUE(result.ok());
-  EXPECT_NEAR(DirichletEnergy(g, result->values), result->lambda2, 1e-7);
+  EXPECT_NEAR(DirichletEnergy(g, result->embedding), result->lambda2, 1e-7);
 }
 
 TEST(Integration, SpectralBeatsBaselinesOnPartialRangeQueries) {
@@ -89,7 +96,7 @@ TEST(Integration, SpectralBeatsBaselinesOnPartialRangeQueries) {
   auto hilbert = OrderByCurve(points, CurveKind::kHilbert);
   ASSERT_TRUE(sweep.ok());
   ASSERT_TRUE(hilbert.ok());
-  auto spectral_result = SpectralMapper().Map(points);
+  auto spectral_result = SpectralOrder(OrderingRequest::ForPoints(points));
   ASSERT_TRUE(spectral_result.ok());
 
   const auto shapes = ShapesForVolume(grid, 0.02);
@@ -189,7 +196,7 @@ TEST(Integration, FiveDimensionalPipeline) {
   const GridSpec grid = GridSpec::Uniform(5, 2);
   const PointSet points = PointSet::FullGrid(grid);
   const auto orders = AllOrders(points);
-  EXPECT_GE(orders.size(), 6u);
+  EXPECT_GE(orders.size(), 7u);
   const std::vector<int64_t> distances = {1, 2, 3};
   for (const auto& [name, order] : orders) {
     const auto series = ComputePairDistanceSeries(points, order, distances);
@@ -208,11 +215,10 @@ TEST(Integration, WeightedAffinityImprovesTraceLocality) {
   const int64_t p = grid.Flatten(std::vector<Coord>{0, 0});
   const int64_t q = grid.Flatten(std::vector<Coord>{5, 5});
 
-  auto plain = SpectralMapper().Map(points);
+  auto plain = SpectralOrder(OrderingRequest::ForPoints(points));
   ASSERT_TRUE(plain.ok());
-  SpectralLpmOptions options;
-  options.affinity_edges.push_back({p, q, 5.0});
-  auto tuned = SpectralMapper(options).Map(points);
+  auto tuned = SpectralOrder(
+      OrderingRequest::ForPointsWithAffinity(points, {{p, q, 5.0}}));
   ASSERT_TRUE(tuned.ok());
 
   const int64_t before = std::abs(plain->order.RankOf(p) - plain->order.RankOf(q));

@@ -1,0 +1,278 @@
+// MappingService tests — the facade's determinism and caching contract:
+// OrderBatch results are byte-identical to per-request serial engine calls
+// (cache on or off, any parallelism), a warm-cache batch performs zero
+// additional eigensolves (the matvec counter is unchanged), duplicates
+// within a batch are deduplicated, and the LRU evicts with counters.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/mapping_service.h"
+#include "core/ordering_engine.h"
+#include "core/ordering_request.h"
+#include "space/point_set.h"
+
+namespace spectral {
+namespace {
+
+std::vector<int64_t> Ranks(const LinearOrder& order) {
+  std::vector<int64_t> ranks(static_cast<size_t>(order.size()));
+  for (int64_t i = 0; i < order.size(); ++i) {
+    ranks[static_cast<size_t>(i)] = order.RankOf(i);
+  }
+  return ranks;
+}
+
+// Drops the service's " | cache=..." detail suffix; everything else in the
+// result must match the engine's output byte for byte.
+std::string StripCacheTag(const std::string& detail) {
+  const size_t pos = detail.rfind(" | cache=");
+  return pos == std::string::npos ? detail : detail.substr(0, pos);
+}
+
+// Full-payload equality between a service result and a direct engine
+// reference: order, embedding, and every diagnostic.
+void ExpectSameResult(const OrderingResult& service_result,
+                      const OrderingResult& reference) {
+  EXPECT_EQ(Ranks(service_result.order), Ranks(reference.order));
+  EXPECT_EQ(service_result.embedding, reference.embedding);
+  EXPECT_EQ(service_result.lambda2, reference.lambda2);
+  EXPECT_EQ(service_result.matvecs, reference.matvecs);
+  EXPECT_EQ(service_result.num_components, reference.num_components);
+  EXPECT_EQ(service_result.method, reference.method);
+  EXPECT_EQ(service_result.num_solves, reference.num_solves);
+  EXPECT_EQ(service_result.depth, reference.depth);
+  EXPECT_EQ(service_result.grid_side, reference.grid_side);
+  EXPECT_EQ(service_result.grid_cells, reference.grid_cells);
+  EXPECT_EQ(StripCacheTag(service_result.detail), reference.detail);
+}
+
+// A heterogeneous batch: several engines, a disconnected input, an option
+// variant, and an affinity request.
+std::vector<OrderingRequest> MixedRequests(const PointSet& grid_points,
+                                           const PointSet& islands) {
+  std::vector<OrderingRequest> requests;
+  requests.push_back(OrderingRequest::ForPoints(grid_points, "spectral"));
+  requests.push_back(OrderingRequest::ForPoints(grid_points, "hilbert"));
+  requests.push_back(OrderingRequest::ForPoints(islands, "spectral"));
+  requests.push_back(OrderingRequest::ForPoints(grid_points, "bisection"));
+  OrderingRequest moore = OrderingRequest::ForPoints(grid_points, "spectral");
+  moore.options.spectral.graph.connectivity = GridConnectivity::kMoore;
+  requests.push_back(std::move(moore));
+  requests.push_back(OrderingRequest::ForPointsWithAffinity(
+      grid_points, {{0, 63, 4.0}}, "spectral"));
+  requests.push_back(OrderingRequest::ForPoints(grid_points, "sweep"));
+  return requests;
+}
+
+PointSet Islands() {
+  PointSet points(2);
+  for (Coord i = 0; i < 6; ++i) points.Add(std::vector<Coord>{0, i});
+  for (Coord i = 0; i < 4; ++i) points.Add(std::vector<Coord>{500, i});
+  for (Coord i = 0; i < 3; ++i) points.Add(std::vector<Coord>{900, i});
+  return points;
+}
+
+class MappingServiceBatchTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MappingServiceBatchTest, BatchMatchesSerialEngineCalls) {
+  // The acceptance contract: OrderBatch == per-request serial Order calls,
+  // byte for byte, with the cache on or off and at any parallelism.
+  const PointSet grid_points = PointSet::FullGrid(GridSpec({8, 8}));
+  const PointSet islands = Islands();
+  const std::vector<OrderingRequest> requests =
+      MixedRequests(grid_points, islands);
+
+  // Reference: each request against a fresh engine, no service involved.
+  std::vector<OrderingResult> reference;
+  for (const OrderingRequest& request : requests) {
+    auto engine = MakeOrderingEngine(request.engine);
+    ASSERT_TRUE(engine.ok());
+    auto result = (*engine)->Order(request);
+    ASSERT_TRUE(result.ok()) << result.status();
+    reference.push_back(*result);
+  }
+
+  for (const size_t cache_capacity : {size_t{0}, size_t{64}}) {
+    MappingServiceOptions options;
+    options.parallelism = GetParam();
+    options.cache_capacity = cache_capacity;
+    MappingService service(options);
+    auto results = service.OrderBatch(requests);
+    ASSERT_EQ(results.size(), requests.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].ok())
+          << "parallelism=" << GetParam() << " cache=" << cache_capacity
+          << " slot " << i << ": " << results[i].status();
+      ExpectSameResult(*results[i], reference[i]);
+    }
+
+    // A second, cached pass returns the same bytes again.
+    auto warm = service.OrderBatch(requests);
+    for (size_t i = 0; i < warm.size(); ++i) {
+      ASSERT_TRUE(warm[i].ok());
+      ExpectSameResult(*warm[i], reference[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Parallelism, MappingServiceBatchTest,
+                         ::testing::Values(1, 2, 8));
+
+TEST(MappingService, WarmCacheBatchPerformsZeroAdditionalEigensolves) {
+  // 16x16 = 256 vertices clears the dense_threshold, so the spectral
+  // requests go through Lanczos and the matvec counter is non-trivial.
+  const PointSet grid_points = PointSet::FullGrid(GridSpec({16, 16}));
+  const PointSet islands = Islands();
+  const std::vector<OrderingRequest> requests =
+      MixedRequests(grid_points, islands);
+
+  MappingService service;
+  auto cold = service.OrderBatch(requests);
+  for (const auto& r : cold) ASSERT_TRUE(r.ok());
+  const MappingServiceStats after_cold = service.stats();
+  EXPECT_GT(after_cold.solver_matvecs, 0);
+  EXPECT_EQ(after_cold.solves, static_cast<int64_t>(requests.size()));
+
+  auto warm = service.OrderBatch(requests);
+  for (const auto& r : warm) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_NE(r->detail.find(" | cache=hit"), std::string::npos);
+  }
+  const MappingServiceStats after_warm = service.stats();
+  // Zero additional engine work: matvec and solve counters are unchanged.
+  EXPECT_EQ(after_warm.solver_matvecs, after_cold.solver_matvecs);
+  EXPECT_EQ(after_warm.solves, after_cold.solves);
+  EXPECT_EQ(after_warm.cache_hits,
+            after_cold.cache_hits + static_cast<int64_t>(requests.size()));
+  EXPECT_EQ(after_warm.cache_misses, after_cold.cache_misses);
+}
+
+TEST(MappingService, DuplicatesWithinABatchSolveOnce) {
+  const PointSet points = PointSet::FullGrid(GridSpec({8, 8}));
+  const OrderingRequest request = OrderingRequest::ForPoints(points);
+  const std::vector<OrderingRequest> batch = {request, request, request};
+
+  MappingService service;
+  auto results = service.OrderBatch(batch);
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) ASSERT_TRUE(r.ok());
+
+  const MappingServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 3);
+  EXPECT_EQ(stats.solves, 1);
+  EXPECT_EQ(stats.cache_misses, 1);
+  EXPECT_EQ(stats.cache_hits, 2);
+
+  // The annotation mirrors a serial replay: first occurrence missed, the
+  // repeats hit; the payloads are identical bytes.
+  EXPECT_NE(results[0]->detail.find(" | cache=miss"), std::string::npos);
+  EXPECT_NE(results[1]->detail.find(" | cache=hit"), std::string::npos);
+  EXPECT_NE(results[2]->detail.find(" | cache=hit"), std::string::npos);
+  EXPECT_EQ(Ranks(results[0]->order), Ranks(results[1]->order));
+  EXPECT_EQ(results[0]->embedding, results[2]->embedding);
+}
+
+TEST(MappingService, CacheOffStillDeduplicatesButNeverHits) {
+  const PointSet points = PointSet::FullGrid(GridSpec({6, 6}));
+  const OrderingRequest request = OrderingRequest::ForPoints(points);
+
+  MappingServiceOptions options;
+  options.cache_capacity = 0;
+  MappingService service(options);
+  auto results = service.OrderBatch(
+      std::vector<OrderingRequest>{request, request});
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_NE(r->detail.find(" | cache=off"), std::string::npos);
+  }
+  EXPECT_EQ(service.stats().solves, 1);
+
+  // A later batch re-solves: nothing was retained.
+  auto again = service.Order(request);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(service.stats().solves, 2);
+}
+
+TEST(MappingService, LruEvictsAndCountsEvictions) {
+  const PointSet a = PointSet::FullGrid(GridSpec({5, 5}));
+  const PointSet b = PointSet::FullGrid(GridSpec({6, 6}));
+
+  MappingServiceOptions options;
+  options.cache_capacity = 1;
+  options.parallelism = 1;
+  MappingService service(options);
+
+  ASSERT_TRUE(service.Order(OrderingRequest::ForPoints(a)).ok());  // miss
+  ASSERT_TRUE(service.Order(OrderingRequest::ForPoints(b)).ok());  // miss, evicts a
+  auto re_a = service.Order(OrderingRequest::ForPoints(a));        // miss again
+  ASSERT_TRUE(re_a.ok());
+  EXPECT_NE(re_a->detail.find(" | cache=miss"), std::string::npos);
+
+  const MappingServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cache_misses, 3);
+  EXPECT_EQ(stats.cache_hits, 0);
+  EXPECT_GE(stats.cache_evictions, 2);
+
+  service.ClearCache();
+  auto after_clear = service.Order(OrderingRequest::ForPoints(a));
+  ASSERT_TRUE(after_clear.ok());
+  EXPECT_NE(after_clear->detail.find(" | cache=miss"), std::string::npos);
+}
+
+TEST(MappingService, ErrorsPropagateAndAreNeverCached) {
+  const PointSet points = PointSet::FullGrid(GridSpec({4, 4}));
+
+  MappingService service;
+  // Unknown engine: NotFound, aligned with its slot; no engine ever ran,
+  // so the solve/miss counters stay untouched.
+  auto unknown =
+      service.Order(OrderingRequest::ForPoints(points, "no-such-engine"));
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(service.stats().solves, 0);
+  EXPECT_EQ(service.stats().cache_misses, 0);
+  EXPECT_EQ(service.stats().failures, 1);
+
+  // Invalid affinity endpoint: the engine rejects it; repeats re-fail (the
+  // error was not cached) and the failure counter advances.
+  const OrderingRequest bad = OrderingRequest::ForPointsWithAffinity(
+      points, {{0, 99, 1.0}});
+  const int64_t failures_before = service.stats().failures;
+  ASSERT_FALSE(service.Order(bad).ok());
+  ASSERT_FALSE(service.Order(bad).ok());
+  const MappingServiceStats stats = service.stats();
+  EXPECT_EQ(stats.failures, failures_before + 2);
+
+  // A structurally invalid request is rejected before reaching any engine.
+  OrderingRequest invalid;
+  auto res = service.Order(invalid);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+
+  // Healthy traffic is unaffected by the failures around it.
+  auto ok = service.Order(OrderingRequest::ForPoints(points));
+  ASSERT_TRUE(ok.ok()) << ok.status();
+}
+
+TEST(MappingService, GraphRequestsFlowThroughTheFacade) {
+  const std::vector<GraphEdge> edges = {
+      {0, 1, 4.0}, {1, 2, 4.0}, {2, 3, 0.5}, {3, 4, 4.0}, {4, 5, 4.0}};
+  const Graph graph = Graph::FromEdges(6, edges);
+
+  MappingService service;
+  auto first = service.Order(OrderingRequest::ForGraph(graph));
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->order.size(), 6);
+
+  auto second = service.Order(OrderingRequest::ForGraph(graph));
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(second->detail.find(" | cache=hit"), std::string::npos);
+  EXPECT_EQ(Ranks(first->order), Ranks(second->order));
+  EXPECT_EQ(first->embedding, second->embedding);
+}
+
+}  // namespace
+}  // namespace spectral

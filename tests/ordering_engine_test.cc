@@ -1,7 +1,7 @@
 // OrderingEngine registry tests: round-trip construction of every name,
-// adapter-vs-direct equivalence against the underlying producers, the
-// graph-input capability flag, and byte-identical output across solver
-// thread counts.
+// request-based adapter-vs-direct equivalence against the underlying
+// producers, input-kind handling (points / graph / affinity), request
+// addressing, and byte-identical output across solver thread counts.
 
 #include <string>
 #include <vector>
@@ -10,6 +10,7 @@
 
 #include "core/curve_order.h"
 #include "core/ordering_engine.h"
+#include "core/ordering_request.h"
 #include "core/recursive_bisection.h"
 #include "core/spectral_lpm.h"
 #include "space/point_set.h"
@@ -42,7 +43,7 @@ TEST(OrderingEngineRegistry, EveryNameConstructsAndOrders) {
     auto engine = MakeOrderingEngine(name);
     ASSERT_TRUE(engine.ok()) << name << ": " << engine.status();
     EXPECT_EQ((*engine)->name(), name);
-    auto result = (*engine)->Order(points);
+    auto result = (*engine)->Order(OrderingRequest::ForPoints(points, name));
     ASSERT_TRUE(result.ok()) << name << ": " << result.status();
     EXPECT_EQ(result->order.size(), points.size());
     EXPECT_FALSE(result->detail.empty()) << name;
@@ -58,6 +59,26 @@ TEST(OrderingEngineRegistry, UnknownNameIsNotFound) {
   EXPECT_NE(engine.status().message().find("spectral"), std::string::npos);
 }
 
+TEST(OrderingEngineRegistry, MisaddressedRequestIsRejected) {
+  const PointSet points = PointSet::FullGrid(GridSpec({4, 4}));
+  auto engine = MakeOrderingEngine("hilbert");
+  ASSERT_TRUE(engine.ok());
+  // The request says "spectral" but the engine is hilbert: a routing bug a
+  // batch scheduler must hear about, not silently mis-serve.
+  auto result = (*engine)->Order(OrderingRequest::ForPoints(points));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OrderingEngineRegistry, InvalidRequestIsRejected) {
+  auto engine = MakeOrderingEngine("spectral");
+  ASSERT_TRUE(engine.ok());
+  OrderingRequest empty;  // kPoints with no point set
+  auto result = (*engine)->Order(empty);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(OrderingEngineRegistry, SpectralAdapterMatchesDirectMapper) {
   const PointSet points = PointSet::FullGrid(GridSpec({16, 16}));
   SpectralLpmOptions options;
@@ -66,11 +87,11 @@ TEST(OrderingEngineRegistry, SpectralAdapterMatchesDirectMapper) {
   auto direct = SpectralMapper(options).Map(points);
   ASSERT_TRUE(direct.ok());
 
-  OrderingEngineOptions engine_options;
-  engine_options.spectral = options;
-  auto engine = MakeOrderingEngine("spectral", engine_options);
+  OrderingRequest request = OrderingRequest::ForPoints(points);
+  request.options.spectral = options;
+  auto engine = MakeOrderingEngine("spectral");
   ASSERT_TRUE(engine.ok());
-  auto via_engine = (*engine)->Order(points);
+  auto via_engine = (*engine)->Order(request);
   ASSERT_TRUE(via_engine.ok());
 
   EXPECT_EQ(Ranks(direct->order), Ranks(via_engine->order));
@@ -78,6 +99,27 @@ TEST(OrderingEngineRegistry, SpectralAdapterMatchesDirectMapper) {
   EXPECT_EQ(direct->num_components, via_engine->num_components);
   EXPECT_EQ(direct->method_used, via_engine->method);
   EXPECT_EQ(direct->values, via_engine->embedding);
+}
+
+TEST(OrderingEngineRegistry, AffinityRequestMatchesAffinityOptions) {
+  // The kPointsWithAffinity input kind and options.spectral.affinity_edges
+  // are two spellings of the same mapping problem.
+  const PointSet points = PointSet::FullGrid(GridSpec({6, 6}));
+  const std::vector<GraphEdge> edges = {{0, 35, 5.0}};
+
+  OrderingRequest via_options = OrderingRequest::ForPoints(points);
+  via_options.options.spectral.affinity_edges = edges;
+  const OrderingRequest via_input =
+      OrderingRequest::ForPointsWithAffinity(points, edges);
+
+  auto engine = MakeOrderingEngine("spectral");
+  ASSERT_TRUE(engine.ok());
+  auto a = (*engine)->Order(via_options);
+  auto b = (*engine)->Order(via_input);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(Ranks(a->order), Ranks(b->order));
+  EXPECT_EQ(a->embedding, b->embedding);
 }
 
 TEST(OrderingEngineRegistry, CurveAdaptersMatchOrderByCurve) {
@@ -88,7 +130,8 @@ TEST(OrderingEngineRegistry, CurveAdaptersMatchOrderByCurve) {
 
     auto engine = MakeOrderingEngine(CurveKindName(kind));
     ASSERT_TRUE(engine.ok());
-    auto via_engine = (*engine)->Order(points);
+    auto via_engine = (*engine)->Order(
+        OrderingRequest::ForPoints(points, CurveKindName(kind)));
     ASSERT_TRUE(via_engine.ok()) << CurveKindName(kind);
 
     EXPECT_EQ(Ranks(*direct), Ranks(via_engine->order)) << CurveKindName(kind);
@@ -106,13 +149,17 @@ TEST(OrderingEngineRegistry, CurvePaddingDiagnostics) {
   // A 5x5 extent forces power-of-two and power-of-three padding.
   const PointSet points = PointSet::FullGrid(GridSpec({5, 5}));
   auto hilbert = MakeOrderingEngine("hilbert");
-  auto result = (*hilbert)->Order(points);
+  ASSERT_TRUE(hilbert.ok());
+  auto result =
+      (*hilbert)->Order(OrderingRequest::ForPoints(points, "hilbert"));
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->grid_side, 8);
   EXPECT_EQ(result->grid_cells, 64);
 
   auto peano = MakeOrderingEngine("peano");
-  auto peano_result = (*peano)->Order(points);
+  ASSERT_TRUE(peano.ok());
+  auto peano_result =
+      (*peano)->Order(OrderingRequest::ForPoints(points, "peano"));
   ASSERT_TRUE(peano_result.ok());
   EXPECT_EQ(peano_result->grid_side, 9);
 }
@@ -125,11 +172,11 @@ TEST(OrderingEngineRegistry, BisectionAdapterMatchesDirect) {
   auto direct = RecursiveSpectralOrder(points, options);
   ASSERT_TRUE(direct.ok());
 
-  OrderingEngineOptions engine_options;
-  engine_options.bisection.leaf_size = 8;
-  auto engine = MakeOrderingEngine("bisection", engine_options);
+  OrderingRequest request = OrderingRequest::ForPoints(points, "bisection");
+  request.options.bisection.leaf_size = 8;
+  auto engine = MakeOrderingEngine("bisection");
   ASSERT_TRUE(engine.ok());
-  auto via_engine = (*engine)->Order(points);
+  auto via_engine = (*engine)->Order(request);
   ASSERT_TRUE(via_engine.ok());
 
   EXPECT_EQ(Ranks(direct->order), Ranks(via_engine->order));
@@ -148,7 +195,8 @@ TEST(OrderingEngineRegistry, GraphInputCapability) {
                                     name == "spectral-multilevel" ||
                                     name == "bisection";
     EXPECT_EQ((*engine)->supports_graph_input(), is_spectral_family) << name;
-    auto result = (*engine)->OrderGraph(graph, nullptr);
+    auto result = (*engine)->Order(
+        OrderingRequest::ForGraph(graph, /*canonical_points=*/nullptr, name));
     if (is_spectral_family) {
       ASSERT_TRUE(result.ok()) << name << ": " << result.status();
       EXPECT_EQ(result->order.size(), 4);
@@ -162,17 +210,17 @@ TEST(OrderingEngineRegistry, GraphInputCapability) {
 TEST(OrderingEngineRegistry, ParallelSolveIsByteIdenticalToSerial) {
   const PointSet points = FourComponentPoints();
 
-  OrderingEngineOptions serial_options;
-  serial_options.spectral.parallelism = 1;
-  auto serial_engine = MakeOrderingEngine("spectral", serial_options);
-  auto serial = (*serial_engine)->Order(points);
+  OrderingRequest serial_request = OrderingRequest::ForPoints(points);
+  serial_request.options.spectral.parallelism = 1;
+  auto engine = MakeOrderingEngine("spectral");
+  ASSERT_TRUE(engine.ok());
+  auto serial = (*engine)->Order(serial_request);
   ASSERT_TRUE(serial.ok());
   ASSERT_EQ(serial->num_components, 4);
 
-  OrderingEngineOptions parallel_options;
-  parallel_options.spectral.parallelism = 8;
-  auto parallel_engine = MakeOrderingEngine("spectral", parallel_options);
-  auto parallel = (*parallel_engine)->Order(points);
+  OrderingRequest parallel_request = OrderingRequest::ForPoints(points);
+  parallel_request.options.spectral.parallelism = 8;
+  auto parallel = (*engine)->Order(parallel_request);
   ASSERT_TRUE(parallel.ok());
 
   EXPECT_EQ(Ranks(serial->order), Ranks(parallel->order));
@@ -188,14 +236,15 @@ TEST(OrderingEngineRegistry, ParallelSolveOnLargeSingleComponent) {
   // Exercises the row-partitioned matvec path (grid big enough to clear
   // the SparseOperator parallel threshold) and checks it against serial.
   const PointSet points = PointSet::FullGrid(GridSpec({64, 64}));
-  OrderingEngineOptions serial_options;
-  serial_options.spectral.parallelism = 1;
-  OrderingEngineOptions parallel_options;
-  parallel_options.spectral.parallelism = 4;
+  OrderingRequest serial_request = OrderingRequest::ForPoints(points);
+  serial_request.options.spectral.parallelism = 1;
+  OrderingRequest parallel_request = OrderingRequest::ForPoints(points);
+  parallel_request.options.spectral.parallelism = 4;
 
-  auto serial = (*MakeOrderingEngine("spectral", serial_options))->Order(points);
-  auto parallel =
-      (*MakeOrderingEngine("spectral", parallel_options))->Order(points);
+  auto engine = MakeOrderingEngine("spectral");
+  ASSERT_TRUE(engine.ok());
+  auto serial = (*engine)->Order(serial_request);
+  auto parallel = (*engine)->Order(parallel_request);
   ASSERT_TRUE(serial.ok());
   ASSERT_TRUE(parallel.ok());
   EXPECT_EQ(Ranks(serial->order), Ranks(parallel->order));
@@ -209,7 +258,8 @@ TEST(OrderingEngineRegistry, MultilevelEngineAppliesDefaultThreshold) {
   const PointSet points = PointSet::FullGrid(GridSpec({32, 32}));
   auto engine = MakeOrderingEngine("spectral-multilevel");
   ASSERT_TRUE(engine.ok());
-  auto result = (*engine)->Order(points);
+  auto result = (*engine)->Order(
+      OrderingRequest::ForPoints(points, "spectral-multilevel"));
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(result->order.size(), points.size());
   EXPECT_GT(result->lambda2, 0.0);

@@ -10,7 +10,8 @@
 
 #include "core/curve_order.h"
 #include "core/recursive_bisection.h"
-#include "core/spectral_lpm.h"
+#include "core/ordering_engine.h"
+#include "core/ordering_request.h"
 #include "eigen/fiedler.h"
 #include "eigen/jacobi.h"
 #include "eigen/lanczos.h"
@@ -114,7 +115,9 @@ TEST_P(BlobMappingTest, MappingIsValidPermutationWithOptimalValues) {
   const auto [seed, count] = GetParam();
   Rng rng(seed);
   const PointSet points = SampleConnectedBlob(GridSpec({16, 16}), count, rng);
-  auto result = SpectralMapper().Map(points);
+  auto engine = MakeOrderingEngine("spectral");
+  ASSERT_TRUE(engine.ok());
+  auto result = (*engine)->Order(OrderingRequest::ForPoints(points));
   ASSERT_TRUE(result.ok()) << result.status();
   ASSERT_EQ(result->order.size(), points.size());
 
@@ -133,7 +136,7 @@ TEST_P(BlobMappingTest, MappingIsValidPermutationWithOptimalValues) {
   // values achieves lambda2 on the blob's neighborhood graph.
   auto graph = BuildPointGraph(points);
   ASSERT_TRUE(graph.ok());
-  EXPECT_NEAR(DirichletEnergy(*graph, result->values), result->lambda2,
+  EXPECT_NEAR(DirichletEnergy(*graph, result->embedding), result->lambda2,
               1e-5 * std::max(1.0, result->lambda2));
 }
 

@@ -4,7 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "core/serialization.h"
-#include "core/spectral_lpm.h"
+#include "core/ordering_engine.h"
+#include "core/ordering_request.h"
 #include "space/point_set.h"
 
 namespace spectral {
@@ -67,7 +68,9 @@ TEST(Serialization, FileRoundTrip) {
   const std::string points_path = (dir / "spectral_points_test.txt").string();
 
   const PointSet points = PointSet::FullGrid(GridSpec({4, 4}));
-  auto mapped = SpectralMapper().Map(points);
+  auto engine = MakeOrderingEngine("spectral");
+  ASSERT_TRUE(engine.ok());
+  auto mapped = (*engine)->Order(OrderingRequest::ForPoints(points));
   ASSERT_TRUE(mapped.ok());
 
   ASSERT_TRUE(SaveLinearOrderToFile(mapped->order, order_path).ok());

@@ -8,6 +8,7 @@
 
 #include "util/bit_ops.h"
 #include "util/csv_writer.h"
+#include "util/hash.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -205,6 +206,36 @@ TEST(StringUtil, FormatDouble) {
   EXPECT_EQ(FormatDouble(14.0, 2), "14");
   EXPECT_EQ(FormatDouble(0.002, 4), "0.002");
   EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(Hasher, ContentDecidesTheFingerprint) {
+  // Same mix sequence -> same fingerprint; any difference moves it.
+  const Fingerprint128 a =
+      Hasher().MixInt(7).MixDouble(1.5).MixString("abc").Finish();
+  const Fingerprint128 b =
+      Hasher().MixInt(7).MixDouble(1.5).MixString("abc").Finish();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(Hasher().MixInt(8).MixDouble(1.5).MixString("abc").Finish(), a);
+  EXPECT_NE(Hasher().MixInt(7).MixDouble(1.5).MixString("abd").Finish(), a);
+  EXPECT_NE(Hasher().MixInt(7).MixDouble(1.5).Finish(), a);
+}
+
+TEST(Hasher, FieldsDoNotAliasAcrossBoundaries) {
+  // Length prefixes and position tags keep adjacent fields apart.
+  EXPECT_NE(Hasher().MixString("ab").MixString("c").Finish(),
+            Hasher().MixString("a").MixString("bc").Finish());
+  EXPECT_NE(Hasher().MixInt(0).MixInt(1).Finish(),
+            Hasher().MixInt(1).MixInt(0).Finish());
+  EXPECT_NE(Hasher().MixUint(0).Finish(), Hasher().Finish());
+  EXPECT_NE(Hasher().MixBool(true).Finish(), Hasher().MixBool(false).Finish());
+}
+
+TEST(Fingerprint128, HexRoundTripIsStable) {
+  const Fingerprint128 fp = Hasher().MixString("spectral").Finish();
+  EXPECT_EQ(fp.ToHex().size(), 32u);
+  EXPECT_EQ(fp.ToHex(), fp.ToHex());
+  EXPECT_NE(fp.ToHex(), Fingerprint128{}.ToHex());
+  EXPECT_EQ(Fingerprint128{}.ToHex(), std::string(32, '0'));
 }
 
 TEST(CsvWriter, WritesQuotedFields) {

@@ -3,6 +3,8 @@
 #
 #   tools/run_checks.sh              configure (-Wall -Wextra -Werror),
 #                                    build everything, run ctest, then lint
+#   tools/run_checks.sh --sanitize   ASan+UBSan build of the whole tree and
+#                                    a full ctest run under the sanitizers
 #   tools/run_checks.sh --lint-only  banned-pattern source lint only (this
 #                                    mode is registered as a ctest test, so
 #                                    a plain ctest run also lints)
@@ -43,6 +45,24 @@ lint() {
     failed=1
   fi
 
+  # Consumers must ask for orders through OrderingRequest / MappingService /
+  # the OrderingEngine registry, never by driving SpectralMapper directly —
+  # one way to ask for an order keeps batching and caching in the loop. The
+  # unit tests of the mapper and of its direct adapters are grandfathered.
+  local mapper_uses
+  mapper_uses="$(grep -rn --include='*.cc' --include='*.cpp' --include='*.h' \
+       'SpectralMapper' tests bench tools examples 2>/dev/null \
+     | grep -v '^tests/spectral_lpm_test\.cc:' \
+     | grep -v '^tests/multilevel_test\.cc:' \
+     | grep -v '^tests/recursive_bisection_test\.cc:' \
+     | grep -v '^tests/ordering_engine_test\.cc:')"
+  if [ -n "${mapper_uses}" ]; then
+    echo "${mapper_uses}"
+    echo "FAIL: direct SpectralMapper use outside core/ (see above);" \
+         "go through OrderingRequest + MakeOrderingEngine or MappingService"
+    failed=1
+  fi
+
   if [ "${failed}" -ne 0 ]; then
     return 1
   fi
@@ -55,10 +75,17 @@ if [ "${1:-}" = "--lint-only" ]; then
 fi
 
 build_dir="${BUILD_DIR:-build-checks}"
+configure_args=(-DSPECTRAL_WERROR=ON -DCMAKE_BUILD_TYPE=Release)
+if [ "${1:-}" = "--sanitize" ]; then
+  build_dir="${BUILD_DIR:-build-sanitize}"
+  # RelWithDebInfo keeps the eigensolver fast enough for the suite while
+  # ASan/UBSan reports still carry symbols and line numbers.
+  configure_args=(-DSPECTRAL_WERROR=ON -DSPECTRAL_SANITIZE=ON
+                  -DCMAKE_BUILD_TYPE=RelWithDebInfo)
+fi
 
-echo "== configure (${build_dir}, -Werror) =="
-cmake -B "${build_dir}" -S . -DSPECTRAL_WERROR=ON \
-  -DCMAKE_BUILD_TYPE=Release || exit 1
+echo "== configure (${build_dir}) =="
+cmake -B "${build_dir}" -S . "${configure_args[@]}" || exit 1
 
 echo "== build =="
 cmake --build "${build_dir}" -j "$(nproc)" || exit 1

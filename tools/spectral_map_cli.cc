@@ -1,20 +1,23 @@
-// Command-line mapper: read a point file, compute a linear order, write it
-// back out. Lets the (expensive) eigensolve run offline and the resulting
-// order ship to whatever system lays the data out.
+// Command-line mapper: read a point file, compute a linear order through
+// the MappingService facade, write it back out. Lets the (expensive)
+// eigensolve run offline and the resulting order ship to whatever system
+// lays the data out.
 //
 // Usage:
 //   spectral_map_cli <points.txt> <order.txt> [options]
 // Options:
-//   --mapping=NAME    any OrderingEngine registry name: spectral,
-//                     spectral-multilevel, bisection, sweep, snake, zorder,
-//                     gray, hilbert, peano, spiral
+//   --mapping=NAME    any OrderingEngine registry name (the engine list in
+//                     --help is generated from the registry itself)
 //   --connectivity=orthogonal|moore      (spectral family only)
 //   --radius=N                           (default 1)
 //   --multilevel=N    use the multilevel solver for components >= N
-//   --parallelism=N   solver threads (0 = hardware concurrency, 1 = serial;
-//                     spectral/spectral-multilevel only — bisection and the
-//                     curve engines run serially)
-//   --quiet           suppress the summary line
+//   --parallelism=N   worker threads shared by batch fan-out and the
+//                     spectral solves (0 = hardware concurrency, 1 = serial)
+//   --cache=N         LRU order-cache capacity in entries (default 0 = off)
+//   --batch=K         submit K copies of the request as one OrderBatch —
+//                     a cache/batching smoke knob; the order file is
+//                     written once and the service stats are printed
+//   --quiet           suppress the summary lines
 //
 // The points file uses the core/serialization.h text format; see
 // examples/offline_pipeline.cpp for a producer.
@@ -24,8 +27,10 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
-#include "core/ordering_engine.h"
+#include "core/mapping_service.h"
+#include "core/ordering_request.h"
 #include "core/serialization.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -41,6 +46,8 @@ struct CliArgs {
   int radius = 1;
   int64_t multilevel = 0;
   int parallelism = 0;
+  int64_t cache = 0;
+  int64_t batch = 1;
   bool quiet = false;
 };
 
@@ -55,7 +62,8 @@ bool ParseFlag(const std::string& arg, const std::string& name,
 int Usage() {
   std::cerr << "usage: spectral_map_cli <points.txt> <order.txt> "
                "[--mapping=NAME] [--connectivity=orthogonal|moore] "
-               "[--radius=N] [--multilevel=N] [--parallelism=N] [--quiet]\n"
+               "[--radius=N] [--multilevel=N] [--parallelism=N] "
+               "[--cache=N] [--batch=K] [--quiet]\n"
                "known mappings: "
             << StrJoin(AllOrderingEngineNames(), ", ") << "\n";
   return 2;
@@ -68,26 +76,31 @@ int RunCli(const CliArgs& args) {
     return 1;
   }
 
-  OrderingEngineOptions options;
-  options.spectral.graph.connectivity = args.connectivity;
-  options.spectral.graph.radius = args.radius;
-  options.spectral.multilevel_threshold = args.multilevel;
-  options.spectral.parallelism = args.parallelism;
-  auto engine = MakeOrderingEngine(args.mapping, options);
-  if (!engine.ok()) {
-    std::cerr << engine.status().message() << "\n";
-    return 2;
-  }
+  OrderingRequest request = OrderingRequest::ForPoints(*points, args.mapping);
+  request.options.spectral.graph.connectivity = args.connectivity;
+  request.options.spectral.graph.radius = args.radius;
+  request.options.spectral.multilevel_threshold = args.multilevel;
+  request.options.spectral.parallelism = args.parallelism;
 
+  MappingServiceOptions service_options;
+  service_options.parallelism = args.parallelism;
+  service_options.cache_capacity = static_cast<size_t>(args.cache);
+  MappingService service(service_options);
+
+  const std::vector<OrderingRequest> batch(
+      static_cast<size_t>(args.batch), request);
   WallTimer timer;
-  auto result = (*engine)->Order(*points);
-  if (!result.ok()) {
-    std::cerr << "mapping failed: " << result.status() << "\n";
-    return 1;
-  }
+  auto results = service.OrderBatch(batch);
   const double seconds = timer.ElapsedSeconds();
+  for (const auto& result : results) {
+    if (!result.ok()) {
+      std::cerr << "mapping failed: " << result.status() << "\n";
+      return result.status().code() == StatusCode::kNotFound ? 2 : 1;
+    }
+  }
+  const OrderingResult& result = *results.front();
 
-  if (const Status s = SaveLinearOrderToFile(result->order, args.order_path);
+  if (const Status s = SaveLinearOrderToFile(result.order, args.order_path);
       !s.ok()) {
     std::cerr << "error writing order: " << s << "\n";
     return 1;
@@ -96,7 +109,14 @@ int RunCli(const CliArgs& args) {
     std::cout << "mapped " << points->size() << " points (" << points->dims()
               << "-d) with " << args.mapping << " in "
               << static_cast<int64_t>(seconds * 1e3) << " ms; "
-              << result->detail << "; wrote " << args.order_path << "\n";
+              << result.detail << "; wrote " << args.order_path << "\n";
+    const MappingServiceStats stats = service.stats();
+    std::cout << "service: requests=" << stats.requests
+              << " solves=" << stats.solves
+              << " cache_hits=" << stats.cache_hits
+              << " cache_misses=" << stats.cache_misses
+              << " cache_evictions=" << stats.cache_evictions
+              << " fingerprint=" << request.Fingerprint().ToHex() << "\n";
   }
   return 0;
 }
@@ -128,6 +148,12 @@ int main(int argc, char** argv) {
     } else if (spectral::ParseFlag(arg, "parallelism", &value)) {
       args.parallelism = std::atoi(value.c_str());
       if (args.parallelism < 0) return spectral::Usage();
+    } else if (spectral::ParseFlag(arg, "cache", &value)) {
+      args.cache = std::atoll(value.c_str());
+      if (args.cache < 0) return spectral::Usage();
+    } else if (spectral::ParseFlag(arg, "batch", &value)) {
+      args.batch = std::atoll(value.c_str());
+      if (args.batch < 1) return spectral::Usage();
     } else if (arg == "--quiet") {
       args.quiet = true;
     } else if (arg.rfind("--", 0) == 0) {
