@@ -1,11 +1,16 @@
 // Registry smoke bench: every OrderingEngine on one 64x64 grid through the
 // MappingService facade — cold wall time, warm (cached) wall time, Spearman
 // rank correlation against the spectral order, and the per-engine cache hit
-// rate — plus a multi-component parallel-solve scaling section. Each run
-// emits the human table, a CSV mirror, and a machine-readable
-// bench_results/BENCH_ordering_engines.json (one object per engine) so
-// successive runs are diffable — the perf-tracking trajectory.
+// rate — plus a multi-component parallel-solve scaling section and a
+// sharded-engine section (grid + Gaussian-kernel blob workloads, K in
+// {1, 2, 4, 8}, quality and wall-clock vs. the monolithic solve at equal
+// parallelism). Each run emits the human tables, CSV mirrors, and a
+// machine-readable bench_results/BENCH_ordering_engines.json (one object
+// per engine/workload/shard-count row) that
+// tools/check_bench_regression.py diffs against the committed baseline —
+// the CI perf gate.
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -13,8 +18,10 @@
 
 #include "bench/bench_common.h"
 #include "stats/rank_correlation.h"
+#include "util/random.h"
 #include "util/string_util.h"
 #include "util/timer.h"
+#include "workload/generators.h"
 
 namespace spectral {
 namespace bench {
@@ -45,8 +52,26 @@ PointSet MultiComponentPoints() {
   return points;
 }
 
+// Canonical input order: lexicographically sorted points. Vertex ids are
+// arbitrary, but the spectral sign convention anchors at the lowest id —
+// sorting puts an extreme point first, which keeps the orientation of both
+// the monolithic and the sharded order robust (run-to-run comparable).
+PointSet LexSorted(const PointSet& in) {
+  std::vector<std::vector<Coord>> rows;
+  rows.reserve(static_cast<size_t>(in.size()));
+  for (int64_t i = 0; i < in.size(); ++i) {
+    rows.emplace_back(in[i].begin(), in[i].end());
+  }
+  std::sort(rows.begin(), rows.end());
+  PointSet out(in.dims());
+  for (const auto& row : rows) out.Add(row);
+  return out;
+}
+
 struct EngineSample {
   std::string engine;
+  std::string workload;
+  int shards = 0;  // 0 = not a sharded row
   double cold_ms = 0.0;
   double warm_ms = 0.0;
   double spearman = 0.0;
@@ -54,7 +79,13 @@ struct EngineSample {
   std::string detail;
 };
 
-void EmitJson(const std::vector<EngineSample>& samples) {
+std::vector<EngineSample>& AllSamples() {
+  static std::vector<EngineSample> samples;
+  return samples;
+}
+
+void EmitJson() {
+  const std::vector<EngineSample>& samples = AllSamples();
   const std::string path = "bench_results/BENCH_ordering_engines.json";
   std::error_code ec;
   std::filesystem::create_directories("bench_results", ec);
@@ -66,15 +97,51 @@ void EmitJson(const std::vector<EngineSample>& samples) {
   out << "[\n";
   for (size_t i = 0; i < samples.size(); ++i) {
     const EngineSample& s = samples[i];
-    out << "  {\"engine\": \"" << s.engine << "\", \"cold_ms\": "
-        << FormatDouble(s.cold_ms, 3) << ", \"warm_ms\": "
-        << FormatDouble(s.warm_ms, 3) << ", \"spearman_vs_spectral\": "
-        << FormatDouble(s.spearman, 6) << ", \"cache_hit_rate\": "
-        << FormatDouble(s.cache_hit_rate, 3) << "}"
-        << (i + 1 < samples.size() ? "," : "") << "\n";
+    out << "  {\"engine\": \"" << s.engine << "\", \"workload\": \""
+        << s.workload << "\", \"shards\": " << s.shards
+        << ", \"cold_ms\": " << FormatDouble(s.cold_ms, 3)
+        << ", \"warm_ms\": " << FormatDouble(s.warm_ms, 3)
+        << ", \"spearman_vs_spectral\": " << FormatDouble(s.spearman, 6)
+        << ", \"cache_hit_rate\": " << FormatDouble(s.cache_hit_rate, 3)
+        << "}" << (i + 1 < samples.size() ? "," : "") << "\n";
   }
   out << "]\n";
   std::cout << "[json: " << path << "]\n";
+}
+
+struct TimedRun {
+  EngineSample sample;
+  std::vector<int64_t> ranks;
+};
+
+// Cold + warm timings for `request` on a fresh service (cold cache), plus
+// the cache hit rate over the two calls and the computed ranks. The caller
+// fills in `sample.spearman` and records the row via AllSamples().
+TimedRun TimeRequest(const OrderingRequest& request,
+                     const std::string& workload, int shards) {
+  MappingService service;  // default parallelism + LRU capacity
+  WallTimer cold_timer;
+  auto result = service.Order(request);
+  const double cold_ms = cold_timer.ElapsedSeconds() * 1e3;
+  SPECTRAL_CHECK(result.ok()) << request.engine << ": " << result.status();
+  WallTimer warm_timer;
+  auto warm = service.Order(request);
+  const double warm_ms = warm_timer.ElapsedSeconds() * 1e3;
+  SPECTRAL_CHECK(warm.ok()) << request.engine << ": " << warm.status();
+
+  const MappingServiceStats stats = service.stats();
+  TimedRun run;
+  run.sample.engine = request.engine;
+  run.sample.workload = workload;
+  run.sample.shards = shards;
+  run.sample.cold_ms = cold_ms;
+  run.sample.warm_ms = warm_ms;
+  run.sample.cache_hit_rate = static_cast<double>(stats.cache_hits) /
+                              static_cast<double>(stats.requests);
+  run.sample.detail = result->detail;
+  run.sample.spearman = 1.0;
+  run.ranks = Ranks(result->order);
+  return run;
 }
 
 void RunRegistry() {
@@ -116,6 +183,7 @@ void RunRegistry() {
         static_cast<double>(after.requests - before.requests);
     EngineSample sample;
     sample.engine = name;
+    sample.workload = "grid64x64";
     sample.cold_ms = cold_ms;
     sample.warm_ms = warm_ms;
     sample.cache_hit_rate =
@@ -136,9 +204,73 @@ void RunRegistry() {
                   FormatDouble(sample.warm_ms, 2),
                   FormatDouble(sample.spearman, 4),
                   FormatDouble(sample.cache_hit_rate, 2), sample.detail});
+    AllSamples().push_back(sample);
   }
   EmitTable("ordering_engines", table);
-  EmitJson(samples);
+}
+
+// Sharded engine vs. the monolithic solve, at equal parallelism (both run
+// through a default MappingService, so component solves / matvecs /
+// shard fan-out all draw from the same worker count). Workloads: a
+// rectangular full grid and a Gaussian-kernel connected blob — data with a
+// dominant direction, the regime a sharded order is designed for (see
+// core/sharded_engine.h for the degenerate-direction caveat; a square
+// grid's direction is a canonicalization convention, so its Spearman vs.
+// the monolithic convention is structurally lower and is not gated).
+void RunSharded(const std::string& workload, const PointSet& points,
+                const SpectralLpmOptions& spectral, TablePrinter& table) {
+  OrderingRequest mono = OrderingRequest::ForPoints(points, "spectral");
+  mono.options.spectral = spectral;
+  const TimedRun mono_run = TimeRequest(mono, workload, /*shards=*/0);
+  AllSamples().push_back(mono_run.sample);
+  table.AddRow({workload, "spectral", "-",
+                FormatDouble(mono_run.sample.cold_ms, 1),
+                FormatDouble(mono_run.sample.warm_ms, 2), "1.00", "1.000000",
+                mono_run.sample.detail});
+
+  for (const int shards : {1, 2, 4, 8}) {
+    OrderingRequest request =
+        OrderingRequest::ForPoints(points, "sharded-spectral");
+    request.options.spectral = spectral;
+    request.options.sharded.num_shards = shards;
+    TimedRun run = TimeRequest(request, workload, shards);
+    run.sample.spearman = SpearmanRho(mono_run.ranks, run.ranks);
+    AllSamples().push_back(run.sample);
+    table.AddRow({workload, "sharded-spectral", FormatInt(shards),
+                  FormatDouble(run.sample.cold_ms, 1),
+                  FormatDouble(run.sample.warm_ms, 2),
+                  FormatDouble(mono_run.sample.cold_ms / run.sample.cold_ms,
+                               2),
+                  FormatDouble(run.sample.spearman, 6), run.sample.detail});
+  }
+}
+
+void RunShardedSection() {
+  std::cout << "\nSharded engine: partition + concurrent shard solves + "
+               "stitch, vs the monolithic spectral solve at equal "
+               "parallelism (cold = fresh cache; K=1 delegates and must "
+               "match spectral exactly)\n\n";
+  TablePrinter table;
+  table.SetHeader({"workload", "engine", "shards", "cold_ms", "warm_ms",
+                   "speedup_vs_mono", "spearman_vs_spectral", "detail"});
+
+  // Rectangular grid: 128x32, the paper's full-grid input stretched to a
+  // dominant direction.
+  const PointSet grid_points = PointSet::FullGrid(GridSpec({128, 32}));
+  RunSharded("grid128x32", grid_points, DefaultSpectralOptions(2), table);
+
+  // Gaussian-kernel blob: an elongated connected point cloud with
+  // Gaussian-weighted radius-2 edges (non-grid metric data).
+  Rng rng(12345);
+  const PointSet blob_points =
+      LexSorted(SampleConnectedBlob(GridSpec({300, 30}), 5000, rng));
+  SpectralLpmOptions kernel = DefaultSpectralOptions(2);
+  kernel.graph.radius = 2;
+  kernel.graph.kernel = WeightKernel::kGaussian;
+  kernel.graph.gaussian_sigma = 1.5;
+  RunSharded("kernelblob300x30", blob_points, kernel, table);
+
+  EmitTable("sharding_engines", table);
 }
 
 void RunParallelScaling() {
@@ -185,6 +317,8 @@ void RunParallelScaling() {
 
 int main() {
   spectral::bench::RunRegistry();
+  spectral::bench::RunShardedSection();
   spectral::bench::RunParallelScaling();
+  spectral::bench::EmitJson();
   return 0;
 }

@@ -9,17 +9,20 @@ namespace spectral {
 
 namespace {
 
-// Smallest legal enclosing hyper-cube for a bounding box [lo, hi].
+// Smallest legal enclosing grid for a bounding box [lo, hi]. Per-axis
+// extents keep rectangles exact for sweep/snake/spiral and let peano pad
+// each axis independently; the power-of-two families still round the
+// largest extent up to a hyper-cube.
 StatusOr<GridSpec> GridForBounds(CurveKind kind, int dims,
                                  const std::vector<Coord>& lo,
                                  const std::vector<Coord>& hi) {
-  Coord extent = 1;
+  std::vector<Coord> extents(static_cast<size_t>(dims));
   for (int a = 0; a < dims; ++a) {
-    extent = std::max(extent,
-                      static_cast<Coord>(hi[static_cast<size_t>(a)] -
-                                         lo[static_cast<size_t>(a)] + 1));
+    extents[static_cast<size_t>(a)] =
+        static_cast<Coord>(hi[static_cast<size_t>(a)] -
+                           lo[static_cast<size_t>(a)] + 1);
   }
-  return EnclosingGridFor(kind, dims, extent);
+  return EnclosingGridForExtents(kind, extents);
 }
 
 }  // namespace

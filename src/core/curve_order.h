@@ -14,12 +14,13 @@
 namespace spectral {
 
 /// Orders `points` by `kind`. The points are translated to the origin and
-/// the curve is instantiated on the smallest legal enclosing hyper-cube of
-/// the family (exact extents for sweep/snake). Fails if the enclosing grid
-/// exceeds the curve family's index width. When `grid_used` is non-null it
-/// receives the grid the order was built on (one bounding-box scan serves
-/// both), which is how the ordering-engine registry reports padding
-/// diagnostics.
+/// the curve is instantiated on the smallest legal enclosing grid of the
+/// family (exact per-axis extents for sweep/snake/spiral, per-axis
+/// power-of-three sides for peano, a padded hyper-cube for the
+/// power-of-two families). Fails if the enclosing grid exceeds the curve
+/// family's index width. When `grid_used` is non-null it receives the grid
+/// the order was built on (one bounding-box scan serves both), which is
+/// how the ordering-engine registry reports padding diagnostics.
 StatusOr<LinearOrder> OrderByCurve(const PointSet& points, CurveKind kind,
                                    GridSpec* grid_used = nullptr);
 

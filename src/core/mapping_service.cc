@@ -123,15 +123,14 @@ std::vector<StatusOr<OrderingResult>> MappingService::OrderBatch(
       return;
     }
     job.engine_ran = true;
-    if (pool_ != nullptr) {
-      // Hand the batch pool down so component solves and matvecs reuse it
-      // (no nested pools). pool/parallelism never change the result.
-      OrderingRequest shared = *job.request;
-      shared.options.spectral.pool = pool_.get();
-      job.result = (*engine)->Order(shared);
-    } else {
-      job.result = (*engine)->Order(*job.request);
-    }
+    // Hand the batch pool down so component solves and matvecs reuse it
+    // (no nested pools), and attach this service as the sub-request router
+    // so composite engines (sharded-spectral) cache their shard solves
+    // here. Neither runtime field ever changes the result.
+    OrderingRequest shared = *job.request;
+    if (pool_ != nullptr) shared.options.spectral.pool = pool_.get();
+    shared.options.service = this;
+    job.result = (*engine)->Order(shared);
   };
 
   if (pool_ != nullptr && to_solve.size() > 1) {

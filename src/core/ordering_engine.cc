@@ -5,6 +5,7 @@
 
 #include "core/curve_order.h"
 #include "core/recursive_bisection.h"
+#include "core/sharded_engine.h"
 #include "core/spectral_lpm.h"
 #include "util/string_util.h"
 
@@ -150,6 +151,7 @@ class CurveEngine : public OrderingEngine {
 std::vector<std::string> AllOrderingEngineNames() {
   std::vector<std::string> names = {std::string(kSpectralName),
                                     std::string(kSpectralMultilevelName),
+                                    std::string(kShardedSpectralEngineName),
                                     std::string(kBisectionName)};
   for (CurveKind kind : AllCurveKinds()) {
     names.emplace_back(CurveKindName(kind));
@@ -166,6 +168,9 @@ StatusOr<std::unique_ptr<OrderingEngine>> MakeOrderingEngine(
   if (name == kSpectralMultilevelName) {
     return std::unique_ptr<OrderingEngine>(
         new SpectralEngine(/*multilevel=*/true));
+  }
+  if (name == kShardedSpectralEngineName) {
+    return MakeShardedSpectralEngine();
   }
   if (name == kBisectionName) {
     return std::unique_ptr<OrderingEngine>(new BisectionEngine());

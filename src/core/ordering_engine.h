@@ -54,9 +54,10 @@ struct OrderingResult {
   int64_t num_solves = 0;
   int depth = 0;
 
-  // Curve family: the per-axis side and cell count of the padded enclosing
-  // grid the curve was instantiated on (power of 2 / power of 3 rounding
-  // means the grid can be much larger than the data's bounding box).
+  // Curve family: the axis-0 side and total cell count of the enclosing
+  // grid the curve was instantiated on (power-of-2 / power-of-3 rounding
+  // means the grid can be larger than the data's bounding box; sweep,
+  // snake, spiral, and the rectangular peano composition keep it tight).
   Coord grid_side = 0;
   int64_t grid_cells = 0;
 

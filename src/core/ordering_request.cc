@@ -81,18 +81,27 @@ void HashSpectralOptions(Hasher& h, const SpectralLpmOptions& o) {
 // would split the cache key space between requests with byte-identical
 // results (e.g. two hilbert requests differing only in spectral solver
 // settings). bisection.base is always excluded: the bisection engine
-// overwrites it with `spectral`. Unknown engine names hash every semantic
-// field, which stays conservative for backends registered later.
+// overwrites it with `spectral`. The runtime `service` routing pointer is
+// always excluded, like `pool`: it never changes the computed order.
+// Unknown engine names hash every semantic field, which stays conservative
+// for backends registered later.
 void HashEngineOptions(Hasher& h, std::string_view engine,
                        const OrderingEngineOptions& o) {
   if (CurveKindFromName(engine).ok()) return;  // geometry-only engines
   const bool multilevel = engine == "spectral-multilevel";
   const bool bisection = engine == "bisection";
-  const bool known = engine == "spectral" || multilevel || bisection;
+  const bool sharded = engine == "sharded-spectral";
+  const bool known =
+      engine == "spectral" || multilevel || bisection || sharded;
   HashSpectralOptions(h, o.spectral);
   if (multilevel || !known) h.MixInt(o.multilevel_default_threshold);
   if (bisection || !known) {
     h.MixInt(o.bisection.leaf_size).MixInt(o.bisection.max_depth);
+  }
+  if (sharded || !known) {
+    h.MixInt(o.sharded.num_shards)
+        .MixInt(o.sharded.coarsen_target)
+        .MixInt(o.sharded.max_coarsen_levels);
   }
 }
 

@@ -1,0 +1,60 @@
+#include "graph/partition.h"
+
+#include <numeric>
+#include <utility>
+
+#include "graph/coarsening.h"
+#include "util/check.h"
+
+namespace spectral {
+
+CoarseningChain CoarsenToTarget(const Graph& graph, int64_t target,
+                                int max_levels) {
+  if (target < 1) target = 1;
+  CoarseningChain chain;
+  chain.fine_to_coarse.assign(static_cast<size_t>(graph.num_vertices()), 0);
+  std::iota(chain.fine_to_coarse.begin(), chain.fine_to_coarse.end(), 0);
+
+  const Graph* current = &graph;
+  Graph held;  // owns the latest coarse graph once a level has run
+  while (current->num_vertices() > target && chain.levels < max_levels) {
+    Coarsening level = CoarsenByHeavyEdgeMatching(*current);
+    // A matching that barely shrinks the graph (isolated vertices, stars)
+    // would loop without converging on the target; stop instead.
+    if (level.num_coarse > (current->num_vertices() * 19) / 20) break;
+    for (int64_t& c : chain.fine_to_coarse) {
+      c = level.fine_to_coarse[static_cast<size_t>(c)];
+    }
+    held = std::move(level.coarse);
+    current = &held;
+    ++chain.levels;
+  }
+  chain.coarse = chain.levels == 0 ? graph : std::move(held);
+  return chain;
+}
+
+GraphContraction ContractByParts(const Graph& graph,
+                                 std::span<const int64_t> part_of,
+                                 int64_t num_parts) {
+  SPECTRAL_CHECK_EQ(static_cast<int64_t>(part_of.size()),
+                    graph.num_vertices());
+  SPECTRAL_CHECK_GE(num_parts, 1);
+  GraphContraction result;
+  std::vector<GraphEdge> edges;
+  graph.ForEachEdge([&](int64_t u, int64_t v, double w) {
+    const int64_t pu = part_of[static_cast<size_t>(u)];
+    const int64_t pv = part_of[static_cast<size_t>(v)];
+    SPECTRAL_DCHECK_GE(pu, 0);
+    SPECTRAL_DCHECK_LT(pu, num_parts);
+    SPECTRAL_DCHECK_GE(pv, 0);
+    SPECTRAL_DCHECK_LT(pv, num_parts);
+    if (pu == pv) return;
+    edges.push_back({pu, pv, w});
+    result.cut_edges += 1;
+    result.cut_weight += w;
+  });
+  result.quotient = Graph::FromEdges(num_parts, edges);
+  return result;
+}
+
+}  // namespace spectral

@@ -1,0 +1,57 @@
+// Graph-side building blocks of the sharded ordering path: repeated
+// heavy-edge coarsening down to a target size (so a cheap spectral solve on
+// the coarse graph can drive the top-level cut) and part-wise contraction
+// into a quotient graph (one vertex per shard, edge weights summing the cut
+// weight — the "shard-contraction graph" whose spectral order stitches the
+// shard orders back together).
+
+#ifndef SPECTRAL_LPM_GRAPH_PARTITION_H_
+#define SPECTRAL_LPM_GRAPH_PARTITION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace spectral {
+
+/// Result of CoarsenToTarget: the coarsest graph plus the composite
+/// fine-to-coarse map over every level.
+struct CoarseningChain {
+  Graph coarse;
+  /// fine_to_coarse[v] is the coarsest vertex containing original vertex v
+  /// (identity when no level was applied).
+  std::vector<int64_t> fine_to_coarse;
+  /// Coarsening levels actually applied.
+  int levels = 0;
+};
+
+/// Coarsens `graph` by heavy-edge matching until it has at most `target`
+/// vertices, up to `max_levels` rounds, stopping early when a round fails
+/// to shrink the graph by at least ~5% (matchings on star-like graphs
+/// stall). Deterministic. target < 1 is treated as 1.
+CoarseningChain CoarsenToTarget(const Graph& graph, int64_t target,
+                                int max_levels);
+
+/// Result of ContractByParts.
+struct GraphContraction {
+  /// num_parts vertices; the weight of edge (i, j) is the summed weight of
+  /// the fine edges crossing parts i and j.
+  Graph quotient;
+  /// Fine edges whose endpoints lie in different parts.
+  int64_t cut_edges = 0;
+  /// Summed weight of those edges.
+  double cut_weight = 0.0;
+};
+
+/// Contracts each part to one vertex. `part_of` assigns every fine vertex a
+/// part id in [0, num_parts); intra-part edges disappear, inter-part edges
+/// merge by summing weights.
+GraphContraction ContractByParts(const Graph& graph,
+                                 std::span<const int64_t> part_of,
+                                 int64_t num_parts);
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_GRAPH_PARTITION_H_

@@ -29,5 +29,26 @@ StatusOr<int> UniformPowerDigits(const GridSpec& grid, int base,
   return digits;
 }
 
+StatusOr<std::vector<int>> PerAxisPowerDigits(const GridSpec& grid, int base,
+                                              std::string_view curve_name) {
+  std::vector<int> digits(static_cast<size_t>(grid.dims()), 0);
+  for (int a = 0; a < grid.dims(); ++a) {
+    const Coord side = grid.side(a);
+    int d = 0;
+    int64_t s = 1;
+    while (s < side) {
+      s *= base;
+      ++d;
+    }
+    if (s != side) {
+      return InvalidArgumentError(std::string(curve_name) +
+                                  " requires every side to be a power of " +
+                                  std::to_string(base));
+    }
+    digits[static_cast<size_t>(a)] = d;
+  }
+  return digits;
+}
+
 }  // namespace internal
 }  // namespace spectral

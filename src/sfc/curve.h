@@ -48,6 +48,11 @@ namespace internal {
 StatusOr<int> UniformPowerDigits(const GridSpec& grid, int base,
                                  std::string_view curve_name);
 
+/// Per-axis variant: every side must be a power of `base`, but sides may
+/// differ. Returns the digit count of each axis (0 for side 1).
+StatusOr<std::vector<int>> PerAxisPowerDigits(const GridSpec& grid, int base,
+                                              std::string_view curve_name);
+
 }  // namespace internal
 
 }  // namespace spectral

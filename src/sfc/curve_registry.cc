@@ -1,7 +1,9 @@
 #include "sfc/curve_registry.h"
 
+#include <algorithm>
 #include <limits>
 #include <string>
+#include <vector>
 
 #include "sfc/gray.h"
 #include "sfc/hilbert.h"
@@ -88,39 +90,66 @@ StatusOr<std::unique_ptr<SpaceFillingCurve>> MakeCurve(CurveKind kind,
 StatusOr<GridSpec> EnclosingGridFor(CurveKind kind, int dims, Coord extent) {
   SPECTRAL_CHECK_GE(extent, 1);
   SPECTRAL_CHECK_GE(dims, 1);
+  const std::vector<Coord> extents(static_cast<size_t>(dims), extent);
+  return EnclosingGridForExtents(kind, extents);
+}
+
+StatusOr<GridSpec> EnclosingGridForExtents(CurveKind kind,
+                                           std::span<const Coord> extents) {
+  const int dims = static_cast<int>(extents.size());
+  SPECTRAL_CHECK_GE(dims, 1);
+  for (const Coord extent : extents) SPECTRAL_CHECK_GE(extent, 1);
+  if (kind == CurveKind::kSpiral && dims != 2) {
+    return InvalidArgumentError("spiral requires 2-d data (got " +
+                                std::to_string(dims) + "-d)");
+  }
+
   // Round up in 64 bits: the power-of-base families can need a side beyond
   // the Coord (int32) range even for representable extents (e.g. rounding
   // 2^30 + 1 up to 2^31), which used to wrap silently.
-  int64_t side = extent;
+  auto round_up = [](int64_t extent, int64_t base) {
+    int64_t side = 1;
+    while (side < extent) side *= base;
+    return side;
+  };
+  std::vector<int64_t> sides(extents.begin(), extents.end());
   switch (kind) {
     case CurveKind::kSweep:
     case CurveKind::kSnake:
     case CurveKind::kSpiral:
-      break;  // exact
+      break;  // exact per-axis
     case CurveKind::kZOrder:
     case CurveKind::kGray:
     case CurveKind::kHilbert: {
-      side = 1;
-      while (side < extent) side *= 2;
+      // These implementations need a hyper-cube, padded from the largest
+      // extent.
+      const int64_t side =
+          round_up(*std::max_element(sides.begin(), sides.end()), 2);
+      sides.assign(static_cast<size_t>(dims), side);
       break;
     }
     case CurveKind::kPeano: {
-      side = 1;
-      while (side < extent) side *= 3;
+      // Each axis rounds up independently; the rectangle composes as sweep
+      // blocks (see sfc/peano.h).
+      for (int64_t& side : sides) side = round_up(side, 3);
       break;
     }
   }
-  if (side > std::numeric_limits<Coord>::max()) {
-    return InvalidArgumentError(
-        std::string(CurveKindName(kind)) + ": enclosing side " +
-        std::to_string(side) + " for extent " + std::to_string(extent) +
-        " exceeds the coordinate range");
-  }
   // The curve index is a uint64 and GridSpec itself only supports int64
-  // cell counts; reject dims * log2(side) overflowing 63 bits instead of
+  // cell counts; reject a cell count overflowing 63 bits instead of
   // tripping the GridSpec CHECK.
   int64_t cells = 1;
+  std::vector<Coord> coord_sides;
+  coord_sides.reserve(static_cast<size_t>(dims));
   for (int a = 0; a < dims; ++a) {
+    const int64_t side = sides[static_cast<size_t>(a)];
+    if (side > std::numeric_limits<Coord>::max()) {
+      return InvalidArgumentError(
+          std::string(CurveKindName(kind)) + ": enclosing side " +
+          std::to_string(side) + " for extent " +
+          std::to_string(extents[static_cast<size_t>(a)]) +
+          " exceeds the coordinate range");
+    }
     if (cells > std::numeric_limits<int64_t>::max() / side) {
       return InvalidArgumentError(
           std::string(CurveKindName(kind)) + ": " + std::to_string(dims) +
@@ -128,8 +157,9 @@ StatusOr<GridSpec> EnclosingGridFor(CurveKind kind, int dims, Coord extent) {
           " overflows the 64-bit curve index width");
     }
     cells *= side;
+    coord_sides.push_back(static_cast<Coord>(side));
   }
-  return GridSpec::Uniform(dims, static_cast<Coord>(side));
+  return GridSpec(std::move(coord_sides));
 }
 
 }  // namespace spectral

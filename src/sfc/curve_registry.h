@@ -5,6 +5,7 @@
 #define SPECTRAL_LPM_SFC_CURVE_REGISTRY_H_
 
 #include <memory>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -46,6 +47,17 @@ StatusOr<std::unique_ptr<SpaceFillingCurve>> MakeCurve(CurveKind kind,
 /// or the cell count overflows the 64-bit curve index width — callers used
 /// to see a silently wrapped grid near the 2^31 coordinate boundary.
 StatusOr<GridSpec> EnclosingGridFor(CurveKind kind, int dims, Coord extent);
+
+/// Per-axis variant: the smallest legal enclosing grid covering
+/// `extents[a]` cells along axis a. Sweep, snake, and spiral take the
+/// extents exactly (spiral additionally requires 2-d data, reported as a
+/// clear InvalidArgument instead of a downstream construction failure);
+/// peano rounds each axis up to its own power of three (rectangles compose
+/// as sweep blocks, so a 10x100 extent costs a 27x243 grid instead of the
+/// old 243x243 hyper-cube); the power-of-two families still need a
+/// hyper-cube padded from the largest extent. Overflow checks as above.
+StatusOr<GridSpec> EnclosingGridForExtents(CurveKind kind,
+                                           std::span<const Coord> extents);
 
 }  // namespace spectral
 

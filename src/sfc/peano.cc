@@ -1,5 +1,6 @@
 #include "sfc/peano.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "util/check.h"
@@ -8,46 +9,76 @@ namespace spectral {
 
 StatusOr<std::unique_ptr<PeanoCurve>> PeanoCurve::Create(
     const GridSpec& grid) {
-  auto digits = internal::UniformPowerDigits(grid, 3, "peano");
+  auto digits = internal::PerAxisPowerDigits(grid, 3, "peano");
   if (!digits.ok()) return digits.status();
-  if (*digits * grid.dims() > 39) {
-    return InvalidArgumentError("peano: dims * log3(side) must be <= 39");
+  int total = 0;
+  for (int d : *digits) total += d;
+  if (total > 39) {
+    return InvalidArgumentError("peano: sum of log3(side) over the axes "
+                                "must be <= 39");
   }
   return std::unique_ptr<PeanoCurve>(
-      new PeanoCurve(grid, *digits == 0 ? 1 : *digits));
+      new PeanoCurve(grid, *std::move(digits)));
 }
 
-PeanoCurve::PeanoCurve(GridSpec grid, int digits)
-    : SpaceFillingCurve(std::move(grid)), digits_(digits) {}
+PeanoCurve::PeanoCurve(GridSpec grid, std::vector<int> digits)
+    : SpaceFillingCurve(std::move(grid)), digits_(std::move(digits)) {
+  digit_offset_.assign(static_cast<size_t>(dims()) + 1, 0);
+  for (int a = 0; a < dims(); ++a) {
+    digit_offset_[static_cast<size_t>(a) + 1] =
+        digit_offset_[static_cast<size_t>(a)] + digits_[static_cast<size_t>(a)];
+  }
+  // Level-major, axis-minor digit order. Axis a participates only in the
+  // last digits_[a] levels, so a grid of sides (27, 9) yields the sequence
+  // x0, x1 y0, x2 y1 — the leading x digit alone sweeps three 9x9
+  // super-blocks.
+  const int max_digits =
+      digits_.empty() ? 0 : *std::max_element(digits_.begin(), digits_.end());
+  for (int level = 0; level < max_digits; ++level) {
+    for (int a = 0; a < dims(); ++a) {
+      if (level >= max_digits - digits_[static_cast<size_t>(a)]) {
+        pos_axis_.push_back(a);
+        pos_level_.push_back(level - (max_digits -
+                                      digits_[static_cast<size_t>(a)]));
+      }
+    }
+  }
+}
 
-// The curve index has digits_ * dims base-3 digits t_0 t_1 ... (most
-// significant first). Position p belongs to axis a = p % dims at refinement
-// level p / dims. Peano's construction: the coordinate digit equals the
-// index digit, complemented (t -> 2 - t) iff the sum of all *earlier* index
-// digits belonging to *other* axes is odd.
+// The curve index has sum(digits_) base-3 digits t_0 t_1 ... (most
+// significant first), laid out by pos_axis_/pos_level_. Peano's
+// construction: the coordinate digit equals the index digit, complemented
+// (t -> 2 - t) iff the sum of all *earlier* index digits belonging to
+// *other* axes is odd. Applied to the variable-length sequence, the leading
+// solo digits of longer axes see no earlier foreign digits (plain sweep
+// over super-blocks) while later blocks are reflected by the parity of the
+// sweep digits — a serpentine over blocks that preserves adjacency.
 
 uint64_t PeanoCurve::IndexOf(std::span<const Coord> p) const {
   SPECTRAL_DCHECK(grid_.Contains(p));
   const int n = dims();
-  // Coordinate digits, most significant first.
-  std::vector<int> coord_digits(static_cast<size_t>(n * digits_));
+  // Coordinate digits, most significant first, flat with digits_[a] per
+  // axis at digit_offset_[a] (one allocation; IndexOf is the per-point hot
+  // path of OrderByCurve).
+  std::vector<int> coord_digits(pos_axis_.size(), 0);
   for (int a = 0; a < n; ++a) {
+    const int base = digit_offset_[static_cast<size_t>(a)];
     int64_t c = p[static_cast<size_t>(a)];
-    for (int l = digits_ - 1; l >= 0; --l) {
-      coord_digits[static_cast<size_t>(a * digits_ + l)] = static_cast<int>(c % 3);
+    for (int l = digits_[static_cast<size_t>(a)] - 1; l >= 0; --l) {
+      coord_digits[static_cast<size_t>(base + l)] = static_cast<int>(c % 3);
       c /= 3;
     }
   }
   uint64_t index = 0;
   std::vector<int> axis_digit_sum(static_cast<size_t>(n), 0);
   int total_digit_sum = 0;
-  for (int pos = 0; pos < n * digits_; ++pos) {
-    const int axis = pos % n;
-    const int level = pos / n;
+  for (size_t pos = 0; pos < pos_axis_.size(); ++pos) {
+    const int axis = pos_axis_[pos];
+    const int level = pos_level_[pos];
     const int flag =
         (total_digit_sum - axis_digit_sum[static_cast<size_t>(axis)]) & 1;
-    const int coord_digit =
-        coord_digits[static_cast<size_t>(axis * digits_ + level)];
+    const int coord_digit = coord_digits[static_cast<size_t>(
+        digit_offset_[static_cast<size_t>(axis)] + level)];
     const int index_digit = flag ? 2 - coord_digit : coord_digit;
     index = index * 3 + static_cast<uint64_t>(index_digit);
     axis_digit_sum[static_cast<size_t>(axis)] += index_digit;
@@ -59,20 +90,20 @@ uint64_t PeanoCurve::IndexOf(std::span<const Coord> p) const {
 void PeanoCurve::PointOf(uint64_t index, std::span<Coord> out) const {
   SPECTRAL_DCHECK_LT(index, static_cast<uint64_t>(NumCells()));
   const int n = dims();
-  const int total = n * digits_;
-  std::vector<int> index_digits(static_cast<size_t>(total));
-  for (int pos = total - 1; pos >= 0; --pos) {
-    index_digits[static_cast<size_t>(pos)] = static_cast<int>(index % 3);
+  const size_t total = pos_axis_.size();
+  std::vector<int> index_digits(total);
+  for (size_t pos = total; pos-- > 0;) {
+    index_digits[pos] = static_cast<int>(index % 3);
     index /= 3;
   }
   std::vector<int64_t> coords(static_cast<size_t>(n), 0);
   std::vector<int> axis_digit_sum(static_cast<size_t>(n), 0);
   int total_digit_sum = 0;
-  for (int pos = 0; pos < total; ++pos) {
-    const int axis = pos % n;
+  for (size_t pos = 0; pos < total; ++pos) {
+    const int axis = pos_axis_[pos];
     const int flag =
         (total_digit_sum - axis_digit_sum[static_cast<size_t>(axis)]) & 1;
-    const int index_digit = index_digits[static_cast<size_t>(pos)];
+    const int index_digit = index_digits[pos];
     const int coord_digit = flag ? 2 - index_digit : index_digit;
     coords[static_cast<size_t>(axis)] =
         coords[static_cast<size_t>(axis)] * 3 + coord_digit;

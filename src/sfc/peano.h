@@ -2,18 +2,28 @@
 // construction with reflections. Continuous like Hilbert (consecutive
 // positions at Manhattan distance 1) but built on 3x3 serpentines. Included
 // beyond the paper's baselines (its "Peano" is Z-order; see sfc/morton.h).
+//
+// Rectangular grids are supported as long as every side is a power of three
+// (sides may differ per axis). A longer axis contributes extra leading
+// digits before the shorter axes join: those digits sweep serpentine-wise
+// over hyper-cube super-blocks, and the standard reflection rule applied to
+// the variable-length digit sequence keeps consecutive positions at
+// Manhattan distance 1 across block boundaries. For hyper-cube grids the
+// construction reduces exactly to the classic curve.
 
 #ifndef SPECTRAL_LPM_SFC_PEANO_H_
 #define SPECTRAL_LPM_SFC_PEANO_H_
 
 #include <memory>
+#include <vector>
 
 #include "sfc/curve.h"
 
 namespace spectral {
 
-/// Triadic Peano curve over a hyper-cube grid with power-of-three side.
-/// Requires dims * log3(side) <= 39 (index fits in 63 bits).
+/// Triadic Peano curve over a grid whose sides are powers of three (not
+/// necessarily equal). Requires sum_a log3(side_a) <= 39 (index fits in 63
+/// bits).
 class PeanoCurve : public SpaceFillingCurve {
  public:
   static StatusOr<std::unique_ptr<PeanoCurve>> Create(const GridSpec& grid);
@@ -23,9 +33,16 @@ class PeanoCurve : public SpaceFillingCurve {
   void PointOf(uint64_t index, std::span<Coord> out) const override;
 
  private:
-  PeanoCurve(GridSpec grid, int digits);
+  PeanoCurve(GridSpec grid, std::vector<int> digits);
 
-  int digits_;  // base-3 digits per axis
+  std::vector<int> digits_;        // base-3 digits per axis
+  std::vector<int> digit_offset_;  // prefix sums of digits_ (flat layout)
+  // Digit positions, most significant first: pos_axis_[k] is the axis the
+  // k-th index digit belongs to, pos_level_[k] its digit index within that
+  // axis (0 = most significant). Axes with fewer digits join late, which is
+  // what makes the leading digits sweep over super-blocks.
+  std::vector<int> pos_axis_;
+  std::vector<int> pos_level_;
 };
 
 }  // namespace spectral

@@ -9,9 +9,6 @@ StatusOr<std::unique_ptr<SpiralCurve>> SpiralCurve::Create(
   if (grid.dims() != 2) {
     return InvalidArgumentError("spiral requires a 2-d grid");
   }
-  if (grid.side(0) != grid.side(1)) {
-    return InvalidArgumentError("spiral requires a square grid");
-  }
   return std::unique_ptr<SpiralCurve>(new SpiralCurve(grid));
 }
 
@@ -21,10 +18,10 @@ SpiralCurve::SpiralCurve(GridSpec grid) : SpaceFillingCurve(std::move(grid)) {
   cell_of_index_.assign(static_cast<size_t>(n), -1);
 
   // Walk the spiral: right along the top row, down the right column, left
-  // along the bottom, up the left column, then recurse inward.
-  const Coord side = grid_.side(0);
-  Coord top = 0, bottom = static_cast<Coord>(side - 1);
-  Coord left = 0, right = static_cast<Coord>(side - 1);
+  // along the bottom, up the left column, then recurse inward. The four
+  // bounds shrink independently, so rectangles work unmodified.
+  Coord top = 0, bottom = static_cast<Coord>(grid_.side(0) - 1);
+  Coord left = 0, right = static_cast<Coord>(grid_.side(1) - 1);
   int64_t next = 0;
   std::vector<Coord> p(2);
   auto emit = [&](Coord row, Coord col) {

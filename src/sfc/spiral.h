@@ -1,7 +1,8 @@
-// Spiral ("onion") order for 2-d square grids: visits cells ring by ring
-// from the outside in, walking each ring contiguously. Continuous like
-// Snake, but concentric instead of row-oriented — a useful extra
-// non-fractal baseline for boundary-effect studies.
+// Spiral ("onion") order for 2-d grids: visits cells ring by ring from the
+// outside in, walking each ring contiguously. Continuous like Snake, but
+// concentric instead of row-oriented — a useful extra non-fractal baseline
+// for boundary-effect studies. Rectangular grids are supported: the ring
+// walk shrinks each side independently, so no square padding is needed.
 
 #ifndef SPECTRAL_LPM_SFC_SPIRAL_H_
 #define SPECTRAL_LPM_SFC_SPIRAL_H_
@@ -13,10 +14,10 @@
 
 namespace spectral {
 
-/// Clockwise inward spiral over a square 2-d grid (any side >= 1).
+/// Clockwise inward spiral over any 2-d grid (each side >= 1).
 class SpiralCurve : public SpaceFillingCurve {
  public:
-  /// Fails unless the grid is 2-d and square.
+  /// Fails unless the grid is 2-d (rectangles are fine).
   static StatusOr<std::unique_ptr<SpiralCurve>> Create(const GridSpec& grid);
 
   std::string_view name() const override { return "spiral"; }

@@ -152,7 +152,9 @@ TEST(Spiral, BijectiveAndContinuous) {
 }
 
 TEST(Spiral, ShapeValidation) {
-  EXPECT_FALSE(MakeCurve(CurveKind::kSpiral, GridSpec({3, 4})).ok());
+  // Rectangles are legal since the ring walk generalized; only non-2-d
+  // grids are rejected.
+  EXPECT_TRUE(MakeCurve(CurveKind::kSpiral, GridSpec({3, 4})).ok());
   EXPECT_FALSE(MakeCurve(CurveKind::kSpiral, GridSpec::Uniform(3, 3)).ok());
   EXPECT_TRUE(MakeCurve(CurveKind::kSpiral, GridSpec::Uniform(2, 1)).ok());
 }

@@ -69,6 +69,32 @@ TEST(CurveOrder, NonPowerOfTwoExtentUsesEnclosingGrid) {
   }
 }
 
+TEST(CurveOrder, RectangularDataUsesTightGridsForSpiralAndPeano) {
+  // Regression: a 3x12 rectangle used to pad spiral to a 12x12 square and
+  // peano to a 27x27 hyper-cube. Both now get per-axis grids (exact for
+  // spiral, per-axis power of three for peano) and the orders stay full
+  // permutations of the input.
+  const PointSet points = PointSet::FullGrid(GridSpec({3, 12}));
+
+  GridSpec spiral_grid = GridSpec::Uniform(1, 1);
+  auto spiral = OrderByCurve(points, CurveKind::kSpiral, &spiral_grid);
+  ASSERT_TRUE(spiral.ok()) << spiral.status();
+  EXPECT_EQ(spiral_grid.sides(), (std::vector<Coord>{3, 12}));
+  EXPECT_EQ(spiral->size(), points.size());
+
+  GridSpec peano_grid = GridSpec::Uniform(1, 1);
+  auto peano = OrderByCurve(points, CurveKind::kPeano, &peano_grid);
+  ASSERT_TRUE(peano.ok()) << peano.status();
+  EXPECT_EQ(peano_grid.sides(), (std::vector<Coord>{3, 27}));
+  EXPECT_EQ(peano->size(), points.size());
+
+  // Spiral on 3-d data reports a clear error.
+  const PointSet cube = PointSet::FullGrid(GridSpec({2, 2, 2}));
+  auto bad = OrderByCurve(cube, CurveKind::kSpiral);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(CurveOrder, RelativeOrderPreservedUnderRestriction) {
   // The restriction keeps the relative curve order of the surviving points.
   const GridSpec grid = GridSpec::Uniform(2, 8);

@@ -193,6 +193,7 @@ TEST(OrderingEngineRegistry, GraphInputCapability) {
     ASSERT_TRUE(engine.ok()) << name;
     const bool is_spectral_family = name == "spectral" ||
                                     name == "spectral-multilevel" ||
+                                    name == "sharded-spectral" ||
                                     name == "bisection";
     EXPECT_EQ((*engine)->supports_graph_input(), is_spectral_family) << name;
     auto result = (*engine)->Order(

@@ -205,12 +205,30 @@ TEST(OrderingRequestFingerprint, OnlyTheNamedEnginesOptionsParticipate) {
     EXPECT_NE(r.Fingerprint(), base_request.Fingerprint());
   }
   {
-    // Unknown (future) engine names conservatively hash every field.
+    // sharded-spectral reads the spectral options plus its shard shape,
+    // but not the bisection recursion fields.
     const OrderingRequest base_request =
         OrderingRequest::ForPoints(points, "sharded-spectral");
+    OrderingRequest shards = base_request;
+    shards.options.sharded.num_shards = 4;
+    EXPECT_NE(shards.Fingerprint(), base_request.Fingerprint());
+    OrderingRequest coarsen = base_request;
+    coarsen.options.sharded.coarsen_target = 64;
+    EXPECT_NE(coarsen.Fingerprint(), base_request.Fingerprint());
+    OrderingRequest ignored = base_request;
+    ignored.options.bisection.leaf_size = 16;
+    EXPECT_EQ(ignored.Fingerprint(), base_request.Fingerprint());
+  }
+  {
+    // Unknown (future) engine names conservatively hash every field.
+    const OrderingRequest base_request =
+        OrderingRequest::ForPoints(points, "some-future-engine");
     OrderingRequest r = base_request;
     r.options.bisection.leaf_size = 16;
     EXPECT_NE(r.Fingerprint(), base_request.Fingerprint());
+    OrderingRequest s = base_request;
+    s.options.sharded.num_shards = 4;
+    EXPECT_NE(s.Fingerprint(), base_request.Fingerprint());
   }
 }
 

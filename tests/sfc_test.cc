@@ -235,6 +235,76 @@ TEST(Peano, KnownOrder3x3) {
   }
 }
 
+// Rectangular-grid regression (spiral used to demand a square, peano a
+// hyper-cube): both families now take per-axis sides and must stay
+// bijective, inverse-consistent, and continuous on rectangles.
+class RectangularCurveTest
+    : public ::testing::TestWithParam<
+          std::tuple<CurveKind, std::vector<Coord>>> {};
+
+TEST_P(RectangularCurveTest, BijectiveInverseAndContinuousOnRectangles) {
+  const auto& [kind, sides] = GetParam();
+  const GridSpec grid(sides);
+  auto curve = MakeCurve(kind, grid);
+  ASSERT_TRUE(curve.ok()) << curve.status();
+
+  std::set<uint64_t> seen;
+  std::vector<Coord> p(sides.size());
+  std::vector<Coord> q(sides.size());
+  for (int64_t cell = 0; cell < grid.NumCells(); ++cell) {
+    grid.Unflatten(cell, p);
+    const uint64_t index = (*curve)->IndexOf(p);
+    ASSERT_LT(index, static_cast<uint64_t>(grid.NumCells()));
+    ASSERT_TRUE(seen.insert(index).second) << "duplicate index " << index;
+    (*curve)->PointOf(index, q);
+    ASSERT_EQ(p, q) << "cell " << cell;
+  }
+
+  std::vector<Coord> prev(sides.size());
+  (*curve)->PointOf(0, prev);
+  for (int64_t i = 1; i < grid.NumCells(); ++i) {
+    (*curve)->PointOf(static_cast<uint64_t>(i), q);
+    ASSERT_EQ(ManhattanDistance(prev, q), 1) << "step " << i;
+    prev = q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rectangles, RectangularCurveTest,
+    ::testing::Values(
+        std::tuple{CurveKind::kSpiral, std::vector<Coord>{3, 5}},
+        std::tuple{CurveKind::kSpiral, std::vector<Coord>{5, 2}},
+        std::tuple{CurveKind::kSpiral, std::vector<Coord>{1, 7}},
+        std::tuple{CurveKind::kSpiral, std::vector<Coord>{6, 4}},
+        std::tuple{CurveKind::kPeano, std::vector<Coord>{27, 9}},
+        std::tuple{CurveKind::kPeano, std::vector<Coord>{3, 9}},
+        std::tuple{CurveKind::kPeano, std::vector<Coord>{9, 1}},
+        std::tuple{CurveKind::kPeano, std::vector<Coord>{9, 3, 3}}),
+    [](const ::testing::TestParamInfo<
+        std::tuple<CurveKind, std::vector<Coord>>>& info) {
+      std::string name(CurveKindName(std::get<0>(info.param)));
+      for (Coord side : std::get<1>(info.param)) {
+        name += "_";
+        name += std::to_string(side);
+      }
+      return name;
+    });
+
+TEST(Peano, RectangleLeadingDigitsSweepSuperBlocks) {
+  // On a 9x3 grid the extra axis-0 digit sweeps three 3x3 blocks: the
+  // curve must fill rows 0..2 completely before visiting row 3.
+  const GridSpec grid({9, 3});
+  auto curve = MakeCurve(CurveKind::kPeano, grid);
+  ASSERT_TRUE(curve.ok());
+  std::vector<Coord> p(2);
+  for (uint64_t i = 0; i < 9; ++i) {
+    (*curve)->PointOf(i, p);
+    EXPECT_LT(p[0], 3) << "position " << i;
+  }
+  (*curve)->PointOf(9, p);
+  EXPECT_EQ(p[0], 3);
+}
+
 TEST(Registry, NamesRoundTrip) {
   for (CurveKind kind : AllCurveKinds()) {
     auto parsed = CurveKindFromName(CurveKindName(kind));
@@ -249,6 +319,10 @@ TEST(Registry, ShapeValidation) {
   EXPECT_FALSE(MakeCurve(CurveKind::kHilbert, GridSpec::Uniform(2, 6)).ok());
   EXPECT_FALSE(MakeCurve(CurveKind::kPeano, GridSpec::Uniform(2, 4)).ok());
   EXPECT_TRUE(MakeCurve(CurveKind::kPeano, GridSpec::Uniform(2, 27)).ok());
+  EXPECT_TRUE(MakeCurve(CurveKind::kPeano, GridSpec({27, 9})).ok());
+  EXPECT_FALSE(MakeCurve(CurveKind::kPeano, GridSpec({27, 10})).ok());
+  EXPECT_TRUE(MakeCurve(CurveKind::kSpiral, GridSpec({4, 9})).ok());
+  EXPECT_FALSE(MakeCurve(CurveKind::kSpiral, GridSpec({4, 9, 2})).ok());
   EXPECT_TRUE(MakeCurve(CurveKind::kSweep, GridSpec({4, 6, 5})).ok());
 }
 
@@ -257,6 +331,37 @@ TEST(Registry, EnclosingGrid) {
   EXPECT_EQ(EnclosingGridFor(CurveKind::kPeano, 2, 6)->side(0), 9);
   EXPECT_EQ(EnclosingGridFor(CurveKind::kSweep, 2, 6)->side(0), 6);
   EXPECT_EQ(EnclosingGridFor(CurveKind::kZOrder, 3, 8)->side(0), 8);
+}
+
+TEST(Registry, EnclosingGridForExtentsKeepsRectanglesTight) {
+  // The exact families take rectangular extents verbatim.
+  const std::vector<Coord> rect = {3, 100};
+  auto sweep = EnclosingGridForExtents(CurveKind::kSweep, rect);
+  ASSERT_TRUE(sweep.ok());
+  EXPECT_EQ(sweep->sides(), rect);
+  auto spiral = EnclosingGridForExtents(CurveKind::kSpiral, rect);
+  ASSERT_TRUE(spiral.ok());
+  EXPECT_EQ(spiral->sides(), rect);
+
+  // Peano pads per axis (regression: it used to pad both axes to the
+  // hyper-cube of the largest extent, 243x243 here).
+  auto peano = EnclosingGridForExtents(CurveKind::kPeano,
+                                       std::vector<Coord>{10, 100});
+  ASSERT_TRUE(peano.ok());
+  EXPECT_EQ(peano->sides(), (std::vector<Coord>{27, 243}));
+
+  // The power-of-two families still need a hyper-cube.
+  auto hilbert = EnclosingGridForExtents(CurveKind::kHilbert,
+                                         std::vector<Coord>{3, 10});
+  ASSERT_TRUE(hilbert.ok());
+  EXPECT_EQ(hilbert->sides(), (std::vector<Coord>{16, 16}));
+
+  // Spiral on non-2-d data is a clear error instead of a downstream
+  // construction failure.
+  auto bad = EnclosingGridForExtents(CurveKind::kSpiral,
+                                     std::vector<Coord>{3, 4, 5});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(Registry, EnclosingGridRejectsCoordinateOverflow) {

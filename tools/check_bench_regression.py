@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate for bench_ordering_engines.
+
+Runs the bench binary (or takes a pre-generated JSON), diffs
+bench_results/BENCH_ordering_engines.json against the committed baseline,
+and fails on:
+
+  * a missing row (an engine/workload/shard combination the baseline has
+    but the current run lost),
+  * any Spearman-vs-spectral drop beyond --spearman-tolerance (solves are
+    deterministic, so a real drop means the ordering quality regressed),
+  * a cold-time regression beyond --cold-tolerance (default 25%).
+
+Cold times are compared as *shares of the run's total cold time*, not as
+absolute milliseconds: CI machines and dev laptops differ by integer
+factors in raw speed, but a single engine suddenly consuming a much larger
+fraction of the whole suite is machine-independent evidence of a
+regression. Rows whose share is below --min-share in both runs are skipped
+as timing noise. This keeps the gate tolerance-based and non-flaky.
+
+Updating the baseline (after an intentional perf/quality change):
+
+    cmake --build build --target bench_ordering_engines
+    (cd <repo-root> && ./build/bench_ordering_engines)   # rewrites the JSON
+    git add bench_results/BENCH_ordering_engines.json
+
+or run this script with --update, which runs the bench and copies the
+fresh JSON over the baseline.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+JSON_RELPATH = os.path.join("bench_results", "BENCH_ordering_engines.json")
+
+
+def load_rows(path):
+    with open(path, "r", encoding="utf-8") as f:
+        rows = json.load(f)
+    table = {}
+    for row in rows:
+        key = (row["engine"], row.get("workload", ""), int(row.get("shards", 0)))
+        table[key] = row
+    return table
+
+
+def run_bench(bench_path):
+    """Runs the bench in a scratch cwd and returns the parsed JSON rows."""
+    bench_abs = os.path.abspath(bench_path)
+    with tempfile.TemporaryDirectory(prefix="bench_regression_") as scratch:
+        proc = subprocess.run(
+            [bench_abs], cwd=scratch, stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True)
+        sys.stdout.write(proc.stdout)
+        if proc.returncode != 0:
+            sys.exit(f"bench exited with {proc.returncode}")
+        produced = os.path.join(scratch, JSON_RELPATH)
+        if not os.path.exists(produced):
+            sys.exit(f"bench did not produce {JSON_RELPATH}")
+        rows = load_rows(produced)
+        # Keep a copy around for --update before the tempdir vanishes.
+        with open(produced, "r", encoding="utf-8") as f:
+            raw = f.read()
+    return rows, raw
+
+
+def key_name(key):
+    engine, workload, shards = key
+    name = engine
+    if workload:
+        name += f" @{workload}"
+    if shards:
+        name += f" K={shards}"
+    return name
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--bench", help="path to the bench_ordering_engines binary")
+    parser.add_argument("--current",
+                        help="pre-generated current JSON (skips running the bench)")
+    parser.add_argument("--baseline", default=JSON_RELPATH,
+                        help=f"committed baseline JSON (default: {JSON_RELPATH})")
+    parser.add_argument("--cold-tolerance", type=float, default=0.25,
+                        help="max allowed relative growth of a row's share of "
+                             "total cold time (default 0.25 = 25%%)")
+    parser.add_argument("--min-share", type=float, default=0.02,
+                        help="ignore rows below this share of total cold time "
+                             "in both runs (timing noise floor, default 0.02)")
+    parser.add_argument("--spearman-tolerance", type=float, default=1e-3,
+                        help="max allowed Spearman drop (default 1e-3)")
+    parser.add_argument("--update", action="store_true",
+                        help="run the bench and overwrite the baseline "
+                             "instead of gating")
+    args = parser.parse_args()
+
+    if args.current:
+        current = load_rows(args.current)
+        raw = None
+    elif args.bench:
+        current, raw = run_bench(args.bench)
+    else:
+        parser.error("one of --bench or --current is required")
+
+    if args.update:
+        if raw is None:
+            shutil.copyfile(args.current, args.baseline)
+        else:
+            os.makedirs(os.path.dirname(args.baseline) or ".", exist_ok=True)
+            with open(args.baseline, "w", encoding="utf-8") as f:
+                f.write(raw)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    baseline = load_rows(args.baseline)
+    base_total = sum(row["cold_ms"] for row in baseline.values()) or 1.0
+    cur_total = sum(row["cold_ms"] for row in current.values()) or 1.0
+
+    failures = []
+    print(f"\n{'row':44s} {'base_share':>10s} {'cur_share':>10s} "
+          f"{'base_rho':>9s} {'cur_rho':>9s}  verdict")
+    for key, base in sorted(baseline.items()):
+        name = key_name(key)
+        cur = current.get(key)
+        if cur is None:
+            failures.append(f"{name}: row missing from current run")
+            print(f"{name:44s} {'-':>10s} {'-':>10s} {'-':>9s} {'-':>9s}  MISSING")
+            continue
+
+        base_share = base["cold_ms"] / base_total
+        cur_share = cur["cold_ms"] / cur_total
+        verdict = "ok"
+        if (max(base_share, cur_share) >= args.min_share and
+                cur_share > base_share * (1.0 + args.cold_tolerance) + 0.005):
+            verdict = "COLD-REGRESSION"
+            failures.append(
+                f"{name}: cold share {base_share:.3f} -> {cur_share:.3f} "
+                f"(> {args.cold_tolerance:.0%} growth)")
+
+        base_rho = base["spearman_vs_spectral"]
+        cur_rho = cur["spearman_vs_spectral"]
+        if cur_rho < base_rho - args.spearman_tolerance:
+            verdict = (verdict + "+" if verdict != "ok" else "") + "RHO-DROP"
+            failures.append(
+                f"{name}: spearman {base_rho:.6f} -> {cur_rho:.6f}")
+
+        print(f"{name:44s} {base_share:10.3f} {cur_share:10.3f} "
+              f"{base_rho:9.4f} {cur_rho:9.4f}  {verdict}")
+
+    new_rows = sorted(set(current) - set(baseline))
+    for key in new_rows:
+        print(f"{key_name(key):44s} (new row, not gated)")
+
+    if failures:
+        print("\nbench regression check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        print("\nIf the change is intentional, refresh the baseline "
+              "(see --help).")
+        return 1
+    print("\nbench regression check passed "
+          f"({len(baseline)} rows, {len(new_rows)} new).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Repo verification driver.
+# Repo verification driver — the same gate CI runs (.github/workflows/ci.yml).
 #
 #   tools/run_checks.sh              configure (-Wall -Wextra -Werror),
 #                                    build everything, run ctest, then lint
@@ -8,6 +8,20 @@
 #   tools/run_checks.sh --lint-only  banned-pattern source lint only (this
 #                                    mode is registered as a ctest test, so
 #                                    a plain ctest run also lints)
+#   tools/run_checks.sh --help       this text
+#
+# Every phase is timed and a summary is printed at the end. The script
+# verifies that the ctest run actually registered the lint target
+# (lint_banned_patterns): a build dir configured without tests used to
+# skip the lint silently — that is now a hard failure.
+#
+# ccache is picked up automatically when installed (CI caches it across
+# runs). BUILD_DIR overrides the build directory.
+#
+# The CI bench gate is separate: tools/check_bench_regression.py runs
+# bench_ordering_engines and diffs bench_results/BENCH_ordering_engines.json
+# against the committed baseline (see that script's --help for the baseline
+# update procedure).
 #
 # Exit status is non-zero on the first failing stage.
 
@@ -15,6 +29,48 @@ set -u
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "${repo_root}"
+
+if [ "${1:-}" = "--help" ] || [ "${1:-}" = "-h" ]; then
+  # Print the whole header comment (everything up to the first
+  # non-comment line), stripped of the leading '# '.
+  awk 'NR == 1 { next } /^#/ { sub(/^# ?/, ""); print; next } { exit }' "$0"
+  exit 0
+fi
+
+phase_names=()
+phase_secs=()
+lint_ran=0
+
+# run_phase <name> <cmd...>: times the phase, records it for the summary,
+# and exits on failure (after printing the summary so partial timings are
+# not lost).
+run_phase() {
+  local name="$1"
+  shift
+  echo "== ${name} =="
+  local start
+  start=$(date +%s)
+  "$@"
+  local status=$?
+  local end
+  end=$(date +%s)
+  phase_names+=("${name}")
+  phase_secs+=("$((end - start))")
+  if [ "${status}" -ne 0 ]; then
+    echo "run_checks: phase '${name}' failed (exit ${status})"
+    print_summary
+    exit "${status}"
+  fi
+}
+
+print_summary() {
+  echo ""
+  echo "== phase timings =="
+  local i
+  for i in "${!phase_names[@]}"; do
+    printf '  %-12s %4ss\n' "${phase_names[$i]}" "${phase_secs[$i]}"
+  done
+}
 
 lint() {
   local failed=0
@@ -66,6 +122,7 @@ lint() {
   if [ "${failed}" -ne 0 ]; then
     return 1
   fi
+  lint_ran=1
   echo "lint: OK"
 }
 
@@ -83,17 +140,32 @@ if [ "${1:-}" = "--sanitize" ]; then
   configure_args=(-DSPECTRAL_WERROR=ON -DSPECTRAL_SANITIZE=ON
                   -DCMAKE_BUILD_TYPE=RelWithDebInfo)
 fi
+if command -v ccache >/dev/null 2>&1; then
+  configure_args+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
 
-echo "== configure (${build_dir}) =="
-cmake -B "${build_dir}" -S . "${configure_args[@]}" || exit 1
+run_phase "configure" cmake -B "${build_dir}" -S . "${configure_args[@]}"
+run_phase "build" cmake --build "${build_dir}" -j "$(nproc)"
 
-echo "== build =="
-cmake --build "${build_dir}" -j "$(nproc)" || exit 1
+# Guard against a silently lint-less test run: the lint must be registered
+# as a ctest target in this build dir (it vanishes when the dir was
+# configured with SPECTRAL_BUILD_TESTS=OFF or predates the lint target).
+if ! ctest --test-dir "${build_dir}" -N 2>/dev/null \
+     | grep -q "lint_banned_patterns"; then
+  echo "run_checks: lint_banned_patterns is not registered in" \
+       "${build_dir} — the lint would be silently skipped. Reconfigure" \
+       "with SPECTRAL_BUILD_TESTS=ON (the default)."
+  print_summary
+  exit 1
+fi
 
-echo "== ctest =="
-ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" || exit 1
+run_phase "ctest" ctest --test-dir "${build_dir}" --output-on-failure \
+  -j "$(nproc)"
+run_phase "lint" lint
 
-echo "== lint =="
-lint || exit 1
-
+print_summary
+if [ "${lint_ran}" -ne 1 ]; then
+  echo "run_checks: lint never ran — failing"
+  exit 1
+fi
 echo "run_checks: all stages passed"

@@ -11,6 +11,9 @@
 //   --connectivity=orthogonal|moore      (spectral family only)
 //   --radius=N                           (default 1)
 //   --multilevel=N    use the multilevel solver for components >= N
+//   --shards=K        shard count for --mapping=sharded-spectral (K=1 is
+//                     byte-identical to spectral; K>1 partitions the
+//                     request, solves shards concurrently, stitches)
 //   --parallelism=N   worker threads shared by batch fan-out and the
 //                     spectral solves (0 = hardware concurrency, 1 = serial)
 //   --cache=N         LRU order-cache capacity in entries (default 0 = off)
@@ -45,6 +48,7 @@ struct CliArgs {
   GridConnectivity connectivity = GridConnectivity::kOrthogonal;
   int radius = 1;
   int64_t multilevel = 0;
+  int shards = 1;
   int parallelism = 0;
   int64_t cache = 0;
   int64_t batch = 1;
@@ -62,8 +66,8 @@ bool ParseFlag(const std::string& arg, const std::string& name,
 int Usage() {
   std::cerr << "usage: spectral_map_cli <points.txt> <order.txt> "
                "[--mapping=NAME] [--connectivity=orthogonal|moore] "
-               "[--radius=N] [--multilevel=N] [--parallelism=N] "
-               "[--cache=N] [--batch=K] [--quiet]\n"
+               "[--radius=N] [--multilevel=N] [--shards=K] "
+               "[--parallelism=N] [--cache=N] [--batch=K] [--quiet]\n"
                "known mappings: "
             << StrJoin(AllOrderingEngineNames(), ", ") << "\n";
   return 2;
@@ -80,6 +84,7 @@ int RunCli(const CliArgs& args) {
   request.options.spectral.graph.connectivity = args.connectivity;
   request.options.spectral.graph.radius = args.radius;
   request.options.spectral.multilevel_threshold = args.multilevel;
+  request.options.sharded.num_shards = args.shards;
   request.options.spectral.parallelism = args.parallelism;
 
   MappingServiceOptions service_options;
@@ -145,6 +150,9 @@ int main(int argc, char** argv) {
       if (args.radius < 1) return spectral::Usage();
     } else if (spectral::ParseFlag(arg, "multilevel", &value)) {
       args.multilevel = std::atoll(value.c_str());
+    } else if (spectral::ParseFlag(arg, "shards", &value)) {
+      args.shards = std::atoi(value.c_str());
+      if (args.shards < 1) return spectral::Usage();
     } else if (spectral::ParseFlag(arg, "parallelism", &value)) {
       args.parallelism = std::atoi(value.c_str());
       if (args.parallelism < 0) return spectral::Usage();
