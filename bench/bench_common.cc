@@ -1,5 +1,8 @@
 #include "bench/bench_common.h"
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 
 #include "util/check.h"
@@ -64,6 +67,30 @@ std::vector<NamedOrder> BuildOrders(const PointSet& points,
     orders.push_back({lineup[i].label, std::move(result->order)});
   }
   return orders;
+}
+
+void EmitJsonRows(const std::string& file_name,
+                  const std::vector<std::string>& rows) {
+  const std::string path = "bench_results/" + file_name;
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "(could not write " << path << ")\n";
+    return;
+  }
+  out << "[\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    out << "  " << rows[i] << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  std::cout << "[json: " << path << "]\n";
+}
+
+std::string FormatScientific(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3e", value);
+  return buffer;
 }
 
 void EmitTable(const std::string& bench_name, const TablePrinter& table) {

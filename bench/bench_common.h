@@ -49,6 +49,20 @@ SpectralLpmOptions DefaultSpectralOptions(int dims);
 /// Prints the table to stdout and mirrors it to bench_results/<name>.csv.
 void EmitTable(const std::string& bench_name, const TablePrinter& table);
 
+/// Writes pre-rendered JSON object rows as a pretty-printed array to
+/// bench_results/<file_name> (creating the directory) and logs the path —
+/// the shared emitter for the committed CI bench baselines
+/// (BENCH_ordering_engines.json, BENCH_eigensolver.json). Each entry in
+/// `rows` must be one complete JSON object without trailing comma.
+void EmitJsonRows(const std::string& file_name,
+                  const std::vector<std::string>& rows);
+
+/// Formats a value in scientific notation with 3 significant decimals —
+/// for JSON fields with high dynamic range (residuals), where fixed-point
+/// formatting would truncate machine-precision values to 0 and make
+/// baseline diffs meaningless.
+std::string FormatScientific(double value);
+
 }  // namespace bench
 }  // namespace spectral
 

@@ -1,125 +1,198 @@
-// Experiment X6 — eigensolver substrate microbenchmarks (google-benchmark):
-// the Lanczos Fiedler path vs the dense Jacobi reference, SpMV throughput,
-// and end-to-end Spectral LPM mapping cost by problem size. This is the
-// ablation for DESIGN.md's "sparse eigensolver" requirement: it shows where
-// the dense engine stops being viable and what the sparse path costs.
+// Experiment X6 — eigensolver substrate bench: every Fiedler engine (dense
+// reference, scalar Lanczos with sequential deflation, block Lanczos cold,
+// block Lanczos with the multilevel warm start) on the repo's standard
+// workloads, reporting cold wall time, matvec/restart counts, and the true
+// worst residual per extracted pair. This is the ablation behind the
+// solver overhaul: it shows what the block path and the warm start each
+// buy, and where the dense engine stops being viable.
+//
+// Emits bench_results/BENCH_eigensolver.json (one object per
+// method/workload row) which tools/check_bench_regression.py diffs against
+// the committed baseline next to the ordering-engines gate: cold time is
+// share-normalized, matvecs are deterministic and gated on relative
+// growth, residuals are gated against the tolerance contract.
 
-#include <benchmark/benchmark.h>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
 
-#include "core/ordering_engine.h"
-#include "core/ordering_request.h"
+#include "bench/bench_common.h"
+#include "core/multilevel.h"
 #include "eigen/fiedler.h"
-#include "util/check.h"
+#include "graph/graph.h"
 #include "graph/grid_graph.h"
 #include "graph/laplacian.h"
+#include "graph/point_graph.h"
 #include "linalg/sparse_matrix.h"
 #include "space/point_set.h"
+#include "util/check.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+#include "workload/generators.h"
 
 namespace spectral {
+namespace bench {
 namespace {
 
-void BM_SpMV_GridLaplacian(benchmark::State& state) {
-  const Coord side = static_cast<Coord>(state.range(0));
-  const SparseMatrix lap =
-      BuildLaplacian(BuildGridGraph(GridSpec::Uniform(2, side)));
-  Vector x(static_cast<size_t>(lap.rows()), 1.0);
-  Vector y(static_cast<size_t>(lap.rows()));
-  for (auto _ : state) {
-    lap.MatVec(x, y);
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetItemsProcessed(state.iterations() * lap.nnz());
-}
-BENCHMARK(BM_SpMV_GridLaplacian)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+struct SolverSample {
+  std::string method;
+  std::string workload;
+  double cold_ms = 0.0;
+  int64_t matvecs = 0;
+  int64_t restarts = 0;
+  double max_residual = 0.0;
+  double lambda2 = 0.0;
+};
 
-void BM_Fiedler_Lanczos_Grid2D(benchmark::State& state) {
-  const Coord side = static_cast<Coord>(state.range(0));
-  const SparseMatrix lap =
-      BuildLaplacian(BuildGridGraph(GridSpec::Uniform(2, side)));
+std::vector<SolverSample>& AllSamples() {
+  static std::vector<SolverSample> samples;
+  return samples;
+}
+
+void EmitJson() {
+  std::vector<std::string> rows;
+  for (const SolverSample& s : AllSamples()) {
+    // max_residual in scientific notation: machine-precision residuals
+    // (~1e-13) must survive the round trip, or the gate's growth check
+    // would compare against a truncated 0.
+    rows.push_back("{\"method\": \"" + s.method + "\", \"workload\": \"" +
+                   s.workload + "\", \"cold_ms\": " +
+                   FormatDouble(s.cold_ms, 3) + ", \"matvecs\": " +
+                   FormatInt(s.matvecs) + ", \"restarts\": " +
+                   FormatInt(s.restarts) + ", \"max_residual\": " +
+                   FormatScientific(s.max_residual) + ", \"lambda2\": " +
+                   FormatDouble(s.lambda2, 9) + "}");
+  }
+  EmitJsonRows("BENCH_eigensolver.json", rows);
+}
+
+// Worst ||L v - lambda v|| over the returned pairs.
+double MaxResidual(const SparseMatrix& lap, const FiedlerResult& result) {
+  double worst = 0.0;
+  Vector lv(static_cast<size_t>(lap.rows()));
+  for (const LaplacianEigenPair& pair : result.pairs) {
+    lap.MatVec(pair.eigenvector, lv);
+    Axpy(-pair.eigenvalue, pair.eigenvector, lv);
+    worst = std::max(worst, Norm2(lv));
+  }
+  return worst;
+}
+
+struct Workload {
+  std::string name;
+  Graph graph;
+  SparseMatrix laplacian;
+  std::vector<Vector> axes;
+};
+
+Workload MakeGridWorkload(std::vector<Coord> sides) {
+  Workload w;
+  GridSpec grid(sides);
+  w.name = "grid";
+  for (size_t d = 0; d < sides.size(); ++d) {
+    if (d > 0) w.name += "x";
+    w.name += FormatInt(sides[d]);
+  }
+  w.graph = BuildGridGraph(grid);
+  w.laplacian = BuildLaplacian(w.graph);
+  w.axes = PointSet::FullGrid(grid).CenteredAxisFunctions();
+  return w;
+}
+
+Workload MakeKernelBlobWorkload() {
+  Rng rng(12345);
+  PointSet points = SampleConnectedBlob(GridSpec({300, 30}), 5000, rng);
+  PointGraphOptions graph_options;
+  graph_options.radius = 2;
+  graph_options.kernel = WeightKernel::kGaussian;
+  graph_options.gaussian_sigma = 1.5;
+  auto graph = BuildPointGraph(points, graph_options);
+  SPECTRAL_CHECK(graph.ok()) << graph.status();
+  Workload w;
+  w.name = "kernelblob300x30";
+  w.graph = std::move(*graph);
+  w.laplacian = BuildLaplacian(w.graph);
+  w.axes = points.CenteredAxisFunctions();
+  return w;
+}
+
+void RunMethod(const std::string& method, const Workload& w,
+               TablePrinter& table) {
   FiedlerOptions options;
-  options.method = FiedlerMethod::kLanczos;
-  options.num_pairs = 1;
-  for (auto _ : state) {
-    auto result = ComputeFiedler(lap, options);
-    benchmark::DoNotOptimize(result);
-  }
-}
-BENCHMARK(BM_Fiedler_Lanczos_Grid2D)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
-    ->Unit(benchmark::kMillisecond);
-
-void BM_Fiedler_Dense_Grid2D(benchmark::State& state) {
-  const Coord side = static_cast<Coord>(state.range(0));
-  const SparseMatrix lap =
-      BuildLaplacian(BuildGridGraph(GridSpec::Uniform(2, side)));
-  FiedlerOptions options;
-  options.method = FiedlerMethod::kDense;
-  options.num_pairs = 1;
-  for (auto _ : state) {
-    auto result = ComputeFiedler(lap, options);
-    benchmark::DoNotOptimize(result);
-  }
-}
-BENCHMARK(BM_Fiedler_Dense_Grid2D)->Arg(8)->Arg(12)->Arg(16)
-    ->Unit(benchmark::kMillisecond);
-
-void BM_Fiedler_Lanczos_Path(benchmark::State& state) {
-  const Coord n = static_cast<Coord>(state.range(0));
-  const SparseMatrix lap = BuildLaplacian(BuildGridGraph(GridSpec({n})));
-  FiedlerOptions options;
-  options.method = FiedlerMethod::kLanczos;
-  options.num_pairs = 1;
-  for (auto _ : state) {
-    auto result = ComputeFiedler(lap, options);
-    benchmark::DoNotOptimize(result);
-  }
-}
-BENCHMARK(BM_Fiedler_Lanczos_Path)->Arg(256)->Arg(1024)->Arg(2048)
-    ->Unit(benchmark::kMillisecond);
-
-void BM_SpectralMap_EndToEnd(benchmark::State& state) {
-  const Coord side = static_cast<Coord>(state.range(0));
-  const PointSet points = PointSet::FullGrid(GridSpec::Uniform(2, side));
-  OrderingRequest request = OrderingRequest::ForPoints(points);
-  request.options.spectral.fiedler.num_pairs = 3;
-  request.options.spectral.parallelism = 1;
-  const auto engine = MakeOrderingEngine("spectral");
-  SPECTRAL_CHECK(engine.ok()) << engine.status();
-  for (auto _ : state) {
-    auto result = (*engine)->Order(request);
-    benchmark::DoNotOptimize(result);
-  }
-}
-BENCHMARK(BM_SpectralMap_EndToEnd)->Arg(8)->Arg(16)->Arg(32)
-    ->Unit(benchmark::kMillisecond);
-
-// Parallel component solves: 4 disconnected 24x24 islands, swept over the
-// solver thread count (1 = the serial baseline; output is identical for
-// every value — see tests/ordering_engine_test.cc).
-void BM_SpectralMap_MultiComponent(benchmark::State& state) {
-  const Coord kSide = 24;
-  PointSet points(2);
-  for (Coord island = 0; island < 4; ++island) {
-    const Coord x0 = island * 1000;
-    for (Coord x = 0; x < kSide; ++x) {
-      for (Coord y = 0; y < kSide; ++y) {
-        points.Add(std::vector<Coord>{static_cast<Coord>(x0 + x), y});
-      }
+  options.num_pairs = 3;
+  WallTimer timer;
+  StatusOr<FiedlerResult> result = [&]() {
+    if (method == "multilevel-warm") {
+      MultilevelOptions multilevel;
+      multilevel.fiedler = options;
+      return ComputeFiedlerMultilevel(w.graph, multilevel, w.axes);
     }
-  }
-  OrderingRequest request = OrderingRequest::ForPoints(points);
-  request.options.spectral.fiedler.num_pairs = 3;
-  request.options.spectral.parallelism = static_cast<int>(state.range(0));
-  const auto engine = MakeOrderingEngine("spectral");
-  SPECTRAL_CHECK(engine.ok()) << engine.status();
-  for (auto _ : state) {
-    auto result = (*engine)->Order(request);
-    benchmark::DoNotOptimize(result);
-  }
+    if (method == "dense") {
+      options.method = FiedlerMethod::kDense;
+    } else if (method == "lanczos") {
+      options.method = FiedlerMethod::kLanczos;
+    } else {
+      SPECTRAL_CHECK_EQ(method, "block");
+      options.method = FiedlerMethod::kBlockLanczos;
+    }
+    return ComputeFiedler(w.laplacian, options, w.axes);
+  }();
+  const double cold_ms = timer.ElapsedSeconds() * 1e3;
+  SPECTRAL_CHECK(result.ok()) << method << " on " << w.name << ": "
+                              << result.status();
+
+  SolverSample sample;
+  sample.method = method;
+  sample.workload = w.name;
+  sample.cold_ms = cold_ms;
+  sample.matvecs = result->matvecs;
+  sample.restarts = result->restarts;
+  sample.max_residual = MaxResidual(w.laplacian, *result);
+  sample.lambda2 = result->lambda2;
+  AllSamples().push_back(sample);
+  table.AddRow({w.name, method, FormatDouble(cold_ms, 1),
+                FormatInt(sample.matvecs), FormatInt(sample.restarts),
+                FormatDouble(sample.max_residual, 10),
+                FormatDouble(sample.lambda2, 8), result->method_used});
 }
-BENCHMARK(BM_SpectralMap_MultiComponent)->Arg(1)->Arg(2)->Arg(4)
-    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void Run() {
+  std::cout << "Fiedler engines (num_pairs=3, tol=1e-9): cold wall time, "
+               "matvec/restart counts, worst true residual per method and "
+               "workload\n\n";
+  TablePrinter table;
+  table.SetHeader({"workload", "method", "cold_ms", "matvecs", "restarts",
+                   "max_residual", "lambda2", "detail"});
+
+  // The dense reference only on a size where O(n^3) is still sane.
+  {
+    const Workload small = MakeGridWorkload({16, 16});
+    RunMethod("dense", small, table);
+    RunMethod("lanczos", small, table);
+    RunMethod("block", small, table);
+  }
+
+  std::vector<Workload> workloads;
+  workloads.push_back(MakeGridWorkload({64, 64}));
+  workloads.push_back(MakeGridWorkload({128, 32}));
+  workloads.push_back(MakeKernelBlobWorkload());
+  for (const Workload& w : workloads) {
+    RunMethod("lanczos", w, table);
+    RunMethod("block", w, table);
+    RunMethod("multilevel-warm", w, table);
+  }
+  EmitTable("eigensolver", table);
+}
 
 }  // namespace
+}  // namespace bench
 }  // namespace spectral
 
-BENCHMARK_MAIN();
+int main() {
+  spectral::bench::Run();
+  spectral::bench::EmitJson();
+  return 0;
+}

@@ -11,9 +11,8 @@
 // the CI perf gate.
 
 #include <algorithm>
-#include <filesystem>
-#include <fstream>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -85,28 +84,17 @@ std::vector<EngineSample>& AllSamples() {
 }
 
 void EmitJson() {
-  const std::vector<EngineSample>& samples = AllSamples();
-  const std::string path = "bench_results/BENCH_ordering_engines.json";
-  std::error_code ec;
-  std::filesystem::create_directories("bench_results", ec);
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    std::cerr << "(could not write " << path << ")\n";
-    return;
+  std::vector<std::string> rows;
+  for (const EngineSample& s : AllSamples()) {
+    rows.push_back("{\"engine\": \"" + s.engine + "\", \"workload\": \"" +
+                   s.workload + "\", \"shards\": " + FormatInt(s.shards) +
+                   ", \"cold_ms\": " + FormatDouble(s.cold_ms, 3) +
+                   ", \"warm_ms\": " + FormatDouble(s.warm_ms, 3) +
+                   ", \"spearman_vs_spectral\": " +
+                   FormatDouble(s.spearman, 6) + ", \"cache_hit_rate\": " +
+                   FormatDouble(s.cache_hit_rate, 3) + "}");
   }
-  out << "[\n";
-  for (size_t i = 0; i < samples.size(); ++i) {
-    const EngineSample& s = samples[i];
-    out << "  {\"engine\": \"" << s.engine << "\", \"workload\": \""
-        << s.workload << "\", \"shards\": " << s.shards
-        << ", \"cold_ms\": " << FormatDouble(s.cold_ms, 3)
-        << ", \"warm_ms\": " << FormatDouble(s.warm_ms, 3)
-        << ", \"spearman_vs_spectral\": " << FormatDouble(s.spearman, 6)
-        << ", \"cache_hit_rate\": " << FormatDouble(s.cache_hit_rate, 3)
-        << "}" << (i + 1 < samples.size() ? "," : "") << "\n";
-  }
-  out << "]\n";
-  std::cout << "[json: " << path << "]\n";
+  EmitJsonRows("BENCH_ordering_engines.json", rows);
 }
 
 struct TimedRun {

@@ -1,10 +1,10 @@
 #include "core/multilevel.h"
 
-#include <cmath>
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
 
-#include "eigen/lanczos.h"
-#include "eigen/operator.h"
-#include "graph/coarsening.h"
 #include "graph/laplacian.h"
 #include "graph/traversal.h"
 #include "util/check.h"
@@ -12,7 +12,8 @@
 namespace spectral {
 
 StatusOr<FiedlerResult> ComputeFiedlerMultilevel(
-    const Graph& graph, const MultilevelOptions& options) {
+    const Graph& graph, const MultilevelOptions& options,
+    std::span<const Vector> canonical_axes) {
   const int64_t n = graph.num_vertices();
   if (n < 2) {
     return InvalidArgumentError("multilevel Fiedler needs >= 2 vertices");
@@ -21,75 +22,53 @@ StatusOr<FiedlerResult> ComputeFiedlerMultilevel(
     return FailedPreconditionError(
         "multilevel Fiedler requires a connected graph");
   }
-  SPECTRAL_CHECK_GE(options.coarsest_size, 2);
 
-  // Coarsening cascade. levels[0] is the input; coarsenings[k] maps
-  // levels[k] -> levels[k+1].
-  std::vector<Graph> levels;
-  std::vector<Coarsening> coarsenings;
-  levels.push_back(graph);
-  while (static_cast<int>(levels.size()) < options.max_levels &&
-         levels.back().num_vertices() > options.coarsest_size) {
-    Coarsening c = CoarsenByHeavyEdgeMatching(levels.back());
-    if (static_cast<double>(c.num_coarse) >
-        options.min_shrink_factor *
-            static_cast<double>(levels.back().num_vertices())) {
-      break;  // matching stalled; solve at this size
-    }
-    levels.push_back(c.coarse);
-    coarsenings.push_back(std::move(c));
+  // One shared hierarchy build (graph side), then Laplacians per level
+  // (eigensolver side).
+  const CoarseningHierarchy hierarchy =
+      BuildCoarseningHierarchy(graph, options.coarsen);
+  std::vector<WarmStartLevel> levels(hierarchy.steps.size() + 1);
+  levels[0].laplacian = BuildLaplacian(graph);
+  for (size_t k = 0; k < hierarchy.steps.size(); ++k) {
+    levels[k].fine_to_coarse = hierarchy.steps[k].fine_to_coarse;
+    levels[k + 1].laplacian = BuildLaplacian(hierarchy.steps[k].coarse);
   }
 
-  // Exact solve at the coarsest level.
-  FiedlerOptions coarse_options = options.fiedler;
-  auto coarse = ComputeFiedler(BuildLaplacian(levels.back()), coarse_options);
-  if (!coarse.ok()) return coarse.status();
+  WarmStartOptions warm_options;
+  warm_options.num_vectors =
+      static_cast<int>(std::min<int64_t>(options.fiedler.num_pairs, n - 1));
+  warm_options.smooth_steps = options.smooth_steps;
+  warm_options.jacobi_omega = options.jacobi_omega;
+  warm_options.level_tol = options.level_tol;
+  warm_options.level_max_basis = options.level_max_basis;
+  warm_options.level_max_restarts = options.level_max_restarts;
+  warm_options.cheb_degree_max = options.fiedler.cheb_degree_max;
+  warm_options.seed = options.fiedler.seed;
+  auto warm = MultilevelFiedlerWarmStart(levels, warm_options);
+  if (!warm.ok()) return warm.status();
 
-  FiedlerResult result;
-  result.method_used = "multilevel(" + std::to_string(levels.size()) +
-                       " levels, coarsest " +
-                       std::to_string(levels.back().num_vertices()) + ")";
-  result.matvecs = coarse->matvecs;
-  Vector current = coarse->fiedler;
-  double lambda = coarse->lambda2;
-
-  // Prolong + refine, coarsest to finest.
-  for (size_t k = coarsenings.size(); k-- > 0;) {
-    current = ProlongVector(coarsenings[k], current);
-    const Graph& fine = levels[k];
-    const SparseMatrix lap = BuildLaplacian(fine);
-    const double shift = lap.GershgorinBound() * 1.0001 + 1e-12;
-    SparseOperator lap_op(&lap);
-    ShiftNegateOperator op(&lap_op, shift);
-
-    const int64_t m = fine.num_vertices();
-    std::vector<Vector> deflate;
-    deflate.emplace_back(static_cast<size_t>(m),
-                         1.0 / std::sqrt(static_cast<double>(m)));
-
-    LanczosOptions lopt;
-    lopt.max_basis = options.refine_max_basis;
-    lopt.max_restarts = options.refine_max_restarts;
-    lopt.tol = options.fiedler.tol;
-    lopt.seed = options.fiedler.seed;
-    lopt.start = current;
-    auto refined = LargestEigenpair(op, deflate, lopt);
-    if (!refined.ok()) return refined.status();
-    result.matvecs += refined->matvecs;
-    if (!refined->converged) {
-      return InternalError(
-          "multilevel refinement did not converge at level " +
-          std::to_string(k) + " (residual " +
-          std::to_string(refined->residual) + ")");
-    }
-    current = refined->eigenvector;
-    lambda = shift - refined->eigenvalue;
+  // Full-accuracy warm-started solve at the finest level: identical
+  // contract (and, by construction, identical orders downstream) to the
+  // flat ComputeFiedler call it replaces. A forced kDense only ever meant
+  // "dense reference at the coarsest level" in the multilevel cascade
+  // (the warm start already honored that); letting it through here would
+  // dense-solve the *finest* level at O(n^3) and discard the warm start,
+  // so above the dense threshold it maps to the block path.
+  FiedlerOptions fine_options = options.fiedler;
+  if (fine_options.method == FiedlerMethod::kDense &&
+      n > fine_options.dense_threshold) {
+    fine_options.method = FiedlerMethod::kBlockLanczos;
   }
+  auto fine = ComputeFiedler(levels[0].laplacian, fine_options,
+                             canonical_axes, &warm->block);
+  if (!fine.ok()) return fine.status();
 
-  result.lambda2 = lambda;
-  result.fiedler = std::move(current);
-  result.pairs.push_back({result.lambda2, result.fiedler});
-  result.degenerate_dim = 1;  // only one pair is tracked through the cycle
+  FiedlerResult result = std::move(*fine);
+  result.matvecs += warm->matvecs;
+  result.method_used =
+      "multilevel(" + std::to_string(levels.size()) + " levels, coarsest " +
+      std::to_string(levels.back().laplacian.rows()) + ")+" +
+      result.method_used;
   return result;
 }
 

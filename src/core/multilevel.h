@@ -1,15 +1,29 @@
-// Multilevel Fiedler solver: coarsen the graph by heavy-edge matching until
-// it is small, solve the coarsest eigenproblem exactly, then prolong and
-// refine level by level with warm-started Lanczos. This is the standard
-// V-cycle used by production spectral-ordering codes; it cuts the matvec
-// count dramatically on large instances (see bench_multilevel).
+// Multilevel Fiedler solver: coarsen the graph by heavy-edge matching
+// (graph/coarsening.h's BuildCoarseningHierarchy — the same hierarchy build
+// the exact solver's warm start uses), dense-solve the coarsest Laplacian,
+// prolong + Jacobi-smooth the eigenvector *block* up the hierarchy with a
+// loose-tolerance polish per level (eigen/warm_start.h), then polish the
+// finest level to full accuracy with the warm-started block Lanczos solver
+// (eigen/block_lanczos.h via ComputeFiedler).
+//
+// Because the finest solve converges to the same tolerance as the flat
+// solver and tracks the whole num_pairs block, degenerate-eigenspace
+// canonicalization works here too: pass the centered axis functions and a
+// square grid gets the same axis-fair balanced-mix Fiedler vector — and
+// therefore the same order — as the flat engine. (The previous V-cycle
+// tracked a single eigenpair, so on square grids it silently returned an
+// axis-aligned member of the degenerate eigenspace and the resulting order
+// collapsed to a sweep; see tests/multilevel_test.cc's regression test.)
 
 #ifndef SPECTRAL_LPM_CORE_MULTILEVEL_H_
 #define SPECTRAL_LPM_CORE_MULTILEVEL_H_
 
 #include <cstdint>
+#include <span>
 
 #include "eigen/fiedler.h"
+#include "eigen/warm_start.h"
+#include "graph/coarsening.h"
 #include "graph/graph.h"
 #include "util/status.h"
 
@@ -17,26 +31,32 @@ namespace spectral {
 
 /// Options for ComputeFiedlerMultilevel.
 struct MultilevelOptions {
-  /// Stop coarsening at or below this many vertices and solve directly.
-  int64_t coarsest_size = 96;
-  /// Also stop if a level shrinks by less than this factor (matching
-  /// stalls on star-like graphs).
-  double min_shrink_factor = 0.9;
-  int max_levels = 40;
-  /// Solver used on the coarsest level and for refinement tolerances.
+  /// Hierarchy shape (stop size, stall detection, level cap).
+  CoarseningOptions coarsen;
+  /// Finest-level solve configuration: tolerance, num_pairs, degeneracy
+  /// policy, worker pool. The multilevel cascade only manufactures the
+  /// warm start; this governs the accuracy of the answer.
   FiedlerOptions fiedler;
-  /// Lanczos budget per refinement level (warm-started, so small).
-  int refine_max_basis = 40;
-  int refine_max_restarts = 60;
+  /// Weighted-Jacobi smoothing steps after each prolongation.
+  int smooth_steps = 2;
+  double jacobi_omega = 2.0 / 3.0;
+  /// Adaptive tolerance: intermediate levels only warm-start the next
+  /// finer level, so their (optional) polish solves stop at this loose
+  /// residual. level_max_restarts = 0 skips the polish entirely and
+  /// ascends on smoothing alone — the default; see WarmStartOptions.
+  double level_tol = 1e-4;
+  int level_max_basis = 24;
+  int level_max_restarts = 0;
 };
 
-/// Computes the Fiedler pair of a *connected* graph's Laplacian through a
-/// coarsen-solve-refine cycle. Returns the same FiedlerResult contract as
-/// ComputeFiedler, with matvecs counting all refinement work. Degeneracy
-/// canonicalization happens only at the coarsest level, so on symmetric
-/// inputs the returned vector is one valid member of the eigenspace.
+/// Computes the Fiedler pair of a *connected* graph's Laplacian through the
+/// coarsen-solve-refine cascade. Same FiedlerResult contract as
+/// ComputeFiedler (matvecs/restarts count all levels' work); with
+/// `canonical_axes` the degenerate-eigenspace canonicalization matches the
+/// flat solver's.
 StatusOr<FiedlerResult> ComputeFiedlerMultilevel(
-    const Graph& graph, const MultilevelOptions& options = {});
+    const Graph& graph, const MultilevelOptions& options = {},
+    std::span<const Vector> canonical_axes = {});
 
 }  // namespace spectral
 

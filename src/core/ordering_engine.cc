@@ -51,10 +51,13 @@ OrderingResult FromSpectralResult(SpectralLpmResult result) {
   out.lambda2 = result.lambda2;
   out.num_components = result.num_components;
   out.matvecs = result.matvecs;
+  out.restarts = result.restarts;
   out.embedding = std::move(result.values);
   out.detail = "engine=" + out.method +
                " lambda2=" + FormatDouble(out.lambda2) +
-               " components=" + FormatInt(out.num_components);
+               " components=" + FormatInt(out.num_components) +
+               " matvecs=" + FormatInt(out.matvecs) +
+               " restarts=" + FormatInt(out.restarts);
   return out;
 }
 

@@ -46,6 +46,8 @@ struct OrderingResult {
   double lambda2 = 0.0;
   int64_t num_components = 0;
   int64_t matvecs = 0;
+  /// Eigensolver restart cycles summed over components (Krylov paths).
+  int64_t restarts = 0;
   /// The 1-d embedding the order was sorted from (the concatenated
   /// per-component Fiedler vectors); empty for non-spectral engines.
   Vector embedding;

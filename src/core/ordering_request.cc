@@ -46,18 +46,25 @@ void HashFiedlerOptions(Hasher& h, const FiedlerOptions& o) {
       .MixInt(o.max_basis)
       .MixInt(o.max_restarts)
       .MixUint(o.seed)
+      .MixInt(o.block_size)
+      .MixInt(o.block_max_basis)
+      .MixInt(o.cheb_degree_max)
       .MixDouble(o.degeneracy_rel_tol)
       .MixDouble(o.degeneracy_abs_tol)
       .MixEnum(o.degeneracy_policy);
 }
 
 void HashMultilevelOptions(Hasher& h, const MultilevelOptions& o) {
-  h.MixInt(o.coarsest_size)
-      .MixDouble(o.min_shrink_factor)
-      .MixInt(o.max_levels)
-      .MixInt(o.refine_max_basis)
-      .MixInt(o.refine_max_restarts);
-  HashFiedlerOptions(h, o.fiedler);
+  h.MixInt(o.coarsen.coarsest_size)
+      .MixDouble(o.coarsen.min_shrink_factor)
+      .MixInt(o.coarsen.max_levels)
+      .MixInt(o.smooth_steps)
+      .MixDouble(o.jacobi_omega)
+      .MixDouble(o.level_tol)
+      .MixInt(o.level_max_basis)
+      .MixInt(o.level_max_restarts);
+  // o.fiedler is not hashed: every caller overwrites it with the spectral
+  // options' fiedler before solving (see SpectralMapper::MapGraph).
 }
 
 void HashSpectralOptions(Hasher& h, const SpectralLpmOptions& o) {
@@ -70,6 +77,7 @@ void HashSpectralOptions(Hasher& h, const SpectralLpmOptions& o) {
       .MixDouble(o.graph.gaussian_sigma)
       .MixBool(o.canonicalize_with_axes)
       .MixDouble(o.rank_quantum_rel)
+      .MixInt(o.warm_start_threshold)
       .MixInt(o.multilevel_threshold);
   HashEdges(h, o.affinity_edges);
   HashFiedlerOptions(h, o.fiedler);

@@ -104,6 +104,7 @@ StatusOr<SpectralLpmResult> SpectralMapper::MapGraph(
     Vector values;
     double lambda2 = 0.0;
     int64_t matvecs = 0;
+    int64_t restarts = 0;
     std::string method_used;
     bool solved = false;  // true iff the component needed an eigensolve
   };
@@ -136,22 +137,36 @@ StatusOr<SpectralLpmResult> SpectralMapper::MapGraph(
     if (m <= 1) return;
 
     const Graph sub = Graph::FromEdges(m, comp_edges[static_cast<size_t>(c)]);
-    const bool use_multilevel = options_.multilevel_threshold > 0 &&
-                                m >= options_.multilevel_threshold;
+    // Warm-started multilevel path for big components (either threshold):
+    // one hierarchy build feeds the coarsest dense solve, the
+    // prolong/smooth ascent, and the full-accuracy fine block solve, so
+    // the exact engine converges at near-multilevel speed with the same
+    // order as a cold solve. warm_start_threshold only auto-triggers when
+    // the fine solve would take the block path anyway; an explicitly
+    // forced kDense/kLanczos stays flat (those are the reference engines).
+    const bool block_capable =
+        options_.fiedler.method == FiedlerMethod::kBlockLanczos ||
+        (options_.fiedler.method == FiedlerMethod::kAuto &&
+         m > options_.fiedler.dense_threshold);
+    const bool use_warm =
+        (options_.multilevel_threshold > 0 &&
+         m >= options_.multilevel_threshold) ||
+        (block_capable && options_.warm_start_threshold > 0 &&
+         m >= options_.warm_start_threshold);
+    std::vector<Vector> axes;
+    if (points != nullptr && options_.canonicalize_with_axes) {
+      PointSet sub_points(points->dims());
+      for (int64_t v : verts) sub_points.Add((*points)[v]);
+      axes = sub_points.CenteredAxisFunctions();
+    }
+    FiedlerOptions fiedler_options = options_.fiedler;
+    fiedler_options.matvec_pool = pool;
     StatusOr<FiedlerResult> fiedler = [&]() -> StatusOr<FiedlerResult> {
-      if (use_multilevel) {
+      if (use_warm) {
         MultilevelOptions multilevel = options_.multilevel;
-        multilevel.fiedler.matvec_pool = pool;
-        return ComputeFiedlerMultilevel(sub, multilevel);
+        multilevel.fiedler = fiedler_options;
+        return ComputeFiedlerMultilevel(sub, multilevel, axes);
       }
-      std::vector<Vector> axes;
-      if (points != nullptr && options_.canonicalize_with_axes) {
-        PointSet sub_points(points->dims());
-        for (int64_t v : verts) sub_points.Add((*points)[v]);
-        axes = sub_points.CenteredAxisFunctions();
-      }
-      FiedlerOptions fiedler_options = options_.fiedler;
-      fiedler_options.matvec_pool = pool;
       return ComputeFiedler(BuildLaplacian(sub), fiedler_options, axes);
     }();
     if (!fiedler.ok()) {
@@ -161,6 +176,7 @@ StatusOr<SpectralLpmResult> SpectralMapper::MapGraph(
     out.values = fiedler->fiedler;
     out.lambda2 = fiedler->lambda2;
     out.matvecs = fiedler->matvecs;
+    out.restarts = fiedler->restarts;
     out.method_used = fiedler->method_used;
     out.solved = true;
   };
@@ -197,6 +213,7 @@ StatusOr<SpectralLpmResult> SpectralMapper::MapGraph(
 
     if (solve.solved) {
       result.matvecs += solve.matvecs;
+      result.restarts += solve.restarts;
       if (!recorded_main) {
         result.lambda2 = solve.lambda2;
         result.method_used = solve.method_used;

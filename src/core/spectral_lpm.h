@@ -46,15 +46,25 @@ struct SpectralLpmOptions {
   /// quantizing makes the final order identical across eigensolver engines
   /// instead of depending on 1e-12-level solver noise.
   double rank_quantum_rel = 1e-7;
-  /// Components with at least this many vertices are solved with the
-  /// multilevel V-cycle (core/multilevel.h) instead of a flat eigensolve.
-  /// 0 disables multilevel entirely. Note: the multilevel path tracks a
-  /// single eigenpair, so degenerate-eigenspace canonicalization does not
-  /// apply to it.
+  /// Components with at least this many vertices get the multilevel warm
+  /// start: build the heavy-edge-matching hierarchy once, dense-solve the
+  /// coarsest Laplacian, prolong + smooth the eigenvector block up, and
+  /// feed it to the block solver so the fine-level solve only polishes
+  /// (core/multilevel.h). Same order as a cold solve — the fine solve
+  /// converges to the same tolerance either way (property-tested) — at a
+  /// fraction of the matvec/reorthogonalization cost. 0 disables warm
+  /// starts (cold block solves everywhere).
+  int64_t warm_start_threshold = 256;
+  /// Legacy trigger for the "spectral-multilevel" engine: components with
+  /// at least this many vertices also take the warm-started path. Since
+  /// the fine solve now polishes to full accuracy and canonicalizes with
+  /// the axes, this path produces the *same order* as the flat engine —
+  /// the two knobs differ only in who sets them. 0 leaves the decision to
+  /// warm_start_threshold.
   int64_t multilevel_threshold = 0;
-  /// Multilevel tuning, used when multilevel_threshold triggers. The
-  /// embedded FiedlerOptions governs the coarsest solve; `fiedler` above
-  /// still governs flat solves of small components.
+  /// Hierarchy/smoothing shape for the warm-started path. Its embedded
+  /// FiedlerOptions is ignored here: `fiedler` above governs the finest
+  /// solve on every path.
   MultilevelOptions multilevel;
   /// Worker threads for the mapping. Disconnected components are solved
   /// concurrently (largest-first work queue) and Lanczos matvecs on large
@@ -86,9 +96,12 @@ struct SpectralLpmResult {
   /// Algebraic connectivity of the largest component.
   double lambda2 = 0.0;
   int64_t num_components = 1;
-  /// Eigensolver matvec count (Lanczos path) summed over components.
+  /// Eigensolver matvec count (Krylov paths) summed over components.
   int64_t matvecs = 0;
-  /// "dense-jacobi" or "lanczos" (of the largest component).
+  /// Restart cycles summed over components (block/scalar Krylov paths).
+  int64_t restarts = 0;
+  /// "dense-jacobi", "block-lanczos[+warm]", "lanczos", or
+  /// "multilevel(...)+..." (of the largest component).
   std::string method_used;
 };
 

@@ -1,0 +1,304 @@
+#include "eigen/block_lanczos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "eigen/jacobi.h"
+#include "linalg/dense_matrix.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace spectral {
+
+namespace {
+
+// One assembled Ritz pair.
+struct RitzPair {
+  double theta = 0.0;
+  double residual = 0.0;
+  Vector z;
+};
+
+// Appends random unit columns orthogonal to `deflate`, `locked`, and the
+// block itself until the block has `width` columns. Returns false if no
+// such direction can be constructed (the complement is exhausted).
+bool PadBlockRandom(int64_t n, int64_t width, std::span<const Vector> deflate,
+                    const VectorBlock& locked, VectorBlock& block, Rng& rng) {
+  while (static_cast<int64_t>(block.size()) < width) {
+    bool found = false;
+    for (int attempt = 0; attempt < 8 && !found; ++attempt) {
+      Vector v(static_cast<size_t>(n));
+      for (double& x : v) x = rng.UniformDouble(-1.0, 1.0);
+      OrthogonalizeAgainst(deflate, v);
+      OrthogonalizeAgainst(locked, v);
+      OrthogonalizeAgainst(block, v);
+      if (Normalize(v) > 1e-8) {
+        block.push_back(std::move(v));
+        found = true;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+// In-place Chebyshev filter of the given degree on `block`: applies the
+// degree-d Chebyshev polynomial of op mapped so [lo, cut] -> [-1, 1],
+// amplifying every spectral component above `cut` by cosh(d * acosh(t))
+// while keeping the damped interval at magnitude <= 1. Columns are
+// renormalized afterwards. These matvecs never touch a Krylov basis, so
+// they cost no reorthogonalization.
+void ChebyshevFilterBlock(const LinearOperator& op, double lo, double cut,
+                          int degree, VectorBlock& block, int64_t& matvecs) {
+  const int64_t n = op.Dim();
+  const double center = (cut + lo) / 2.0;
+  const double half_width = (cut - lo) / 2.0;
+  Vector next(static_cast<size_t>(n));
+  for (Vector& x : block) {
+    Vector prev = x;                       // T_0(t) x = x
+    Vector curr(static_cast<size_t>(n));   // T_1(t) x = t(A) x
+    op.Apply(x, curr);
+    ++matvecs;
+    for (size_t i = 0; i < curr.size(); ++i) {
+      curr[i] = (curr[i] - center * x[i]) / half_width;
+    }
+    for (int k = 2; k <= degree; ++k) {
+      op.Apply(curr, next);
+      ++matvecs;
+      for (size_t i = 0; i < next.size(); ++i) {
+        next[i] = 2.0 * (next[i] - center * curr[i]) / half_width - prev[i];
+      }
+      prev.swap(curr);
+      curr.swap(next);
+    }
+    x = std::move(curr);
+    Normalize(x);
+  }
+}
+
+}  // namespace
+
+StatusOr<BlockLanczosResult> LargestEigenpairsBlock(
+    const LinearOperator& op, std::span<const Vector> deflate,
+    const BlockLanczosOptions& options) {
+  const int64_t n = op.Dim();
+  if (n <= 0) return InvalidArgumentError("operator dimension must be >= 1");
+  const int64_t avail = n - static_cast<int64_t>(deflate.size());
+  if (avail <= 0) {
+    return FailedPreconditionError(
+        "deflation set spans the entire space; no eigenpair to find");
+  }
+  SPECTRAL_CHECK_GE(options.num_pairs, 1);
+  SPECTRAL_CHECK_GE(options.max_restarts, 1);
+  const int64_t want = std::min<int64_t>(options.num_pairs, avail);
+  int64_t width = options.block_size > 0 ? options.block_size : want + 2;
+  width = std::clamp<int64_t>(width, want, avail);
+  const int64_t max_basis = std::min<int64_t>(
+      avail, std::max<int64_t>(options.max_basis, 2 * width));
+
+  Rng rng(options.seed);
+  BlockLanczosResult result;
+
+  VectorBlock locked;            // accepted eigenvectors, theta descending
+  std::vector<double> locked_vals;
+  Vector locked_res;
+
+  // Start block: the warm start projected onto the complement of the
+  // deflation set, padded with random columns to full width. A collapsed
+  // (garbage) warm start degrades gracefully to the all-random start.
+  VectorBlock x_block;
+  for (const Vector& v : options.start) {
+    if (static_cast<int64_t>(x_block.size()) >= width) break;
+    SPECTRAL_CHECK_EQ(static_cast<int64_t>(v.size()), n)
+        << "warm-start column has the wrong dimension";
+    x_block.push_back(v);
+  }
+  OrthogonalizeBlockAgainst(deflate, x_block);
+  OrthonormalizeBlock(x_block);
+  if (!PadBlockRandom(n, width, deflate, locked, x_block, rng)) {
+    return FailedPreconditionError(
+        "could not construct a start block orthogonal to the deflation set");
+  }
+
+  VectorBlock basis;       // Krylov columns v_0 .. v_{m-1}
+  VectorBlock applied;     // A v_0 .. A v_{m-1}
+  std::vector<RitzPair> ritz;
+
+  for (int restart = 0; restart < options.max_restarts; ++restart) {
+    result.restarts = restart + 1;
+    const int64_t remaining = want - static_cast<int64_t>(locked.size());
+
+    // --- Grow the block Krylov basis with fused full reorthogonalization.
+    basis.clear();
+    applied.clear();
+    VectorBlock candidate = std::move(x_block);
+    x_block.clear();
+    bool exhausted = false;
+    while (!candidate.empty() &&
+           static_cast<int64_t>(basis.size() + candidate.size()) <=
+               max_basis) {
+      const size_t base = basis.size();
+      for (Vector& col : candidate) basis.push_back(std::move(col));
+      for (size_t i = base; i < basis.size(); ++i) {
+        Vector y(static_cast<size_t>(n));
+        op.Apply(basis[i], y);
+        ++result.matvecs;
+        applied.push_back(std::move(y));
+      }
+      candidate.assign(applied.begin() + static_cast<int64_t>(base),
+                       applied.end());
+      OrthogonalizeBlockAgainst(deflate, candidate);
+      OrthogonalizeBlockAgainst(locked, candidate);
+      OrthogonalizeBlockAgainst(basis, candidate);
+      OrthonormalizeBlock(candidate);
+      // Re-clean at unit scale. Near convergence the remainder above is
+      // tiny, so normalizing it amplifies the projections' rounding —
+      // including the deflated kernel direction, which is the operator's
+      // *largest* eigenvalue on shift*I - L and would otherwise leak back
+      // in and get "found". A second pass over everything at unit norm
+      // pins the pollution back to machine epsilon; columns that lose half
+      // their mass here were junk and are dropped.
+      OrthogonalizeBlockAgainst(deflate, candidate);
+      OrthogonalizeBlockAgainst(locked, candidate);
+      OrthogonalizeBlockAgainst(basis, candidate);
+      OrthonormalizeBlock(candidate, /*drop_tol=*/0.5);
+      if (candidate.empty()) exhausted = true;
+    }
+    const int64_t m = static_cast<int64_t>(basis.size());
+    SPECTRAL_CHECK_GT(m, 0);
+
+    // --- Rayleigh-Ritz on the projected dense matrix H = V^T A V.
+    DenseMatrix h(m, m);
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = i; j < m; ++j) {
+        const double hij = (Dot(basis[static_cast<size_t>(i)],
+                                applied[static_cast<size_t>(j)]) +
+                            Dot(basis[static_cast<size_t>(j)],
+                                applied[static_cast<size_t>(i)])) /
+                           2.0;
+        h.At(i, j) = hij;
+        h.At(j, i) = hij;
+      }
+    }
+    auto eig = JacobiEigenSolve(h);
+    if (!eig.ok()) return eig.status();
+
+    // Assemble the top Ritz pairs (descending), enough for the restart
+    // block; A z comes free from the stored applied columns.
+    const int64_t assemble = std::min<int64_t>(m, width);
+    ritz.assign(static_cast<size_t>(assemble), RitzPair{});
+    for (int64_t k = 0; k < assemble; ++k) {
+      RitzPair& pair = ritz[static_cast<size_t>(k)];
+      const int64_t col = m - 1 - k;
+      pair.theta = eig->eigenvalues[static_cast<size_t>(col)];
+      pair.z.assign(static_cast<size_t>(n), 0.0);
+      Vector az(static_cast<size_t>(n), 0.0);
+      for (int64_t i = 0; i < m; ++i) {
+        const double u = eig->eigenvectors.At(i, col);
+        Axpy(u, basis[static_cast<size_t>(i)], pair.z);
+        Axpy(u, applied[static_cast<size_t>(i)], az);
+      }
+      const double norm = Normalize(pair.z);
+      if (norm > 0.0) Scale(1.0 / norm, az);
+      Axpy(-pair.theta, pair.z, az);
+      pair.residual = Norm2(az);
+    }
+
+    // --- Lock the converged prefix, in descending order only, so the
+    // accepted pairs are guaranteed to be the extremal ones in sequence.
+    int64_t newly_locked = 0;
+    while (newly_locked < remaining && newly_locked < assemble) {
+      RitzPair& pair = ritz[static_cast<size_t>(newly_locked)];
+      const double scale = std::max(std::fabs(pair.theta), 1.0);
+      // On Krylov exhaustion span(V) is invariant under A (up to drop_tol),
+      // so the Ritz pairs are exact on the reachable subspace: accept them,
+      // mirroring the scalar solver's breakdown path.
+      if (pair.residual > options.tol * scale && !exhausted) break;
+      locked_vals.push_back(pair.theta);
+      locked_res.push_back(pair.residual);
+      locked.push_back(std::move(pair.z));
+      ++newly_locked;
+    }
+    if (static_cast<int64_t>(locked.size()) >= want) {
+      result.converged = true;
+      break;
+    }
+
+    // --- Restart from the best unconverged Ritz vectors (thick restart:
+    // the dense Rayleigh-Ritz above accepts any starting subspace).
+    x_block.clear();
+    double worst_residual = 0.0;
+    double wanted_theta_min = 0.0;
+    const int64_t still_wanted = want - static_cast<int64_t>(locked.size());
+    for (int64_t k = newly_locked; k < assemble; ++k) {
+      RitzPair& pair = ritz[static_cast<size_t>(k)];
+      if (k - newly_locked < still_wanted) {
+        worst_residual = std::max(worst_residual, pair.residual);
+        wanted_theta_min = pair.theta;
+      }
+      // Copied, not moved: `ritz` doubles as the best-effort answer when
+      // max_restarts runs out below.
+      x_block.push_back(pair.z);
+    }
+
+    // --- Chebyshev acceleration: when the residual is still far from tol,
+    // damp the unwanted interval [lo, cut] on the restart block. The cut is
+    // the best available estimate of the first unwanted eigenvalue: the
+    // largest Ritz value below the restart set.
+    const int64_t cut_col = m - 1 - assemble;
+    if (options.cheb_degree_max > 0 && cut_col >= 0 && !x_block.empty()) {
+      const double lo = options.op_lower_bound;
+      const double cut = eig->eigenvalues[static_cast<size_t>(cut_col)];
+      const double scale = std::max(std::fabs(wanted_theta_min), 1.0);
+      if (cut > lo && wanted_theta_min > cut &&
+          worst_residual > options.tol * scale) {
+        const double t_wanted = (2.0 * wanted_theta_min - cut - lo) /
+                                (cut - lo);
+        if (t_wanted > 1.0 + 1e-12) {
+          // Degree that closes the remaining residual/tol gap (aiming one
+          // decade below tol), capped by the option.
+          const double gain = std::clamp(
+              worst_residual / (0.1 * options.tol * scale), 1.0, 1e14);
+          const int degree = static_cast<int>(std::ceil(
+              std::acosh(gain) / std::acosh(t_wanted)));
+          if (degree >= 2) {
+            const int64_t before = result.matvecs;
+            ChebyshevFilterBlock(op, lo, cut,
+                                 std::min(degree, options.cheb_degree_max),
+                                 x_block, result.matvecs);
+            result.cheb_matvecs += result.matvecs - before;
+          }
+        }
+      }
+    }
+
+    OrthogonalizeBlockAgainst(deflate, x_block);
+    OrthogonalizeBlockAgainst(locked, x_block);
+    OrthonormalizeBlock(x_block);
+    if (!PadBlockRandom(n, width, deflate, locked, x_block, rng)) {
+      if (locked.empty()) {
+        return InternalError("block Lanczos lost the search subspace");
+      }
+      break;  // complement exhausted: report what is locked
+    }
+  }
+
+  // Best effort: top up with the freshest (unconverged) Ritz pairs so the
+  // caller still sees `want` pairs with honest residuals.
+  if (!result.converged) {
+    for (RitzPair& pair : ritz) {
+      if (static_cast<int64_t>(locked.size()) >= want) break;
+      if (pair.z.empty()) continue;
+      locked_vals.push_back(pair.theta);
+      locked_res.push_back(pair.residual);
+      locked.push_back(std::move(pair.z));
+    }
+  }
+  result.eigenvalues = std::move(locked_vals);
+  result.eigenvectors = std::move(locked);
+  result.residuals = std::move(locked_res);
+  return result;
+}
+
+}  // namespace spectral

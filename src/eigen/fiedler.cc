@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "eigen/block_lanczos.h"
 #include "eigen/jacobi.h"
 #include "eigen/lanczos.h"
 #include "eigen/operator.h"
@@ -118,7 +119,8 @@ StatusOr<FiedlerResult> DensePath(const SparseMatrix& laplacian,
 
 StatusOr<FiedlerResult> LanczosPath(const SparseMatrix& laplacian,
                                     const FiedlerOptions& options,
-                                    double zero_tol) {
+                                    double zero_tol,
+                                    const VectorBlock* warm_start) {
   const int64_t n = laplacian.rows();
   const double shift = laplacian.GershgorinBound() * 1.0001 + 1e-12;
 
@@ -141,9 +143,16 @@ StatusOr<FiedlerResult> LanczosPath(const SparseMatrix& laplacian,
 
   const int64_t want = std::min<int64_t>(options.num_pairs, n - 1);
   for (int64_t k = 0; k < want; ++k) {
+    // A provided warm start seeds the matching sequential solve; the
+    // projection inside LargestEigenpair handles stale/garbage columns.
+    lopt.start = warm_start != nullptr &&
+                         k < static_cast<int64_t>(warm_start->size())
+                     ? (*warm_start)[static_cast<size_t>(k)]
+                     : Vector();
     auto lan = LargestEigenpair(op, deflate, lopt);
     if (!lan.ok()) return lan.status();
     result.matvecs += lan->matvecs;
+    result.restarts += lan->restarts;
     if (!lan->converged) {
       if (k == 0) {
         return InternalError(
@@ -165,11 +174,86 @@ StatusOr<FiedlerResult> LanczosPath(const SparseMatrix& laplacian,
   return result;
 }
 
+StatusOr<FiedlerResult> BlockLanczosPath(const SparseMatrix& laplacian,
+                                         const FiedlerOptions& options,
+                                         double zero_tol,
+                                         const VectorBlock* warm_start) {
+  const int64_t n = laplacian.rows();
+  const double shift = laplacian.GershgorinBound() * 1.0001 + 1e-12;
+
+  SparseOperator lap_op(&laplacian, options.matvec_pool);
+  ShiftNegateOperator op(&lap_op, shift);
+
+  // Deflate the exact kernel vector 1/sqrt(n).
+  std::vector<Vector> deflate;
+  deflate.emplace_back(static_cast<size_t>(n),
+                       1.0 / std::sqrt(static_cast<double>(n)));
+
+  BlockLanczosOptions lopt;
+  lopt.num_pairs =
+      static_cast<int>(std::min<int64_t>(options.num_pairs, n - 1));
+  lopt.block_size = options.block_size;
+  lopt.max_basis = options.block_max_basis;
+  lopt.max_restarts = options.max_restarts;
+  // One decade below the caller's tolerance (the Chebyshev filter makes
+  // the extra decade nearly free): at tol itself, start-dependent noise in
+  // a degenerate eigenspace still straddles the rank quantizer, so warm-
+  // and cold-started solves could disagree on exactly-tied points. The
+  // warm-start property tests pin this contract.
+  lopt.tol = std::max(options.tol * 0.1, 1e-13);
+  lopt.seed = options.seed;
+  lopt.cheb_degree_max = options.cheb_degree_max;
+  lopt.op_lower_bound = 0.0;  // shift >= lambda_max: shift*I - L is PSD
+  const bool warm = warm_start != nullptr && !warm_start->empty();
+  if (warm) lopt.start = *warm_start;
+
+  auto lan = LargestEigenpairsBlock(op, deflate, lopt);
+  if (!lan.ok()) return lan.status();
+
+  FiedlerResult result;
+  result.method_used = warm ? "block-lanczos+warm" : "block-lanczos";
+  result.matvecs = lan->matvecs;
+  result.cheb_matvecs = lan->cheb_matvecs;
+  result.restarts = lan->restarts;
+
+  // Keep the converged prefix (matching the scalar path: extra pairs exist
+  // only for canonicalization and may be dropped, but the Fiedler pair
+  // itself must have converged).
+  for (size_t k = 0; k < lan->eigenvalues.size(); ++k) {
+    const double theta = lan->eigenvalues[k];
+    if (!lan->converged) {
+      const double scale = std::max(std::fabs(theta), 1.0);
+      if (lan->residuals[k] > options.tol * scale) {
+        if (k == 0) {
+          return InternalError(
+              "block Lanczos did not converge on the Fiedler pair "
+              "(residual " + std::to_string(lan->residuals[k]) +
+              "); raise max_restarts/block_max_basis");
+        }
+        break;
+      }
+    }
+    LaplacianEigenPair pair;
+    pair.eigenvalue = shift - theta;
+    pair.eigenvector = std::move(lan->eigenvectors[k]);
+    if (k == 0 && pair.eigenvalue < zero_tol) {
+      return FailedPreconditionError(
+          "Laplacian has multiple zero eigenvalues: graph is disconnected");
+    }
+    result.pairs.push_back(std::move(pair));
+  }
+  if (result.pairs.empty()) {
+    return InternalError("block Lanczos produced no eigenpairs");
+  }
+  return result;
+}
+
 }  // namespace
 
 StatusOr<FiedlerResult> ComputeFiedler(const SparseMatrix& laplacian,
                                        const FiedlerOptions& options,
-                                       std::span<const Vector> canonical_axes) {
+                                       std::span<const Vector> canonical_axes,
+                                       const VectorBlock* warm_start) {
   if (laplacian.rows() != laplacian.cols()) {
     return InvalidArgumentError("Laplacian must be square");
   }
@@ -188,8 +272,13 @@ StatusOr<FiedlerResult> ComputeFiedler(const SparseMatrix& laplacian,
       (options.method == FiedlerMethod::kAuto &&
        n <= options.dense_threshold);
 
-  auto result = use_dense ? DensePath(laplacian, options, zero_tol)
-                          : LanczosPath(laplacian, options, zero_tol);
+  auto result = [&]() -> StatusOr<FiedlerResult> {
+    if (use_dense) return DensePath(laplacian, options, zero_tol);
+    if (options.method == FiedlerMethod::kLanczos) {
+      return LanczosPath(laplacian, options, zero_tol, warm_start);
+    }
+    return BlockLanczosPath(laplacian, options, zero_tol, warm_start);
+  }();
   if (!result.ok()) return result.status();
 
   FiedlerResult out = std::move(result).value();

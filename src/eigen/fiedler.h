@@ -1,15 +1,32 @@
 // Fiedler-pair driver: computes the smallest non-trivial eigenpairs of a
 // graph Laplacian (steps 2-3 of the paper's Spectral LPM pseudo code).
 //
-// Two engines are available and cross-validated in tests:
-//   * dense Jacobi (exact, for small n),
-//   * restarted Lanczos with deflation on shift*I - L (the production path;
-//     the paper's repro note calls for a sparse eigensolver).
+// Three engines, cross-validated in tests, selected by FiedlerMethod:
+//
+//   * kDense — dense Jacobi, the exact O(n^3) reference. Under kAuto it
+//     serves every problem with n <= dense_threshold.
+//   * kBlockLanczos — the production path (kAuto default above
+//     dense_threshold): one restarted block-Krylov pass extracts all
+//     num_pairs eigenpairs together (eigen/block_lanczos.h), with
+//     adaptive-degree Chebyshev filtering on the shifted operator
+//     shift * I - L doing the cheap reorthogonalization-free part of the
+//     convergence work. Callers that own a coarsening hierarchy pass a
+//     multilevel warm start (eigen/warm_start.h) through the `warm_start`
+//     argument, and the solve only polishes — this is what makes the
+//     *exact* spectral engine run at near-multilevel speed (the
+//     coarsen/prolong/smooth cascade is assembled by core/spectral_lpm and
+//     core/multilevel from one shared hierarchy build).
+//   * kLanczos — the scalar restarted Lanczos path with sequential
+//     deflation: one full solve per pair. Kept as the independent
+//     reference implementation (warm-vs-cold property tests pin the block
+//     path's orders against it); prefer kBlockLanczos everywhere else.
 //
 // Degenerate lambda2 (e.g. square grids, where the x- and y-modes tie) is
-// handled by canonicalization: within the near-degenerate eigenspace we pick
-// the balanced mix of the coordinate-axis projections, which reproduces the
-// axis-fair behaviour the paper reports in Figure 5b.
+// handled by canonicalization: within the near-degenerate eigenspace we
+// pick the balanced mix of the coordinate-axis projections, which
+// reproduces the axis-fair behaviour the paper reports in Figure 5b. The
+// canonicalized order is identical across all three engines (and across
+// warm and cold starts): orientation conventions are part of the contract.
 
 #ifndef SPECTRAL_LPM_EIGEN_FIEDLER_H_
 #define SPECTRAL_LPM_EIGEN_FIEDLER_H_
@@ -19,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "linalg/block_ops.h"
 #include "linalg/sparse_matrix.h"
 #include "linalg/vector_ops.h"
 #include "util/status.h"
@@ -29,10 +47,15 @@ class ThreadPool;
 
 /// Engine selection for ComputeFiedler.
 enum class FiedlerMethod {
-  /// Dense for n <= dense_threshold, Lanczos otherwise.
+  /// Dense for n <= dense_threshold, block Lanczos otherwise.
   kAuto,
   kDense,
+  /// Scalar restarted Lanczos, one deflated solve per pair (the reference
+  /// iterative path; ~num_pairs times the matvec/reorthogonalization bill
+  /// of kBlockLanczos).
   kLanczos,
+  /// Block Lanczos: all pairs in one Krylov pass + Chebyshev filtering.
+  kBlockLanczos,
 };
 
 /// How to pick a representative when lambda2 is (numerically) degenerate.
@@ -51,23 +74,34 @@ struct FiedlerOptions {
   FiedlerMethod method = FiedlerMethod::kAuto;
   /// Problems up to this size use the dense engine under kAuto. The dense
   /// reference is O(n^3) per Jacobi sweep; beyond ~10^2 vertices the
-  /// Lanczos path is orders of magnitude faster (see bench_eigensolver).
+  /// Krylov paths are orders of magnitude faster (see bench_eigensolver).
   int64_t dense_threshold = 128;
   /// Number of smallest non-trivial eigenpairs to extract (>= 1). More pairs
   /// let the canonicalizer see the full degenerate eigenspace.
   int num_pairs = 3;
-  /// Residual tolerance passed to Lanczos.
+  /// Residual tolerance passed to the Krylov solvers.
   double tol = 1e-9;
+  /// Krylov basis size for the scalar kLanczos path.
   int max_basis = 120;
   int max_restarts = 100;
   uint64_t seed = 0x5eedf1ed1e5ull;
+  /// Iterated block width for kBlockLanczos; 0 = num_pairs + 2 guards.
+  int block_size = 0;
+  /// Krylov basis columns per restart for kBlockLanczos. Much smaller than
+  /// the scalar max_basis: the Chebyshev filter replaces most of the basis
+  /// growth, so the O(basis^2 n) reorthogonalization stays cheap (the
+  /// sweep behind bench_eigensolver put the knee at ~24 for 10^3..10^4
+  /// vertices).
+  int block_max_basis = 24;
+  /// Max Chebyshev filter degree per restart for kBlockLanczos (0 = off).
+  int cheb_degree_max = 300;
   /// Eigenvalues within lambda2 * (1 + rel) + abs are treated as degenerate
   /// with lambda2.
   double degeneracy_rel_tol = 1e-5;
   double degeneracy_abs_tol = 1e-8;
   DegeneracyPolicy degeneracy_policy = DegeneracyPolicy::kBalancedMix;
   /// Optional worker pool (not owned; must outlive the solve). When set,
-  /// Lanczos matvecs on sufficiently large Laplacians are row-partitioned
+  /// Krylov matvecs on sufficiently large Laplacians are row-partitioned
   /// across the pool. Results are bit-identical to the serial path; see
   /// SparseOperator in eigen/operator.h.
   ThreadPool* matvec_pool = nullptr;
@@ -90,7 +124,13 @@ struct FiedlerResult {
   std::vector<LaplacianEigenPair> pairs;
   /// Dimension of the numerically degenerate lambda2 eigenspace observed.
   int degenerate_dim = 1;
+  /// Total operator applications (Krylov + Chebyshev filter).
   int64_t matvecs = 0;
+  /// The Chebyshev filter's (reorthogonalization-free) share of matvecs.
+  int64_t cheb_matvecs = 0;
+  /// Restart cycles consumed by the iterative paths (summed over the
+  /// sequential solves for kLanczos).
+  int64_t restarts = 0;
   std::string method_used;
 };
 
@@ -102,9 +142,16 @@ struct FiedlerResult {
 /// `canonical_axes` are optional direction vectors (e.g. the centered
 /// coordinate functions of the point set) used by the degeneracy policy;
 /// pass {} to disable canonicalization.
+///
+/// `warm_start` (optional, kBlockLanczos/kAuto only) seeds the block solve
+/// with approximate eigenvectors — typically the multilevel warm start of
+/// eigen/warm_start.h. The result must not depend on it: the solve
+/// converges to the same tolerance either way, and a garbage warm start
+/// only costs iterations (property-tested).
 StatusOr<FiedlerResult> ComputeFiedler(
     const SparseMatrix& laplacian, const FiedlerOptions& options = {},
-    std::span<const Vector> canonical_axes = {});
+    std::span<const Vector> canonical_axes = {},
+    const VectorBlock* warm_start = nullptr);
 
 }  // namespace spectral
 

@@ -1,11 +1,20 @@
-// Restarted Lanczos iteration with full reorthogonalization and explicit
-// deflation. Finds the dominant (largest) eigenpair of a symmetric operator
-// restricted to the orthogonal complement of a given set of vectors.
+// Scalar restarted Lanczos iteration with full reorthogonalization and
+// explicit deflation. Finds the dominant (largest) eigenpair of a symmetric
+// operator restricted to the orthogonal complement of a given set of
+// vectors.
 //
-// The Fiedler driver calls this on shift * I - L with the all-ones vector
-// deflated, so the dominant pair here is exactly the (lambda2, Fiedler
-// vector) pair of the Laplacian. Sequential calls with previously found
-// eigenvectors added to the deflation set yield lambda3, lambda4, ...
+// The Fiedler driver's kLanczos path calls this on shift * I - L with the
+// all-ones vector deflated, so the dominant pair here is exactly the
+// (lambda2, Fiedler vector) pair of the Laplacian. Sequential calls with
+// previously found eigenvectors added to the deflation set yield lambda3,
+// lambda4, ... — each such solve re-pays the full reorthogonalization and
+// matvec bill, which is why the production path is the block solver in
+// eigen/block_lanczos.h (all pairs in one Krylov pass, Chebyshev-filtered,
+// optionally warm-started from a coarse hierarchy via eigen/warm_start.h).
+// This scalar path is kept as the independent reference implementation the
+// block path's orders are property-tested against, and as the refinement
+// engine of last resort: it accepts the same LanczosOptions::start
+// warm-start hook.
 
 #ifndef SPECTRAL_LPM_EIGEN_LANCZOS_H_
 #define SPECTRAL_LPM_EIGEN_LANCZOS_H_

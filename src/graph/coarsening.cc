@@ -58,6 +58,25 @@ Coarsening CoarsenByHeavyEdgeMatching(const Graph& graph) {
   return result;
 }
 
+CoarseningHierarchy BuildCoarseningHierarchy(const Graph& graph,
+                                             const CoarseningOptions& options) {
+  SPECTRAL_CHECK_GE(options.coarsest_size, 2);
+  CoarseningHierarchy hierarchy;
+  const Graph* current = &graph;
+  while (static_cast<int>(hierarchy.steps.size()) < options.max_levels &&
+         current->num_vertices() > options.coarsest_size) {
+    Coarsening step = CoarsenByHeavyEdgeMatching(*current);
+    if (static_cast<double>(step.num_coarse) >
+        options.min_shrink_factor *
+            static_cast<double>(current->num_vertices())) {
+      break;  // matching stalled; this is as coarse as it gets
+    }
+    hierarchy.steps.push_back(std::move(step));
+    current = &hierarchy.steps.back().coarse;
+  }
+  return hierarchy;
+}
+
 std::vector<double> ProlongVector(const Coarsening& coarsening,
                                   const std::vector<double>& coarse_values) {
   SPECTRAL_CHECK_EQ(static_cast<int64_t>(coarse_values.size()),

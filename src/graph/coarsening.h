@@ -33,6 +33,39 @@ Coarsening CoarsenByHeavyEdgeMatching(const Graph& graph);
 std::vector<double> ProlongVector(const Coarsening& coarsening,
                                   const std::vector<double>& coarse_values);
 
+/// Stopping shape for BuildCoarseningHierarchy.
+struct CoarseningOptions {
+  /// Stop once a level has at most this many vertices.
+  int64_t coarsest_size = 96;
+  /// Also stop if a level shrinks by less than this factor (matching
+  /// stalls on star-like graphs).
+  double min_shrink_factor = 0.9;
+  /// Hard cap on the number of levels.
+  int max_levels = 40;
+};
+
+/// The full heavy-edge-matching cascade, finest to coarsest. This is the
+/// one hierarchy build shared by the multilevel Fiedler engine and the
+/// exact solver's multilevel warm start (core/multilevel.h,
+/// core/spectral_lpm.h).
+struct CoarseningHierarchy {
+  /// steps[k] contracts level k (steps[0]'s fine graph is the input) into
+  /// level k + 1 (= steps[k].coarse). Empty when the input is already at or
+  /// below coarsest_size.
+  std::vector<Coarsening> steps;
+
+  /// Vertex count of the coarsest level (the input size when no step was
+  /// taken and `input_vertices` was passed through).
+  int64_t coarsest_size(int64_t input_vertices) const {
+    return steps.empty() ? input_vertices : steps.back().num_coarse;
+  }
+};
+
+/// Repeats CoarsenByHeavyEdgeMatching until one of the stopping rules in
+/// `options` fires. Deterministic.
+CoarseningHierarchy BuildCoarseningHierarchy(
+    const Graph& graph, const CoarseningOptions& options = {});
+
 }  // namespace spectral
 
 #endif  // SPECTRAL_LPM_GRAPH_COARSENING_H_

@@ -1,0 +1,43 @@
+#include "linalg/block_ops.h"
+
+#include "util/check.h"
+
+namespace spectral {
+
+void OrthogonalizeBlockAgainst(std::span<const Vector> basis,
+                               std::span<Vector> block) {
+  if (basis.empty() || block.empty()) return;
+  // Two passes of modified Gram-Schmidt ("twice is enough", Kahan/Parlett),
+  // with the basis vector as the outer loop so it stays cache-resident
+  // across the columns.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const Vector& b : basis) {
+      for (Vector& x : block) {
+        SPECTRAL_DCHECK_EQ(b.size(), x.size());
+        const double coeff = Dot(b, x);
+        Axpy(-coeff, b, x);
+      }
+    }
+  }
+}
+
+int64_t OrthonormalizeBlock(VectorBlock& block, double drop_tol) {
+  size_t kept = 0;
+  for (size_t j = 0; j < block.size(); ++j) {
+    Vector& x = block[j];
+    // Project out the already-kept columns, twice for stability.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t i = 0; i < kept; ++i) {
+        const double coeff = Dot(block[i], x);
+        Axpy(-coeff, block[i], x);
+      }
+    }
+    if (Normalize(x) <= drop_tol) continue;  // dependent column: drop
+    if (kept != j) block[kept] = std::move(x);
+    ++kept;
+  }
+  block.resize(kept);
+  return static_cast<int64_t>(kept);
+}
+
+}  // namespace spectral

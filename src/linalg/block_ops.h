@@ -1,0 +1,38 @@
+// Multi-vector (block) kernels for the block eigensolvers. A block is a
+// set of equal-length column vectors; these kernels fuse the per-column
+// loops of vector_ops.h so one pass over a basis vector serves every
+// column — the dominant cost of Lanczos-type methods is exactly this
+// (re)orthogonalization traffic, not the matvecs.
+
+#ifndef SPECTRAL_LPM_LINALG_BLOCK_OPS_H_
+#define SPECTRAL_LPM_LINALG_BLOCK_OPS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+
+namespace spectral {
+
+/// A block of equal-length column vectors.
+using VectorBlock = std::vector<Vector>;
+
+/// Removes from every column of `block` its components along each (assumed
+/// unit-norm) vector in `basis`. Fused two-pass modified Gram-Schmidt: each
+/// basis vector is streamed once per pass and applied to all columns while
+/// hot, instead of once per column as repeated OrthogonalizeAgainst calls
+/// would.
+void OrthogonalizeBlockAgainst(std::span<const Vector> basis,
+                               std::span<Vector> block);
+
+/// Orthonormalizes `block` in place by two-pass modified Gram-Schmidt.
+/// Columns whose norm collapses below `drop_tol` after projection on the
+/// previous columns are numerically dependent and are removed; the
+/// surviving columns keep their relative order. Returns the resulting rank
+/// (the new block size).
+int64_t OrthonormalizeBlock(VectorBlock& block, double drop_tol = 1e-10);
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_LINALG_BLOCK_OPS_H_

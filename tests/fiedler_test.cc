@@ -34,7 +34,8 @@ double LaplacianResidual(const SparseMatrix& lap, const Vector& v,
 TEST(Fiedler, PathLambda2BothEngines) {
   const int n = 20;
   const SparseMatrix lap = GridLaplacian({n});
-  for (FiedlerMethod method : {FiedlerMethod::kDense, FiedlerMethod::kLanczos}) {
+  for (FiedlerMethod method : {FiedlerMethod::kDense, FiedlerMethod::kLanczos,
+                               FiedlerMethod::kBlockLanczos}) {
     FiedlerOptions options;
     options.method = method;
     auto result = ComputeFiedler(lap, options);
@@ -101,23 +102,27 @@ TEST(Fiedler, EnginesAgreeOnGrid) {
   const SparseMatrix lap = GridLaplacian({5, 4});
   FiedlerOptions dense_options;
   dense_options.method = FiedlerMethod::kDense;
-  FiedlerOptions lanczos_options;
-  lanczos_options.method = FiedlerMethod::kLanczos;
   auto dense = ComputeFiedler(lap, dense_options);
-  auto lanczos = ComputeFiedler(lap, lanczos_options);
   ASSERT_TRUE(dense.ok());
-  ASSERT_TRUE(lanczos.ok());
-  EXPECT_NEAR(dense->lambda2, lanczos->lambda2, 1e-7);
-  // Eigenvectors agree up to sign.
-  const double dot = std::fabs(Dot(dense->fiedler, lanczos->fiedler));
-  EXPECT_NEAR(dot, 1.0, 1e-5);
+  for (FiedlerMethod method :
+       {FiedlerMethod::kLanczos, FiedlerMethod::kBlockLanczos}) {
+    FiedlerOptions options;
+    options.method = method;
+    auto iterative = ComputeFiedler(lap, options);
+    ASSERT_TRUE(iterative.ok());
+    EXPECT_NEAR(dense->lambda2, iterative->lambda2, 1e-7);
+    // Eigenvectors agree up to sign.
+    const double dot = std::fabs(Dot(dense->fiedler, iterative->fiedler));
+    EXPECT_NEAR(dot, 1.0, 1e-5);
+  }
 }
 
 TEST(Fiedler, DisconnectedGraphRejected) {
   // Two disjoint edges: second zero eigenvalue must be detected.
   std::vector<GraphEdge> edges = {{0, 1, 1.0}, {2, 3, 1.0}};
   const SparseMatrix lap = BuildLaplacian(Graph::FromEdges(4, edges));
-  for (FiedlerMethod method : {FiedlerMethod::kDense, FiedlerMethod::kLanczos}) {
+  for (FiedlerMethod method : {FiedlerMethod::kDense, FiedlerMethod::kLanczos,
+                               FiedlerMethod::kBlockLanczos}) {
     FiedlerOptions options;
     options.method = method;
     auto result = ComputeFiedler(lap, options);

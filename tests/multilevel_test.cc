@@ -122,10 +122,10 @@ TEST(Multilevel, RejectsTiny) {
 TEST(Multilevel, CoarsestSizeRespected) {
   const Graph g = BuildGridGraph(GridSpec({30, 30}));
   MultilevelOptions options;
-  options.coarsest_size = 500;  // almost no coarsening
+  options.coarsen.coarsest_size = 500;  // almost no coarsening
   auto shallow = ComputeFiedlerMultilevel(g, options);
   ASSERT_TRUE(shallow.ok());
-  options.coarsest_size = 16;
+  options.coarsen.coarsest_size = 16;
   auto deep = ComputeFiedlerMultilevel(g, options);
   ASSERT_TRUE(deep.ok());
   EXPECT_NEAR(shallow->lambda2, deep->lambda2, 1e-6);
@@ -156,6 +156,39 @@ TEST(Multilevel, MapperIntegrationMatchesFlatOrder) {
   }
   EXPECT_TRUE(agree == n || agree_reversed == n)
       << "agree=" << agree << " reversed=" << agree_reversed;
+}
+
+TEST(Multilevel, SquareGridOrderMatchesFlatSolve) {
+  // Regression pin for the old bench_ordering_engines grid64x64 row, where
+  // spectral-multilevel sat at spearman_vs_spectral == -0.706721 — byte-
+  // equal to the sweep engine's value. Diagnosis: lambda2 of a square grid
+  // is degenerate (the x- and y-modes tie), the old V-cycle tracked a
+  // single eigenpair with no axis canonicalization, so it silently
+  // returned an axis-aligned member of the eigenspace; sorting a pure
+  // axis mode (constant along the other axis, ties broken by index) IS the
+  // sweep order up to orientation — the V-cycle degenerated to a sweep.
+  // The block warm-start cascade carries the whole num_pairs eigenspace to
+  // the finest level and canonicalizes with the axes there, so the
+  // multilevel path now produces the *identical* order to a flat (cold)
+  // solve of the same grid.
+  const PointSet points = PointSet::FullGrid(GridSpec({64, 64}));
+  SpectralLpmOptions flat_options;
+  flat_options.fiedler.num_pairs = 3;
+  flat_options.warm_start_threshold = 0;  // cold flat block solve
+  SpectralLpmOptions ml_options;
+  ml_options.fiedler.num_pairs = 3;
+  ml_options.multilevel_threshold = 50;
+  auto flat = SpectralMapper(flat_options).Map(points);
+  auto multi = SpectralMapper(ml_options).Map(points);
+  ASSERT_TRUE(flat.ok());
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ(flat->method_used, "block-lanczos");
+  EXPECT_TRUE(multi->method_used.rfind("multilevel", 0) == 0)
+      << multi->method_used;
+  for (int64_t i = 0; i < points.size(); ++i) {
+    ASSERT_EQ(multi->order.RankOf(i), flat->order.RankOf(i))
+        << "multilevel order diverged from flat at point " << i;
+  }
 }
 
 TEST(Multilevel, LargeGridSanity) {

@@ -148,7 +148,7 @@ TEST(OrderingRequestFingerprint, EverySemanticOptionLayerIsHashed) {
             }),
             base);
   EXPECT_NE(mutated([](OrderingEngineOptions& o) {
-              o.spectral.multilevel.coarsest_size = 128;
+              o.spectral.multilevel.coarsen.coarsest_size = 128;
             }),
             base);
   EXPECT_NE(mutated([](OrderingEngineOptions& o) {

@@ -1,56 +1,138 @@
 #!/usr/bin/env python3
-"""CI bench-regression gate for bench_ordering_engines.
+"""CI bench-regression gate over the committed bench baselines.
 
-Runs the bench binary (or takes a pre-generated JSON), diffs
-bench_results/BENCH_ordering_engines.json against the committed baseline,
-and fails on:
+Diffs one or more bench suites against their committed baseline JSONs and
+fails on regressions. Two suites are known:
 
-  * a missing row (an engine/workload/shard combination the baseline has
-    but the current run lost),
-  * any Spearman-vs-spectral drop beyond --spearman-tolerance (solves are
-    deterministic, so a real drop means the ordering quality regressed),
+  ordering     bench_ordering_engines -> bench_results/BENCH_ordering_engines.json
+               rows keyed (engine, workload, shards); gates cold-time share
+               and spearman_vs_spectral drops.
+  eigensolver  bench_eigensolver -> bench_results/BENCH_eigensolver.json
+               rows keyed (method, workload); gates cold-time share, matvec
+               growth (deterministic counts), and residual growth beyond
+               the tolerance contract.
+
+For every suite the gate fails on:
+
+  * a missing row (a combination the baseline has but the current run lost),
+  * a quality regression (spearman drop / matvec growth / residual growth
+    beyond tolerance — all machine-independent, since solves are
+    deterministic),
   * a cold-time regression beyond --cold-tolerance (default 25%).
 
-Cold times are compared as *shares of the run's total cold time*, not as
+Cold times are compared as *shares of the suite's total cold time*, not as
 absolute milliseconds: CI machines and dev laptops differ by integer
-factors in raw speed, but a single engine suddenly consuming a much larger
+factors in raw speed, but a single row suddenly consuming a much larger
 fraction of the whole suite is machine-independent evidence of a
 regression. Rows whose share is below --min-share in both runs are skipped
 as timing noise. This keeps the gate tolerance-based and non-flaky.
 
-Updating the baseline (after an intentional perf/quality change):
+Usage:
 
-    cmake --build build --target bench_ordering_engines
-    (cd <repo-root> && ./build/bench_ordering_engines)   # rewrites the JSON
-    git add bench_results/BENCH_ordering_engines.json
+    # gate both suites against the committed baselines
+    python3 tools/check_bench_regression.py \
+        --suite ordering --bench build/bench_ordering_engines \
+        --suite eigensolver --bench build/bench_eigensolver
 
-or run this script with --update, which runs the bench and copies the
-fresh JSON over the baseline.
+    # gate one suite from a pre-generated JSON
+    python3 tools/check_bench_regression.py --suite ordering --current out.json
+
+    # legacy single-suite spelling (implies --suite ordering)
+    python3 tools/check_bench_regression.py --bench build/bench_ordering_engines
+
+Updating the baselines (after an intentional perf/quality change): re-run
+with --update, which runs each bench and copies its fresh JSON over the
+committed baseline; or run the bench binaries from the repo root (they
+rewrite bench_results/*.json in place) and commit the result. --out-dir
+additionally copies each fresh JSON into the given directory (CI uploads
+these as workflow artifacts for trend history).
 """
 
 import argparse
 import json
 import os
 import shutil
-import subprocess
 import sys
+import subprocess
 import tempfile
 
-JSON_RELPATH = os.path.join("bench_results", "BENCH_ordering_engines.json")
+
+class Suite:
+    """One bench binary + baseline JSON + gating rules."""
+
+    def __init__(self, name, json_relpath, key_fields):
+        self.name = name
+        self.json_relpath = json_relpath
+        self.key_fields = key_fields
+
+    def key_of(self, row):
+        return tuple(row.get(field, "") for field in self.key_fields)
+
+    def quality_failures(self, name, base, cur, args):
+        raise NotImplementedError
 
 
-def load_rows(path):
+class OrderingSuite(Suite):
+    def __init__(self):
+        super().__init__(
+            "ordering",
+            os.path.join("bench_results", "BENCH_ordering_engines.json"),
+            ("engine", "workload", "shards"),
+        )
+
+    def quality_failures(self, name, base, cur, args):
+        failures = []
+        base_rho = base["spearman_vs_spectral"]
+        cur_rho = cur["spearman_vs_spectral"]
+        if cur_rho < base_rho - args.spearman_tolerance:
+            failures.append(
+                f"{name}: spearman {base_rho:.6f} -> {cur_rho:.6f}")
+        return failures
+
+
+class EigensolverSuite(Suite):
+    def __init__(self):
+        super().__init__(
+            "eigensolver",
+            os.path.join("bench_results", "BENCH_eigensolver.json"),
+            ("method", "workload"),
+        )
+
+    def quality_failures(self, name, base, cur, args):
+        failures = []
+        # Matvec counts are deterministic; growth is an algorithmic
+        # regression, not noise.
+        if cur["matvecs"] > base["matvecs"] * (1.0 + args.matvec_tolerance):
+            failures.append(
+                f"{name}: matvecs {base['matvecs']} -> {cur['matvecs']} "
+                f"(> {args.matvec_tolerance:.0%} growth)")
+        # Residuals must honor the tolerance contract: gate growth beyond
+        # an order of magnitude over the baseline. The absolute floor
+        # keeps rows already at machine precision from flaking across
+        # compilers/FMA behavior while staying two decades below the
+        # solver's 1e-9 * scale contract.
+        floor = 1e-10
+        if cur["max_residual"] > max(base["max_residual"] * 10.0, floor):
+            failures.append(
+                f"{name}: max_residual {base['max_residual']:.3e} -> "
+                f"{cur['max_residual']:.3e}")
+        return failures
+
+
+SUITES = {s.name: s for s in (OrderingSuite(), EigensolverSuite())}
+
+
+def load_rows(suite, path):
     with open(path, "r", encoding="utf-8") as f:
         rows = json.load(f)
     table = {}
     for row in rows:
-        key = (row["engine"], row.get("workload", ""), int(row.get("shards", 0)))
-        table[key] = row
+        table[suite.key_of(row)] = row
     return table
 
 
-def run_bench(bench_path):
-    """Runs the bench in a scratch cwd and returns the parsed JSON rows."""
+def run_bench(suite, bench_path):
+    """Runs the bench in a scratch cwd, returns (rows, raw_json)."""
     bench_abs = os.path.abspath(bench_path)
     with tempfile.TemporaryDirectory(prefix="bench_regression_") as scratch:
         proc = subprocess.run(
@@ -58,114 +140,144 @@ def run_bench(bench_path):
             stderr=subprocess.STDOUT, text=True)
         sys.stdout.write(proc.stdout)
         if proc.returncode != 0:
-            sys.exit(f"bench exited with {proc.returncode}")
-        produced = os.path.join(scratch, JSON_RELPATH)
+            sys.exit(f"{suite.name}: bench exited with {proc.returncode}")
+        produced = os.path.join(scratch, suite.json_relpath)
         if not os.path.exists(produced):
-            sys.exit(f"bench did not produce {JSON_RELPATH}")
-        rows = load_rows(produced)
-        # Keep a copy around for --update before the tempdir vanishes.
+            sys.exit(f"{suite.name}: bench did not produce "
+                     f"{suite.json_relpath}")
+        rows = load_rows(suite, produced)
         with open(produced, "r", encoding="utf-8") as f:
             raw = f.read()
     return rows, raw
 
 
 def key_name(key):
-    engine, workload, shards = key
-    name = engine
-    if workload:
-        name += f" @{workload}"
-    if shards:
-        name += f" K={shards}"
-    return name
+    parts = [str(part) for part in key if part not in ("", 0)]
+    return " ".join(parts) if parts else str(key)
 
 
-def main():
-    parser = argparse.ArgumentParser(
-        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("--bench", help="path to the bench_ordering_engines binary")
-    parser.add_argument("--current",
-                        help="pre-generated current JSON (skips running the bench)")
-    parser.add_argument("--baseline", default=JSON_RELPATH,
-                        help=f"committed baseline JSON (default: {JSON_RELPATH})")
-    parser.add_argument("--cold-tolerance", type=float, default=0.25,
-                        help="max allowed relative growth of a row's share of "
-                             "total cold time (default 0.25 = 25%%)")
-    parser.add_argument("--min-share", type=float, default=0.02,
-                        help="ignore rows below this share of total cold time "
-                             "in both runs (timing noise floor, default 0.02)")
-    parser.add_argument("--spearman-tolerance", type=float, default=1e-3,
-                        help="max allowed Spearman drop (default 1e-3)")
-    parser.add_argument("--update", action="store_true",
-                        help="run the bench and overwrite the baseline "
-                             "instead of gating")
-    args = parser.parse_args()
-
-    if args.current:
-        current = load_rows(args.current)
-        raw = None
-    elif args.bench:
-        current, raw = run_bench(args.bench)
-    else:
-        parser.error("one of --bench or --current is required")
-
-    if args.update:
-        if raw is None:
-            shutil.copyfile(args.current, args.baseline)
-        else:
-            os.makedirs(os.path.dirname(args.baseline) or ".", exist_ok=True)
-            with open(args.baseline, "w", encoding="utf-8") as f:
-                f.write(raw)
-        print(f"baseline updated: {args.baseline}")
-        return 0
-
-    baseline = load_rows(args.baseline)
+def gate_suite(suite, current, args):
+    """Diffs one suite; returns the list of failure strings."""
+    baseline = load_rows(suite, os.path.join(args.baseline_dir,
+                                             suite.json_relpath))
     base_total = sum(row["cold_ms"] for row in baseline.values()) or 1.0
     cur_total = sum(row["cold_ms"] for row in current.values()) or 1.0
 
     failures = []
-    print(f"\n{'row':44s} {'base_share':>10s} {'cur_share':>10s} "
-          f"{'base_rho':>9s} {'cur_rho':>9s}  verdict")
+    print(f"\n=== suite: {suite.name} ===")
+    print(f"{'row':44s} {'base_share':>10s} {'cur_share':>10s}  verdict")
     for key, base in sorted(baseline.items()):
         name = key_name(key)
         cur = current.get(key)
         if cur is None:
             failures.append(f"{name}: row missing from current run")
-            print(f"{name:44s} {'-':>10s} {'-':>10s} {'-':>9s} {'-':>9s}  MISSING")
+            print(f"{name:44s} {'-':>10s} {'-':>10s}  MISSING")
             continue
 
         base_share = base["cold_ms"] / base_total
         cur_share = cur["cold_ms"] / cur_total
-        verdict = "ok"
+        verdicts = []
         if (max(base_share, cur_share) >= args.min_share and
                 cur_share > base_share * (1.0 + args.cold_tolerance) + 0.005):
-            verdict = "COLD-REGRESSION"
+            verdicts.append("COLD-REGRESSION")
             failures.append(
                 f"{name}: cold share {base_share:.3f} -> {cur_share:.3f} "
                 f"(> {args.cold_tolerance:.0%} growth)")
+        quality = suite.quality_failures(name, base, cur, args)
+        if quality:
+            verdicts.append("QUALITY")
+            failures.extend(quality)
+        print(f"{name:44s} {base_share:10.3f} {cur_share:10.3f}  "
+              f"{'+'.join(verdicts) if verdicts else 'ok'}")
 
-        base_rho = base["spearman_vs_spectral"]
-        cur_rho = cur["spearman_vs_spectral"]
-        if cur_rho < base_rho - args.spearman_tolerance:
-            verdict = (verdict + "+" if verdict != "ok" else "") + "RHO-DROP"
-            failures.append(
-                f"{name}: spearman {base_rho:.6f} -> {cur_rho:.6f}")
-
-        print(f"{name:44s} {base_share:10.3f} {cur_share:10.3f} "
-              f"{base_rho:9.4f} {cur_rho:9.4f}  {verdict}")
-
-    new_rows = sorted(set(current) - set(baseline))
-    for key in new_rows:
+    for key in sorted(set(current) - set(baseline)):
         print(f"{key_name(key):44s} (new row, not gated)")
+    return failures
 
-    if failures:
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--suite", action="append", dest="suites",
+                        choices=sorted(SUITES),
+                        help="suite the following --bench/--current applies "
+                             "to; repeatable (default: ordering)")
+    parser.add_argument("--bench", action="append", dest="benches",
+                        help="path to the suite's bench binary; repeatable, "
+                             "pairs up with --suite in order")
+    parser.add_argument("--current", action="append", dest="currents",
+                        help="pre-generated current JSON for the suite "
+                             "(skips running the bench)")
+    parser.add_argument("--baseline-dir", default=".",
+                        help="repo root holding the committed baselines "
+                             "(default: .)")
+    parser.add_argument("--cold-tolerance", type=float, default=0.25,
+                        help="max allowed relative growth of a row's share "
+                             "of total cold time (default 0.25 = 25%%)")
+    parser.add_argument("--min-share", type=float, default=0.02,
+                        help="ignore rows below this share of total cold "
+                             "time in both runs (default 0.02)")
+    parser.add_argument("--spearman-tolerance", type=float, default=1e-3,
+                        help="max allowed Spearman drop (default 1e-3)")
+    parser.add_argument("--matvec-tolerance", type=float, default=0.25,
+                        help="max allowed matvec-count growth (default 0.25)")
+    parser.add_argument("--update", action="store_true",
+                        help="run the benches and overwrite the baselines "
+                             "instead of gating")
+    parser.add_argument("--out-dir",
+                        help="also copy each fresh JSON here (CI artifacts)")
+    args = parser.parse_args()
+
+    suites = args.suites or ["ordering"]
+    if args.benches and args.currents:
+        parser.error("--bench and --current cannot be mixed: sources pair "
+                     "up with --suite flags in order, so use one kind")
+    sources = args.benches if args.benches else (args.currents or [])
+    use_current = args.benches is None
+    if len(sources) != len(suites):
+        parser.error("need exactly one --bench or --current per --suite")
+
+    all_failures = []
+    for suite_name, source in zip(suites, sources):
+        suite = SUITES[suite_name]
+        if use_current:
+            current = load_rows(suite, source)
+            raw = None
+        else:
+            current, raw = run_bench(suite, source)
+
+        if args.out_dir and raw is not None:
+            out_path = os.path.join(args.out_dir,
+                                    os.path.basename(suite.json_relpath))
+            os.makedirs(args.out_dir, exist_ok=True)
+            with open(out_path, "w", encoding="utf-8") as f:
+                f.write(raw)
+
+        baseline_path = os.path.join(args.baseline_dir, suite.json_relpath)
+        if args.update:
+            if raw is None:
+                shutil.copyfile(source, baseline_path)
+            else:
+                os.makedirs(os.path.dirname(baseline_path) or ".",
+                            exist_ok=True)
+                with open(baseline_path, "w", encoding="utf-8") as f:
+                    f.write(raw)
+            print(f"baseline updated: {baseline_path}")
+            continue
+
+        all_failures.extend(gate_suite(suite, current, args))
+
+    if args.update:
+        return 0
+    if all_failures:
         print("\nbench regression check FAILED:")
-        for failure in failures:
+        for failure in all_failures:
             print(f"  - {failure}")
-        print("\nIf the change is intentional, refresh the baseline "
+        print("\nIf the change is intentional, refresh the baselines "
               "(see --help).")
         return 1
-    print("\nbench regression check passed "
-          f"({len(baseline)} rows, {len(new_rows)} new).")
+    print("\nbench regression check passed.")
     return 0
 
 

@@ -19,9 +19,9 @@
 # runs). BUILD_DIR overrides the build directory.
 #
 # The CI bench gate is separate: tools/check_bench_regression.py runs
-# bench_ordering_engines and diffs bench_results/BENCH_ordering_engines.json
-# against the committed baseline (see that script's --help for the baseline
-# update procedure).
+# bench_ordering_engines and bench_eigensolver and diffs the
+# bench_results/BENCH_*.json files against the committed baselines (see
+# that script's --help for the baseline update procedure).
 #
 # Exit status is non-zero on the first failing stage.
 
