@@ -172,6 +172,12 @@ void RunRegistry() {
     EngineSample sample;
     sample.engine = name;
     sample.workload = "grid64x64";
+    // Sharded rows key by their real shard count everywhere (the
+    // regression gate keys rows by (engine, workload, shards), and 0
+    // would alias this row with the monolithic ones).
+    if (name == "sharded-spectral") {
+      sample.shards = request.options.sharded.num_shards;
+    }
     sample.cold_ms = cold_ms;
     sample.warm_ms = warm_ms;
     sample.cache_hit_rate =

@@ -52,12 +52,16 @@ OrderingResult FromSpectralResult(SpectralLpmResult result) {
   out.num_components = result.num_components;
   out.matvecs = result.matvecs;
   out.restarts = result.restarts;
+  out.spmm_calls = result.spmm_calls;
+  out.reorth_panels = result.reorth_panels;
   out.embedding = std::move(result.values);
   out.detail = "engine=" + out.method +
                " lambda2=" + FormatDouble(out.lambda2) +
                " components=" + FormatInt(out.num_components) +
                " matvecs=" + FormatInt(out.matvecs) +
-               " restarts=" + FormatInt(out.restarts);
+               " restarts=" + FormatInt(out.restarts) +
+               " spmm=" + FormatInt(out.spmm_calls) +
+               " reorth_panels=" + FormatInt(out.reorth_panels);
   return out;
 }
 
@@ -108,8 +112,11 @@ class BisectionEngine : public OrderingEngine {
     out.order = std::move(result->order);
     out.method = "median-cut";
     out.num_solves = result->num_solves;
+    out.matvecs = result->matvecs;
     out.depth = result->depth;
     out.detail = "solves=" + FormatInt(out.num_solves) +
+                 " warm_solves=" + FormatInt(result->warm_solves) +
+                 " matvecs=" + FormatInt(out.matvecs) +
                  " depth=" + FormatInt(out.depth);
     return out;
   }

@@ -48,6 +48,10 @@ struct OrderingResult {
   int64_t matvecs = 0;
   /// Eigensolver restart cycles summed over components (Krylov paths).
   int64_t restarts = 0;
+  /// Fused block-operator (SpMM) applications (block Lanczos paths).
+  int64_t spmm_calls = 0;
+  /// Reorthogonalization panel-kernel applications (block Lanczos paths).
+  int64_t reorth_panels = 0;
   /// The 1-d embedding the order was sorted from (the concatenated
   /// per-component Fiedler vectors); empty for non-spectral engines.
   Vector embedding;

@@ -1,6 +1,7 @@
 #include "core/recursive_bisection.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "eigen/fiedler.h"
@@ -14,6 +15,22 @@ namespace spectral {
 
 namespace {
 
+// Restricts each column of `block` to the entries at `idx` — how a parent
+// Fiedler block becomes a child warm start.
+VectorBlock RestrictBlock(const VectorBlock& block,
+                          std::span<const int64_t> idx) {
+  VectorBlock out;
+  out.reserve(block.size());
+  for (const Vector& v : block) {
+    Vector r(idx.size());
+    for (size_t i = 0; i < idx.size(); ++i) {
+      r[i] = v[static_cast<size_t>(idx[i])];
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
 // Shared recursion state.
 struct Bisector {
   const PointSet* points;  // may be null
@@ -21,10 +38,62 @@ struct Bisector {
   std::vector<int64_t> ranks;  // global point -> rank, filled leaf by leaf
   int64_t next_rank = 0;
   int64_t num_solves = 0;
+  int64_t warm_solves = 0;
+  int64_t matvecs = 0;
   int depth_reached = 0;
   Status error;  // first failure, if any
 
   bool ok() const { return error.ok(); }
+
+  // One Fiedler solve of the recursion, warm-started from the parent's
+  // restricted Fiedler block when available. A warm-started child also
+  // drops to warm_dense_threshold: the block path with a good start beats
+  // the O(n^3) dense sweep well below the cold dense_threshold. Both
+  // solvers land on the same quantized order (the engines are
+  // cross-validated at the rank quantizer), so this only moves cost.
+  StatusOr<FiedlerResult> Solve(const Graph& graph,
+                                std::span<const Vector> axes,
+                                const VectorBlock* warm) {
+    FiedlerOptions fo = options->base.fiedler;
+    // The median cut consumes only the Fiedler vector itself, so never pay
+    // the ~num_pairs-proportional block cost for trailing pairs here (the
+    // child warm start is that same single vector restricted).
+    fo.num_pairs = 1;
+    if (options->base.pool != nullptr) fo.matvec_pool = options->base.pool;
+    const bool use_warm = options->warm_start_children && warm != nullptr &&
+                          !warm->empty();
+    if (use_warm) {
+      fo.dense_threshold =
+          std::min(fo.dense_threshold, options->warm_dense_threshold);
+    }
+    auto fiedler = ComputeFiedler(BuildLaplacian(graph), fo, axes,
+                                  use_warm ? warm : nullptr);
+    if (fiedler.ok()) {
+      num_solves += 1;
+      matvecs += fiedler->matvecs;
+      // Count only solves that actually consumed the start (the dense path
+      // ignores it; BlockLanczosPath tags its method when warm).
+      if (use_warm &&
+          fiedler->method_used.find("warm") != std::string::npos) {
+        warm_solves += 1;
+      }
+    }
+    return fiedler;
+  }
+
+  // Sort key mirroring core/spectral_lpm.cc's rank quantizer: components
+  // within rank_quantum_rel * max|component| are ties broken by global id,
+  // so dense/block and warm/cold solver noise cannot flip the order.
+  int64_t KeyOf(double v, double quantum) const {
+    return quantum > 0.0 ? static_cast<int64_t>(std::llround(v / quantum))
+                         : 0;
+  }
+
+  double QuantumOf(const Vector& values) const {
+    return options->base.rank_quantum_rel > 0.0
+               ? options->base.rank_quantum_rel * NormInf(values)
+               : 0.0;
+  }
 
   // Appends `verts` in their given order.
   void Emit(std::span<const int64_t> verts) {
@@ -60,27 +129,30 @@ struct Bisector {
 
   // Orders the *connected* subgraph over verts (local ids match verts
   // positions) with one direct Fiedler solve.
-  void OrderLeaf(const Graph& graph, std::span<const int64_t> verts) {
+  void OrderLeaf(const Graph& graph, std::span<const int64_t> verts,
+                 const VectorBlock* warm) {
     const int64_t m = static_cast<int64_t>(verts.size());
     if (m <= 2) {
       Emit(verts);
       return;
     }
     const auto axes = AxesFor(verts);
-    auto fiedler = ComputeFiedler(BuildLaplacian(graph),
-                                  options->base.fiedler, axes);
+    auto fiedler = Solve(graph, axes, warm);
     if (!fiedler.ok()) {
       if (error.ok()) error = fiedler.status();
       Emit(verts);  // keep the permutation valid even on failure
       return;
     }
-    num_solves += 1;
+    const double quantum = QuantumOf(fiedler->fiedler);
     std::vector<int64_t> by_value(static_cast<size_t>(m));
     std::iota(by_value.begin(), by_value.end(), 0);
     std::sort(by_value.begin(), by_value.end(), [&](int64_t a, int64_t b) {
       const double va = fiedler->fiedler[static_cast<size_t>(a)];
       const double vb = fiedler->fiedler[static_cast<size_t>(b)];
-      if (va != vb) return va < vb;
+      const int64_t ka = KeyOf(va, quantum);
+      const int64_t kb = KeyOf(vb, quantum);
+      if (ka != kb) return ka < kb;
+      if (quantum == 0.0 && va != vb) return va < vb;
       return verts[static_cast<size_t>(a)] < verts[static_cast<size_t>(b)];
     });
     AlignWithIncomingOrder(by_value);
@@ -93,40 +165,53 @@ struct Bisector {
   }
 
   // Orders an arbitrary (possibly disconnected) subgraph.
-  void OrderAny(const Graph& graph, std::span<const int64_t> verts,
-                int depth);
+  void OrderAny(const Graph& graph, std::span<const int64_t> verts, int depth,
+                const VectorBlock* warm);
 
   // Orders a *connected* subgraph: leaf solve or median-cut recursion.
   void OrderConnected(const Graph& graph, std::span<const int64_t> verts,
-                      int depth) {
+                      int depth, const VectorBlock* warm) {
     depth_reached = std::max(depth_reached, depth);
     const int64_t m = static_cast<int64_t>(verts.size());
     if (m <= std::max<int64_t>(2, options->leaf_size) ||
         depth >= options->max_depth) {
-      OrderLeaf(graph, verts);
+      OrderLeaf(graph, verts, warm);
       return;
     }
     const auto axes = AxesFor(verts);
-    auto fiedler = ComputeFiedler(BuildLaplacian(graph),
-                                  options->base.fiedler, axes);
+    auto fiedler = Solve(graph, axes, warm);
     if (!fiedler.ok()) {
       if (error.ok()) error = fiedler.status();
       Emit(verts);
       return;
     }
-    num_solves += 1;
 
-    // Median cut: lower half by Fiedler value (ties by global id), with the
-    // cut direction aligned to the incoming order.
+    // Median cut: lower half by quantized Fiedler value (ties by global
+    // id), with the cut direction aligned to the incoming order.
+    const double quantum = QuantumOf(fiedler->fiedler);
     std::vector<int64_t> by_value(static_cast<size_t>(m));
     std::iota(by_value.begin(), by_value.end(), 0);
     std::sort(by_value.begin(), by_value.end(), [&](int64_t a, int64_t b) {
       const double va = fiedler->fiedler[static_cast<size_t>(a)];
       const double vb = fiedler->fiedler[static_cast<size_t>(b)];
-      if (va != vb) return va < vb;
+      const int64_t ka = KeyOf(va, quantum);
+      const int64_t kb = KeyOf(vb, quantum);
+      if (ka != kb) return ka < kb;
+      if (quantum == 0.0 && va != vb) return va < vb;
       return verts[static_cast<size_t>(a)] < verts[static_cast<size_t>(b)];
     });
     AlignWithIncomingOrder(by_value);
+
+    // This solve's eigenpairs, restricted to a child's vertices, seed the
+    // child's solve (the warm-start hook in eigen/fiedler.h).
+    VectorBlock parent_block;
+    if (options->warm_start_children) {
+      parent_block.reserve(fiedler->pairs.size());
+      for (const LaplacianEigenPair& pair : fiedler->pairs) {
+        parent_block.push_back(pair.eigenvector);
+      }
+    }
+
     const int64_t half = (m + 1) / 2;
     for (int side = 0; side < 2; ++side) {
       const int64_t begin = side == 0 ? 0 : half;
@@ -138,17 +223,22 @@ struct Bisector {
       for (size_t i = 0; i < side_local.size(); ++i) {
         side_global[i] = verts[static_cast<size_t>(side_local[i])];
       }
-      OrderAny(sub.graph, side_global, depth + 1);
+      VectorBlock child_warm;
+      if (!parent_block.empty()) {
+        child_warm = RestrictBlock(parent_block, side_local);
+      }
+      OrderAny(sub.graph, side_global, depth + 1,
+               child_warm.empty() ? nullptr : &child_warm);
     }
   }
 };
 
 void Bisector::OrderAny(const Graph& graph, std::span<const int64_t> verts,
-                        int depth) {
+                        int depth, const VectorBlock* warm) {
   int64_t num_components = 0;
   const auto comp = ConnectedComponents(graph, &num_components);
   if (num_components <= 1) {
-    OrderConnected(graph, verts, depth);
+    OrderConnected(graph, verts, depth, warm);
     return;
   }
   // Largest component first, ties by lowest global vertex.
@@ -172,7 +262,12 @@ void Bisector::OrderAny(const Graph& graph, std::span<const int64_t> verts,
     for (size_t i = 0; i < local.size(); ++i) {
       global[i] = verts[static_cast<size_t>(local[i])];
     }
-    OrderAny(sub.graph, global, depth);
+    VectorBlock comp_warm;
+    if (warm != nullptr && !warm->empty()) {
+      comp_warm = RestrictBlock(*warm, local);
+    }
+    OrderAny(sub.graph, global, depth,
+             comp_warm.empty() ? nullptr : &comp_warm);
   }
 }
 
@@ -196,7 +291,7 @@ StatusOr<RecursiveBisectionResult> RecursiveSpectralOrderGraph(
 
   std::vector<int64_t> all(static_cast<size_t>(n));
   std::iota(all.begin(), all.end(), 0);
-  bisector.OrderAny(graph, all, 0);
+  bisector.OrderAny(graph, all, 0, nullptr);
   if (!bisector.ok()) return bisector.error;
   SPECTRAL_CHECK_EQ(bisector.next_rank, n);
 
@@ -205,6 +300,8 @@ StatusOr<RecursiveBisectionResult> RecursiveSpectralOrderGraph(
   RecursiveBisectionResult result;
   result.order = std::move(*order);
   result.num_solves = bisector.num_solves;
+  result.warm_solves = bisector.warm_solves;
+  result.matvecs = bisector.matvecs;
   result.depth = bisector.depth_reached;
   return result;
 }

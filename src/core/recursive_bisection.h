@@ -24,6 +24,19 @@ struct RecursiveBisectionOptions {
   int64_t leaf_size = 8;
   /// Hard cap on the recursion depth (safety valve; 64 >= log2 of any n).
   int max_depth = 64;
+  /// Feed each child solve the parent's Fiedler block restricted to the
+  /// child's vertices through the eigensolver's warm-start hook. The
+  /// restricted parent vector is an excellent approximation of the child's
+  /// own Fiedler vector (the child is half the parent's geometry), so warm
+  /// solves converge in a fraction of the iterations; a stale start only
+  /// costs iterations, never changes the converged order (the solver's
+  /// warm == cold contract, regression-tested).
+  bool warm_start_children = true;
+  /// Warm-started children at or above this size take the block path even
+  /// when the base dense_threshold would pick dense Jacobi: with a good
+  /// start the block solve is far cheaper than the O(n^3) dense sweep that
+  /// otherwise dominates the whole recursion on mid-size children.
+  int64_t warm_dense_threshold = 32;
   /// Graph construction and eigensolver configuration (affinity edges are
   /// honored on the top-level graph).
   SpectralLpmOptions base;
@@ -34,6 +47,10 @@ struct RecursiveBisectionResult {
   LinearOrder order;
   /// Number of Fiedler solves performed across the recursion.
   int64_t num_solves = 0;
+  /// How many of those received a parent warm start.
+  int64_t warm_solves = 0;
+  /// Eigensolver matvecs summed over all solves in the recursion.
+  int64_t matvecs = 0;
   /// Deepest recursion level reached (0 = no split).
   int depth = 0;
 };

@@ -105,6 +105,8 @@ StatusOr<SpectralLpmResult> SpectralMapper::MapGraph(
     double lambda2 = 0.0;
     int64_t matvecs = 0;
     int64_t restarts = 0;
+    int64_t spmm_calls = 0;
+    int64_t reorth_panels = 0;
     std::string method_used;
     bool solved = false;  // true iff the component needed an eigensolve
   };
@@ -177,6 +179,8 @@ StatusOr<SpectralLpmResult> SpectralMapper::MapGraph(
     out.lambda2 = fiedler->lambda2;
     out.matvecs = fiedler->matvecs;
     out.restarts = fiedler->restarts;
+    out.spmm_calls = fiedler->spmm_calls;
+    out.reorth_panels = fiedler->reorth_panels;
     out.method_used = fiedler->method_used;
     out.solved = true;
   };
@@ -214,6 +218,8 @@ StatusOr<SpectralLpmResult> SpectralMapper::MapGraph(
     if (solve.solved) {
       result.matvecs += solve.matvecs;
       result.restarts += solve.restarts;
+      result.spmm_calls += solve.spmm_calls;
+      result.reorth_panels += solve.reorth_panels;
       if (!recorded_main) {
         result.lambda2 = solve.lambda2;
         result.method_used = solve.method_used;

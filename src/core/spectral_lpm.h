@@ -100,6 +100,10 @@ struct SpectralLpmResult {
   int64_t matvecs = 0;
   /// Restart cycles summed over components (block/scalar Krylov paths).
   int64_t restarts = 0;
+  /// Fused block-operator (SpMM) applications summed over components.
+  int64_t spmm_calls = 0;
+  /// Reorthogonalization panel-kernel applications summed over components.
+  int64_t reorth_panels = 0;
   /// "dense-jacobi", "block-lanczos[+warm]", "lanczos", or
   /// "multilevel(...)+..." (of the largest component).
   std::string method_used;

@@ -43,36 +43,75 @@ bool PadBlockRandom(int64_t n, int64_t width, std::span<const Vector> deflate,
   return true;
 }
 
+// Packs block columns [first, first + count) into a row-major buffer
+// (packed[j * count + c] = block[first + c][j]) — the layout
+// LinearOperator::ApplyBlock consumes.
+void PackBlock(std::span<const Vector> block, size_t first, size_t count,
+               int64_t n, std::vector<double>& packed) {
+  packed.resize(static_cast<size_t>(n) * count);
+  for (size_t c = 0; c < count; ++c) {
+    const Vector& col = block[first + c];
+    for (int64_t j = 0; j < n; ++j) {
+      packed[static_cast<size_t>(j) * count + c] =
+          col[static_cast<size_t>(j)];
+    }
+  }
+}
+
 // In-place Chebyshev filter of the given degree on `block`: applies the
 // degree-d Chebyshev polynomial of op mapped so [lo, cut] -> [-1, 1],
 // amplifying every spectral component above `cut` by cosh(d * acosh(t))
 // while keeping the damped interval at magnitude <= 1. Columns are
 // renormalized afterwards. These matvecs never touch a Krylov basis, so
-// they cost no reorthogonalization.
+// they cost no reorthogonalization — and the whole block advances through
+// each recurrence step with ONE fused SpMM, so the matrix is streamed
+// degree times total instead of degree times per column. The three-term
+// recurrence is evaluated element-wise, identically to the scalar
+// per-column loop, so results are bit-identical to the unfused filter.
 void ChebyshevFilterBlock(const LinearOperator& op, double lo, double cut,
-                          int degree, VectorBlock& block, int64_t& matvecs) {
+                          int degree, VectorBlock& block, int64_t& matvecs,
+                          int64_t& spmm_calls) {
   const int64_t n = op.Dim();
+  const size_t w = block.size();
+  if (w == 0) return;
   const double center = (cut + lo) / 2.0;
   const double half_width = (cut - lo) / 2.0;
-  Vector next(static_cast<size_t>(n));
-  for (Vector& x : block) {
-    Vector prev = x;                       // T_0(t) x = x
-    Vector curr(static_cast<size_t>(n));   // T_1(t) x = t(A) x
-    op.Apply(x, curr);
-    ++matvecs;
-    for (size_t i = 0; i < curr.size(); ++i) {
-      curr[i] = (curr[i] - center * x[i]) / half_width;
+  std::vector<double> prev;  // T_0(t) X = X
+  PackBlock(block, 0, w, n, prev);
+  std::vector<double> curr(prev.size());  // T_1(t) X = t(A) X
+  std::vector<double> next(prev.size());
+  op.ApplyBlock(static_cast<int64_t>(w), prev, curr);
+  matvecs += static_cast<int64_t>(w);
+  ++spmm_calls;
+  {
+    double* __restrict cw = curr.data();
+    const double* __restrict pr = prev.data();
+    const size_t total = curr.size();
+    for (size_t e = 0; e < total; ++e) {
+      cw[e] = (cw[e] - center * pr[e]) / half_width;
     }
-    for (int k = 2; k <= degree; ++k) {
-      op.Apply(curr, next);
-      ++matvecs;
-      for (size_t i = 0; i < next.size(); ++i) {
-        next[i] = 2.0 * (next[i] - center * curr[i]) / half_width - prev[i];
+  }
+  for (int k = 2; k <= degree; ++k) {
+    op.ApplyBlock(static_cast<int64_t>(w), curr, next);
+    matvecs += static_cast<int64_t>(w);
+    ++spmm_calls;
+    {
+      double* __restrict nw = next.data();
+      const double* __restrict cr = curr.data();
+      const double* __restrict pr = prev.data();
+      const size_t total = next.size();
+      for (size_t e = 0; e < total; ++e) {
+        nw[e] = 2.0 * (nw[e] - center * cr[e]) / half_width - pr[e];
       }
-      prev.swap(curr);
-      curr.swap(next);
     }
-    x = std::move(curr);
+    prev.swap(curr);
+    curr.swap(next);
+  }
+  for (size_t c = 0; c < w; ++c) {
+    Vector& x = block[c];
+    for (int64_t j = 0; j < n; ++j) {
+      x[static_cast<size_t>(j)] = curr[static_cast<size_t>(j) * w + c];
+    }
     Normalize(x);
   }
 }
@@ -99,6 +138,8 @@ StatusOr<BlockLanczosResult> LargestEigenpairsBlock(
 
   Rng rng(options.seed);
   BlockLanczosResult result;
+  ThreadPool* pool = options.pool;
+  int64_t* panels = &result.reorth_panels;
 
   VectorBlock locked;            // accepted eigenvectors, theta descending
   std::vector<double> locked_vals;
@@ -114,8 +155,8 @@ StatusOr<BlockLanczosResult> LargestEigenpairsBlock(
         << "warm-start column has the wrong dimension";
     x_block.push_back(v);
   }
-  OrthogonalizeBlockAgainst(deflate, x_block);
-  OrthonormalizeBlock(x_block);
+  OrthogonalizeBlockAgainst(deflate, x_block, pool, panels);
+  OrthonormalizeBlock(x_block, /*drop_tol=*/1e-10, pool, panels);
   if (!PadBlockRandom(n, width, deflate, locked, x_block, rng)) {
     return FailedPreconditionError(
         "could not construct a start block orthogonal to the deflation set");
@@ -124,6 +165,8 @@ StatusOr<BlockLanczosResult> LargestEigenpairsBlock(
   VectorBlock basis;       // Krylov columns v_0 .. v_{m-1}
   VectorBlock applied;     // A v_0 .. A v_{m-1}
   std::vector<RitzPair> ritz;
+  std::vector<double> packed_x;  // scratch for the fused block matvec
+  std::vector<double> packed_y;
 
   for (int restart = 0; restart < options.max_restarts; ++restart) {
     result.restarts = restart + 1;
@@ -140,18 +183,27 @@ StatusOr<BlockLanczosResult> LargestEigenpairsBlock(
                max_basis) {
       const size_t base = basis.size();
       for (Vector& col : candidate) basis.push_back(std::move(col));
-      for (size_t i = base; i < basis.size(); ++i) {
+      // ONE fused SpMM applies the operator to every new basis column.
+      const size_t bw = basis.size() - base;
+      PackBlock(basis, base, bw, n, packed_x);
+      packed_y.resize(packed_x.size());
+      op.ApplyBlock(static_cast<int64_t>(bw), packed_x, packed_y);
+      result.matvecs += static_cast<int64_t>(bw);
+      ++result.spmm_calls;
+      for (size_t c = 0; c < bw; ++c) {
         Vector y(static_cast<size_t>(n));
-        op.Apply(basis[i], y);
-        ++result.matvecs;
+        for (int64_t j = 0; j < n; ++j) {
+          y[static_cast<size_t>(j)] =
+              packed_y[static_cast<size_t>(j) * bw + c];
+        }
         applied.push_back(std::move(y));
       }
       candidate.assign(applied.begin() + static_cast<int64_t>(base),
                        applied.end());
-      OrthogonalizeBlockAgainst(deflate, candidate);
-      OrthogonalizeBlockAgainst(locked, candidate);
-      OrthogonalizeBlockAgainst(basis, candidate);
-      OrthonormalizeBlock(candidate);
+      OrthogonalizeBlockAgainst(deflate, candidate, pool, panels);
+      OrthogonalizeBlockAgainst(locked, candidate, pool, panels);
+      OrthogonalizeBlockAgainst(basis, candidate, pool, panels);
+      OrthonormalizeBlock(candidate, /*drop_tol=*/1e-10, pool, panels);
       // Re-clean at unit scale. Near convergence the remainder above is
       // tiny, so normalizing it amplifies the projections' rounding —
       // including the deflated kernel direction, which is the operator's
@@ -159,18 +211,21 @@ StatusOr<BlockLanczosResult> LargestEigenpairsBlock(
       // in and get "found". A second pass over everything at unit norm
       // pins the pollution back to machine epsilon; columns that lose half
       // their mass here were junk and are dropped.
-      OrthogonalizeBlockAgainst(deflate, candidate);
-      OrthogonalizeBlockAgainst(locked, candidate);
-      OrthogonalizeBlockAgainst(basis, candidate);
-      OrthonormalizeBlock(candidate, /*drop_tol=*/0.5);
+      OrthogonalizeBlockAgainst(deflate, candidate, pool, panels);
+      OrthogonalizeBlockAgainst(locked, candidate, pool, panels);
+      OrthogonalizeBlockAgainst(basis, candidate, pool, panels);
+      OrthonormalizeBlock(candidate, /*drop_tol=*/0.5, pool, panels);
       if (candidate.empty()) exhausted = true;
     }
     const int64_t m = static_cast<int64_t>(basis.size());
     SPECTRAL_CHECK_GT(m, 0);
 
-    // --- Rayleigh-Ritz on the projected dense matrix H = V^T A V.
+    // --- Rayleigh-Ritz on the projected dense matrix H = V^T A V. Row i's
+    // task writes only At(i, j) and its mirror At(j, i) for j >= i — every
+    // cell is written by exactly one task, so rows parallelize race-free
+    // and each Dot runs serially: bit-identical for any pool size.
     DenseMatrix h(m, m);
-    for (int64_t i = 0; i < m; ++i) {
+    const auto fill_row = [&](int64_t i) {
       for (int64_t j = i; j < m; ++j) {
         const double hij = (Dot(basis[static_cast<size_t>(i)],
                                 applied[static_cast<size_t>(j)]) +
@@ -180,6 +235,11 @@ StatusOr<BlockLanczosResult> LargestEigenpairsBlock(
         h.At(i, j) = hij;
         h.At(j, i) = hij;
       }
+    };
+    if (pool != nullptr && pool->num_threads() >= 2 && m >= 2) {
+      pool->ParallelFor(0, m, 1, fill_row);
+    } else {
+      for (int64_t i = 0; i < m; ++i) fill_row(i);
     }
     auto eig = JacobiEigenSolve(h);
     if (!eig.ok()) return eig.status();
@@ -266,16 +326,17 @@ StatusOr<BlockLanczosResult> LargestEigenpairsBlock(
             const int64_t before = result.matvecs;
             ChebyshevFilterBlock(op, lo, cut,
                                  std::min(degree, options.cheb_degree_max),
-                                 x_block, result.matvecs);
+                                 x_block, result.matvecs,
+                                 result.spmm_calls);
             result.cheb_matvecs += result.matvecs - before;
           }
         }
       }
     }
 
-    OrthogonalizeBlockAgainst(deflate, x_block);
-    OrthogonalizeBlockAgainst(locked, x_block);
-    OrthonormalizeBlock(x_block);
+    OrthogonalizeBlockAgainst(deflate, x_block, pool, panels);
+    OrthogonalizeBlockAgainst(locked, x_block, pool, panels);
+    OrthonormalizeBlock(x_block, /*drop_tol=*/1e-10, pool, panels);
     if (!PadBlockRandom(n, width, deflate, locked, x_block, rng)) {
       if (locked.empty()) {
         return InternalError("block Lanczos lost the search subspace");

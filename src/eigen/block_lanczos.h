@@ -20,6 +20,19 @@
 // all-ones kernel vector deflated, optionally warm-started from a coarse
 // grid hierarchy (eigen/warm_start.h); the dominant pairs here are then
 // exactly the (lambda2 ... lambda_{1+p}) pairs of the Laplacian.
+//
+// Threading model: BlockLanczosOptions::pool is the ONE worker set shared
+// by every parallel site in a solve — the operator's row-partitioned SpMM
+// (via SparseOperator's pool, wired by the Fiedler driver to the same
+// pool), the column-parallel panel reorthogonalization
+// (linalg/block_ops.h), and the row-parallel Rayleigh-Ritz Gram fill.
+// ThreadPool::ParallelFor is nest-safe (the caller participates and
+// degrades to serial), so these sites can sit under batch/component/shard
+// Submit tasks without spawning nested pools. Every parallel site
+// partitions only across independent output elements with fixed
+// per-element arithmetic, so eigenpairs, residuals, and all counters are
+// byte-identical for any pool size including none: the pool is a runtime
+// resource, never part of the result.
 
 #ifndef SPECTRAL_LPM_EIGEN_BLOCK_LANCZOS_H_
 #define SPECTRAL_LPM_EIGEN_BLOCK_LANCZOS_H_
@@ -65,6 +78,10 @@ struct BlockLanczosOptions {
   /// For shift * I - L with shift >= lambda_max(L) the operator is PSD, so
   /// the default 0 is tight.
   double op_lower_bound = 0.0;
+  /// Shared worker pool for the solver's kernel parallelism (see the
+  /// threading-model note above). Not owned; null keeps every kernel
+  /// serial. Results are byte-identical either way.
+  ThreadPool* pool = nullptr;
 };
 
 /// Output of LargestEigenpairsBlock.
@@ -76,10 +93,18 @@ struct BlockLanczosResult {
   VectorBlock eigenvectors;
   /// True residuals ||A x - theta x|| at acceptance, aligned.
   Vector residuals;
-  /// Total operator applications, including the Chebyshev filter's.
+  /// Total operator applications, including the Chebyshev filter's. Each
+  /// fused block apply counts as its width so the tally stays comparable
+  /// with the scalar solver's.
   int64_t matvecs = 0;
   /// The filter's share of `matvecs` (reorthogonalization-free).
   int64_t cheb_matvecs = 0;
+  /// Fused block-operator applications (each covers `matvecs / spmm_calls`
+  /// columns on average — the SpMM amortization factor).
+  int64_t spmm_calls = 0;
+  /// Reorthogonalization panel-kernel applications (passes x panels x
+  /// columns, see linalg/block_ops.h).
+  int64_t reorth_panels = 0;
   /// Restart cycles consumed.
   int restarts = 0;
   bool converged = false;

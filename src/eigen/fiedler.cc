@@ -204,6 +204,7 @@ StatusOr<FiedlerResult> BlockLanczosPath(const SparseMatrix& laplacian,
   lopt.seed = options.seed;
   lopt.cheb_degree_max = options.cheb_degree_max;
   lopt.op_lower_bound = 0.0;  // shift >= lambda_max: shift*I - L is PSD
+  lopt.pool = options.matvec_pool;
   const bool warm = warm_start != nullptr && !warm_start->empty();
   if (warm) lopt.start = *warm_start;
 
@@ -214,6 +215,8 @@ StatusOr<FiedlerResult> BlockLanczosPath(const SparseMatrix& laplacian,
   result.method_used = warm ? "block-lanczos+warm" : "block-lanczos";
   result.matvecs = lan->matvecs;
   result.cheb_matvecs = lan->cheb_matvecs;
+  result.spmm_calls = lan->spmm_calls;
+  result.reorth_panels = lan->reorth_panels;
   result.restarts = lan->restarts;
 
   // Keep the converged prefix (matching the scalar path: extra pairs exist

@@ -101,9 +101,12 @@ struct FiedlerOptions {
   double degeneracy_abs_tol = 1e-8;
   DegeneracyPolicy degeneracy_policy = DegeneracyPolicy::kBalancedMix;
   /// Optional worker pool (not owned; must outlive the solve). When set,
-  /// Krylov matvecs on sufficiently large Laplacians are row-partitioned
-  /// across the pool. Results are bit-identical to the serial path; see
-  /// SparseOperator in eigen/operator.h.
+  /// the block path's kernels all draw from it: Krylov matvecs on
+  /// sufficiently large Laplacians are row-partitioned (SparseOperator in
+  /// eigen/operator.h), and the block solver's reorthogonalization panels
+  /// and Rayleigh-Ritz Gram fill parallelize across columns/rows
+  /// (BlockLanczosOptions::pool). Results are bit-identical to the serial
+  /// path for any pool size.
   ThreadPool* matvec_pool = nullptr;
 };
 
@@ -128,6 +131,13 @@ struct FiedlerResult {
   int64_t matvecs = 0;
   /// The Chebyshev filter's (reorthogonalization-free) share of matvecs.
   int64_t cheb_matvecs = 0;
+  /// Fused block-operator (SpMM) applications by the block path; zero for
+  /// the dense and scalar paths. matvecs / spmm_calls is the per-call
+  /// column amortization the fused kernel achieved.
+  int64_t spmm_calls = 0;
+  /// Reorthogonalization panel-kernel applications by the block path
+  /// (see linalg/block_ops.h).
+  int64_t reorth_panels = 0;
   /// Restart cycles consumed by the iterative paths (summed over the
   /// sequential solves for kLanczos).
   int64_t restarts = 0;

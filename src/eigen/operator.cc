@@ -1,11 +1,31 @@
 #include "eigen/operator.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace spectral {
+
+void LinearOperator::ApplyBlock(int64_t width, std::span<const double> x,
+                                std::span<double> y) const {
+  const int64_t n = Dim();
+  SPECTRAL_CHECK_GE(width, 1);
+  SPECTRAL_CHECK_EQ(static_cast<int64_t>(x.size()), n * width);
+  SPECTRAL_CHECK_EQ(static_cast<int64_t>(y.size()), n * width);
+  std::vector<double> xc(static_cast<size_t>(n));
+  std::vector<double> yc(static_cast<size_t>(n));
+  for (int64_t c = 0; c < width; ++c) {
+    for (int64_t j = 0; j < n; ++j) {
+      xc[static_cast<size_t>(j)] = x[static_cast<size_t>(j * width + c)];
+    }
+    Apply(xc, yc);
+    for (int64_t j = 0; j < n; ++j) {
+      y[static_cast<size_t>(j * width + c)] = yc[static_cast<size_t>(j)];
+    }
+  }
+}
 
 SparseOperator::SparseOperator(const SparseMatrix* matrix, ThreadPool* pool,
                                int64_t min_parallel_rows)
@@ -35,6 +55,26 @@ void SparseOperator::Apply(std::span<const double> x,
   });
 }
 
+void SparseOperator::ApplyBlock(int64_t width, std::span<const double> x,
+                                std::span<double> y) const {
+  const int64_t rows = matrix_->rows();
+  if (pool_ == nullptr || pool_->num_threads() < 2 ||
+      rows < min_parallel_rows_) {
+    matrix_->MatVecRowsBlock(0, rows, width, x, y);
+    return;
+  }
+  // Same row partition as Apply: each output row is accumulated by exactly
+  // one thread in the serial order, so the result is bit-identical to the
+  // serial SpMM (and hence to per-column MatVec) for any pool size.
+  const int64_t num_chunks = pool_->num_threads() + 1;
+  const int64_t chunk_rows = (rows + num_chunks - 1) / num_chunks;
+  pool_->ParallelFor(0, num_chunks, 1, [&](int64_t chunk) {
+    const int64_t first = chunk * chunk_rows;
+    const int64_t last = std::min(rows, first + chunk_rows);
+    if (first < last) matrix_->MatVecRowsBlock(first, last, width, x, y);
+  });
+}
+
 ShiftNegateOperator::ShiftNegateOperator(const LinearOperator* inner,
                                          double shift)
     : inner_(inner), shift_(shift) {
@@ -48,6 +88,18 @@ void ShiftNegateOperator::Apply(std::span<const double> x,
   inner_->Apply(x, y);
   for (size_t i = 0; i < y.size(); ++i) {
     y[i] = shift_ * x[i] - y[i];
+  }
+}
+
+void ShiftNegateOperator::ApplyBlock(int64_t width, std::span<const double> x,
+                                     std::span<double> y) const {
+  inner_->ApplyBlock(width, x, y);
+  const double shift = shift_;
+  const double* __restrict xr = x.data();
+  double* __restrict yw = y.data();
+  const size_t total = y.size();
+  for (size_t i = 0; i < total; ++i) {
+    yw[i] = shift * xr[i] - yw[i];
   }
 }
 

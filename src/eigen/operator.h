@@ -29,6 +29,15 @@ class LinearOperator {
 
   /// y = A x; x and y have size Dim() and must not alias.
   virtual void Apply(std::span<const double> x, std::span<double> y) const = 0;
+
+  /// Multi-vector apply on packed row-major blocks of `width` columns
+  /// (x[j * width + c] is column c of row j): y_c = A x_c for every c.
+  /// The default unpacks and calls Apply() per column; subclasses override
+  /// with a fused kernel. Results must be bit-identical to `width`
+  /// independent Apply() calls — the block eigensolver's byte-identity
+  /// contract across parallelism levels depends on it.
+  virtual void ApplyBlock(int64_t width, std::span<const double> x,
+                          std::span<double> y) const;
 };
 
 /// Wraps a CSR matrix; requires a square matrix. With a thread pool the
@@ -46,6 +55,10 @@ class SparseOperator : public LinearOperator {
 
   int64_t Dim() const override;
   void Apply(std::span<const double> x, std::span<double> y) const override;
+  /// One pass over the CSR structure serves all `width` columns
+  /// (MatVecRowsBlock), row-partitioned over the pool like Apply.
+  void ApplyBlock(int64_t width, std::span<const double> x,
+                  std::span<double> y) const override;
 
  private:
   const SparseMatrix* matrix_;
@@ -63,6 +76,8 @@ class ShiftNegateOperator : public LinearOperator {
 
   int64_t Dim() const override;
   void Apply(std::span<const double> x, std::span<double> y) const override;
+  void ApplyBlock(int64_t width, std::span<const double> x,
+                  std::span<double> y) const override;
 
   double shift() const { return shift_; }
 

@@ -1,40 +1,141 @@
 #include "linalg/block_ops.h"
 
+#include <algorithm>
+#include <cstddef>
+
 #include "util/check.h"
 
 namespace spectral {
+namespace {
 
-void OrthogonalizeBlockAgainst(std::span<const Vector> basis,
-                               std::span<Vector> block) {
-  if (basis.empty() || block.empty()) return;
-  // Two passes of modified Gram-Schmidt ("twice is enough", Kahan/Parlett),
-  // with the basis vector as the outer loop so it stays cache-resident
-  // across the columns.
-  for (int pass = 0; pass < 2; ++pass) {
-    for (const Vector& b : basis) {
-      for (Vector& x : block) {
-        SPECTRAL_DCHECK_EQ(b.size(), x.size());
-        const double coeff = Dot(b, x);
-        Axpy(-coeff, b, x);
-      }
-    }
+// Blocks below this total element count run serially: the panel kernels
+// finish faster than the pool's wake-up latency.
+constexpr int64_t kMinParallelWork = int64_t{1} << 14;
+
+// Fixed-width body of ApplyPanel: the compile-time panel width lets the
+// coefficient array and the basis pointers live in registers and the inner
+// loops fully unroll. Accumulation order per coefficient (ascending i) and
+// per element (ascending c) is the same for every PW, so specialization
+// never changes the arithmetic.
+template <int PW>
+void ApplyPanelFixed(const Vector* basis, size_t p0, Vector& x) {
+  const size_t n = x.size();
+  const double* __restrict b[PW];
+  for (int c = 0; c < PW; ++c) {
+    SPECTRAL_DCHECK_EQ(basis[p0 + static_cast<size_t>(c)].size(), n);
+    b[c] = basis[p0 + static_cast<size_t>(c)].data();
+  }
+  double coeffs[PW] = {};
+  const double* __restrict xr = x.data();
+  for (size_t i = 0; i < n; ++i) {
+    const double xi = xr[i];
+    for (int c = 0; c < PW; ++c) coeffs[c] += b[c][i] * xi;
+  }
+  double* __restrict xw = x.data();
+  for (size_t i = 0; i < n; ++i) {
+    double acc = xw[i];
+    for (int c = 0; c < PW; ++c) acc -= coeffs[c] * b[c][i];
+    xw[i] = acc;
   }
 }
 
-int64_t OrthonormalizeBlock(VectorBlock& block, double drop_tol) {
-  size_t kept = 0;
-  for (size_t j = 0; j < block.size(); ++j) {
-    Vector& x = block[j];
-    // Project out the already-kept columns, twice for stability.
-    for (int pass = 0; pass < 2; ++pass) {
-      for (size_t i = 0; i < kept; ++i) {
-        const double coeff = Dot(block[i], x);
-        Axpy(-coeff, block[i], x);
+// Applies one panel of basis columns [p0, p0 + pw) to `x`: a fused Gram
+// pass (all pw coefficients in one stream over x) followed by a fused
+// multi-AXPY update (one more stream). Coefficients accumulate in index
+// order, so the arithmetic per column is fixed regardless of threading.
+void ApplyPanel(std::span<const Vector> basis, size_t p0, size_t pw,
+                Vector& x) {
+  switch (pw) {
+    case 1: return ApplyPanelFixed<1>(basis.data(), p0, x);
+    case 2: return ApplyPanelFixed<2>(basis.data(), p0, x);
+    case 3: return ApplyPanelFixed<3>(basis.data(), p0, x);
+    case 4: return ApplyPanelFixed<4>(basis.data(), p0, x);
+    case 5: return ApplyPanelFixed<5>(basis.data(), p0, x);
+    case 6: return ApplyPanelFixed<6>(basis.data(), p0, x);
+    case 7: return ApplyPanelFixed<7>(basis.data(), p0, x);
+    case 8: return ApplyPanelFixed<8>(basis.data(), p0, x);
+    default:
+      SPECTRAL_CHECK_LE(pw, static_cast<size_t>(kReorthPanelWidth));
+  }
+}
+
+// Runs fn(j) for every column j in [0, cols), on the pool only when the
+// block is big enough to amortize the dispatch. Each column is handled
+// entirely by one task, so results never depend on the pool size.
+void ForEachColumn(ThreadPool* pool, int64_t cols, int64_t column_size,
+                   const std::function<void(int64_t)>& fn) {
+  if (pool != nullptr && pool->num_threads() >= 2 && cols >= 2 &&
+      cols * column_size >= kMinParallelWork) {
+    pool->ParallelFor(0, cols, 1, fn);
+  } else {
+    for (int64_t j = 0; j < cols; ++j) fn(j);
+  }
+}
+
+}  // namespace
+
+void OrthogonalizeBlockAgainst(std::span<const Vector> basis,
+                               std::span<Vector> block, ThreadPool* pool,
+                               int64_t* panels) {
+  if (basis.empty() || block.empty()) return;
+  const int64_t n = static_cast<int64_t>(block.front().size());
+  const size_t num_panels =
+      (basis.size() + kReorthPanelWidth - 1) / kReorthPanelWidth;
+  // Two passes of blocked classical Gram-Schmidt ("twice is enough",
+  // Kahan/Parlett). Panels are applied in order within a column; columns
+  // are independent of each other.
+  for (int pass = 0; pass < 2; ++pass) {
+    ForEachColumn(pool, static_cast<int64_t>(block.size()), n,
+                  [&](int64_t j) {
+                    Vector& x = block[static_cast<size_t>(j)];
+                    for (size_t p0 = 0; p0 < basis.size();
+                         p0 += kReorthPanelWidth) {
+                      const size_t pw = std::min(
+                          static_cast<size_t>(kReorthPanelWidth),
+                          basis.size() - p0);
+                      ApplyPanel(basis, p0, pw, x);
+                    }
+                  });
+  }
+  if (panels != nullptr) {
+    *panels += 2 * static_cast<int64_t>(num_panels * block.size());
+  }
+}
+
+int64_t OrthonormalizeBlock(VectorBlock& block, double drop_tol,
+                            ThreadPool* pool, int64_t* panels) {
+  size_t kept = 0;  // columns [0, kept) are orthonormal survivors
+  size_t next = 0;  // first incoming column not yet consumed
+  while (next < block.size()) {
+    const size_t pw = std::min(static_cast<size_t>(kReorthPanelWidth),
+                               block.size() - next);
+    // Compact the incoming panel down to [kept, kept + pw) so the blocked
+    // projection sees contiguous spans (self-move guarded).
+    if (kept != next) {
+      for (size_t c = 0; c < pw; ++c) {
+        block[kept + c] = std::move(block[next + c]);
       }
     }
-    if (Normalize(x) <= drop_tol) continue;  // dependent column: drop
-    if (kept != j) block[kept] = std::move(x);
-    ++kept;
+    next += pw;
+    std::span<Vector> all(block);
+    OrthogonalizeBlockAgainst(all.subspan(0, kept), all.subspan(kept, pw),
+                              pool, panels);
+    // Small in-panel factorization: two-pass MGS with rank drops. The
+    // panel is at most kReorthPanelWidth wide, so this stays serial.
+    size_t panel_kept = kept;
+    for (size_t j = kept; j < kept + pw; ++j) {
+      Vector& x = block[j];
+      for (int pass = 0; pass < 2; ++pass) {
+        for (size_t i = kept; i < panel_kept; ++i) {
+          const double coeff = Dot(block[i], x);
+          Axpy(-coeff, block[i], x);
+        }
+      }
+      if (Normalize(x) <= drop_tol) continue;  // dependent column: drop
+      if (panel_kept != j) block[panel_kept] = std::move(x);
+      ++panel_kept;
+    }
+    kept = panel_kept;
   }
   block.resize(kept);
   return static_cast<int64_t>(kept);

@@ -3,6 +3,22 @@
 // loops of vector_ops.h so one pass over a basis vector serves every
 // column — the dominant cost of Lanczos-type methods is exactly this
 // (re)orthogonalization traffic, not the matvecs.
+//
+// Kernel shape: two-pass block classical Gram-Schmidt (BCGS2, "twice is
+// enough") over cache-blocked panels of kReorthPanelWidth basis columns.
+// For each panel a column is streamed exactly twice — once to form the
+// panel Gram coefficients, once for the fused multi-AXPY update — so the
+// basis traffic per column drops from 2 passes *per basis vector* to
+// 2 passes *per panel of 8*.
+//
+// Threading model: parallelism is only ever across independent output
+// columns (each column's arithmetic is fixed and fully serial), so the
+// result is byte-identical for any pool size including none. The pool is
+// a runtime resource, not part of any result: callers thread the single
+// shared worker set down from SpectralLpmOptions::pool and never spawn
+// nested pools (ThreadPool::ParallelFor is nest-safe — the caller
+// participates and degrades to serial when workers are busy). Small
+// blocks skip the pool entirely; see kMinParallelWork.
 
 #ifndef SPECTRAL_LPM_LINALG_BLOCK_OPS_H_
 #define SPECTRAL_LPM_LINALG_BLOCK_OPS_H_
@@ -12,26 +28,39 @@
 #include <vector>
 
 #include "linalg/vector_ops.h"
+#include "util/thread_pool.h"
 
 namespace spectral {
 
 /// A block of equal-length column vectors.
 using VectorBlock = std::vector<Vector>;
 
-/// Removes from every column of `block` its components along each (assumed
-/// unit-norm) vector in `basis`. Fused two-pass modified Gram-Schmidt: each
-/// basis vector is streamed once per pass and applied to all columns while
-/// hot, instead of once per column as repeated OrthogonalizeAgainst calls
-/// would.
-void OrthogonalizeBlockAgainst(std::span<const Vector> basis,
-                               std::span<Vector> block);
+/// Basis columns per cache-blocked panel. Eight doubles of Gram
+/// coefficients live in registers while eight basis columns stay hot in
+/// L1/L2 across the fused Gram + update passes.
+inline constexpr int64_t kReorthPanelWidth = 8;
 
-/// Orthonormalizes `block` in place by two-pass modified Gram-Schmidt.
-/// Columns whose norm collapses below `drop_tol` after projection on the
-/// previous columns are numerically dependent and are removed; the
-/// surviving columns keep their relative order. Returns the resulting rank
-/// (the new block size).
-int64_t OrthonormalizeBlock(VectorBlock& block, double drop_tol = 1e-10);
+/// Removes from every column of `block` its components along each (assumed
+/// unit-norm) vector in `basis`. Two passes of panel-blocked classical
+/// Gram-Schmidt; columns are processed independently (optionally in
+/// parallel on `pool`), so results are byte-identical for any pool size.
+/// If `panels` is non-null it is incremented by the number of panel-kernel
+/// applications (passes x panels x columns) — the work unit reported in
+/// FiedlerResult diagnostics.
+void OrthogonalizeBlockAgainst(std::span<const Vector> basis,
+                               std::span<Vector> block,
+                               ThreadPool* pool = nullptr,
+                               int64_t* panels = nullptr);
+
+/// Orthonormalizes `block` in place: incoming columns are consumed in
+/// panels of kReorthPanelWidth, each panel is orthogonalized against the
+/// kept prefix with the blocked kernel above, then factored by a small
+/// in-panel two-pass MGS. Columns whose norm collapses below `drop_tol`
+/// are numerically dependent and are removed; the surviving columns keep
+/// their relative order. Returns the resulting rank (the new block size).
+int64_t OrthonormalizeBlock(VectorBlock& block, double drop_tol = 1e-10,
+                            ThreadPool* pool = nullptr,
+                            int64_t* panels = nullptr);
 
 }  // namespace spectral
 

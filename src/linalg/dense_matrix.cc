@@ -31,29 +31,6 @@ DenseMatrix DenseMatrix::FromSparse(const SparseMatrix& sparse) {
   return m;
 }
 
-double& DenseMatrix::At(int64_t i, int64_t j) {
-  SPECTRAL_DCHECK_GE(i, 0);
-  SPECTRAL_DCHECK_LT(i, rows_);
-  SPECTRAL_DCHECK_GE(j, 0);
-  SPECTRAL_DCHECK_LT(j, cols_);
-  return data_[static_cast<size_t>(i * cols_ + j)];
-}
-
-double DenseMatrix::At(int64_t i, int64_t j) const {
-  SPECTRAL_DCHECK_GE(i, 0);
-  SPECTRAL_DCHECK_LT(i, rows_);
-  SPECTRAL_DCHECK_GE(j, 0);
-  SPECTRAL_DCHECK_LT(j, cols_);
-  return data_[static_cast<size_t>(i * cols_ + j)];
-}
-
-std::span<const double> DenseMatrix::Row(int64_t i) const {
-  SPECTRAL_DCHECK_GE(i, 0);
-  SPECTRAL_DCHECK_LT(i, rows_);
-  return std::span<const double>(data_.data() + i * cols_,
-                                 static_cast<size_t>(cols_));
-}
-
 void DenseMatrix::MatVec(std::span<const double> x,
                          std::span<double> y) const {
   SPECTRAL_CHECK_EQ(static_cast<int64_t>(x.size()), cols_);

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "linalg/vector_ops.h"
+#include "util/check.h"
 
 namespace spectral {
 
@@ -30,11 +31,31 @@ class DenseMatrix {
   int64_t rows() const { return rows_; }
   int64_t cols() const { return cols_; }
 
-  double& At(int64_t i, int64_t j);
-  double At(int64_t i, int64_t j) const;
+  // Element access stays header-inline: the Jacobi reference solver and the
+  // block solver's Rayleigh-Ritz step go through At in their innermost
+  // rotation loops, and an out-of-line call per element dominates them.
+  double& At(int64_t i, int64_t j) {
+    SPECTRAL_DCHECK_GE(i, 0);
+    SPECTRAL_DCHECK_LT(i, rows_);
+    SPECTRAL_DCHECK_GE(j, 0);
+    SPECTRAL_DCHECK_LT(j, cols_);
+    return data_[static_cast<size_t>(i * cols_ + j)];
+  }
+  double At(int64_t i, int64_t j) const {
+    SPECTRAL_DCHECK_GE(i, 0);
+    SPECTRAL_DCHECK_LT(i, rows_);
+    SPECTRAL_DCHECK_GE(j, 0);
+    SPECTRAL_DCHECK_LT(j, cols_);
+    return data_[static_cast<size_t>(i * cols_ + j)];
+  }
 
   /// Row `i` as a span.
-  std::span<const double> Row(int64_t i) const;
+  std::span<const double> Row(int64_t i) const {
+    SPECTRAL_DCHECK_GE(i, 0);
+    SPECTRAL_DCHECK_LT(i, rows_);
+    return std::span<const double>(data_.data() + i * cols_,
+                                   static_cast<size_t>(cols_));
+  }
 
   /// y = A x; requires x.size() == cols, y.size() == rows.
   void MatVec(std::span<const double> x, std::span<double> y) const;

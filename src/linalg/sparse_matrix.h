@@ -55,6 +55,20 @@ class SparseMatrix {
   void MatVecRows(int64_t first, int64_t last, std::span<const double> x,
                   std::span<double> y) const;
 
+  /// Multi-vector matvec (SpMM) on packed row-major blocks: `x` and `y`
+  /// hold `width` column values per row (x[j * width + c] is column c of
+  /// row j). Computes y[i * width + c] = (A x_c)[i] for rows i in
+  /// [first, last) in ONE pass over the matrix — each row's nonzeros are
+  /// loaded once and applied to all `width` columns, which is what makes
+  /// block-Krylov matvecs memory-bound on the block, not the matrix. Per
+  /// (row, column) the accumulation order over the row's nonzeros is
+  /// exactly MatVec's, so the result is bit-identical to `width`
+  /// independent MatVec calls, and a row partition of [0, rows)
+  /// reproduces the serial result bit for bit (the parallel block
+  /// operator in eigen/operator.h builds on this).
+  void MatVecRowsBlock(int64_t first, int64_t last, int64_t width,
+                       std::span<const double> x, std::span<double> y) const;
+
   /// max over i of |A_ii| + sum_j |A_ij| — a Gershgorin bound on the
   /// spectral radius for symmetric matrices.
   double GershgorinBound() const;

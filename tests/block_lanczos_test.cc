@@ -9,11 +9,13 @@
 #include <gtest/gtest.h>
 
 #include "eigen/block_lanczos.h"
+#include "eigen/fiedler.h"
 #include "eigen/operator.h"
 #include "graph/grid_graph.h"
 #include "graph/laplacian.h"
 #include "linalg/sparse_matrix.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace spectral {
 namespace {
@@ -233,6 +235,49 @@ TEST(BlockLanczos, DeterministicAcrossRuns) {
   for (size_t k = 0; k < a->eigenvectors.size(); ++k) {
     for (size_t i = 0; i < a->eigenvectors[k].size(); ++i) {
       EXPECT_DOUBLE_EQ(a->eigenvectors[k][i], b->eigenvectors[k][i]);
+    }
+  }
+}
+
+// The solver's byte-identity contract across parallelism levels: every
+// kernel (fused SpMM, panel reorthogonalization, Rayleigh-Ritz Gram fill)
+// partitions only across independent output elements, so eigenpairs and
+// all work counters must match EXACTLY — not approximately — for any pool
+// size. 48x48 comfortably clears SparseOperator's min_parallel_rows gate
+// (2048), so the pooled row-partitioned SpMM really runs.
+TEST(BlockLanczos, ByteIdenticalAcrossPoolSizes) {
+  const SparseMatrix lap =
+      BuildLaplacian(BuildGridGraph(GridSpec({48, 48})));
+  FiedlerOptions options;
+  options.method = FiedlerMethod::kBlockLanczos;
+
+  auto serial = ComputeFiedler(lap, options);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  EXPECT_GT(serial->matvecs, 0);
+  EXPECT_GT(serial->spmm_calls, 0);
+  EXPECT_GT(serial->reorth_panels, 0);
+
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    FiedlerOptions pooled_options = options;
+    pooled_options.matvec_pool = &pool;
+    auto pooled = ComputeFiedler(lap, pooled_options);
+    ASSERT_TRUE(pooled.ok()) << pooled.status();
+    EXPECT_EQ(pooled->matvecs, serial->matvecs);
+    EXPECT_EQ(pooled->spmm_calls, serial->spmm_calls);
+    EXPECT_EQ(pooled->reorth_panels, serial->reorth_panels);
+    EXPECT_EQ(pooled->restarts, serial->restarts);
+    ASSERT_EQ(pooled->pairs.size(), serial->pairs.size());
+    for (size_t k = 0; k < pooled->pairs.size(); ++k) {
+      ASSERT_DOUBLE_EQ(pooled->pairs[k].eigenvalue,
+                       serial->pairs[k].eigenvalue);
+      const Vector& pv = pooled->pairs[k].eigenvector;
+      const Vector& sv = serial->pairs[k].eigenvector;
+      ASSERT_EQ(pv.size(), sv.size());
+      for (size_t i = 0; i < pv.size(); ++i) {
+        ASSERT_DOUBLE_EQ(pv[i], sv[i])
+            << "threads=" << threads << " pair=" << k << " row=" << i;
+      }
     }
   }
 }

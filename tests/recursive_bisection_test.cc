@@ -172,5 +172,36 @@ TEST(RecursiveBisection, EmptyInputRejected) {
   EXPECT_FALSE(RecursiveSpectralOrder(points).ok());
 }
 
+TEST(RecursiveBisection, WarmStartedChildrenMatchColdOrders) {
+  // The rescue contract: feeding each child solve the parent's restricted
+  // Fiedler block changes COST only, never the order. Both runs use the
+  // same dense_threshold so the solver path per child is identical and the
+  // only difference is the start (the solver's warm == cold contract plus
+  // the quantized ranks absorb the remaining rounding noise).
+  const PointSet points = PointSet::FullGrid(GridSpec({24, 24}));
+
+  RecursiveBisectionOptions warm;
+  warm.base.fiedler.dense_threshold = 32;
+  warm.warm_start_children = true;
+  auto warm_result = RecursiveSpectralOrder(points, warm);
+  ASSERT_TRUE(warm_result.ok()) << warm_result.status();
+  EXPECT_GT(warm_result->warm_solves, 0);
+  EXPECT_GT(warm_result->matvecs, 0);
+
+  RecursiveBisectionOptions cold = warm;
+  cold.warm_start_children = false;
+  auto cold_result = RecursiveSpectralOrder(points, cold);
+  ASSERT_TRUE(cold_result.ok()) << cold_result.status();
+  EXPECT_EQ(cold_result->warm_solves, 0);
+
+  EXPECT_EQ(warm_result->num_solves, cold_result->num_solves);
+  for (int64_t i = 0; i < points.size(); ++i) {
+    ASSERT_EQ(warm_result->order.RankOf(i), cold_result->order.RankOf(i))
+        << "point " << i;
+  }
+  // The whole point of the warm start: strictly less iteration work.
+  EXPECT_LT(warm_result->matvecs, cold_result->matvecs);
+}
+
 }  // namespace
 }  // namespace spectral
