@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrangement_test.dir/tests/arrangement_test.cc.o"
+  "CMakeFiles/arrangement_test.dir/tests/arrangement_test.cc.o.d"
+  "arrangement_test"
+  "arrangement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrangement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

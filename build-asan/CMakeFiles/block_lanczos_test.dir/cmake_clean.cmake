@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_lanczos_test.dir/tests/block_lanczos_test.cc.o"
+  "CMakeFiles/block_lanczos_test.dir/tests/block_lanczos_test.cc.o.d"
+  "block_lanczos_test"
+  "block_lanczos_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_lanczos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

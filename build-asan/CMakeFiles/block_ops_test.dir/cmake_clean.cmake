@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_ops_test.dir/tests/block_ops_test.cc.o"
+  "CMakeFiles/block_ops_test.dir/tests/block_ops_test.cc.o.d"
+  "block_ops_test"
+  "block_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curve_order_test.dir/tests/curve_order_test.cc.o"
+  "CMakeFiles/curve_order_test.dir/tests/curve_order_test.cc.o.d"
+  "curve_order_test"
+  "curve_order_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curve_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fiedler_test.dir/tests/fiedler_test.cc.o"
+  "CMakeFiles/fiedler_test.dir/tests/fiedler_test.cc.o.d"
+  "fiedler_test"
+  "fiedler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fiedler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

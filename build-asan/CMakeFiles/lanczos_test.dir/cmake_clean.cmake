@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lanczos_test.dir/tests/lanczos_test.cc.o"
+  "CMakeFiles/lanczos_test.dir/tests/lanczos_test.cc.o.d"
+  "lanczos_test"
+  "lanczos_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lanczos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

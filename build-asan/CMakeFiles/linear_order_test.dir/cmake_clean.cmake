@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_order_test.dir/tests/linear_order_test.cc.o"
+  "CMakeFiles/linear_order_test.dir/tests/linear_order_test.cc.o.d"
+  "linear_order_test"
+  "linear_order_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

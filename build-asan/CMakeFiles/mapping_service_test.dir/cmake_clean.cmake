@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_service_test.dir/tests/mapping_service_test.cc.o"
+  "CMakeFiles/mapping_service_test.dir/tests/mapping_service_test.cc.o.d"
+  "mapping_service_test"
+  "mapping_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

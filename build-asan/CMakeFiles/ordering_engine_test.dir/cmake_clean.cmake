@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_engine_test.dir/tests/ordering_engine_test.cc.o"
+  "CMakeFiles/ordering_engine_test.dir/tests/ordering_engine_test.cc.o.d"
+  "ordering_engine_test"
+  "ordering_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

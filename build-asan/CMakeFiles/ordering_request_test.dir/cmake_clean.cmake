@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_request_test.dir/tests/ordering_request_test.cc.o"
+  "CMakeFiles/ordering_request_test.dir/tests/ordering_request_test.cc.o.d"
+  "ordering_request_test"
+  "ordering_request_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_request_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

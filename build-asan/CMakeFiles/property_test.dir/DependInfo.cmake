@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cc" "CMakeFiles/property_test.dir/tests/property_test.cc.o" "gcc" "CMakeFiles/property_test.dir/tests/property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/CMakeFiles/spectral_query.dir/DependInfo.cmake"
+  "/root/repo/build-asan/CMakeFiles/spectral_index.dir/DependInfo.cmake"
+  "/root/repo/build-asan/CMakeFiles/spectral_storage.dir/DependInfo.cmake"
+  "/root/repo/build-asan/CMakeFiles/spectral_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/CMakeFiles/spectral_workload.dir/DependInfo.cmake"
+  "/root/repo/build-asan/CMakeFiles/spectral_stats.dir/DependInfo.cmake"
+  "/root/repo/build-asan/CMakeFiles/spectral_sfc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/CMakeFiles/spectral_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/CMakeFiles/spectral_eigen.dir/DependInfo.cmake"
+  "/root/repo/build-asan/CMakeFiles/spectral_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/CMakeFiles/spectral_space.dir/DependInfo.cmake"
+  "/root/repo/build-asan/CMakeFiles/spectral_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recursive_bisection_test.dir/tests/recursive_bisection_test.cc.o"
+  "CMakeFiles/recursive_bisection_test.dir/tests/recursive_bisection_test.cc.o.d"
+  "recursive_bisection_test"
+  "recursive_bisection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recursive_bisection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfc_test.dir/tests/sfc_test.cc.o"
+  "CMakeFiles/sfc_test.dir/tests/sfc_test.cc.o.d"
+  "sfc_test"
+  "sfc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

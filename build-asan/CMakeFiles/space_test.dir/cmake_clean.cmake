@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/space_test.dir/tests/space_test.cc.o"
+  "CMakeFiles/space_test.dir/tests/space_test.cc.o.d"
+  "space_test"
+  "space_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

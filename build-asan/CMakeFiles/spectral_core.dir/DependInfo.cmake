@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/curve_order.cc" "CMakeFiles/spectral_core.dir/src/core/curve_order.cc.o" "gcc" "CMakeFiles/spectral_core.dir/src/core/curve_order.cc.o.d"
+  "/root/repo/src/core/linear_order.cc" "CMakeFiles/spectral_core.dir/src/core/linear_order.cc.o" "gcc" "CMakeFiles/spectral_core.dir/src/core/linear_order.cc.o.d"
+  "/root/repo/src/core/mapping_service.cc" "CMakeFiles/spectral_core.dir/src/core/mapping_service.cc.o" "gcc" "CMakeFiles/spectral_core.dir/src/core/mapping_service.cc.o.d"
+  "/root/repo/src/core/multilevel.cc" "CMakeFiles/spectral_core.dir/src/core/multilevel.cc.o" "gcc" "CMakeFiles/spectral_core.dir/src/core/multilevel.cc.o.d"
+  "/root/repo/src/core/ordering_engine.cc" "CMakeFiles/spectral_core.dir/src/core/ordering_engine.cc.o" "gcc" "CMakeFiles/spectral_core.dir/src/core/ordering_engine.cc.o.d"
+  "/root/repo/src/core/ordering_request.cc" "CMakeFiles/spectral_core.dir/src/core/ordering_request.cc.o" "gcc" "CMakeFiles/spectral_core.dir/src/core/ordering_request.cc.o.d"
+  "/root/repo/src/core/recursive_bisection.cc" "CMakeFiles/spectral_core.dir/src/core/recursive_bisection.cc.o" "gcc" "CMakeFiles/spectral_core.dir/src/core/recursive_bisection.cc.o.d"
+  "/root/repo/src/core/serialization.cc" "CMakeFiles/spectral_core.dir/src/core/serialization.cc.o" "gcc" "CMakeFiles/spectral_core.dir/src/core/serialization.cc.o.d"
+  "/root/repo/src/core/sharded_engine.cc" "CMakeFiles/spectral_core.dir/src/core/sharded_engine.cc.o" "gcc" "CMakeFiles/spectral_core.dir/src/core/sharded_engine.cc.o.d"
+  "/root/repo/src/core/spectral_lpm.cc" "CMakeFiles/spectral_core.dir/src/core/spectral_lpm.cc.o" "gcc" "CMakeFiles/spectral_core.dir/src/core/spectral_lpm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/CMakeFiles/spectral_eigen.dir/DependInfo.cmake"
+  "/root/repo/build-asan/CMakeFiles/spectral_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/CMakeFiles/spectral_sfc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/CMakeFiles/spectral_space.dir/DependInfo.cmake"
+  "/root/repo/build-asan/CMakeFiles/spectral_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/CMakeFiles/spectral_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_core.dir/src/core/curve_order.cc.o"
+  "CMakeFiles/spectral_core.dir/src/core/curve_order.cc.o.d"
+  "CMakeFiles/spectral_core.dir/src/core/linear_order.cc.o"
+  "CMakeFiles/spectral_core.dir/src/core/linear_order.cc.o.d"
+  "CMakeFiles/spectral_core.dir/src/core/mapping_service.cc.o"
+  "CMakeFiles/spectral_core.dir/src/core/mapping_service.cc.o.d"
+  "CMakeFiles/spectral_core.dir/src/core/multilevel.cc.o"
+  "CMakeFiles/spectral_core.dir/src/core/multilevel.cc.o.d"
+  "CMakeFiles/spectral_core.dir/src/core/ordering_engine.cc.o"
+  "CMakeFiles/spectral_core.dir/src/core/ordering_engine.cc.o.d"
+  "CMakeFiles/spectral_core.dir/src/core/ordering_request.cc.o"
+  "CMakeFiles/spectral_core.dir/src/core/ordering_request.cc.o.d"
+  "CMakeFiles/spectral_core.dir/src/core/recursive_bisection.cc.o"
+  "CMakeFiles/spectral_core.dir/src/core/recursive_bisection.cc.o.d"
+  "CMakeFiles/spectral_core.dir/src/core/serialization.cc.o"
+  "CMakeFiles/spectral_core.dir/src/core/serialization.cc.o.d"
+  "CMakeFiles/spectral_core.dir/src/core/sharded_engine.cc.o"
+  "CMakeFiles/spectral_core.dir/src/core/sharded_engine.cc.o.d"
+  "CMakeFiles/spectral_core.dir/src/core/spectral_lpm.cc.o"
+  "CMakeFiles/spectral_core.dir/src/core/spectral_lpm.cc.o.d"
+  "libspectral_core.a"
+  "libspectral_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

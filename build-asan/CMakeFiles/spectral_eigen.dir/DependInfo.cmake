@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eigen/block_lanczos.cc" "CMakeFiles/spectral_eigen.dir/src/eigen/block_lanczos.cc.o" "gcc" "CMakeFiles/spectral_eigen.dir/src/eigen/block_lanczos.cc.o.d"
+  "/root/repo/src/eigen/fiedler.cc" "CMakeFiles/spectral_eigen.dir/src/eigen/fiedler.cc.o" "gcc" "CMakeFiles/spectral_eigen.dir/src/eigen/fiedler.cc.o.d"
+  "/root/repo/src/eigen/jacobi.cc" "CMakeFiles/spectral_eigen.dir/src/eigen/jacobi.cc.o" "gcc" "CMakeFiles/spectral_eigen.dir/src/eigen/jacobi.cc.o.d"
+  "/root/repo/src/eigen/lanczos.cc" "CMakeFiles/spectral_eigen.dir/src/eigen/lanczos.cc.o" "gcc" "CMakeFiles/spectral_eigen.dir/src/eigen/lanczos.cc.o.d"
+  "/root/repo/src/eigen/operator.cc" "CMakeFiles/spectral_eigen.dir/src/eigen/operator.cc.o" "gcc" "CMakeFiles/spectral_eigen.dir/src/eigen/operator.cc.o.d"
+  "/root/repo/src/eigen/tridiagonal.cc" "CMakeFiles/spectral_eigen.dir/src/eigen/tridiagonal.cc.o" "gcc" "CMakeFiles/spectral_eigen.dir/src/eigen/tridiagonal.cc.o.d"
+  "/root/repo/src/eigen/warm_start.cc" "CMakeFiles/spectral_eigen.dir/src/eigen/warm_start.cc.o" "gcc" "CMakeFiles/spectral_eigen.dir/src/eigen/warm_start.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/CMakeFiles/spectral_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/CMakeFiles/spectral_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_eigen.dir/src/eigen/block_lanczos.cc.o"
+  "CMakeFiles/spectral_eigen.dir/src/eigen/block_lanczos.cc.o.d"
+  "CMakeFiles/spectral_eigen.dir/src/eigen/fiedler.cc.o"
+  "CMakeFiles/spectral_eigen.dir/src/eigen/fiedler.cc.o.d"
+  "CMakeFiles/spectral_eigen.dir/src/eigen/jacobi.cc.o"
+  "CMakeFiles/spectral_eigen.dir/src/eigen/jacobi.cc.o.d"
+  "CMakeFiles/spectral_eigen.dir/src/eigen/lanczos.cc.o"
+  "CMakeFiles/spectral_eigen.dir/src/eigen/lanczos.cc.o.d"
+  "CMakeFiles/spectral_eigen.dir/src/eigen/operator.cc.o"
+  "CMakeFiles/spectral_eigen.dir/src/eigen/operator.cc.o.d"
+  "CMakeFiles/spectral_eigen.dir/src/eigen/tridiagonal.cc.o"
+  "CMakeFiles/spectral_eigen.dir/src/eigen/tridiagonal.cc.o.d"
+  "CMakeFiles/spectral_eigen.dir/src/eigen/warm_start.cc.o"
+  "CMakeFiles/spectral_eigen.dir/src/eigen/warm_start.cc.o.d"
+  "libspectral_eigen.a"
+  "libspectral_eigen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_eigen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/coarsening.cc" "CMakeFiles/spectral_graph.dir/src/graph/coarsening.cc.o" "gcc" "CMakeFiles/spectral_graph.dir/src/graph/coarsening.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "CMakeFiles/spectral_graph.dir/src/graph/graph.cc.o" "gcc" "CMakeFiles/spectral_graph.dir/src/graph/graph.cc.o.d"
+  "/root/repo/src/graph/grid_graph.cc" "CMakeFiles/spectral_graph.dir/src/graph/grid_graph.cc.o" "gcc" "CMakeFiles/spectral_graph.dir/src/graph/grid_graph.cc.o.d"
+  "/root/repo/src/graph/laplacian.cc" "CMakeFiles/spectral_graph.dir/src/graph/laplacian.cc.o" "gcc" "CMakeFiles/spectral_graph.dir/src/graph/laplacian.cc.o.d"
+  "/root/repo/src/graph/partition.cc" "CMakeFiles/spectral_graph.dir/src/graph/partition.cc.o" "gcc" "CMakeFiles/spectral_graph.dir/src/graph/partition.cc.o.d"
+  "/root/repo/src/graph/point_graph.cc" "CMakeFiles/spectral_graph.dir/src/graph/point_graph.cc.o" "gcc" "CMakeFiles/spectral_graph.dir/src/graph/point_graph.cc.o.d"
+  "/root/repo/src/graph/subgraph.cc" "CMakeFiles/spectral_graph.dir/src/graph/subgraph.cc.o" "gcc" "CMakeFiles/spectral_graph.dir/src/graph/subgraph.cc.o.d"
+  "/root/repo/src/graph/traversal.cc" "CMakeFiles/spectral_graph.dir/src/graph/traversal.cc.o" "gcc" "CMakeFiles/spectral_graph.dir/src/graph/traversal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/CMakeFiles/spectral_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/CMakeFiles/spectral_space.dir/DependInfo.cmake"
+  "/root/repo/build-asan/CMakeFiles/spectral_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_graph.dir/src/graph/coarsening.cc.o"
+  "CMakeFiles/spectral_graph.dir/src/graph/coarsening.cc.o.d"
+  "CMakeFiles/spectral_graph.dir/src/graph/graph.cc.o"
+  "CMakeFiles/spectral_graph.dir/src/graph/graph.cc.o.d"
+  "CMakeFiles/spectral_graph.dir/src/graph/grid_graph.cc.o"
+  "CMakeFiles/spectral_graph.dir/src/graph/grid_graph.cc.o.d"
+  "CMakeFiles/spectral_graph.dir/src/graph/laplacian.cc.o"
+  "CMakeFiles/spectral_graph.dir/src/graph/laplacian.cc.o.d"
+  "CMakeFiles/spectral_graph.dir/src/graph/partition.cc.o"
+  "CMakeFiles/spectral_graph.dir/src/graph/partition.cc.o.d"
+  "CMakeFiles/spectral_graph.dir/src/graph/point_graph.cc.o"
+  "CMakeFiles/spectral_graph.dir/src/graph/point_graph.cc.o.d"
+  "CMakeFiles/spectral_graph.dir/src/graph/subgraph.cc.o"
+  "CMakeFiles/spectral_graph.dir/src/graph/subgraph.cc.o.d"
+  "CMakeFiles/spectral_graph.dir/src/graph/traversal.cc.o"
+  "CMakeFiles/spectral_graph.dir/src/graph/traversal.cc.o.d"
+  "libspectral_graph.a"
+  "libspectral_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_index.dir/src/index/bplus_tree.cc.o"
+  "CMakeFiles/spectral_index.dir/src/index/bplus_tree.cc.o.d"
+  "CMakeFiles/spectral_index.dir/src/index/declustering.cc.o"
+  "CMakeFiles/spectral_index.dir/src/index/declustering.cc.o.d"
+  "CMakeFiles/spectral_index.dir/src/index/packed_rtree.cc.o"
+  "CMakeFiles/spectral_index.dir/src/index/packed_rtree.cc.o.d"
+  "libspectral_index.a"
+  "libspectral_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/block_ops.cc" "CMakeFiles/spectral_linalg.dir/src/linalg/block_ops.cc.o" "gcc" "CMakeFiles/spectral_linalg.dir/src/linalg/block_ops.cc.o.d"
+  "/root/repo/src/linalg/dense_matrix.cc" "CMakeFiles/spectral_linalg.dir/src/linalg/dense_matrix.cc.o" "gcc" "CMakeFiles/spectral_linalg.dir/src/linalg/dense_matrix.cc.o.d"
+  "/root/repo/src/linalg/sparse_matrix.cc" "CMakeFiles/spectral_linalg.dir/src/linalg/sparse_matrix.cc.o" "gcc" "CMakeFiles/spectral_linalg.dir/src/linalg/sparse_matrix.cc.o.d"
+  "/root/repo/src/linalg/vector_ops.cc" "CMakeFiles/spectral_linalg.dir/src/linalg/vector_ops.cc.o" "gcc" "CMakeFiles/spectral_linalg.dir/src/linalg/vector_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/CMakeFiles/spectral_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

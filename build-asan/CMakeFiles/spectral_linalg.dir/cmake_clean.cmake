@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_linalg.dir/src/linalg/block_ops.cc.o"
+  "CMakeFiles/spectral_linalg.dir/src/linalg/block_ops.cc.o.d"
+  "CMakeFiles/spectral_linalg.dir/src/linalg/dense_matrix.cc.o"
+  "CMakeFiles/spectral_linalg.dir/src/linalg/dense_matrix.cc.o.d"
+  "CMakeFiles/spectral_linalg.dir/src/linalg/sparse_matrix.cc.o"
+  "CMakeFiles/spectral_linalg.dir/src/linalg/sparse_matrix.cc.o.d"
+  "CMakeFiles/spectral_linalg.dir/src/linalg/vector_ops.cc.o"
+  "CMakeFiles/spectral_linalg.dir/src/linalg/vector_ops.cc.o.d"
+  "libspectral_linalg.a"
+  "libspectral_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

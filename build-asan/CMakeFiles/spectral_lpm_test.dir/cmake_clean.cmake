@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_lpm_test.dir/tests/spectral_lpm_test.cc.o"
+  "CMakeFiles/spectral_lpm_test.dir/tests/spectral_lpm_test.cc.o.d"
+  "spectral_lpm_test"
+  "spectral_lpm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_lpm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_map_cli.dir/tools/spectral_map_cli.cc.o"
+  "CMakeFiles/spectral_map_cli.dir/tools/spectral_map_cli.cc.o.d"
+  "spectral_map_cli"
+  "spectral_map_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_map_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_query.dir/src/query/arrangement.cc.o"
+  "CMakeFiles/spectral_query.dir/src/query/arrangement.cc.o.d"
+  "CMakeFiles/spectral_query.dir/src/query/executor.cc.o"
+  "CMakeFiles/spectral_query.dir/src/query/executor.cc.o.d"
+  "CMakeFiles/spectral_query.dir/src/query/knn.cc.o"
+  "CMakeFiles/spectral_query.dir/src/query/knn.cc.o.d"
+  "CMakeFiles/spectral_query.dir/src/query/pair_metrics.cc.o"
+  "CMakeFiles/spectral_query.dir/src/query/pair_metrics.cc.o.d"
+  "CMakeFiles/spectral_query.dir/src/query/range_query.cc.o"
+  "CMakeFiles/spectral_query.dir/src/query/range_query.cc.o.d"
+  "libspectral_query.a"
+  "libspectral_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sfc/curve.cc" "CMakeFiles/spectral_sfc.dir/src/sfc/curve.cc.o" "gcc" "CMakeFiles/spectral_sfc.dir/src/sfc/curve.cc.o.d"
+  "/root/repo/src/sfc/curve_registry.cc" "CMakeFiles/spectral_sfc.dir/src/sfc/curve_registry.cc.o" "gcc" "CMakeFiles/spectral_sfc.dir/src/sfc/curve_registry.cc.o.d"
+  "/root/repo/src/sfc/gray.cc" "CMakeFiles/spectral_sfc.dir/src/sfc/gray.cc.o" "gcc" "CMakeFiles/spectral_sfc.dir/src/sfc/gray.cc.o.d"
+  "/root/repo/src/sfc/hilbert.cc" "CMakeFiles/spectral_sfc.dir/src/sfc/hilbert.cc.o" "gcc" "CMakeFiles/spectral_sfc.dir/src/sfc/hilbert.cc.o.d"
+  "/root/repo/src/sfc/morton.cc" "CMakeFiles/spectral_sfc.dir/src/sfc/morton.cc.o" "gcc" "CMakeFiles/spectral_sfc.dir/src/sfc/morton.cc.o.d"
+  "/root/repo/src/sfc/peano.cc" "CMakeFiles/spectral_sfc.dir/src/sfc/peano.cc.o" "gcc" "CMakeFiles/spectral_sfc.dir/src/sfc/peano.cc.o.d"
+  "/root/repo/src/sfc/snake.cc" "CMakeFiles/spectral_sfc.dir/src/sfc/snake.cc.o" "gcc" "CMakeFiles/spectral_sfc.dir/src/sfc/snake.cc.o.d"
+  "/root/repo/src/sfc/spiral.cc" "CMakeFiles/spectral_sfc.dir/src/sfc/spiral.cc.o" "gcc" "CMakeFiles/spectral_sfc.dir/src/sfc/spiral.cc.o.d"
+  "/root/repo/src/sfc/sweep.cc" "CMakeFiles/spectral_sfc.dir/src/sfc/sweep.cc.o" "gcc" "CMakeFiles/spectral_sfc.dir/src/sfc/sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/CMakeFiles/spectral_space.dir/DependInfo.cmake"
+  "/root/repo/build-asan/CMakeFiles/spectral_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

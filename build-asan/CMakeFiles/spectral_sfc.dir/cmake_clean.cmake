@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_sfc.dir/src/sfc/curve.cc.o"
+  "CMakeFiles/spectral_sfc.dir/src/sfc/curve.cc.o.d"
+  "CMakeFiles/spectral_sfc.dir/src/sfc/curve_registry.cc.o"
+  "CMakeFiles/spectral_sfc.dir/src/sfc/curve_registry.cc.o.d"
+  "CMakeFiles/spectral_sfc.dir/src/sfc/gray.cc.o"
+  "CMakeFiles/spectral_sfc.dir/src/sfc/gray.cc.o.d"
+  "CMakeFiles/spectral_sfc.dir/src/sfc/hilbert.cc.o"
+  "CMakeFiles/spectral_sfc.dir/src/sfc/hilbert.cc.o.d"
+  "CMakeFiles/spectral_sfc.dir/src/sfc/morton.cc.o"
+  "CMakeFiles/spectral_sfc.dir/src/sfc/morton.cc.o.d"
+  "CMakeFiles/spectral_sfc.dir/src/sfc/peano.cc.o"
+  "CMakeFiles/spectral_sfc.dir/src/sfc/peano.cc.o.d"
+  "CMakeFiles/spectral_sfc.dir/src/sfc/snake.cc.o"
+  "CMakeFiles/spectral_sfc.dir/src/sfc/snake.cc.o.d"
+  "CMakeFiles/spectral_sfc.dir/src/sfc/spiral.cc.o"
+  "CMakeFiles/spectral_sfc.dir/src/sfc/spiral.cc.o.d"
+  "CMakeFiles/spectral_sfc.dir/src/sfc/sweep.cc.o"
+  "CMakeFiles/spectral_sfc.dir/src/sfc/sweep.cc.o.d"
+  "libspectral_sfc.a"
+  "libspectral_sfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_sfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

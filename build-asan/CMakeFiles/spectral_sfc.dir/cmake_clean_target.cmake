@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspectral_sfc.a"
+)

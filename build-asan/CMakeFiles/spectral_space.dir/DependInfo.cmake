@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/space/grid.cc" "CMakeFiles/spectral_space.dir/src/space/grid.cc.o" "gcc" "CMakeFiles/spectral_space.dir/src/space/grid.cc.o.d"
+  "/root/repo/src/space/point_set.cc" "CMakeFiles/spectral_space.dir/src/space/point_set.cc.o" "gcc" "CMakeFiles/spectral_space.dir/src/space/point_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/CMakeFiles/spectral_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

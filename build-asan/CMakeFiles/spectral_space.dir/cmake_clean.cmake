@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_space.dir/src/space/grid.cc.o"
+  "CMakeFiles/spectral_space.dir/src/space/grid.cc.o.d"
+  "CMakeFiles/spectral_space.dir/src/space/point_set.cc.o"
+  "CMakeFiles/spectral_space.dir/src/space/point_set.cc.o.d"
+  "libspectral_space.a"
+  "libspectral_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

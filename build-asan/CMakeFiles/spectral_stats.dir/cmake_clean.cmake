@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_stats.dir/src/stats/histogram.cc.o"
+  "CMakeFiles/spectral_stats.dir/src/stats/histogram.cc.o.d"
+  "CMakeFiles/spectral_stats.dir/src/stats/rank_correlation.cc.o"
+  "CMakeFiles/spectral_stats.dir/src/stats/rank_correlation.cc.o.d"
+  "CMakeFiles/spectral_stats.dir/src/stats/running_stats.cc.o"
+  "CMakeFiles/spectral_stats.dir/src/stats/running_stats.cc.o.d"
+  "libspectral_stats.a"
+  "libspectral_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_pool.cc" "CMakeFiles/spectral_storage.dir/src/storage/buffer_pool.cc.o" "gcc" "CMakeFiles/spectral_storage.dir/src/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/io_model.cc" "CMakeFiles/spectral_storage.dir/src/storage/io_model.cc.o" "gcc" "CMakeFiles/spectral_storage.dir/src/storage/io_model.cc.o.d"
+  "/root/repo/src/storage/layout.cc" "CMakeFiles/spectral_storage.dir/src/storage/layout.cc.o" "gcc" "CMakeFiles/spectral_storage.dir/src/storage/layout.cc.o.d"
+  "/root/repo/src/storage/page_map.cc" "CMakeFiles/spectral_storage.dir/src/storage/page_map.cc.o" "gcc" "CMakeFiles/spectral_storage.dir/src/storage/page_map.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/CMakeFiles/spectral_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/CMakeFiles/spectral_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/CMakeFiles/spectral_eigen.dir/DependInfo.cmake"
+  "/root/repo/build-asan/CMakeFiles/spectral_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/CMakeFiles/spectral_sfc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/CMakeFiles/spectral_space.dir/DependInfo.cmake"
+  "/root/repo/build-asan/CMakeFiles/spectral_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

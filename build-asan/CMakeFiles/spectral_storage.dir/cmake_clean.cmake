@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_storage.dir/src/storage/buffer_pool.cc.o"
+  "CMakeFiles/spectral_storage.dir/src/storage/buffer_pool.cc.o.d"
+  "CMakeFiles/spectral_storage.dir/src/storage/io_model.cc.o"
+  "CMakeFiles/spectral_storage.dir/src/storage/io_model.cc.o.d"
+  "CMakeFiles/spectral_storage.dir/src/storage/layout.cc.o"
+  "CMakeFiles/spectral_storage.dir/src/storage/layout.cc.o.d"
+  "CMakeFiles/spectral_storage.dir/src/storage/page_map.cc.o"
+  "CMakeFiles/spectral_storage.dir/src/storage/page_map.cc.o.d"
+  "libspectral_storage.a"
+  "libspectral_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bit_ops.cc" "CMakeFiles/spectral_util.dir/src/util/bit_ops.cc.o" "gcc" "CMakeFiles/spectral_util.dir/src/util/bit_ops.cc.o.d"
+  "/root/repo/src/util/check.cc" "CMakeFiles/spectral_util.dir/src/util/check.cc.o" "gcc" "CMakeFiles/spectral_util.dir/src/util/check.cc.o.d"
+  "/root/repo/src/util/csv_writer.cc" "CMakeFiles/spectral_util.dir/src/util/csv_writer.cc.o" "gcc" "CMakeFiles/spectral_util.dir/src/util/csv_writer.cc.o.d"
+  "/root/repo/src/util/hash.cc" "CMakeFiles/spectral_util.dir/src/util/hash.cc.o" "gcc" "CMakeFiles/spectral_util.dir/src/util/hash.cc.o.d"
+  "/root/repo/src/util/random.cc" "CMakeFiles/spectral_util.dir/src/util/random.cc.o" "gcc" "CMakeFiles/spectral_util.dir/src/util/random.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "CMakeFiles/spectral_util.dir/src/util/string_util.cc.o" "gcc" "CMakeFiles/spectral_util.dir/src/util/string_util.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "CMakeFiles/spectral_util.dir/src/util/table_printer.cc.o" "gcc" "CMakeFiles/spectral_util.dir/src/util/table_printer.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "CMakeFiles/spectral_util.dir/src/util/thread_pool.cc.o" "gcc" "CMakeFiles/spectral_util.dir/src/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

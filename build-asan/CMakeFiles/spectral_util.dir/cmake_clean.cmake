@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_util.dir/src/util/bit_ops.cc.o"
+  "CMakeFiles/spectral_util.dir/src/util/bit_ops.cc.o.d"
+  "CMakeFiles/spectral_util.dir/src/util/check.cc.o"
+  "CMakeFiles/spectral_util.dir/src/util/check.cc.o.d"
+  "CMakeFiles/spectral_util.dir/src/util/csv_writer.cc.o"
+  "CMakeFiles/spectral_util.dir/src/util/csv_writer.cc.o.d"
+  "CMakeFiles/spectral_util.dir/src/util/hash.cc.o"
+  "CMakeFiles/spectral_util.dir/src/util/hash.cc.o.d"
+  "CMakeFiles/spectral_util.dir/src/util/random.cc.o"
+  "CMakeFiles/spectral_util.dir/src/util/random.cc.o.d"
+  "CMakeFiles/spectral_util.dir/src/util/string_util.cc.o"
+  "CMakeFiles/spectral_util.dir/src/util/string_util.cc.o.d"
+  "CMakeFiles/spectral_util.dir/src/util/table_printer.cc.o"
+  "CMakeFiles/spectral_util.dir/src/util/table_printer.cc.o.d"
+  "CMakeFiles/spectral_util.dir/src/util/thread_pool.cc.o"
+  "CMakeFiles/spectral_util.dir/src/util/thread_pool.cc.o.d"
+  "libspectral_util.a"
+  "libspectral_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

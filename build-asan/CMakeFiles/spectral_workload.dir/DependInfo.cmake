@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generators.cc" "CMakeFiles/spectral_workload.dir/src/workload/generators.cc.o" "gcc" "CMakeFiles/spectral_workload.dir/src/workload/generators.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "CMakeFiles/spectral_workload.dir/src/workload/trace.cc.o" "gcc" "CMakeFiles/spectral_workload.dir/src/workload/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/CMakeFiles/spectral_space.dir/DependInfo.cmake"
+  "/root/repo/build-asan/CMakeFiles/spectral_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

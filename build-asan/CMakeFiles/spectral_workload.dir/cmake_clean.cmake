@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_workload.dir/src/workload/generators.cc.o"
+  "CMakeFiles/spectral_workload.dir/src/workload/generators.cc.o.d"
+  "CMakeFiles/spectral_workload.dir/src/workload/trace.cc.o"
+  "CMakeFiles/spectral_workload.dir/src/workload/trace.cc.o.d"
+  "libspectral_workload.a"
+  "libspectral_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warm_start_test.dir/tests/warm_start_test.cc.o"
+  "CMakeFiles/warm_start_test.dir/tests/warm_start_test.cc.o.d"
+  "warm_start_test"
+  "warm_start_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warm_start_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
