@@ -1,0 +1,204 @@
+// Serving-tier load bench: drives an OrderingServer with the Zipfian
+// hot-set request mix from workload/trace.h and reports sustained qps,
+// cold-vs-warm p50/p99 latency, cache hit rate, and batching effectiveness
+// for three scenarios — "cold" (fresh server), "warm" (same trace replayed
+// against the now-populated cache), and "warm_restart" (a new server
+// restored from a cache snapshot, which must perform zero eigensolves).
+// Emits bench_results/BENCH_service_traffic.json, the third CI
+// bench-regression suite; tools/check_bench_regression.py gates only the
+// machine-portable fields (hit rate, solve counts, Spearman vs direct
+// engine calls), never absolute qps or latency.
+
+#include <algorithm>
+#include <filesystem>
+#include <future>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/ordering_engine.h"
+#include "serve/ordering_server.h"
+#include "stats/rank_correlation.h"
+#include "util/check.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+#include "workload/trace.h"
+
+namespace spectral {
+namespace bench {
+namespace {
+
+std::vector<int64_t> Ranks(const LinearOrder& order) {
+  std::vector<int64_t> ranks(static_cast<size_t>(order.size()));
+  for (int64_t i = 0; i < order.size(); ++i) {
+    ranks[static_cast<size_t>(i)] = order.RankOf(i);
+  }
+  return ranks;
+}
+
+struct ScenarioSample {
+  std::string scenario;
+  int64_t requests = 0;
+  int64_t batches = 0;
+  int64_t solves = 0;
+  int64_t coalesced = 0;
+  double hit_rate = 0.0;
+  double spearman_min_vs_direct = 0.0;
+  double qps = 0.0;
+  double wall_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double cold_p50_ms = 0.0;
+  double cold_p99_ms = 0.0;
+  double warm_p50_ms = 0.0;
+  double warm_p99_ms = 0.0;
+};
+
+// Replays the trace open-loop (every request submitted before any reply is
+// awaited, so the aggregation window sees real concurrency), checks every
+// order against the direct engine call for its universe entry, and reads
+// the scenario's counters off the server stats.
+ScenarioSample RunScenario(const std::string& scenario, OrderingServer& server,
+                           const ZipfianRequestMix& mix,
+                           const std::vector<std::vector<int64_t>>& direct) {
+  server.ResetStats();
+  WallTimer timer;
+  std::vector<std::future<StatusOr<OrderingResult>>> futures;
+  futures.reserve(mix.trace.size());
+  for (const int entry : mix.trace) {
+    futures.push_back(server.Submit(mix.universe[static_cast<size_t>(entry)]));
+  }
+
+  ScenarioSample sample;
+  sample.scenario = scenario;
+  sample.spearman_min_vs_direct = 1.0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    auto result = futures[i].get();
+    SPECTRAL_CHECK(result.ok()) << scenario << ": " << result.status();
+    const auto& reference =
+        direct[static_cast<size_t>(mix.trace[i])];
+    const double rho = SpearmanRho(reference, Ranks(result->order));
+    sample.spearman_min_vs_direct =
+        std::min(sample.spearman_min_vs_direct, rho);
+  }
+  sample.wall_ms = timer.ElapsedSeconds() * 1e3;
+
+  const OrderingServerStats stats = server.stats();
+  sample.requests = stats.service.requests;
+  sample.batches = stats.service.batches;
+  sample.solves = stats.service.solves;
+  sample.coalesced = stats.service.coalesced_requests;
+  sample.hit_rate = static_cast<double>(stats.service.cache_hits) /
+                    static_cast<double>(stats.service.requests);
+  sample.qps =
+      static_cast<double>(stats.service.requests) / (sample.wall_ms / 1e3);
+  sample.p50_ms = stats.p50_ms;
+  sample.p99_ms = stats.p99_ms;
+  sample.cold_p50_ms = stats.cold_p50_ms;
+  sample.cold_p99_ms = stats.cold_p99_ms;
+  sample.warm_p50_ms = stats.warm_p50_ms;
+  sample.warm_p99_ms = stats.warm_p99_ms;
+  return sample;
+}
+
+void Run() {
+  ZipfianRequestMixOptions mix_options;
+  mix_options.num_requests = 400;
+  mix_options.universe_size = 24;
+  mix_options.zipf_exponent = 0.99;
+  mix_options.min_side = 8;
+  mix_options.max_side = 20;
+  const ZipfianRequestMix mix = MakeZipfianRequestMix(mix_options);
+
+  std::cout << "Serving-tier load: " << mix.trace.size()
+            << " Zipfian requests over " << mix.universe.size()
+            << " distinct (engine, grid) entries through an OrderingServer "
+               "(window=2ms, max_batch=64, cache=64)\n\n";
+
+  // Reference orders: one direct engine call per universe entry. Everything
+  // the server answers must match these byte-for-byte, so Spearman is
+  // exactly 1 unless the serving path breaks determinism.
+  std::vector<std::vector<int64_t>> direct;
+  direct.reserve(mix.universe.size());
+  for (const OrderingRequest& request : mix.universe) {
+    auto engine = MakeOrderingEngine(request.engine);
+    SPECTRAL_CHECK(engine.ok());
+    auto result = (*engine)->Order(request);
+    SPECTRAL_CHECK(result.ok()) << result.status();
+    direct.push_back(Ranks(result->order));
+  }
+
+  OrderingServerOptions options;
+  // Capacity above the universe size: no evictions, so hit/solve counts are
+  // machine-independent and the regression gate can pin them.
+  options.service.cache_capacity = 64;
+  options.window_ms = 2.0;
+  options.max_batch = 64;
+  options.max_queue = 1024;
+
+  std::vector<ScenarioSample> samples;
+  const std::string snapshot_path =
+      (std::filesystem::temp_directory_path() / "bench_service_cache.txt")
+          .string();
+  {
+    OrderingServer server(options);
+    samples.push_back(RunScenario("cold", server, mix, direct));
+    samples.push_back(RunScenario("warm", server, mix, direct));
+    SPECTRAL_CHECK(server.SaveSnapshot(snapshot_path).ok());
+  }
+  {
+    OrderingServer restarted(options);
+    auto imported = restarted.LoadSnapshot(snapshot_path);
+    SPECTRAL_CHECK(imported.ok()) << imported.status();
+    samples.push_back(RunScenario("warm_restart", restarted, mix, direct));
+  }
+  std::filesystem::remove(snapshot_path);
+
+  // A warm cache — restored or not — must serve without any eigensolves.
+  SPECTRAL_CHECK_EQ(samples[1].solves, 0);
+  SPECTRAL_CHECK_EQ(samples[2].solves, 0);
+
+  TablePrinter table;
+  table.SetHeader({"scenario", "requests", "batches", "solves", "hit_rate",
+                   "spearman_min", "qps", "p50_ms", "p99_ms", "cold_p50_ms",
+                   "warm_p50_ms"});
+  std::vector<std::string> rows;
+  for (const ScenarioSample& s : samples) {
+    table.AddRow({s.scenario, FormatInt(s.requests), FormatInt(s.batches),
+                  FormatInt(s.solves), FormatDouble(s.hit_rate, 3),
+                  FormatDouble(s.spearman_min_vs_direct, 6),
+                  FormatDouble(s.qps, 0), FormatDouble(s.p50_ms, 3),
+                  FormatDouble(s.p99_ms, 3), FormatDouble(s.cold_p50_ms, 3),
+                  FormatDouble(s.warm_p50_ms, 3)});
+    rows.push_back(
+        "{\"scenario\": \"" + s.scenario +
+        "\", \"requests\": " + FormatInt(s.requests) +
+        ", \"batches\": " + FormatInt(s.batches) +
+        ", \"solves\": " + FormatInt(s.solves) +
+        ", \"coalesced\": " + FormatInt(s.coalesced) +
+        ", \"hit_rate\": " + FormatDouble(s.hit_rate, 6) +
+        ", \"spearman_min_vs_direct\": " +
+        FormatDouble(s.spearman_min_vs_direct, 6) +
+        ", \"qps\": " + FormatDouble(s.qps, 1) +
+        ", \"wall_ms\": " + FormatDouble(s.wall_ms, 2) +
+        ", \"p50_ms\": " + FormatDouble(s.p50_ms, 4) +
+        ", \"p99_ms\": " + FormatDouble(s.p99_ms, 4) +
+        ", \"cold_p50_ms\": " + FormatDouble(s.cold_p50_ms, 4) +
+        ", \"cold_p99_ms\": " + FormatDouble(s.cold_p99_ms, 4) +
+        ", \"warm_p50_ms\": " + FormatDouble(s.warm_p50_ms, 4) +
+        ", \"warm_p99_ms\": " + FormatDouble(s.warm_p99_ms, 4) + "}");
+  }
+  EmitTable("service_traffic", table);
+  EmitJsonRows("BENCH_service_traffic.json", rows);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spectral
+
+int main() {
+  spectral::bench::Run();
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace spectral {
 
@@ -46,6 +47,7 @@ StatusOr<OrderingResult> MappingService::Order(const OrderingRequest& request) {
 
 std::vector<StatusOr<OrderingResult>> MappingService::OrderBatch(
     std::span<const OrderingRequest> requests) {
+  const WallTimer batch_timer;
   const bool cache_enabled = options_.cache_capacity > 0;
 
   // One job per distinct fingerprint; slots remember which requests it
@@ -147,9 +149,16 @@ std::vector<StatusOr<OrderingResult>> MappingService::OrderBatch(
   // result copies are built after it drops so concurrent callers only
   // contend on the bookkeeping.
   {
+    const double batch_ms = batch_timer.ElapsedSeconds() * 1e3;
     std::lock_guard<std::mutex> lock(mu_);
     stats_.requests += static_cast<int64_t>(requests.size());
     stats_.failures += invalid;
+    stats_.batches += 1;
+    stats_.coalesced_requests += static_cast<int64_t>(requests.size()) -
+                                 invalid - static_cast<int64_t>(jobs.size());
+    stats_.batch_latency_total_ms += batch_ms;
+    stats_.batch_latency_max_ms =
+        std::max(stats_.batch_latency_max_ms, batch_ms);
     for (Job& job : jobs) {
       if (!job.result.ok()) {
         // Engine-construction failures (unknown name) never ran a solve
@@ -206,6 +215,44 @@ void MappingService::InsertLocked(const Fingerprint128& fingerprint,
 MappingServiceStats MappingService::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+void MappingService::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.Reset();
+}
+
+std::vector<OrderCacheEntry> MappingService::ExportCache() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<OrderCacheEntry> entries;
+  entries.reserve(lru_.size());
+  for (const auto& [fingerprint, result] : lru_) {
+    entries.push_back(OrderCacheEntry{fingerprint, result});
+  }
+  return entries;
+}
+
+int64_t MappingService::ImportCache(std::span<const OrderCacheEntry> entries) {
+  if (options_.cache_capacity == 0) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Insert in reverse so the snapshot's most-recent entry ends up at the
+  // front of the LRU; entries past capacity would be evicted immediately,
+  // so they are skipped up front (without bumping the eviction counter —
+  // restoring a snapshot is not cache traffic).
+  const size_t limit = std::min(entries.size(), options_.cache_capacity);
+  int64_t inserted = 0;
+  for (size_t i = limit; i-- > 0;) {
+    const OrderCacheEntry& entry = entries[i];
+    if (index_.find(entry.fingerprint) != index_.end()) continue;
+    lru_.emplace_front(entry.fingerprint, entry.result);
+    index_[entry.fingerprint] = lru_.begin();
+    ++inserted;
+  }
+  while (lru_.size() > options_.cache_capacity) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  return inserted;
 }
 
 void MappingService::ClearCache() {

@@ -69,6 +69,27 @@ struct MappingServiceStats {
   /// Eigensolver matvecs performed by those solves. Unchanged by a
   /// warm-cache batch: repeats cost zero additional eigensolver work.
   int64_t solver_matvecs = 0;
+  /// OrderBatch invocations (Order() counts as a batch of one).
+  int64_t batches = 0;
+  /// Valid requests served from another request in the *same* batch
+  /// (within-batch fingerprint dedup; a subset of cache_hits).
+  int64_t coalesced_requests = 0;
+  /// Wall time spent inside OrderBatch, summed over batches / worst batch.
+  double batch_latency_total_ms = 0.0;
+  double batch_latency_max_ms = 0.0;
+
+  /// Zeroes every counter (a stats window boundary, e.g. between the cold
+  /// and warm phases of a serving bench).
+  void Reset() { *this = MappingServiceStats(); }
+};
+
+/// One persistable order-cache entry: the cache key plus the engine result
+/// exactly as the LRU stores it (no " | cache=..." annotation — that tag is
+/// added per serve, not per entry). See core/serialization.h for the
+/// snapshot wire format.
+struct OrderCacheEntry {
+  Fingerprint128 fingerprint;
+  OrderingResult result;
 };
 
 /// Thread-safe facade: Order/OrderBatch may be called from any thread.
@@ -90,9 +111,24 @@ class MappingService {
       std::span<const OrderingRequest> requests);
 
   MappingServiceStats stats() const;
+  /// Zeroes the counters (the cache contents are retained).
+  void ResetStats();
   /// Drops every cached order (counters are retained).
   void ClearCache();
   const MappingServiceOptions& options() const { return options_; }
+
+  /// Copies the LRU order cache, most-recently-used first — the payload a
+  /// serving tier snapshots to disk so a restarted process keeps its warm
+  /// set (core/serialization.h WriteOrderCacheSnapshot).
+  std::vector<OrderCacheEntry> ExportCache() const;
+
+  /// Pre-fills the cache from a snapshot. Entries must be ordered
+  /// most-recently-used first (ExportCache order); recency is preserved.
+  /// Entries beyond cache_capacity and fingerprints already cached are
+  /// skipped; caching disabled imports nothing. Returns the number of
+  /// entries actually inserted. Counters are untouched: restoring a warm
+  /// set is not a hit, a miss, or an eviction.
+  int64_t ImportCache(std::span<const OrderCacheEntry> entries);
 
  private:
   /// Moves `fingerprint` to the front of the LRU, inserting `result` if

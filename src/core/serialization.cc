@@ -1,8 +1,12 @@
 #include "core/serialization.h"
 
+#include <cstdlib>
 #include <fstream>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace spectral {
@@ -10,6 +14,51 @@ namespace spectral {
 namespace {
 constexpr char kOrderMagic[] = "spectral-lpm-order v1";
 constexpr char kPointsMagic[] = "spectral-lpm-points v1";
+constexpr char kCacheMagic[] = "spectral-lpm-cache v1";
+
+// Reads one line and strips the expected "<keyword> " prefix; a bare
+// keyword line (empty payload) is also accepted. Fails on EOF or mismatch.
+Status ConsumeTaggedLine(std::istream& in, std::string_view keyword,
+                         std::string* payload) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return InvalidArgumentError("truncated snapshot: expected '" +
+                                std::string(keyword) + "' line");
+  }
+  if (line == keyword) {
+    payload->clear();
+    return OkStatus();
+  }
+  const std::string prefix = std::string(keyword) + " ";
+  if (line.rfind(prefix, 0) != 0) {
+    return InvalidArgumentError("corrupt snapshot: expected '" +
+                                std::string(keyword) + " ...', got '" + line +
+                                "'");
+  }
+  *payload = line.substr(prefix.size());
+  return OkStatus();
+}
+
+// Parses exactly 16 lowercase/uppercase hex digits.
+bool ParseHex64(std::string_view hex, uint64_t* out) {
+  if (hex.size() != 16) return false;
+  uint64_t value = 0;
+  for (char c : hex) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  *out = value;
+  return true;
+}
 }  // namespace
 
 Status WriteLinearOrder(const LinearOrder& order, std::ostream& out) {
@@ -78,6 +127,141 @@ StatusOr<PointSet> ReadPointSet(std::istream& in) {
     points.Add(p);
   }
   return points;
+}
+
+Status WriteOrderCacheSnapshot(std::span<const OrderCacheEntry> entries,
+                               std::ostream& out) {
+  out << kCacheMagic << '\n' << entries.size() << '\n';
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (const OrderCacheEntry& entry : entries) {
+    const OrderingResult& r = entry.result;
+    out << "entry " << entry.fingerprint.ToHex() << '\n';
+    out << "method " << r.method << '\n';
+    out << "detail " << r.detail << '\n';
+    out << "metrics " << r.lambda2 << ' ' << r.num_components << ' '
+        << r.matvecs << ' ' << r.restarts << ' ' << r.spmm_calls << ' '
+        << r.reorth_panels << ' ' << r.num_solves << ' ' << r.depth << ' '
+        << r.grid_side << ' ' << r.grid_cells << '\n';
+    out << "order " << r.order.size();
+    for (int64_t i = 0; i < r.order.size(); ++i) out << ' ' << r.order.RankOf(i);
+    out << '\n';
+    out << "embedding " << r.embedding.size();
+    for (double e : r.embedding) out << ' ' << e;
+    out << '\n';
+  }
+  if (!out.good()) return InternalError("write failed");
+  return OkStatus();
+}
+
+StatusOr<std::vector<OrderCacheEntry>> ReadOrderCacheSnapshot(
+    std::istream& in) {
+  std::string magic;
+  std::getline(in, magic);
+  if (magic != kCacheMagic) {
+    return InvalidArgumentError("bad magic: expected '" +
+                                std::string(kCacheMagic) + "', got '" + magic +
+                                "'");
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return InvalidArgumentError("truncated snapshot: missing entry count");
+  }
+  char* end = nullptr;
+  const long long declared = std::strtoll(line.c_str(), &end, 10);
+  if (end == line.c_str() || *end != '\0' || declared < 0) {
+    return InvalidArgumentError("bad entry count '" + line + "'");
+  }
+
+  std::vector<OrderCacheEntry> entries;
+  entries.reserve(static_cast<size_t>(declared));
+  std::string payload;
+  for (long long i = 0; i < declared; ++i) {
+    OrderCacheEntry entry;
+    OrderingResult& r = entry.result;
+
+    if (Status s = ConsumeTaggedLine(in, "entry", &payload); !s.ok()) return s;
+    if (payload.size() != 32 ||
+        !ParseHex64(std::string_view(payload).substr(0, 16),
+                    &entry.fingerprint.hi) ||
+        !ParseHex64(std::string_view(payload).substr(16, 16),
+                    &entry.fingerprint.lo)) {
+      return InvalidArgumentError("bad fingerprint '" + payload + "'");
+    }
+    if (Status s = ConsumeTaggedLine(in, "method", &r.method); !s.ok()) {
+      return s;
+    }
+    if (Status s = ConsumeTaggedLine(in, "detail", &r.detail); !s.ok()) {
+      return s;
+    }
+
+    if (Status s = ConsumeTaggedLine(in, "metrics", &payload); !s.ok()) {
+      return s;
+    }
+    {
+      std::istringstream metrics(payload);
+      int64_t grid_side = 0;
+      metrics >> r.lambda2 >> r.num_components >> r.matvecs >> r.restarts >>
+          r.spmm_calls >> r.reorth_panels >> r.num_solves >> r.depth >>
+          grid_side >> r.grid_cells;
+      if (metrics.fail()) {
+        return InvalidArgumentError("corrupt metrics line '" + payload + "'");
+      }
+      r.grid_side = static_cast<Coord>(grid_side);
+    }
+
+    if (Status s = ConsumeTaggedLine(in, "order", &payload); !s.ok()) return s;
+    {
+      std::istringstream order_in(payload);
+      int64_t n = -1;
+      order_in >> n;
+      if (order_in.fail() || n < 0) {
+        return InvalidArgumentError("bad order size in snapshot");
+      }
+      std::vector<int64_t> ranks(static_cast<size_t>(n));
+      for (int64_t k = 0; k < n; ++k) {
+        if (!(order_in >> ranks[static_cast<size_t>(k)])) {
+          return InvalidArgumentError("truncated order rank list");
+        }
+      }
+      auto order = LinearOrder::FromRanks(std::move(ranks));
+      if (!order.ok()) return order.status();
+      r.order = *std::move(order);
+    }
+
+    if (Status s = ConsumeTaggedLine(in, "embedding", &payload); !s.ok()) {
+      return s;
+    }
+    {
+      std::istringstream embedding_in(payload);
+      int64_t m = -1;
+      embedding_in >> m;
+      if (embedding_in.fail() || m < 0) {
+        return InvalidArgumentError("bad embedding size in snapshot");
+      }
+      r.embedding.resize(static_cast<size_t>(m));
+      for (int64_t k = 0; k < m; ++k) {
+        if (!(embedding_in >> r.embedding[static_cast<size_t>(k)])) {
+          return InvalidArgumentError("truncated embedding list");
+        }
+      }
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+Status SaveOrderCacheSnapshotToFile(std::span<const OrderCacheEntry> entries,
+                                    const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return InternalError("cannot open " + path);
+  return WriteOrderCacheSnapshot(entries, out);
+}
+
+StatusOr<std::vector<OrderCacheEntry>> LoadOrderCacheSnapshotFromFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return NotFoundError("cannot open " + path);
+  return ReadOrderCacheSnapshot(in);
 }
 
 Status SaveLinearOrderToFile(const LinearOrder& order,

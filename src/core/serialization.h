@@ -6,9 +6,12 @@
 #define SPECTRAL_LPM_CORE_SERIALIZATION_H_
 
 #include <iosfwd>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/linear_order.h"
+#include "core/mapping_service.h"
 #include "space/point_set.h"
 #include "util/status.h"
 
@@ -33,7 +36,33 @@ Status WritePointSet(const PointSet& points, std::ostream& out);
 /// Parses the WritePointSet format.
 StatusOr<PointSet> ReadPointSet(std::istream& in);
 
+/// Writes a MappingService order-cache snapshot (ExportCache output,
+/// most-recently-used first) as:
+///   spectral-lpm-cache v1
+///   <num_entries>
+///   entry <32-hex fingerprint>
+///   method <method string>
+///   detail <detail string>
+///   metrics <lambda2> <num_components> <matvecs> <restarts> <spmm_calls>
+///           <reorth_panels> <num_solves> <depth> <grid_side> <grid_cells>
+///   order <n> <rank of point 0> ... <rank of point n-1>
+///   embedding <m> <e0> ... <e_{m-1}>
+/// (each entry is those six lines; doubles are written with 17 significant
+/// digits so restored results are bit-identical to the solved ones).
+Status WriteOrderCacheSnapshot(std::span<const OrderCacheEntry> entries,
+                               std::ostream& out);
+
+/// Parses the WriteOrderCacheSnapshot format. Truncated, corrupt, or
+/// wrong-version input yields an InvalidArgument Status (never a crash, so
+/// a server restoring a damaged snapshot simply starts cold).
+StatusOr<std::vector<OrderCacheEntry>> ReadOrderCacheSnapshot(
+    std::istream& in);
+
 /// Convenience file wrappers.
+Status SaveOrderCacheSnapshotToFile(std::span<const OrderCacheEntry> entries,
+                                    const std::string& path);
+StatusOr<std::vector<OrderCacheEntry>> LoadOrderCacheSnapshotFromFile(
+    const std::string& path);
 Status SaveLinearOrderToFile(const LinearOrder& order,
                              const std::string& path);
 StatusOr<LinearOrder> LoadLinearOrderFromFile(const std::string& path);

@@ -1,0 +1,53 @@
+#include "serve/fd_stream.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace spectral {
+
+FdStreambuf::FdStreambuf(int fd) : fd_(fd) {
+  setg(in_buffer_.data(), in_buffer_.data(), in_buffer_.data());
+  setp(out_buffer_.data(), out_buffer_.data() + out_buffer_.size());
+}
+
+FdStreambuf::int_type FdStreambuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  ssize_t n;
+  do {
+    n = ::read(fd_, in_buffer_.data(), in_buffer_.size());
+  } while (n < 0 && errno == EINTR);
+  if (n <= 0) return traits_type::eof();
+  setg(in_buffer_.data(), in_buffer_.data(),
+       in_buffer_.data() + static_cast<size_t>(n));
+  return traits_type::to_int_type(*gptr());
+}
+
+bool FdStreambuf::FlushPutArea() {
+  const char* data = pbase();
+  size_t remaining = static_cast<size_t>(pptr() - pbase());
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd_, data, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  setp(out_buffer_.data(), out_buffer_.data() + out_buffer_.size());
+  return true;
+}
+
+FdStreambuf::int_type FdStreambuf::overflow(int_type c) {
+  if (!FlushPutArea()) return traits_type::eof();
+  if (!traits_type::eq_int_type(c, traits_type::eof())) {
+    *pptr() = traits_type::to_char_type(c);
+    pbump(1);
+  }
+  return traits_type::not_eof(c);
+}
+
+int FdStreambuf::sync() { return FlushPutArea() ? 0 : -1; }
+
+}  // namespace spectral

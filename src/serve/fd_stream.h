@@ -1,0 +1,34 @@
+// FdStreambuf: a minimal bidirectional std::streambuf over a POSIX file
+// descriptor, so the server's stream-based serving loop (ServeStream) can
+// run unchanged over a TCP connection or a pipe. Buffered both ways; sync()
+// flushes the put area with a full write loop. The fd is borrowed, not
+// owned.
+
+#ifndef SPECTRAL_LPM_SERVE_FD_STREAM_H_
+#define SPECTRAL_LPM_SERVE_FD_STREAM_H_
+
+#include <array>
+#include <streambuf>
+
+namespace spectral {
+
+class FdStreambuf : public std::streambuf {
+ public:
+  explicit FdStreambuf(int fd);
+
+ protected:
+  int_type underflow() override;
+  int_type overflow(int_type c) override;
+  int sync() override;
+
+ private:
+  bool FlushPutArea();
+
+  int fd_;
+  std::array<char, 4096> in_buffer_;
+  std::array<char, 4096> out_buffer_;
+};
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_SERVE_FD_STREAM_H_

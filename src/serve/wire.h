@@ -1,0 +1,53 @@
+// Line-delimited wire protocol for the ordering server: parse one request
+// line into a WireRequest (command + client id + an OrderingRequest for
+// ORDER), and format response lines. The full grammar is documented in
+// serve/ordering_server.h; this layer is pure string <-> value translation
+// so it is unit-testable without a running server.
+
+#ifndef SPECTRAL_LPM_SERVE_WIRE_H_
+#define SPECTRAL_LPM_SERVE_WIRE_H_
+
+#include <string>
+
+#include "core/ordering_engine.h"
+#include "core/ordering_request.h"
+#include "util/status.h"
+
+namespace spectral {
+
+enum class WireCommand {
+  kOrder,
+  kStats,
+  kSnapshot,
+  kQuit,
+};
+
+/// One parsed request line. `request` is populated for kOrder (with an
+/// owning point-set payload, so the WireRequest is a self-contained value);
+/// `snapshot_path` for kSnapshot.
+struct WireRequest {
+  WireCommand command = WireCommand::kQuit;
+  /// Client-chosen token echoed on the response line ("-" when absent).
+  std::string id = "-";
+  /// Per-request deadline in milliseconds; < 0 means "server default".
+  double deadline_ms = -1.0;
+  std::string snapshot_path;
+  OrderingRequest request;
+};
+
+/// Parses one request line. Returns InvalidArgument on malformed input
+/// (unknown command, bad counts, unparsable numbers); the caller answers
+/// with FormatErrorResponse and keeps serving.
+StatusOr<WireRequest> ParseWireRequest(const std::string& line);
+
+/// "ORDERED <id> <n> <rank of point 0> ... <rank of point n-1>".
+std::string FormatOrderedResponse(const std::string& id,
+                                  const OrderingResult& result);
+
+/// "ERROR <id> <CODE> <message>" (CODE is StatusCodeName, e.g.
+/// DEADLINE_EXCEEDED).
+std::string FormatErrorResponse(const std::string& id, const Status& status);
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_SERVE_WIRE_H_

@@ -21,6 +21,11 @@ enum class StatusCode {
   kNotFound = 3,
   kInternal = 4,
   kUnimplemented = 5,
+  /// A bounded resource (serving queue, cache) refused the work; retrying
+  /// later may succeed. Used by OrderingServer admission control.
+  kResourceExhausted = 6,
+  /// The request's deadline passed before it was served.
+  kDeadlineExceeded = 7,
 };
 
 /// Human-readable name of a StatusCode (e.g. "INVALID_ARGUMENT").
@@ -38,6 +43,10 @@ inline const char* StatusCodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -87,6 +96,12 @@ inline Status InternalError(std::string msg) {
 }
 inline Status UnimplementedError(std::string msg) {
   return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+inline Status ResourceExhaustedError(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status DeadlineExceededError(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
 }
 
 /// Either a value of type T or an error Status. `value()` CHECK-fails if the

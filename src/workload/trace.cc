@@ -1,7 +1,15 @@
 #include "workload/trace.h"
 
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <set>
+#include <tuple>
 #include <unordered_set>
+#include <utility>
 
+#include "space/point_set.h"
 #include "util/check.h"
 #include "util/random.h"
 
@@ -78,6 +86,63 @@ std::vector<int64_t> MakeRandomWalkTrace(const GridSpec& grid,
     trace.push_back(grid.Flatten(p));
   }
   return trace;
+}
+
+ZipfianRequestMix MakeZipfianRequestMix(
+    const ZipfianRequestMixOptions& options) {
+  SPECTRAL_CHECK_GE(options.num_requests, 1);
+  SPECTRAL_CHECK_GE(options.universe_size, 1);
+  SPECTRAL_CHECK_GE(options.zipf_exponent, 0.0);
+  SPECTRAL_CHECK_GE(static_cast<int64_t>(options.engines.size()), 1);
+  SPECTRAL_CHECK_GE(options.min_side, 1);
+  SPECTRAL_CHECK_LE(options.min_side, options.max_side);
+  const int64_t num_sides =
+      static_cast<int64_t>(options.max_side - options.min_side) + 1;
+  SPECTRAL_CHECK_LE(
+      options.universe_size,
+      num_sides * num_sides * static_cast<int64_t>(options.engines.size()));
+
+  Rng rng(options.seed);
+  ZipfianRequestMix mix;
+
+  // Distinct universe entries: engines round-robined, grid shapes sampled
+  // without repeating an (engine, shape) combination.
+  std::set<std::tuple<size_t, Coord, Coord>> used;
+  mix.universe.reserve(static_cast<size_t>(options.universe_size));
+  while (static_cast<int>(mix.universe.size()) < options.universe_size) {
+    const size_t engine = mix.universe.size() % options.engines.size();
+    const Coord s0 = static_cast<Coord>(
+        rng.UniformInt(options.min_side, options.max_side));
+    const Coord s1 = static_cast<Coord>(
+        rng.UniformInt(options.min_side, options.max_side));
+    if (!used.emplace(engine, s0, s1).second) continue;
+    mix.universe.push_back(OrderingRequest::ForPoints(
+        std::make_shared<const PointSet>(
+            PointSet::FullGrid(GridSpec({s0, s1}))),
+        options.engines[engine]));
+  }
+
+  // Popularity rank -> universe index, shuffled so the hot set is not
+  // correlated with entry size or engine.
+  std::vector<int> rank_to_entry(static_cast<size_t>(options.universe_size));
+  std::iota(rank_to_entry.begin(), rank_to_entry.end(), 0);
+  rng.Shuffle(rank_to_entry);
+
+  // Zipf CDF over ranks; inverse-transform sampling.
+  std::vector<double> cdf(rank_to_entry.size());
+  double total = 0.0;
+  for (size_t r = 0; r < cdf.size(); ++r) {
+    total += std::pow(static_cast<double>(r + 1), -options.zipf_exponent);
+    cdf[r] = total;
+  }
+  mix.trace.reserve(static_cast<size_t>(options.num_requests));
+  for (int64_t i = 0; i < options.num_requests; ++i) {
+    const double u = rng.UniformDouble() * total;
+    const size_t rank = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    mix.trace.push_back(rank_to_entry[std::min(rank, cdf.size() - 1)]);
+  }
+  return mix;
 }
 
 }  // namespace spectral

@@ -1,14 +1,17 @@
 // Access traces: sequences of point accesses used by the affinity-edge
 // experiment (paper section 4's "whenever p is accessed, q follows soon
-// after") and by the buffer-pool benchmark.
+// after") and by the buffer-pool benchmark, plus the Zipfian ordering-
+// request mix that drives the serving-tier load bench.
 
 #ifndef SPECTRAL_LPM_WORKLOAD_TRACE_H_
 #define SPECTRAL_LPM_WORKLOAD_TRACE_H_
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "core/ordering_request.h"
 #include "space/grid.h"
 
 namespace spectral {
@@ -52,6 +55,41 @@ struct RandomWalkOptions {
 /// models a query stream with spatial locality for the buffer-pool bench.
 std::vector<int64_t> MakeRandomWalkTrace(const GridSpec& grid,
                                          const RandomWalkOptions& options);
+
+/// Options for MakeZipfianRequestMix.
+struct ZipfianRequestMixOptions {
+  /// Length of the sampled request trace.
+  int64_t num_requests = 2000;
+  /// Number of distinct requests (engine x grid combinations) sampled from.
+  int universe_size = 32;
+  /// Zipf skew: popularity rank r is drawn with probability proportional to
+  /// (r + 1)^-zipf_exponent; 0 is uniform, ~1 is the classic hot-set shape.
+  double zipf_exponent = 0.99;
+  /// Engine names cycled across the universe entries.
+  std::vector<std::string> engines = {"spectral", "spectral-multilevel",
+                                      "bisection"};
+  /// 2-D grid sides are sampled uniformly from [min_side, max_side].
+  Coord min_side = 8;
+  Coord max_side = 24;
+  uint64_t seed = 0x21f5ull;
+};
+
+/// A Zipfian mix of ordering requests: the serving-tier traffic model.
+struct ZipfianRequestMix {
+  /// Distinct owning requests (safe to serve after the mix goes away).
+  std::vector<OrderingRequest> universe;
+  /// `num_requests` indices into `universe`, Zipf-distributed. Popularity
+  /// ranks are assigned to universe entries by a seeded shuffle, so the hot
+  /// set is decorrelated from entry size and engine.
+  std::vector<int> trace;
+};
+
+/// Builds `universe_size` fingerprint-distinct requests (full 2-D grids of
+/// random sides, engines round-robined) and a Zipf-skewed access trace over
+/// them. Deterministic for a fixed option set. Requires universe_size >= 1,
+/// num_requests >= 1, non-empty engines, and enough distinct engine x grid
+/// combinations to fill the universe.
+ZipfianRequestMix MakeZipfianRequestMix(const ZipfianRequestMixOptions& options);
 
 }  // namespace spectral
 

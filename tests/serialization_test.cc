@@ -1,8 +1,10 @@
 #include <filesystem>
 #include <sstream>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/mapping_service.h"
 #include "core/serialization.h"
 #include "core/ordering_engine.h"
 #include "core/ordering_request.h"
@@ -99,6 +101,136 @@ TEST(Serialization, EmptyOrderRoundTrip) {
   auto loaded = ReadLinearOrder(buffer);
   ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(loaded->size(), 0);
+}
+
+// Real cache contents: a few spectral solves exported from a warm
+// MappingService.
+std::vector<OrderCacheEntry> MakeCacheEntries() {
+  MappingServiceOptions options;
+  options.cache_capacity = 8;
+  options.parallelism = 1;
+  MappingService service(options);
+  for (const auto& sides : {GridSpec({5, 4}), GridSpec({3, 7})}) {
+    const PointSet points = PointSet::FullGrid(sides);
+    auto result = service.Order(OrderingRequest::ForPoints(points));
+    EXPECT_TRUE(result.ok());
+  }
+  return service.ExportCache();
+}
+
+TEST(Serialization, CacheSnapshotRoundTripIsExact) {
+  const std::vector<OrderCacheEntry> entries = MakeCacheEntries();
+  ASSERT_EQ(entries.size(), 2);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteOrderCacheSnapshot(entries, buffer).ok());
+  auto loaded = ReadOrderCacheSnapshot(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), entries.size());
+  for (size_t e = 0; e < entries.size(); ++e) {
+    const OrderCacheEntry& want = entries[e];
+    const OrderCacheEntry& got = (*loaded)[e];
+    EXPECT_EQ(got.fingerprint.hi, want.fingerprint.hi);
+    EXPECT_EQ(got.fingerprint.lo, want.fingerprint.lo);
+    const OrderingResult& w = want.result;
+    const OrderingResult& g = got.result;
+    EXPECT_EQ(g.method, w.method);
+    EXPECT_EQ(g.detail, w.detail);
+    // max_digits10 round-trips doubles bit-exactly; a restored cache entry
+    // must be byte-identical to the solve that produced it.
+    EXPECT_EQ(g.lambda2, w.lambda2);
+    EXPECT_EQ(g.num_components, w.num_components);
+    EXPECT_EQ(g.matvecs, w.matvecs);
+    EXPECT_EQ(g.restarts, w.restarts);
+    EXPECT_EQ(g.spmm_calls, w.spmm_calls);
+    EXPECT_EQ(g.reorth_panels, w.reorth_panels);
+    EXPECT_EQ(g.num_solves, w.num_solves);
+    EXPECT_EQ(g.depth, w.depth);
+    EXPECT_EQ(g.grid_side, w.grid_side);
+    EXPECT_EQ(g.grid_cells, w.grid_cells);
+    ASSERT_EQ(g.order.size(), w.order.size());
+    for (int64_t i = 0; i < w.order.size(); ++i) {
+      EXPECT_EQ(g.order.RankOf(i), w.order.RankOf(i));
+    }
+    ASSERT_EQ(g.embedding.size(), w.embedding.size());
+    for (size_t i = 0; i < w.embedding.size(); ++i) {
+      EXPECT_EQ(g.embedding[i], w.embedding[i]);
+    }
+  }
+}
+
+TEST(Serialization, EmptyCacheSnapshotRoundTrip) {
+  std::stringstream buffer;
+  ASSERT_TRUE(
+      WriteOrderCacheSnapshot(std::vector<OrderCacheEntry>{}, buffer).ok());
+  auto loaded = ReadOrderCacheSnapshot(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST(Serialization, CacheSnapshotRejectsWrongVersion) {
+  std::stringstream buffer("spectral-lpm-cache v2\n0\n");
+  const auto loaded = ReadOrderCacheSnapshot(buffer);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Serialization, CacheSnapshotRejectsTruncation) {
+  std::stringstream full;
+  ASSERT_TRUE(WriteOrderCacheSnapshot(MakeCacheEntries(), full).ok());
+  const std::string text = full.str();
+  // Chop anywhere inside the payload: always a clean error, never a crash.
+  for (const double fraction : {0.25, 0.5, 0.9}) {
+    std::stringstream truncated(
+        text.substr(0, static_cast<size_t>(text.size() * fraction)));
+    const auto loaded = ReadOrderCacheSnapshot(truncated);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(Serialization, CacheSnapshotRejectsCorruptPayload) {
+  const char* kBadSnapshots[] = {
+      // Non-permutation ranks.
+      "spectral-lpm-cache v1\n1\n"
+      "entry 000000000000000000000000000000ab\nmethod m\ndetail d\n"
+      "metrics 0 1 0 0 0 0 0 0 0 0\norder 3 0 0 1\nembedding 0\n",
+      // Bad fingerprint (too short).
+      "spectral-lpm-cache v1\n1\n"
+      "entry 1234\nmethod m\ndetail d\n"
+      "metrics 0 1 0 0 0 0 0 0 0 0\norder 1 0\nembedding 0\n",
+      // Garbage metrics.
+      "spectral-lpm-cache v1\n1\n"
+      "entry 000000000000000000000000000000ab\nmethod m\ndetail d\n"
+      "metrics x 1 0 0 0 0 0 0 0 0\norder 1 0\nembedding 0\n",
+      // Embedding shorter than declared.
+      "spectral-lpm-cache v1\n1\n"
+      "entry 000000000000000000000000000000ab\nmethod m\ndetail d\n"
+      "metrics 0 1 0 0 0 0 0 0 0 0\norder 1 0\nembedding 3 0.5\n",
+      // Negative entry count.
+      "spectral-lpm-cache v1\n-2\n",
+  };
+  for (const char* bad : kBadSnapshots) {
+    std::stringstream buffer(bad);
+    const auto loaded = ReadOrderCacheSnapshot(buffer);
+    ASSERT_FALSE(loaded.ok()) << "accepted: " << bad;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(Serialization, CacheSnapshotFileRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string path = (dir / "spectral_cache_test.txt").string();
+  const std::vector<OrderCacheEntry> entries = MakeCacheEntries();
+  ASSERT_TRUE(SaveOrderCacheSnapshotToFile(entries, path).ok());
+  auto loaded = LoadOrderCacheSnapshotFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->size(), entries.size());
+  std::filesystem::remove(path);
+
+  const auto missing = LoadOrderCacheSnapshotFromFile("/nonexistent/cache.txt");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
 }
 
 }  // namespace

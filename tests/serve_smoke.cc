@@ -1,0 +1,140 @@
+// End-to-end smoke test for the spectral_serve binary: spawns it in
+// --stdio mode over a pipe pair, drives a mixed ORDER / STATS / QUIT
+// session, and checks every ORDERED response byte-for-byte against a
+// direct MakeOrderingEngine call on the same request. Plain main (no
+// gtest): argv[1] is the path to the spectral_serve binary.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/ordering_engine.h"
+#include "core/ordering_request.h"
+#include "serve/fd_stream.h"
+#include "serve/wire.h"
+#include "space/grid.h"
+#include "space/point_set.h"
+
+namespace spectral {
+namespace {
+
+int Fail(const std::string& message) {
+  std::cerr << "serve_smoke: FAIL: " << message << "\n";
+  return 1;
+}
+
+// What the server must answer for "ORDER <id> <engine> GRID <s0>x<s1>",
+// computed through the engine directly (no service, no cache).
+std::string ExpectedResponse(const std::string& id, const std::string& engine,
+                             Coord s0, Coord s1) {
+  const PointSet points = PointSet::FullGrid(GridSpec({s0, s1}));
+  const OrderingRequest request = OrderingRequest::ForPoints(points, engine);
+  auto impl = MakeOrderingEngine(engine);
+  if (!impl.ok()) return "engine construction failed";
+  auto result = (*impl)->Order(request);
+  if (!result.ok()) return "direct order failed";
+  return FormatOrderedResponse(id, *result);
+}
+
+int Run(const char* server_path) {
+  int to_child[2];
+  int from_child[2];
+  if (pipe(to_child) != 0 || pipe(from_child) != 0) {
+    return Fail("pipe() failed");
+  }
+  const pid_t pid = fork();
+  if (pid < 0) return Fail("fork() failed");
+  if (pid == 0) {
+    dup2(to_child[0], STDIN_FILENO);
+    dup2(from_child[1], STDOUT_FILENO);
+    close(to_child[0]);
+    close(to_child[1]);
+    close(from_child[0]);
+    close(from_child[1]);
+    execl(server_path, "spectral_serve", "--stdio", "--window-ms=5",
+          "--cache=64", static_cast<char*>(nullptr));
+    std::perror("execl");
+    _exit(127);
+  }
+  close(to_child[0]);
+  close(from_child[1]);
+
+  FdStreambuf out_buf(to_child[1]);
+  FdStreambuf in_buf(from_child[0]);
+  std::ostream to_server(&out_buf);
+  std::istream from_server(&in_buf);
+
+  // A pipelined mixed session: two engines, one repeated request (served
+  // by coalescing or the cache — either way byte-identical), one bad
+  // request, stats, quit.
+  to_server << "ORDER a spectral GRID 6x5\n"
+               "ORDER b bisection GRID 4x7\n"
+               "ORDER c spectral GRID 6x5\n"
+               "ORDER d no-such-engine GRID 3x3\n"
+               "STATS s\n"
+               "QUIT\n";
+  to_server.flush();
+  close(to_child[1]);
+
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(from_server, line)) lines.push_back(line);
+  close(from_child[0]);
+
+  int status = 0;
+  if (waitpid(pid, &status, 0) != pid) return Fail("waitpid() failed");
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    return Fail("server exited with status " + std::to_string(status));
+  }
+
+  if (lines.size() != 6) {
+    return Fail("expected 6 response lines, got " +
+                std::to_string(lines.size()));
+  }
+  const std::string expect_a = ExpectedResponse("a", "spectral", 6, 5);
+  const std::string expect_b = ExpectedResponse("b", "bisection", 4, 7);
+  const std::string expect_c = ExpectedResponse("c", "spectral", 6, 5);
+  if (lines[0] != expect_a) {
+    return Fail("response a mismatch:\n  got  " + lines[0] + "\n  want " +
+                expect_a);
+  }
+  if (lines[1] != expect_b) {
+    return Fail("response b mismatch:\n  got  " + lines[1] + "\n  want " +
+                expect_b);
+  }
+  if (lines[2] != expect_c) {
+    return Fail("response c mismatch:\n  got  " + lines[2] + "\n  want " +
+                expect_c);
+  }
+  if (lines[3].rfind("ERROR d NOT_FOUND", 0) != 0) {
+    return Fail("expected 'ERROR d NOT_FOUND ...', got: " + lines[3]);
+  }
+  if (lines[4].rfind("STATS s ", 0) != 0) {
+    return Fail("expected a STATS line, got: " + lines[4]);
+  }
+  // Two distinct fingerprints -> exactly two solves however the repeat was
+  // served (within-batch coalescing or a cache hit).
+  if (lines[4].find(" solves=2 ") == std::string::npos) {
+    return Fail("expected solves=2 in: " + lines[4]);
+  }
+  if (lines[5] != "BYE") return Fail("expected BYE, got: " + lines[5]);
+
+  std::cout << "serve_smoke: PASS\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace spectral
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: serve_smoke <path to spectral_serve>\n";
+    return 2;
+  }
+  return spectral::Run(argv[1]);
+}

@@ -2,7 +2,7 @@
 """CI bench-regression gate over the committed bench baselines.
 
 Diffs one or more bench suites against their committed baseline JSONs and
-fails on regressions. Two suites are known:
+fails on regressions. Three suites are known:
 
   ordering     bench_ordering_engines -> bench_results/BENCH_ordering_engines.json
                rows keyed (engine, workload, shards); gates cold-time share
@@ -11,6 +11,13 @@ fails on regressions. Two suites are known:
                rows keyed (method, workload); gates cold-time share, matvec
                growth (deterministic counts), and residual growth beyond
                the tolerance contract.
+  service      bench_service_traffic -> bench_results/BENCH_service_traffic.json
+               rows keyed (scenario,); gates only the machine-portable
+               metrics — cache hit rate drops, deduplicated-solve-count
+               growth, and Spearman-vs-direct drops (all deterministic:
+               the bench pins the request mix seed and uses a cache larger
+               than the request universe). Absolute qps and latency are
+               reported but never gated; wall_ms feeds the share check.
 
 For every suite the gate fails on:
 
@@ -60,10 +67,13 @@ import tempfile
 class Suite:
     """One bench binary + baseline JSON + gating rules."""
 
-    def __init__(self, name, json_relpath, key_fields):
+    def __init__(self, name, json_relpath, key_fields, time_field="cold_ms"):
         self.name = name
         self.json_relpath = json_relpath
         self.key_fields = key_fields
+        # Field the share-of-total-time check reads (machine-portable by
+        # construction: shares, never absolute milliseconds).
+        self.time_field = time_field
 
     def key_of(self, row):
         return tuple(row.get(field, "") for field in self.key_fields)
@@ -119,7 +129,38 @@ class EigensolverSuite(Suite):
         return failures
 
 
-SUITES = {s.name: s for s in (OrderingSuite(), EigensolverSuite())}
+class ServiceSuite(Suite):
+    def __init__(self):
+        super().__init__(
+            "service",
+            os.path.join("bench_results", "BENCH_service_traffic.json"),
+            ("scenario",),
+            time_field="wall_ms",
+        )
+
+    def quality_failures(self, name, base, cur, args):
+        failures = []
+        # Hit rate and solve counts are deterministic (pinned mix seed, no
+        # evictions): any hit-rate drop or solve growth is a caching or
+        # coalescing regression, not noise.
+        if cur["hit_rate"] < base["hit_rate"] - 1e-6:
+            failures.append(
+                f"{name}: hit_rate {base['hit_rate']:.6f} -> "
+                f"{cur['hit_rate']:.6f}")
+        if cur["solves"] > base["solves"]:
+            failures.append(
+                f"{name}: solves {base['solves']} -> {cur['solves']}")
+        base_rho = base["spearman_min_vs_direct"]
+        cur_rho = cur["spearman_min_vs_direct"]
+        if cur_rho < base_rho - args.spearman_tolerance:
+            failures.append(
+                f"{name}: spearman_min_vs_direct {base_rho:.6f} -> "
+                f"{cur_rho:.6f}")
+        return failures
+
+
+SUITES = {s.name: s
+          for s in (OrderingSuite(), EigensolverSuite(), ServiceSuite())}
 
 
 def load_rows(suite, path):
@@ -160,8 +201,9 @@ def gate_suite(suite, current, args):
     """Diffs one suite; returns the list of failure strings."""
     baseline = load_rows(suite, os.path.join(args.baseline_dir,
                                              suite.json_relpath))
-    base_total = sum(row["cold_ms"] for row in baseline.values()) or 1.0
-    cur_total = sum(row["cold_ms"] for row in current.values()) or 1.0
+    base_total = sum(
+        row[suite.time_field] for row in baseline.values()) or 1.0
+    cur_total = sum(row[suite.time_field] for row in current.values()) or 1.0
 
     failures = []
     print(f"\n=== suite: {suite.name} ===")
@@ -174,8 +216,8 @@ def gate_suite(suite, current, args):
             print(f"{name:44s} {'-':>10s} {'-':>10s}  MISSING")
             continue
 
-        base_share = base["cold_ms"] / base_total
-        cur_share = cur["cold_ms"] / cur_total
+        base_share = base[suite.time_field] / base_total
+        cur_share = cur[suite.time_field] / cur_total
         verdicts = []
         if (max(base_share, cur_share) >= args.min_share and
                 cur_share > base_share * (1.0 + args.cold_tolerance) + 0.005):
