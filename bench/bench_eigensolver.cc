@@ -20,8 +20,10 @@
 #include "bench/bench_common.h"
 #include "core/multilevel.h"
 #include "eigen/fiedler.h"
+#include "eigen/kernel_profile.h"
 #include "graph/graph.h"
 #include "linalg/block_ops.h"
+#include "linalg/packed_basis.h"
 #include "graph/grid_graph.h"
 #include "graph/laplacian.h"
 #include "graph/point_graph.h"
@@ -120,8 +122,39 @@ Workload MakeKernelBlobWorkload() {
   return w;
 }
 
+// Per-kernel share rows for the block solver: one row per profiled phase
+// (SpMM growth, BCGS2 reorth, multi-dot H-fill, Rayleigh-Ritz, Chebyshev
+// filter). `cold_ms` is the phase's wall time (share-gated like any other
+// row) and `matvecs` carries the phase's deterministic flop estimate, so
+// the gate pins the work volume even when the timing share is noise. The
+// regression gate additionally checks that the phase times of a workload
+// sum to at most the block row's total (tools/check_bench_regression.py).
+void EmitPhaseRows(const Workload& w, const KernelProfile& p,
+                   TablePrinter& table) {
+  const struct {
+    const char* name;
+    double ms;
+    int64_t flops;
+  } phases[] = {{"phase-spmm", p.spmm_ms, p.spmm_flops},
+                {"phase-reorth", p.reorth_ms, p.reorth_flops},
+                {"phase-hfill", p.hfill_ms, p.hfill_flops},
+                {"phase-rr", p.rr_ms, p.rr_flops},
+                {"phase-cheb", p.cheb_ms, p.cheb_flops}};
+  for (const auto& phase : phases) {
+    SolverSample sample;
+    sample.method = phase.name;
+    sample.workload = w.name;
+    sample.cold_ms = phase.ms;
+    sample.matvecs = phase.flops;  // deterministic flop estimate
+    AllSamples().push_back(sample);
+    table.AddRow({w.name, sample.method, FormatDouble(sample.cold_ms, 1),
+                  FormatInt(sample.matvecs), "0", "0", "0",
+                  "block solver kernel share"});
+  }
+}
+
 void RunMethod(const std::string& method, const Workload& w,
-               TablePrinter& table) {
+               TablePrinter& table, bool emit_phases = false) {
   FiedlerOptions options;
   options.num_pairs = 3;
   WallTimer timer;
@@ -158,6 +191,7 @@ void RunMethod(const std::string& method, const Workload& w,
                 FormatInt(sample.matvecs), FormatInt(sample.restarts),
                 FormatDouble(sample.max_residual, 10),
                 FormatDouble(sample.lambda2, 8), result->method_used});
+  if (emit_phases) EmitPhaseRows(w, result->profile, table);
 }
 
 // --- Kernel microbenches --------------------------------------------------
@@ -264,6 +298,67 @@ void RunReorthMicrobench(const Workload& w, TablePrinter& table) {
                 "panel-blocked orthonormalize, 24 cols"});
 }
 
+// "hfill-multidot": the fused symmetric multi-dot behind the Rayleigh-Ritz
+// H-fill — one pass per 8-column panel instead of 2m scalar Dot passes per
+// projected row. `matvecs` carries the number of H entries computed and
+// `max_residual` the worst deviation from the scalar (Dot + Dot) / 2
+// reference (the kernel's bit-identity contract, so it is exactly 0).
+void RunHfillMicrobench(const Workload& w, TablePrinter& table) {
+  constexpr int64_t kCols = 24;
+  constexpr int kReps = 20;
+  const int64_t n = w.laplacian.rows();
+  Rng rng(0x4f111);
+  PackedBasis v, av;
+  v.Reset(n, kCols);
+  av.Reset(n, kCols);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t c = 0; c < kCols; ++c) {
+      v.at(r, c) = rng.UniformDouble(-1.0, 1.0);
+      av.at(r, c) = rng.UniformDouble(-1.0, 1.0);
+    }
+  }
+
+  std::vector<double> h(static_cast<size_t>(kCols * kCols), 0.0);
+  int64_t entries = 0;
+  WallTimer timer;
+  for (int rep = 0; rep < kReps; ++rep) {
+    entries = 0;
+    for (int64_t i = 0; i < kCols; ++i) {
+      ProjectedRowMultiDot(v, av, i, i, kCols - i,
+                           h.data() + i * kCols + i);
+      entries += kCols - i;
+    }
+  }
+  const double cold_ms = timer.ElapsedSeconds() * 1e3;
+
+  // Bit-identity check against the scalar Dot pair, off the clock.
+  double worst = 0.0;
+  Vector vi, vj, avi, avj;
+  for (int64_t i = 0; i < kCols; ++i) {
+    v.CopyColumnOut(i, vi);
+    av.CopyColumnOut(i, avi);
+    for (int64_t j = i; j < kCols; ++j) {
+      v.CopyColumnOut(j, vj);
+      av.CopyColumnOut(j, avj);
+      const double expect = (Dot(vi, avj) + Dot(vj, avi)) / 2.0;
+      worst = std::max(
+          worst, std::fabs(h[static_cast<size_t>(i * kCols + j)] - expect));
+    }
+  }
+
+  SolverSample sample;
+  sample.method = "hfill-multidot";
+  sample.workload = w.name;
+  sample.cold_ms = cold_ms;
+  sample.matvecs = kReps * entries;  // H entries computed, deterministic
+  sample.max_residual = worst;       // == 0: bit-identical to Dot pairs
+  AllSamples().push_back(sample);
+  table.AddRow({w.name, sample.method, FormatDouble(cold_ms, 1),
+                FormatInt(sample.matvecs), "0",
+                FormatDouble(sample.max_residual, 10), "0",
+                "fused multi-dot vs scalar Dot pairs, 24 cols"});
+}
+
 void Run() {
   std::cout << "Fiedler engines (num_pairs=3, tol=1e-9): cold wall time, "
                "matvec/restart counts, worst true residual per method and "
@@ -286,7 +381,7 @@ void Run() {
   workloads.push_back(MakeKernelBlobWorkload());
   for (const Workload& w : workloads) {
     RunMethod("lanczos", w, table);
-    RunMethod("block", w, table);
+    RunMethod("block", w, table, /*emit_phases=*/true);
     RunMethod("multilevel-warm", w, table);
   }
 
@@ -294,8 +389,10 @@ void Run() {
   // grid stencil vs irregular Gaussian-kernel graph).
   RunSpmmMicrobench(workloads[0], table);
   RunReorthMicrobench(workloads[0], table);
+  RunHfillMicrobench(workloads[0], table);
   RunSpmmMicrobench(workloads[2], table);
   RunReorthMicrobench(workloads[2], table);
+  RunHfillMicrobench(workloads[2], table);
   EmitTable("eigensolver", table);
 }
 

@@ -54,14 +54,23 @@ OrderingResult FromSpectralResult(SpectralLpmResult result) {
   out.restarts = result.restarts;
   out.spmm_calls = result.spmm_calls;
   out.reorth_panels = result.reorth_panels;
+  out.profile = result.profile;
   out.embedding = std::move(result.values);
+  // Only the deterministic flop estimates go into detail (it is compared
+  // byte-for-byte by caching/sharding layers); wall times stay in
+  // `profile` for --profile output and bench share rows.
   out.detail = "engine=" + out.method +
                " lambda2=" + FormatDouble(out.lambda2) +
                " components=" + FormatInt(out.num_components) +
                " matvecs=" + FormatInt(out.matvecs) +
                " restarts=" + FormatInt(out.restarts) +
                " spmm=" + FormatInt(out.spmm_calls) +
-               " reorth_panels=" + FormatInt(out.reorth_panels);
+               " reorth_panels=" + FormatInt(out.reorth_panels) +
+               " flops=" + FormatInt(out.profile.spmm_flops) + "/" +
+               FormatInt(out.profile.reorth_flops) + "/" +
+               FormatInt(out.profile.hfill_flops) + "/" +
+               FormatInt(out.profile.rr_flops) + "/" +
+               FormatInt(out.profile.cheb_flops);
   return out;
 }
 

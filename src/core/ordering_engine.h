@@ -27,6 +27,7 @@
 
 #include "core/linear_order.h"
 #include "core/ordering_request.h"
+#include "eigen/kernel_profile.h"
 #include "linalg/vector_ops.h"
 #include "space/grid.h"
 #include "util/status.h"
@@ -52,6 +53,11 @@ struct OrderingResult {
   int64_t spmm_calls = 0;
   /// Reorthogonalization panel-kernel applications (block Lanczos paths).
   int64_t reorth_panels = 0;
+  /// Per-kernel wall time + deterministic flop estimates (block Lanczos
+  /// paths; see eigen/kernel_profile.h). Only the flop counters appear in
+  /// `detail` — the `*_ms` fields are machine-dependent and detail strings
+  /// are compared byte-for-byte by caching/sharding layers.
+  KernelProfile profile;
   /// The 1-d embedding the order was sorted from (the concatenated
   /// per-component Fiedler vectors); empty for non-spectral engines.
   Vector embedding;

@@ -107,6 +107,7 @@ StatusOr<SpectralLpmResult> SpectralMapper::MapGraph(
     int64_t restarts = 0;
     int64_t spmm_calls = 0;
     int64_t reorth_panels = 0;
+    KernelProfile profile;
     std::string method_used;
     bool solved = false;  // true iff the component needed an eigensolve
   };
@@ -181,6 +182,7 @@ StatusOr<SpectralLpmResult> SpectralMapper::MapGraph(
     out.restarts = fiedler->restarts;
     out.spmm_calls = fiedler->spmm_calls;
     out.reorth_panels = fiedler->reorth_panels;
+    out.profile = fiedler->profile;
     out.method_used = fiedler->method_used;
     out.solved = true;
   };
@@ -220,6 +222,7 @@ StatusOr<SpectralLpmResult> SpectralMapper::MapGraph(
       result.restarts += solve.restarts;
       result.spmm_calls += solve.spmm_calls;
       result.reorth_panels += solve.reorth_panels;
+      result.profile.Add(solve.profile);
       if (!recorded_main) {
         result.lambda2 = solve.lambda2;
         result.method_used = solve.method_used;

@@ -104,6 +104,9 @@ struct SpectralLpmResult {
   int64_t spmm_calls = 0;
   /// Reorthogonalization panel-kernel applications summed over components.
   int64_t reorth_panels = 0;
+  /// Per-kernel wall time + deterministic flop estimates summed over
+  /// components (block path only; see eigen/kernel_profile.h).
+  KernelProfile profile;
   /// "dense-jacobi", "block-lanczos[+warm]", "lanczos", or
   /// "multilevel(...)+..." (of the largest component).
   std::string method_used;

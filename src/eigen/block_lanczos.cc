@@ -6,113 +6,129 @@
 
 #include "eigen/jacobi.h"
 #include "linalg/dense_matrix.h"
+#include "linalg/packed_basis.h"
 #include "util/check.h"
 #include "util/random.h"
+#include "util/timer.h"
 
 namespace spectral {
 
 namespace {
 
-// One assembled Ritz pair.
-struct RitzPair {
+// Metadata of one assembled Ritz pair; the vector itself lives as a
+// packed column of the solver's `ritz` buffer.
+struct RitzInfo {
   double theta = 0.0;
   double residual = 0.0;
-  Vector z;
+  bool taken = false;  // locked (moved to the output) — skip in the top-up
 };
 
 // Appends random unit columns orthogonal to `deflate`, `locked`, and the
-// block itself until the block has `width` columns. Returns false if no
-// such direction can be constructed (the complement is exhausted).
-bool PadBlockRandom(int64_t n, int64_t width, std::span<const Vector> deflate,
-                    const VectorBlock& locked, VectorBlock& block, Rng& rng) {
-  while (static_cast<int64_t>(block.size()) < width) {
+// packed prefix [0, cur) until `v` has `width` live columns. Returns the
+// new column count, or -1 if no such direction can be constructed (the
+// complement is exhausted). RNG draw order and per-column arithmetic are
+// exactly the unpacked PadBlockRandom's, so the same seed yields the same
+// columns. The orthogonalization work is billed to profile.reorth_*.
+int64_t PadPackedRandom(int64_t n, int64_t width,
+                        std::span<const Vector> deflate,
+                        const VectorBlock& locked, PackedBasis& v,
+                        int64_t cur, Rng& rng, Vector& tmp,
+                        KernelProfile& profile) {
+  WallTimer timer;
+  while (cur < width) {
     bool found = false;
     for (int attempt = 0; attempt < 8 && !found; ++attempt) {
-      Vector v(static_cast<size_t>(n));
-      for (double& x : v) x = rng.UniformDouble(-1.0, 1.0);
-      OrthogonalizeAgainst(deflate, v);
-      OrthogonalizeAgainst(locked, v);
-      OrthogonalizeAgainst(block, v);
-      if (Normalize(v) > 1e-8) {
-        block.push_back(std::move(v));
+      tmp.resize(static_cast<size_t>(n));
+      for (double& x : tmp) x = rng.UniformDouble(-1.0, 1.0);
+      OrthogonalizeAgainst(deflate, tmp);
+      OrthogonalizeAgainst(locked, tmp);
+      OrthogonalizeVectorAgainstColumns(v, cur, tmp);
+      profile.reorth_flops +=
+          8 * n *
+              (static_cast<int64_t>(deflate.size()) +
+               static_cast<int64_t>(locked.size()) + cur) +
+          3 * n;
+      if (Normalize(tmp) > 1e-8) {
+        v.CopyColumnIn(tmp, cur);
+        ++cur;
         found = true;
       }
     }
-    if (!found) return false;
-  }
-  return true;
-}
-
-// Packs block columns [first, first + count) into a row-major buffer
-// (packed[j * count + c] = block[first + c][j]) — the layout
-// LinearOperator::ApplyBlock consumes.
-void PackBlock(std::span<const Vector> block, size_t first, size_t count,
-               int64_t n, std::vector<double>& packed) {
-  packed.resize(static_cast<size_t>(n) * count);
-  for (size_t c = 0; c < count; ++c) {
-    const Vector& col = block[first + c];
-    for (int64_t j = 0; j < n; ++j) {
-      packed[static_cast<size_t>(j) * count + c] =
-          col[static_cast<size_t>(j)];
+    if (!found) {
+      profile.reorth_ms += timer.ElapsedSeconds() * 1e3;
+      return -1;
     }
   }
+  profile.reorth_ms += timer.ElapsedSeconds() * 1e3;
+  return cur;
 }
 
-// In-place Chebyshev filter of the given degree on `block`: applies the
-// degree-d Chebyshev polynomial of op mapped so [lo, cut] -> [-1, 1],
-// amplifying every spectral component above `cut` by cosh(d * acosh(t))
-// while keeping the damped interval at magnitude <= 1. Columns are
-// renormalized afterwards. These matvecs never touch a Krylov basis, so
-// they cost no reorthogonalization — and the whole block advances through
-// each recurrence step with ONE fused SpMM, so the matrix is streamed
-// degree times total instead of degree times per column. The three-term
-// recurrence is evaluated element-wise, identically to the scalar
-// per-column loop, so results are bit-identical to the unfused filter.
-void ChebyshevFilterBlock(const LinearOperator& op, double lo, double cut,
-                          int degree, VectorBlock& block, int64_t& matvecs,
-                          int64_t& spmm_calls) {
+// In-place Chebyshev filter of the given degree on packed columns [0, w)
+// of `v`: applies the degree-d Chebyshev polynomial of op mapped so
+// [lo, cut] -> [-1, 1], amplifying every spectral component above `cut`
+// by cosh(d * acosh(t)) while keeping the damped interval at magnitude
+// <= 1. Columns are renormalized afterwards. These matvecs never touch a
+// Krylov basis, so they cost no reorthogonalization — and the whole block
+// advances through each recurrence step with ONE fused SpMM. The
+// recurrence runs on dense width-w buffers (hoisted into the solver's
+// workspace); the three-term step is evaluated element-wise, identically
+// to the scalar per-column loop, so results are bit-identical to the
+// unfused filter. Flops are billed to profile.cheb_*, including the
+// filter's SpMMs.
+void ChebyshevFilterPacked(const LinearOperator& op, double lo, double cut,
+                           int degree, PackedBasis& v, int64_t w,
+                           std::vector<double>& prev,
+                           std::vector<double>& curr,
+                           std::vector<double>& next, int64_t& matvecs,
+                           int64_t& spmm_calls, KernelProfile& profile) {
   const int64_t n = op.Dim();
-  const size_t w = block.size();
   if (w == 0) return;
   const double center = (cut + lo) / 2.0;
   const double half_width = (cut - lo) / 2.0;
-  std::vector<double> prev;  // T_0(t) X = X
-  PackBlock(block, 0, w, n, prev);
-  std::vector<double> curr(prev.size());  // T_1(t) X = t(A) X
-  std::vector<double> next(prev.size());
-  op.ApplyBlock(static_cast<int64_t>(w), prev, curr);
-  matvecs += static_cast<int64_t>(w);
+  const size_t total = static_cast<size_t>(n * w);
+  SPECTRAL_DCHECK_LE(total, prev.size());
+  const int64_t flops_per_spmm = w * op.FlopsPerApply();
+  // T_0(t) X = X: pack the block once; the recurrence stays packed.
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t c = 0; c < w; ++c) {
+      prev[static_cast<size_t>(r * w + c)] = v.at(r, c);
+    }
+  }
+  op.ApplyPanel(w, prev.data(), w, curr.data(), w);  // T_1(t) X = t(A) X
+  matvecs += w;
   ++spmm_calls;
+  profile.cheb_flops += flops_per_spmm;
   {
     double* __restrict cw = curr.data();
     const double* __restrict pr = prev.data();
-    const size_t total = curr.size();
     for (size_t e = 0; e < total; ++e) {
       cw[e] = (cw[e] - center * pr[e]) / half_width;
     }
+    profile.cheb_flops += 3 * static_cast<int64_t>(total);
   }
   for (int k = 2; k <= degree; ++k) {
-    op.ApplyBlock(static_cast<int64_t>(w), curr, next);
-    matvecs += static_cast<int64_t>(w);
+    op.ApplyPanel(w, curr.data(), w, next.data(), w);
+    matvecs += w;
     ++spmm_calls;
+    profile.cheb_flops += flops_per_spmm;
     {
       double* __restrict nw = next.data();
       const double* __restrict cr = curr.data();
       const double* __restrict pr = prev.data();
-      const size_t total = next.size();
       for (size_t e = 0; e < total; ++e) {
         nw[e] = 2.0 * (nw[e] - center * cr[e]) / half_width - pr[e];
       }
+      profile.cheb_flops += 5 * static_cast<int64_t>(total);
     }
     prev.swap(curr);
     curr.swap(next);
   }
-  for (size_t c = 0; c < w; ++c) {
-    Vector& x = block[c];
-    for (int64_t j = 0; j < n; ++j) {
-      x[static_cast<size_t>(j)] = curr[static_cast<size_t>(j) * w + c];
+  for (int64_t c = 0; c < w; ++c) {
+    for (int64_t r = 0; r < n; ++r) {
+      v.at(r, c) = curr[static_cast<size_t>(r * w + c)];
     }
-    Normalize(x);
+    NormalizeColumn(v, c);
+    profile.cheb_flops += 3 * n;
   }
 }
 
@@ -140,70 +156,103 @@ StatusOr<BlockLanczosResult> LargestEigenpairsBlock(
   BlockLanczosResult result;
   ThreadPool* pool = options.pool;
   int64_t* panels = &result.reorth_panels;
+  KernelProfile& profile = result.profile;
+  int64_t* reorth_flops = &profile.reorth_flops;
 
-  VectorBlock locked;            // accepted eigenvectors, theta descending
+  VectorBlock locked;  // accepted eigenvectors, theta descending
   std::vector<double> locked_vals;
   Vector locked_res;
+
+  // --- Solve-lifetime workspace, allocated ONCE and reused across every
+  // restart: the packed Krylov basis `v` (capacity max_basis + width: a
+  // staged candidate block rides beyond the basis), the packed applied
+  // block `av`, the packed Ritz block, the Chebyshev recurrence buffers,
+  // and small per-column scratch. Nothing below this reallocates per
+  // restart except the dense m x m Rayleigh-Ritz problem itself.
+  PackedBasis v;
+  v.Reset(n, max_basis + width);
+  PackedBasis av;
+  av.Reset(n, max_basis);
+  PackedBasis ritz_vecs;
+  ritz_vecs.Reset(n, width);
+  std::vector<double> cheb_prev(static_cast<size_t>(n * width));
+  std::vector<double> cheb_curr(static_cast<size_t>(n * width));
+  std::vector<double> cheb_next(static_cast<size_t>(n * width));
+  Vector pad_tmp(static_cast<size_t>(n));
+  Vector az(static_cast<size_t>(n));
+  std::vector<double> coeffs(static_cast<size_t>(max_basis));
+  std::vector<RitzInfo> ritz;
+  ritz.reserve(static_cast<size_t>(width));
 
   // Start block: the warm start projected onto the complement of the
   // deflation set, padded with random columns to full width. A collapsed
   // (garbage) warm start degrades gracefully to the all-random start.
-  VectorBlock x_block;
-  for (const Vector& v : options.start) {
-    if (static_cast<int64_t>(x_block.size()) >= width) break;
-    SPECTRAL_CHECK_EQ(static_cast<int64_t>(v.size()), n)
+  // Live columns of `v` in [0, xw); between restarts this range holds the
+  // restart block.
+  int64_t xw = 0;
+  for (const Vector& col : options.start) {
+    if (xw >= width) break;
+    SPECTRAL_CHECK_EQ(static_cast<int64_t>(col.size()), n)
         << "warm-start column has the wrong dimension";
-    x_block.push_back(v);
+    v.CopyColumnIn(col, xw);
+    ++xw;
   }
-  OrthogonalizeBlockAgainst(deflate, x_block, pool, panels);
-  OrthonormalizeBlock(x_block, /*drop_tol=*/1e-10, pool, panels);
-  if (!PadBlockRandom(n, width, deflate, locked, x_block, rng)) {
+  {
+    WallTimer timer;
+    OrthogonalizeColumnsAgainstBlock(deflate, v, 0, xw, pool, panels,
+                                     reorth_flops);
+    xw = OrthonormalizeColumns(v, 0, xw, /*drop_tol=*/1e-10, pool, panels,
+                               reorth_flops);
+    profile.reorth_ms += timer.ElapsedSeconds() * 1e3;
+  }
+  xw = PadPackedRandom(n, width, deflate, locked, v, xw, rng, pad_tmp,
+                       profile);
+  if (xw < 0) {
     return FailedPreconditionError(
         "could not construct a start block orthogonal to the deflation set");
   }
-
-  VectorBlock basis;       // Krylov columns v_0 .. v_{m-1}
-  VectorBlock applied;     // A v_0 .. A v_{m-1}
-  std::vector<RitzPair> ritz;
-  std::vector<double> packed_x;  // scratch for the fused block matvec
-  std::vector<double> packed_y;
 
   for (int restart = 0; restart < options.max_restarts; ++restart) {
     result.restarts = restart + 1;
     const int64_t remaining = want - static_cast<int64_t>(locked.size());
 
     // --- Grow the block Krylov basis with fused full reorthogonalization.
-    basis.clear();
-    applied.clear();
-    VectorBlock candidate = std::move(x_block);
-    x_block.clear();
+    // The candidate block starts as the restart block already sitting at
+    // [0, xw); each round absorbs it into the basis [0, m), applies the
+    // operator to the new panel IN PLACE (strided SpMM straight off the
+    // basis columns — no pack/unpack), stages the applied panel as the
+    // next candidate at [m, m + cw), and cleans it against everything.
+    int64_t m = 0;
+    int64_t cw = xw;
     bool exhausted = false;
-    while (!candidate.empty() &&
-           static_cast<int64_t>(basis.size() + candidate.size()) <=
-               max_basis) {
-      const size_t base = basis.size();
-      for (Vector& col : candidate) basis.push_back(std::move(col));
-      // ONE fused SpMM applies the operator to every new basis column.
-      const size_t bw = basis.size() - base;
-      PackBlock(basis, base, bw, n, packed_x);
-      packed_y.resize(packed_x.size());
-      op.ApplyBlock(static_cast<int64_t>(bw), packed_x, packed_y);
-      result.matvecs += static_cast<int64_t>(bw);
-      ++result.spmm_calls;
-      for (size_t c = 0; c < bw; ++c) {
-        Vector y(static_cast<size_t>(n));
-        for (int64_t j = 0; j < n; ++j) {
-          y[static_cast<size_t>(j)] =
-              packed_y[static_cast<size_t>(j) * bw + c];
+    while (cw > 0 && m + cw <= max_basis) {
+      const int64_t base = m;
+      m += cw;
+      {
+        WallTimer timer;
+        // ONE fused SpMM applies the operator to every new basis column.
+        op.ApplyPanel(cw, v.data() + base, v.ld(), av.data() + base,
+                      av.ld());
+        result.matvecs += cw;
+        ++result.spmm_calls;
+        profile.spmm_flops += cw * op.FlopsPerApply();
+        // Stage the applied panel as the next candidate block.
+        for (int64_t r = 0; r < n; ++r) {
+          const double* src = av.data() + r * av.ld() + base;
+          double* dst = v.data() + r * v.ld() + m;
+          for (int64_t c = 0; c < cw; ++c) dst[c] = src[c];
         }
-        applied.push_back(std::move(y));
+        profile.spmm_ms += timer.ElapsedSeconds() * 1e3;
       }
-      candidate.assign(applied.begin() + static_cast<int64_t>(base),
-                       applied.end());
-      OrthogonalizeBlockAgainst(deflate, candidate, pool, panels);
-      OrthogonalizeBlockAgainst(locked, candidate, pool, panels);
-      OrthogonalizeBlockAgainst(basis, candidate, pool, panels);
-      OrthonormalizeBlock(candidate, /*drop_tol=*/1e-10, pool, panels);
+      WallTimer timer;
+      OrthogonalizeColumnsAgainstBlock(deflate, v, m, cw, pool, panels,
+                                       reorth_flops);
+      OrthogonalizeColumnsAgainstBlock(locked, v, m, cw, pool, panels,
+                                       reorth_flops);
+      OrthogonalizeColumnsAgainstColumns(v, 0, m, m, cw, pool, panels,
+                                         reorth_flops);
+      cw = OrthonormalizeColumns(v, m, cw, /*drop_tol=*/1e-10, pool, panels,
+                                 reorth_flops);
       // Re-clean at unit scale. Near convergence the remainder above is
       // tiny, so normalizing it amplifies the projections' rounding —
       // including the deflated kernel direction, which is the operator's
@@ -211,65 +260,88 @@ StatusOr<BlockLanczosResult> LargestEigenpairsBlock(
       // in and get "found". A second pass over everything at unit norm
       // pins the pollution back to machine epsilon; columns that lose half
       // their mass here were junk and are dropped.
-      OrthogonalizeBlockAgainst(deflate, candidate, pool, panels);
-      OrthogonalizeBlockAgainst(locked, candidate, pool, panels);
-      OrthogonalizeBlockAgainst(basis, candidate, pool, panels);
-      OrthonormalizeBlock(candidate, /*drop_tol=*/0.5, pool, panels);
-      if (candidate.empty()) exhausted = true;
+      OrthogonalizeColumnsAgainstBlock(deflate, v, m, cw, pool, panels,
+                                       reorth_flops);
+      OrthogonalizeColumnsAgainstBlock(locked, v, m, cw, pool, panels,
+                                       reorth_flops);
+      OrthogonalizeColumnsAgainstColumns(v, 0, m, m, cw, pool, panels,
+                                         reorth_flops);
+      cw = OrthonormalizeColumns(v, m, cw, /*drop_tol=*/0.5, pool, panels,
+                                 reorth_flops);
+      profile.reorth_ms += timer.ElapsedSeconds() * 1e3;
+      if (cw == 0) exhausted = true;
     }
-    const int64_t m = static_cast<int64_t>(basis.size());
     SPECTRAL_CHECK_GT(m, 0);
 
     // --- Rayleigh-Ritz on the projected dense matrix H = V^T A V. Row i's
-    // task writes only At(i, j) and its mirror At(j, i) for j >= i — every
-    // cell is written by exactly one task, so rows parallelize race-free
-    // and each Dot runs serially: bit-identical for any pool size.
+    // task computes the symmetrized entries (i, j >= i) with ONE fused
+    // multi-dot pass per panel of 8 columns and mirrors them; every cell
+    // is written by exactly one task, so rows parallelize race-free and
+    // each accumulation runs serially: bit-identical for any pool size.
     DenseMatrix h(m, m);
-    const auto fill_row = [&](int64_t i) {
-      for (int64_t j = i; j < m; ++j) {
-        const double hij = (Dot(basis[static_cast<size_t>(i)],
-                                applied[static_cast<size_t>(j)]) +
-                            Dot(basis[static_cast<size_t>(j)],
-                                applied[static_cast<size_t>(i)])) /
-                           2.0;
-        h.At(i, j) = hij;
-        h.At(j, i) = hij;
+    {
+      WallTimer timer;
+      const auto fill_row = [&](int64_t i) {
+        ProjectedRowMultiDot(v, av, i, i, m - i, &h.At(i, i));
+        for (int64_t j = i + 1; j < m; ++j) h.At(j, i) = h.At(i, j);
+      };
+      if (pool != nullptr && pool->num_threads() >= 2 && m >= 2) {
+        pool->ParallelFor(0, m, 1, fill_row);
+      } else {
+        for (int64_t i = 0; i < m; ++i) fill_row(i);
       }
-    };
-    if (pool != nullptr && pool->num_threads() >= 2 && m >= 2) {
-      pool->ParallelFor(0, m, 1, fill_row);
-    } else {
-      for (int64_t i = 0; i < m; ++i) fill_row(i);
+      profile.hfill_flops += (4 * n + 2) * (m * (m + 1) / 2);
+      profile.hfill_ms += timer.ElapsedSeconds() * 1e3;
     }
+    WallTimer rr_timer;
     auto eig = JacobiEigenSolve(h);
     if (!eig.ok()) return eig.status();
 
     // Assemble the top Ritz pairs (descending), enough for the restart
-    // block; A z comes free from the stored applied columns.
+    // block; A z comes free from the stored applied columns. The row-fused
+    // accumulation (ascending basis index per row) is exactly the old
+    // per-column Axpy chain's per-element order.
     const int64_t assemble = std::min<int64_t>(m, width);
-    ritz.assign(static_cast<size_t>(assemble), RitzPair{});
+    ritz.assign(static_cast<size_t>(assemble), RitzInfo{});
     for (int64_t k = 0; k < assemble; ++k) {
-      RitzPair& pair = ritz[static_cast<size_t>(k)];
+      RitzInfo& pair = ritz[static_cast<size_t>(k)];
       const int64_t col = m - 1 - k;
       pair.theta = eig->eigenvalues[static_cast<size_t>(col)];
-      pair.z.assign(static_cast<size_t>(n), 0.0);
-      Vector az(static_cast<size_t>(n), 0.0);
       for (int64_t i = 0; i < m; ++i) {
-        const double u = eig->eigenvectors.At(i, col);
-        Axpy(u, basis[static_cast<size_t>(i)], pair.z);
-        Axpy(u, applied[static_cast<size_t>(i)], az);
+        coeffs[static_cast<size_t>(i)] = eig->eigenvectors.At(i, col);
       }
-      const double norm = Normalize(pair.z);
+      for (int64_t r = 0; r < n; ++r) {
+        const double* vr = v.data() + r * v.ld();
+        const double* avr = av.data() + r * av.ld();
+        double zr = 0.0;
+        double azr = 0.0;
+        for (int64_t i = 0; i < m; ++i) {
+          const double u = coeffs[static_cast<size_t>(i)];
+          zr += u * vr[i];
+          azr += u * avr[i];
+        }
+        ritz_vecs.at(r, k) = zr;
+        az[static_cast<size_t>(r)] = azr;
+      }
+      const double norm = NormalizeColumn(ritz_vecs, k);
       if (norm > 0.0) Scale(1.0 / norm, az);
-      Axpy(-pair.theta, pair.z, az);
+      const double* z = ritz_vecs.data() + k;
+      const int64_t zld = ritz_vecs.ld();
+      const double mtheta = -pair.theta;
+      for (int64_t r = 0; r < n; ++r) {
+        az[static_cast<size_t>(r)] += mtheta * z[r * zld];
+      }
       pair.residual = Norm2(az);
     }
+    profile.rr_flops +=
+        eig->sweeps * 6 * m * m * m + assemble * (4 * n * m + 8 * n);
+    profile.rr_ms += rr_timer.ElapsedSeconds() * 1e3;
 
     // --- Lock the converged prefix, in descending order only, so the
     // accepted pairs are guaranteed to be the extremal ones in sequence.
     int64_t newly_locked = 0;
     while (newly_locked < remaining && newly_locked < assemble) {
-      RitzPair& pair = ritz[static_cast<size_t>(newly_locked)];
+      RitzInfo& pair = ritz[static_cast<size_t>(newly_locked)];
       const double scale = std::max(std::fabs(pair.theta), 1.0);
       // On Krylov exhaustion span(V) is invariant under A (up to drop_tol),
       // so the Ritz pairs are exact on the reachable subspace: accept them,
@@ -277,7 +349,9 @@ StatusOr<BlockLanczosResult> LargestEigenpairsBlock(
       if (pair.residual > options.tol * scale && !exhausted) break;
       locked_vals.push_back(pair.theta);
       locked_res.push_back(pair.residual);
-      locked.push_back(std::move(pair.z));
+      locked.emplace_back();
+      ritz_vecs.CopyColumnOut(newly_locked, locked.back());
+      pair.taken = true;
       ++newly_locked;
     }
     if (static_cast<int64_t>(locked.size()) >= want) {
@@ -286,20 +360,21 @@ StatusOr<BlockLanczosResult> LargestEigenpairsBlock(
     }
 
     // --- Restart from the best unconverged Ritz vectors (thick restart:
-    // the dense Rayleigh-Ritz above accepts any starting subspace).
-    x_block.clear();
+    // the dense Rayleigh-Ritz above accepts any starting subspace). The
+    // Ritz columns are copied, not moved: `ritz_vecs` doubles as the
+    // best-effort answer when max_restarts runs out below.
+    xw = 0;
     double worst_residual = 0.0;
     double wanted_theta_min = 0.0;
     const int64_t still_wanted = want - static_cast<int64_t>(locked.size());
     for (int64_t k = newly_locked; k < assemble; ++k) {
-      RitzPair& pair = ritz[static_cast<size_t>(k)];
+      const RitzInfo& pair = ritz[static_cast<size_t>(k)];
       if (k - newly_locked < still_wanted) {
         worst_residual = std::max(worst_residual, pair.residual);
         wanted_theta_min = pair.theta;
       }
-      // Copied, not moved: `ritz` doubles as the best-effort answer when
-      // max_restarts runs out below.
-      x_block.push_back(pair.z);
+      for (int64_t r = 0; r < n; ++r) v.at(r, xw) = ritz_vecs.at(r, k);
+      ++xw;
     }
 
     // --- Chebyshev acceleration: when the residual is still far from tol,
@@ -307,7 +382,7 @@ StatusOr<BlockLanczosResult> LargestEigenpairsBlock(
     // the best available estimate of the first unwanted eigenvalue: the
     // largest Ritz value below the restart set.
     const int64_t cut_col = m - 1 - assemble;
-    if (options.cheb_degree_max > 0 && cut_col >= 0 && !x_block.empty()) {
+    if (options.cheb_degree_max > 0 && cut_col >= 0 && xw > 0) {
       const double lo = options.op_lower_bound;
       const double cut = eig->eigenvalues[static_cast<size_t>(cut_col)];
       const double scale = std::max(std::fabs(wanted_theta_min), 1.0);
@@ -324,20 +399,32 @@ StatusOr<BlockLanczosResult> LargestEigenpairsBlock(
               std::acosh(gain) / std::acosh(t_wanted)));
           if (degree >= 2) {
             const int64_t before = result.matvecs;
-            ChebyshevFilterBlock(op, lo, cut,
-                                 std::min(degree, options.cheb_degree_max),
-                                 x_block, result.matvecs,
-                                 result.spmm_calls);
+            WallTimer timer;
+            ChebyshevFilterPacked(op, lo, cut,
+                                  std::min(degree, options.cheb_degree_max),
+                                  v, xw, cheb_prev, cheb_curr, cheb_next,
+                                  result.matvecs, result.spmm_calls,
+                                  profile);
+            profile.cheb_ms += timer.ElapsedSeconds() * 1e3;
             result.cheb_matvecs += result.matvecs - before;
           }
         }
       }
     }
 
-    OrthogonalizeBlockAgainst(deflate, x_block, pool, panels);
-    OrthogonalizeBlockAgainst(locked, x_block, pool, panels);
-    OrthonormalizeBlock(x_block, /*drop_tol=*/1e-10, pool, panels);
-    if (!PadBlockRandom(n, width, deflate, locked, x_block, rng)) {
+    {
+      WallTimer timer;
+      OrthogonalizeColumnsAgainstBlock(deflate, v, 0, xw, pool, panels,
+                                       reorth_flops);
+      OrthogonalizeColumnsAgainstBlock(locked, v, 0, xw, pool, panels,
+                                       reorth_flops);
+      xw = OrthonormalizeColumns(v, 0, xw, /*drop_tol=*/1e-10, pool, panels,
+                                 reorth_flops);
+      profile.reorth_ms += timer.ElapsedSeconds() * 1e3;
+    }
+    xw = PadPackedRandom(n, width, deflate, locked, v, xw, rng, pad_tmp,
+                         profile);
+    if (xw < 0) {
       if (locked.empty()) {
         return InternalError("block Lanczos lost the search subspace");
       }
@@ -348,12 +435,14 @@ StatusOr<BlockLanczosResult> LargestEigenpairsBlock(
   // Best effort: top up with the freshest (unconverged) Ritz pairs so the
   // caller still sees `want` pairs with honest residuals.
   if (!result.converged) {
-    for (RitzPair& pair : ritz) {
+    for (size_t k = 0; k < ritz.size(); ++k) {
       if (static_cast<int64_t>(locked.size()) >= want) break;
-      if (pair.z.empty()) continue;
+      const RitzInfo& pair = ritz[k];
+      if (pair.taken) continue;
       locked_vals.push_back(pair.theta);
       locked_res.push_back(pair.residual);
-      locked.push_back(std::move(pair.z));
+      locked.emplace_back();
+      ritz_vecs.CopyColumnOut(static_cast<int64_t>(k), locked.back());
     }
   }
   result.eigenvalues = std::move(locked_vals);

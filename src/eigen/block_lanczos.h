@@ -21,18 +21,30 @@
 // grid hierarchy (eigen/warm_start.h); the dominant pairs here are then
 // exactly the (lambda2 ... lambda_{1+p}) pairs of the Laplacian.
 //
+// Storage model: the Krylov basis V and the applied block AV are PACKED
+// column-panel buffers (linalg/packed_basis.h) — row-major with a fixed
+// leading dimension, allocated once per solve and reused across restarts.
+// Growth appends columns in place, the strided SpMM
+// (LinearOperator::ApplyPanel) reads/writes basis panels directly, and
+// the BCGS2 reorthogonalization, Rayleigh-Ritz multi-dot H-fill, Ritz
+// assembly, and Chebyshev filter all run on the packed layout: no
+// pack/unpack round trip anywhere in the iteration. Unpacked
+// std::vector<Vector> blocks remain only at the API boundary (warm-start
+// input, deflation set, locked eigenvector output).
+//
 // Threading model: BlockLanczosOptions::pool is the ONE worker set shared
-// by every parallel site in a solve — the operator's row-partitioned SpMM
-// (via SparseOperator's pool, wired by the Fiedler driver to the same
-// pool), the column-parallel panel reorthogonalization
-// (linalg/block_ops.h), and the row-parallel Rayleigh-Ritz Gram fill.
-// ThreadPool::ParallelFor is nest-safe (the caller participates and
-// degrades to serial), so these sites can sit under batch/component/shard
-// Submit tasks without spawning nested pools. Every parallel site
-// partitions only across independent output elements with fixed
-// per-element arithmetic, so eigenpairs, residuals, and all counters are
-// byte-identical for any pool size including none: the pool is a runtime
-// resource, never part of the result.
+// by every parallel site in a solve — the operator's row-partitioned
+// strided SpMM (via SparseOperator's pool, wired by the Fiedler driver to
+// the same pool), the column-parallel panel reorthogonalization
+// (linalg/packed_basis.h), and the row-parallel Rayleigh-Ritz multi-dot
+// H-fill. ThreadPool::ParallelFor is nest-safe (the caller participates
+// and degrades to serial), so these sites can sit under
+// batch/component/shard Submit tasks without spawning nested pools. Every
+// parallel site partitions only across independent output elements with
+// fixed per-element arithmetic, so eigenpairs, residuals, and all
+// counters are byte-identical for any pool size including none: the pool
+// is a runtime resource, never part of the result. Wall-clock fields in
+// `profile` are the ONLY machine-dependent outputs.
 
 #ifndef SPECTRAL_LPM_EIGEN_BLOCK_LANCZOS_H_
 #define SPECTRAL_LPM_EIGEN_BLOCK_LANCZOS_H_
@@ -41,6 +53,7 @@
 #include <span>
 #include <vector>
 
+#include "eigen/kernel_profile.h"
 #include "eigen/operator.h"
 #include "linalg/block_ops.h"
 #include "linalg/vector_ops.h"
@@ -108,6 +121,10 @@ struct BlockLanczosResult {
   /// Restart cycles consumed.
   int restarts = 0;
   bool converged = false;
+  /// Per-kernel wall time + deterministic flop estimates (see
+  /// eigen/kernel_profile.h). The `*_ms` fields are machine-dependent;
+  /// everything else in this struct is byte-identical across pool sizes.
+  KernelProfile profile;
 };
 
 /// Computes the `num_pairs` largest eigenpairs of symmetric `op` on the

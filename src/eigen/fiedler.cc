@@ -218,6 +218,7 @@ StatusOr<FiedlerResult> BlockLanczosPath(const SparseMatrix& laplacian,
   result.spmm_calls = lan->spmm_calls;
   result.reorth_panels = lan->reorth_panels;
   result.restarts = lan->restarts;
+  result.profile = lan->profile;
 
   // Keep the converged prefix (matching the scalar path: extra pairs exist
   // only for canonicalization and may be dropped, but the Fiedler pair

@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "eigen/kernel_profile.h"
 #include "linalg/block_ops.h"
 #include "linalg/sparse_matrix.h"
 #include "linalg/vector_ops.h"
@@ -141,6 +142,10 @@ struct FiedlerResult {
   /// Restart cycles consumed by the iterative paths (summed over the
   /// sequential solves for kLanczos).
   int64_t restarts = 0;
+  /// Per-kernel wall time + deterministic flop estimates from the block
+  /// path (zero for the dense and scalar paths); additive across
+  /// multilevel/component solves. See eigen/kernel_profile.h.
+  KernelProfile profile;
   std::string method_used;
 };
 

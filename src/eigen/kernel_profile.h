@@ -1,0 +1,61 @@
+// Per-kernel profile of one block Lanczos solve: wall time and a
+// deterministic flop estimate for each of the five phases that dominate
+// the eigensolve — fused SpMM, blocked reorthogonalization, Rayleigh-Ritz
+// H-fill, the dense Rayleigh-Ritz solve + Ritz assembly, and the
+// Chebyshev filter.
+//
+// The two counter families have different contracts:
+//   * `*_ms` are wall-clock milliseconds — machine-dependent, useful for
+//     bench share rows and --profile output, never embedded in result
+//     detail strings (those are compared byte-for-byte across runs).
+//   * `*_flops` are flop estimates derived only from deterministic solver
+//     state (dimensions, iteration counts, operator nnz), so they are
+//     identical across machines and pool sizes and safe to gate in CI.
+
+#ifndef SPECTRAL_LPM_EIGEN_KERNEL_PROFILE_H_
+#define SPECTRAL_LPM_EIGEN_KERNEL_PROFILE_H_
+
+#include <cstdint>
+
+namespace spectral {
+
+/// Accumulated per-phase cost of the block eigensolver kernels. Additive:
+/// multilevel/warm-start paths and multi-component solves sum the
+/// profiles of their inner solves via Add().
+struct KernelProfile {
+  double spmm_ms = 0.0;    // fused/strided sparse matrix x panel products
+  double reorth_ms = 0.0;  // BCGS2 panel reorthogonalization + pad/orthonorm
+  double hfill_ms = 0.0;   // projected H = V^T A V multi-dot fill
+  double rr_ms = 0.0;      // dense Jacobi solve + Ritz vector assembly
+  double cheb_ms = 0.0;    // Chebyshev filter recurrence (incl. its SpMMs)
+
+  int64_t spmm_flops = 0;
+  int64_t reorth_flops = 0;
+  int64_t hfill_flops = 0;
+  int64_t rr_flops = 0;
+  int64_t cheb_flops = 0;
+
+  void Add(const KernelProfile& other) {
+    spmm_ms += other.spmm_ms;
+    reorth_ms += other.reorth_ms;
+    hfill_ms += other.hfill_ms;
+    rr_ms += other.rr_ms;
+    cheb_ms += other.cheb_ms;
+    spmm_flops += other.spmm_flops;
+    reorth_flops += other.reorth_flops;
+    hfill_flops += other.hfill_flops;
+    rr_flops += other.rr_flops;
+    cheb_flops += other.cheb_flops;
+  }
+
+  double total_ms() const {
+    return spmm_ms + reorth_ms + hfill_ms + rr_ms + cheb_ms;
+  }
+  int64_t total_flops() const {
+    return spmm_flops + reorth_flops + hfill_flops + rr_flops + cheb_flops;
+  }
+};
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_EIGEN_KERNEL_PROFILE_H_

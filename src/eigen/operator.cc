@@ -27,6 +27,27 @@ void LinearOperator::ApplyBlock(int64_t width, std::span<const double> x,
   }
 }
 
+void LinearOperator::ApplyPanel(int64_t width, const double* x, int64_t x_ld,
+                                double* y, int64_t y_ld) const {
+  const int64_t n = Dim();
+  SPECTRAL_CHECK_GE(width, 1);
+  SPECTRAL_CHECK_GE(x_ld, width);
+  SPECTRAL_CHECK_GE(y_ld, width);
+  std::vector<double> xb(static_cast<size_t>(n * width));
+  std::vector<double> yb(static_cast<size_t>(n * width));
+  for (int64_t j = 0; j < n; ++j) {
+    for (int64_t c = 0; c < width; ++c) {
+      xb[static_cast<size_t>(j * width + c)] = x[j * x_ld + c];
+    }
+  }
+  ApplyBlock(width, xb, yb);
+  for (int64_t j = 0; j < n; ++j) {
+    for (int64_t c = 0; c < width; ++c) {
+      y[j * y_ld + c] = yb[static_cast<size_t>(j * width + c)];
+    }
+  }
+}
+
 SparseOperator::SparseOperator(const SparseMatrix* matrix, ThreadPool* pool,
                                int64_t min_parallel_rows)
     : matrix_(matrix), pool_(pool), min_parallel_rows_(min_parallel_rows) {
@@ -75,6 +96,30 @@ void SparseOperator::ApplyBlock(int64_t width, std::span<const double> x,
   });
 }
 
+void SparseOperator::ApplyPanel(int64_t width, const double* x, int64_t x_ld,
+                                double* y, int64_t y_ld) const {
+  const int64_t rows = matrix_->rows();
+  if (pool_ == nullptr || pool_->num_threads() < 2 ||
+      rows < min_parallel_rows_) {
+    matrix_->MatVecRowsPanel(0, rows, width, x, x_ld, y, y_ld);
+    return;
+  }
+  // Same row partition as Apply/ApplyBlock: each output row is accumulated
+  // by exactly one thread in the serial order, so the result is
+  // bit-identical to the serial strided SpMM for any pool size.
+  const int64_t num_chunks = pool_->num_threads() + 1;
+  const int64_t chunk_rows = (rows + num_chunks - 1) / num_chunks;
+  pool_->ParallelFor(0, num_chunks, 1, [&](int64_t chunk) {
+    const int64_t first = chunk * chunk_rows;
+    const int64_t last = std::min(rows, first + chunk_rows);
+    if (first < last) {
+      matrix_->MatVecRowsPanel(first, last, width, x, x_ld, y, y_ld);
+    }
+  });
+}
+
+int64_t SparseOperator::FlopsPerApply() const { return 2 * matrix_->nnz(); }
+
 ShiftNegateOperator::ShiftNegateOperator(const LinearOperator* inner,
                                          double shift)
     : inner_(inner), shift_(shift) {
@@ -101,6 +146,27 @@ void ShiftNegateOperator::ApplyBlock(int64_t width, std::span<const double> x,
   for (size_t i = 0; i < total; ++i) {
     yw[i] = shift * xr[i] - yw[i];
   }
+}
+
+void ShiftNegateOperator::ApplyPanel(int64_t width, const double* x,
+                                     int64_t x_ld, double* y,
+                                     int64_t y_ld) const {
+  inner_->ApplyPanel(width, x, x_ld, y, y_ld);
+  const double shift = shift_;
+  const int64_t n = inner_->Dim();
+  // Element-wise, so the row/column walk order is irrelevant to the
+  // result; matches ApplyBlock's flat loop value for value.
+  for (int64_t j = 0; j < n; ++j) {
+    const double* xr = x + j * x_ld;
+    double* yw = y + j * y_ld;
+    for (int64_t c = 0; c < width; ++c) {
+      yw[c] = shift * xr[c] - yw[c];
+    }
+  }
+}
+
+int64_t ShiftNegateOperator::FlopsPerApply() const {
+  return inner_->FlopsPerApply() + 2 * inner_->Dim();
 }
 
 }  // namespace spectral

@@ -38,6 +38,20 @@ class LinearOperator {
   /// contract across parallelism levels depends on it.
   virtual void ApplyBlock(int64_t width, std::span<const double> x,
                           std::span<double> y) const;
+
+  /// Strided multi-vector apply on packed panels with arbitrary leading
+  /// dimensions (x[j * x_ld + c] is column c of row j, c < width <= x_ld):
+  /// consumes a panel of a larger packed basis (linalg/packed_basis.h) in
+  /// place. The default packs into a dense block, calls ApplyBlock, and
+  /// unpacks; subclasses override with a truly strided kernel. The same
+  /// bit-identity contract as ApplyBlock applies.
+  virtual void ApplyPanel(int64_t width, const double* x, int64_t x_ld,
+                          double* y, int64_t y_ld) const;
+
+  /// Deterministic flop count of one Apply() (2 flops per stored nonzero
+  /// plus any transformation overhead); 0 when unknown. Feeds the kernel
+  /// profiler's machine-independent flop counters, never the arithmetic.
+  virtual int64_t FlopsPerApply() const { return 0; }
 };
 
 /// Wraps a CSR matrix; requires a square matrix. With a thread pool the
@@ -59,6 +73,11 @@ class SparseOperator : public LinearOperator {
   /// (MatVecRowsBlock), row-partitioned over the pool like Apply.
   void ApplyBlock(int64_t width, std::span<const double> x,
                   std::span<double> y) const override;
+  /// Strided SpMM (MatVecRowsPanel), row-partitioned over the pool like
+  /// Apply/ApplyBlock.
+  void ApplyPanel(int64_t width, const double* x, int64_t x_ld, double* y,
+                  int64_t y_ld) const override;
+  int64_t FlopsPerApply() const override;
 
  private:
   const SparseMatrix* matrix_;
@@ -78,6 +97,9 @@ class ShiftNegateOperator : public LinearOperator {
   void Apply(std::span<const double> x, std::span<double> y) const override;
   void ApplyBlock(int64_t width, std::span<const double> x,
                   std::span<double> y) const override;
+  void ApplyPanel(int64_t width, const double* x, int64_t x_ld, double* y,
+                  int64_t y_ld) const override;
+  int64_t FlopsPerApply() const override;
 
   double shift() const { return shift_; }
 

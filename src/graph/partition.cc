@@ -1,5 +1,6 @@
 #include "graph/partition.h"
 
+#include <algorithm>
 #include <numeric>
 #include <utility>
 
@@ -10,26 +11,29 @@ namespace spectral {
 
 CoarseningChain CoarsenToTarget(const Graph& graph, int64_t target,
                                 int max_levels) {
-  if (target < 1) target = 1;
+  // One cascade implementation for the whole codebase: delegate to
+  // BuildCoarseningHierarchy (shared with the multilevel Fiedler engine
+  // and the warm start) and compose its per-step maps. The hierarchy
+  // builder requires coarsest_size >= 2, so the target is clamped there
+  // (a 1-vertex quotient is useless to the sharded cut anyway); its stall
+  // rule fires when a round shrinks by less than ~10%.
+  CoarseningOptions options;
+  options.coarsest_size = std::max<int64_t>(target, 2);
+  options.max_levels = max_levels;
+  CoarseningHierarchy hierarchy = BuildCoarseningHierarchy(graph, options);
+
   CoarseningChain chain;
   chain.fine_to_coarse.assign(static_cast<size_t>(graph.num_vertices()), 0);
   std::iota(chain.fine_to_coarse.begin(), chain.fine_to_coarse.end(), 0);
-
-  const Graph* current = &graph;
-  Graph held;  // owns the latest coarse graph once a level has run
-  while (current->num_vertices() > target && chain.levels < max_levels) {
-    Coarsening level = CoarsenByHeavyEdgeMatching(*current);
-    // A matching that barely shrinks the graph (isolated vertices, stars)
-    // would loop without converging on the target; stop instead.
-    if (level.num_coarse > (current->num_vertices() * 19) / 20) break;
+  for (const Coarsening& step : hierarchy.steps) {
     for (int64_t& c : chain.fine_to_coarse) {
-      c = level.fine_to_coarse[static_cast<size_t>(c)];
+      c = step.fine_to_coarse[static_cast<size_t>(c)];
     }
-    held = std::move(level.coarse);
-    current = &held;
-    ++chain.levels;
   }
-  chain.coarse = chain.levels == 0 ? graph : std::move(held);
+  chain.levels = static_cast<int>(hierarchy.steps.size());
+  chain.coarse = hierarchy.steps.empty()
+                     ? graph
+                     : std::move(hierarchy.steps.back().coarse);
   return chain;
 }
 

@@ -28,9 +28,12 @@ struct CoarseningChain {
 };
 
 /// Coarsens `graph` by heavy-edge matching until it has at most `target`
-/// vertices, up to `max_levels` rounds, stopping early when a round fails
-/// to shrink the graph by at least ~5% (matchings on star-like graphs
-/// stall). Deterministic. target < 1 is treated as 1.
+/// vertices, up to `max_levels` rounds. A thin composition wrapper over
+/// graph/coarsening.h's BuildCoarseningHierarchy — the ONE cascade shared
+/// with the multilevel Fiedler engine and the warm start — so its
+/// stopping rules apply: a round that fails to shrink the graph by at
+/// least ~10% stalls the cascade (matchings on star-like graphs), and the
+/// target is clamped to >= 2. Deterministic.
 CoarseningChain CoarsenToTarget(const Graph& graph, int64_t target,
                                 int max_levels);
 

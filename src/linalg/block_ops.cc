@@ -8,10 +8,6 @@
 namespace spectral {
 namespace {
 
-// Blocks below this total element count run serially: the panel kernels
-// finish faster than the pool's wake-up latency.
-constexpr int64_t kMinParallelWork = int64_t{1} << 14;
-
 // Fixed-width body of ApplyPanel: the compile-time panel width lets the
 // coefficient array and the basis pointers live in registers and the inner
 // loops fully unroll. Accumulation order per coefficient (ascending i) and

@@ -19,6 +19,13 @@
 // nested pools (ThreadPool::ParallelFor is nest-safe — the caller
 // participates and degrades to serial when workers are busy). Small
 // blocks skip the pool entirely; see kMinParallelWork.
+//
+// These kernels operate on unpacked std::vector<Vector> blocks, which
+// remain the interchange format for warm starts and deflation/locked
+// sets. The block eigensolver's *native* basis storage is the packed
+// column-panel layout of linalg/packed_basis.h; its strided kernels
+// reproduce the ones here bit for bit, so either layout yields the same
+// results.
 
 #ifndef SPECTRAL_LPM_LINALG_BLOCK_OPS_H_
 #define SPECTRAL_LPM_LINALG_BLOCK_OPS_H_
@@ -39,6 +46,12 @@ using VectorBlock = std::vector<Vector>;
 /// coefficients live in registers while eight basis columns stay hot in
 /// L1/L2 across the fused Gram + update passes.
 inline constexpr int64_t kReorthPanelWidth = 8;
+
+/// Blocks below this total element count run serially: the panel kernels
+/// finish faster than the pool's wake-up latency. Shared by every blocked
+/// reorthogonalization kernel (here and in linalg/packed_basis.h) so the
+/// serial/pooled decision cannot drift between the two layouts.
+inline constexpr int64_t kMinParallelWork = int64_t{1} << 14;
 
 /// Removes from every column of `block` its components along each (assumed
 /// unit-norm) vector in `basis`. Two passes of panel-blocked classical

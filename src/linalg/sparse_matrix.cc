@@ -97,7 +97,82 @@ void MatVecRowsBlockFixed(const int64_t* __restrict row_ptr,
   }
 }
 
+// Strided variant of MatVecRowsBlockFixed: identical per-lane arithmetic
+// (ascending-k accumulation in W register lanes), only the addressing
+// changes from a dense width-W block to panels with leading dimensions
+// x_ld / y_ld. No __restrict on x/y: callers may pass panels of the same
+// backing buffer (always disjoint column ranges).
+template <int W>
+void MatVecRowsPanelFixed(const int64_t* __restrict row_ptr,
+                          const int64_t* __restrict col_idx,
+                          const double* __restrict values, int64_t first,
+                          int64_t last, const double* x, int64_t x_ld,
+                          double* y, int64_t y_ld) {
+  for (int64_t i = first; i < last; ++i) {
+    double acc[W] = {};
+    for (int64_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      const double v = values[k];
+      const double* xr = x + col_idx[k] * x_ld;
+      for (int c = 0; c < W; ++c) acc[c] += v * xr[c];
+    }
+    double* yr = y + i * y_ld;
+    for (int c = 0; c < W; ++c) yr[c] = acc[c];
+  }
+}
+
 }  // namespace
+
+void SparseMatrix::MatVecRowsPanel(int64_t first, int64_t last, int64_t width,
+                                   const double* x, int64_t x_ld, double* y,
+                                   int64_t y_ld) const {
+  SPECTRAL_CHECK_GE(width, 1);
+  SPECTRAL_CHECK_GE(x_ld, width);
+  SPECTRAL_CHECK_GE(y_ld, width);
+  SPECTRAL_CHECK_GE(first, 0);
+  SPECTRAL_CHECK_LE(first, last);
+  SPECTRAL_CHECK_LE(last, rows_);
+  const int64_t* rp = row_ptr_.data();
+  const int64_t* ci = col_idx_.data();
+  const double* vv = values_.data();
+  switch (width) {
+    case 1:
+      return MatVecRowsPanelFixed<1>(rp, ci, vv, first, last, x, x_ld, y,
+                                     y_ld);
+    case 2:
+      return MatVecRowsPanelFixed<2>(rp, ci, vv, first, last, x, x_ld, y,
+                                     y_ld);
+    case 3:
+      return MatVecRowsPanelFixed<3>(rp, ci, vv, first, last, x, x_ld, y,
+                                     y_ld);
+    case 4:
+      return MatVecRowsPanelFixed<4>(rp, ci, vv, first, last, x, x_ld, y,
+                                     y_ld);
+    case 5:
+      return MatVecRowsPanelFixed<5>(rp, ci, vv, first, last, x, x_ld, y,
+                                     y_ld);
+    case 6:
+      return MatVecRowsPanelFixed<6>(rp, ci, vv, first, last, x, x_ld, y,
+                                     y_ld);
+    case 7:
+      return MatVecRowsPanelFixed<7>(rp, ci, vv, first, last, x, x_ld, y,
+                                     y_ld);
+    case 8:
+      return MatVecRowsPanelFixed<8>(rp, ci, vv, first, last, x, x_ld, y,
+                                     y_ld);
+    default:
+      break;
+  }
+  // Wide fallback: same per-lane k-order.
+  for (int64_t i = first; i < last; ++i) {
+    double* yr = y + i * y_ld;
+    for (int64_t c = 0; c < width; ++c) yr[c] = 0.0;
+    for (int64_t k = row_begin(i); k < row_end(i); ++k) {
+      const double v = values_[static_cast<size_t>(k)];
+      const double* xr = x + col_idx_[static_cast<size_t>(k)] * x_ld;
+      for (int64_t c = 0; c < width; ++c) yr[c] += v * xr[c];
+    }
+  }
+}
 
 void SparseMatrix::MatVecRowsBlock(int64_t first, int64_t last, int64_t width,
                                    std::span<const double> x,

@@ -69,6 +69,16 @@ class SparseMatrix {
   void MatVecRowsBlock(int64_t first, int64_t last, int64_t width,
                        std::span<const double> x, std::span<double> y) const;
 
+  /// Strided SpMM: like MatVecRowsBlock, but `x` and `y` are raw panels
+  /// with arbitrary leading dimensions (x[j * x_ld + c] is column c of row
+  /// j, c < width <= x_ld), so a panel of a larger packed basis
+  /// (linalg/packed_basis.h) is consumed in place — no pack/unpack copy.
+  /// Per (row, column) the accumulation order is exactly MatVec's, so the
+  /// result is bit-identical to MatVecRowsBlock on a compacted copy.
+  void MatVecRowsPanel(int64_t first, int64_t last, int64_t width,
+                       const double* x, int64_t x_ld, double* y,
+                       int64_t y_ld) const;
+
   /// max over i of |A_ii| + sum_j |A_ij| — a Gershgorin bound on the
   /// spectral radius for symmetric matrices.
   double GershgorinBound() const;

@@ -1,0 +1,260 @@
+// Kernel-level exact-equality tests for linalg/packed_basis.h: every
+// packed (strided) kernel must reproduce its unpacked vector_ops /
+// block_ops twin bit for bit — same values, same panel counters, with and
+// without a thread pool. These are the ground truth behind the solver's
+// byte-identity contract; all comparisons are EXPECT_DOUBLE_EQ /
+// EXPECT_EQ, never near-equality.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "linalg/block_ops.h"
+#include "linalg/packed_basis.h"
+#include "linalg/vector_ops.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace spectral {
+namespace {
+
+Vector RandomVector(int64_t n, Rng& rng) {
+  Vector v(static_cast<size_t>(n));
+  for (double& x : v) x = rng.Gaussian();
+  return v;
+}
+
+VectorBlock RandomBlock(int64_t n, int64_t cols, Rng& rng) {
+  VectorBlock block;
+  block.reserve(static_cast<size_t>(cols));
+  for (int64_t c = 0; c < cols; ++c) block.push_back(RandomVector(n, rng));
+  return block;
+}
+
+// Packs `block` into columns [c0, c0 + block.size()) of `v`.
+void PackInto(const VectorBlock& block, PackedBasis& v, int64_t c0) {
+  for (size_t c = 0; c < block.size(); ++c) {
+    v.CopyColumnIn(block[c], c0 + static_cast<int64_t>(c));
+  }
+}
+
+void ExpectColumnEq(const PackedBasis& v, int64_t c, const Vector& expect) {
+  ASSERT_EQ(v.rows(), static_cast<int64_t>(expect.size()));
+  for (int64_t r = 0; r < v.rows(); ++r) {
+    EXPECT_DOUBLE_EQ(v.at(r, c), expect[static_cast<size_t>(r)])
+        << "col " << c << " row " << r;
+  }
+}
+
+TEST(PackedBasis, CopyRoundTripAndColumnCopy) {
+  Rng rng(11);
+  const int64_t n = 37;
+  PackedBasis v;
+  v.Reset(n, 5);
+  const Vector a = RandomVector(n, rng);
+  const Vector b = RandomVector(n, rng);
+  v.CopyColumnIn(a, 1);
+  v.CopyColumnIn(b, 4);
+  Vector out;
+  v.CopyColumnOut(1, out);
+  EXPECT_EQ(out, a);
+  v.CopyColumn(4, 0);
+  ExpectColumnEq(v, 0, b);
+  ExpectColumnEq(v, 4, b);
+  // Reset with the same geometry keeps contents.
+  v.Reset(n, 5);
+  ExpectColumnEq(v, 1, a);
+}
+
+TEST(PackedBasis, DotAxpyNormalizeMatchScalarKernels) {
+  Rng rng(22);
+  const int64_t n = 101;
+  Vector a = RandomVector(n, rng);
+  Vector b = RandomVector(n, rng);
+  PackedBasis v;
+  v.Reset(n, 3);
+  v.CopyColumnIn(a, 0);
+  v.CopyColumnIn(b, 2);
+
+  EXPECT_DOUBLE_EQ(DotColumns(v, 0, v, 2), Dot(a, b));
+
+  const double alpha = -0.37251;
+  Axpy(alpha, a, b);
+  AxpyColumn(alpha, v, 0, 2);
+  ExpectColumnEq(v, 2, b);
+
+  const double expect_norm = Normalize(b);
+  EXPECT_DOUBLE_EQ(NormalizeColumn(v, 2), expect_norm);
+  ExpectColumnEq(v, 2, b);
+}
+
+TEST(PackedBasis, NormalizeColumnTinySemantics) {
+  PackedBasis v;
+  v.Reset(4, 2);
+  for (int64_t r = 0; r < 4; ++r) v.at(r, 1) = 1e-200;
+  Vector twin(4, 1e-200);
+  EXPECT_DOUBLE_EQ(NormalizeColumn(v, 1, /*tiny=*/1e-150),
+                   Normalize(twin, 1e-150));
+  // Below `tiny`: untouched, returns 0.
+  ExpectColumnEq(v, 1, Vector(4, 1e-200));
+}
+
+TEST(PackedBasis, OrthogonalizeVectorAgainstColumnsMatchesMgs) {
+  Rng rng(33);
+  const int64_t n = 64;
+  VectorBlock basis = RandomBlock(n, 3, rng);
+  for (Vector& q : basis) Normalize(q);
+  Vector x = RandomVector(n, rng);
+  Vector x_packed = x;
+
+  PackedBasis v;
+  v.Reset(n, 3);
+  PackInto(basis, v, 0);
+  OrthogonalizeAgainst(basis, x);
+  OrthogonalizeVectorAgainstColumns(v, 3, x_packed);
+  for (int64_t r = 0; r < n; ++r) {
+    EXPECT_DOUBLE_EQ(x_packed[static_cast<size_t>(r)],
+                     x[static_cast<size_t>(r)]);
+  }
+}
+
+// Panel counters and every element must match OrthogonalizeBlockAgainst,
+// serial and pooled, across basis sizes that exercise partial panels.
+TEST(PackedBasis, OrthogonalizeColumnsAgainstBlockMatchesUnpacked) {
+  ThreadPool pool(4);
+  for (int64_t basis_size : {1, 7, 8, 9, 17}) {
+    for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+      Rng rng(1000 + static_cast<uint64_t>(basis_size));
+      VectorBlock basis = RandomBlock(400, basis_size, rng);
+      for (Vector& q : basis) Normalize(q);
+      VectorBlock block = RandomBlock(400, 5, rng);
+
+      PackedBasis v;
+      v.Reset(400, 8);
+      PackInto(block, v, 2);
+
+      int64_t unpacked_panels = 0;
+      OrthogonalizeBlockAgainst(basis, block, p, &unpacked_panels);
+      int64_t packed_panels = 0;
+      int64_t flops = 0;
+      OrthogonalizeColumnsAgainstBlock(basis, v, 2, 5, p, &packed_panels,
+                                       &flops);
+      EXPECT_EQ(packed_panels, unpacked_panels) << "basis=" << basis_size;
+      EXPECT_GT(flops, 0);
+      for (int64_t c = 0; c < 5; ++c) {
+        ExpectColumnEq(v, 2 + c, block[static_cast<size_t>(c)]);
+      }
+    }
+  }
+}
+
+TEST(PackedBasis, OrthogonalizeColumnsAgainstColumnsMatchesUnpacked) {
+  ThreadPool pool(4);
+  for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+    Rng rng(44);
+    const int64_t n = 300;
+    VectorBlock basis = RandomBlock(n, 10, rng);
+    for (Vector& q : basis) Normalize(q);
+    VectorBlock block = RandomBlock(n, 4, rng);
+
+    PackedBasis v;
+    v.Reset(n, 14);
+    PackInto(basis, v, 0);
+    PackInto(block, v, 10);
+
+    int64_t unpacked_panels = 0;
+    OrthogonalizeBlockAgainst(basis, block, p, &unpacked_panels);
+    int64_t packed_panels = 0;
+    OrthogonalizeColumnsAgainstColumns(v, 0, 10, 10, 4, p, &packed_panels,
+                                       nullptr);
+    EXPECT_EQ(packed_panels, unpacked_panels);
+    for (int64_t c = 0; c < 4; ++c) {
+      ExpectColumnEq(v, 10 + c, block[static_cast<size_t>(c)]);
+    }
+  }
+}
+
+TEST(PackedBasis, OrthonormalizeColumnsMatchesUnpackedIncludingDrops) {
+  ThreadPool pool(4);
+  for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+    Rng rng(55);
+    const int64_t n = 256;
+    // 11 columns with two exact duplicates: rank must drop to 9 and the
+    // survivor set/compaction must match the unpacked kernel exactly.
+    VectorBlock block = RandomBlock(n, 9, rng);
+    block.insert(block.begin() + 3, block[1]);
+    block.push_back(block[5]);
+    ASSERT_EQ(block.size(), 11u);
+
+    PackedBasis v;
+    v.Reset(n, 11);
+    PackInto(block, v, 0);
+
+    VectorBlock twin = block;
+    int64_t unpacked_panels = 0;
+    const int64_t unpacked_rank =
+        OrthonormalizeBlock(twin, 1e-10, p, &unpacked_panels);
+    int64_t packed_panels = 0;
+    const int64_t packed_rank =
+        OrthonormalizeColumns(v, 0, 11, 1e-10, p, &packed_panels, nullptr);
+
+    EXPECT_EQ(packed_rank, unpacked_rank);
+    EXPECT_EQ(packed_rank, 9);
+    EXPECT_EQ(packed_panels, unpacked_panels);
+    for (int64_t c = 0; c < packed_rank; ++c) {
+      ExpectColumnEq(v, c, twin[static_cast<size_t>(c)]);
+    }
+  }
+}
+
+TEST(PackedBasis, OrthonormalizeColumnsRespectsOffset) {
+  Rng rng(66);
+  const int64_t n = 128;
+  VectorBlock block = RandomBlock(n, 6, rng);
+  const Vector sentinel = RandomVector(n, rng);
+
+  PackedBasis v;
+  v.Reset(n, 8);
+  v.CopyColumnIn(sentinel, 0);
+  PackInto(block, v, 2);
+
+  VectorBlock twin = block;
+  const int64_t expect_rank = OrthonormalizeBlock(twin);
+  const int64_t rank = OrthonormalizeColumns(v, 2, 6);
+  EXPECT_EQ(rank, expect_rank);
+  ExpectColumnEq(v, 0, sentinel);  // columns outside [b0, b0+count) untouched
+  for (int64_t c = 0; c < rank; ++c) {
+    ExpectColumnEq(v, 2 + c, twin[static_cast<size_t>(c)]);
+  }
+}
+
+TEST(PackedBasis, ProjectedRowMultiDotMatchesScalarDotPairs) {
+  Rng rng(77);
+  const int64_t n = 222;
+  for (int64_t m : {1, 2, 7, 8, 9, 13}) {
+    VectorBlock vb = RandomBlock(n, m, rng);
+    VectorBlock avb = RandomBlock(n, m, rng);
+    PackedBasis v, av;
+    v.Reset(n, m);
+    av.Reset(n, m);
+    PackInto(vb, v, 0);
+    PackInto(avb, av, 0);
+    for (int64_t i = 0; i < m; ++i) {
+      std::vector<double> out(static_cast<size_t>(m - i), 0.0);
+      ProjectedRowMultiDot(v, av, i, i, m - i, out.data());
+      for (int64_t j = i; j < m; ++j) {
+        const double expect = (Dot(vb[static_cast<size_t>(i)],
+                                   avb[static_cast<size_t>(j)]) +
+                               Dot(vb[static_cast<size_t>(j)],
+                                   avb[static_cast<size_t>(i)])) /
+                              2.0;
+        EXPECT_DOUBLE_EQ(out[static_cast<size_t>(j - i)], expect)
+            << "m=" << m << " i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spectral

@@ -1,0 +1,102 @@
+// Allocation-count regression test for the block solver: the packed-basis
+// refactor hoisted all per-restart scratch (basis/AV panels, Chebyshev
+// ping-pong buffers, Ritz assembly vectors, padding temporaries) into
+// solve-lifetime workspace, so a cold solve performs a small, restart-
+// independent number of heap allocations. This test pins that budget with
+// a global operator-new counter so a regression that reintroduces
+// per-restart (or worse, per-column) allocation fails loudly.
+//
+// The counting override is safe here because every test file links into
+// its own gtest binary.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "eigen/block_lanczos.h"
+#include "eigen/operator.h"
+#include "graph/grid_graph.h"
+#include "graph/laplacian.h"
+#include "linalg/sparse_matrix.h"
+
+namespace {
+
+std::atomic<int64_t> g_live_allocs{0};
+std::atomic<bool> g_counting{false};
+
+void* CountingAlloc(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_live_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return CountingAlloc(size); }
+void* operator new[](std::size_t size) { return CountingAlloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace spectral {
+namespace {
+
+int64_t CountSolveAllocations(const BlockLanczosOptions& options,
+                              const LinearOperator& op,
+                              BlockLanczosResult* out) {
+  g_live_allocs.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  auto result = LargestEigenpairsBlock(op, {}, options);
+  g_counting.store(false, std::memory_order_relaxed);
+  EXPECT_TRUE(result.ok()) << result.status();
+  if (result.ok() && out != nullptr) *out = *std::move(result);
+  return g_live_allocs.load(std::memory_order_relaxed);
+}
+
+TEST(SolverAllocations, ColdSolveAllocationBudgetIsRestartIndependent) {
+  const SparseMatrix lap = BuildLaplacian(BuildGridGraph(GridSpec({48, 48})));
+  const SparseOperator inner(&lap);
+  const ShiftNegateOperator op(&inner, lap.GershgorinBound() + 1e-9);
+
+  BlockLanczosOptions options;
+  options.num_pairs = 3;
+  options.max_basis = 16;
+  options.pool = nullptr;
+
+  BlockLanczosResult result;
+  const int64_t allocs = CountSolveAllocations(options, op, &result);
+  EXPECT_TRUE(result.converged);
+  ASSERT_GT(result.restarts, 1) << "workload too easy to exercise restarts";
+
+  // Budget: solve-lifetime workspace (packed panels, ping-pong buffers,
+  // coefficient scratch) plus the per-restart dense Rayleigh-Ritz solve
+  // (DenseMatrix H + Jacobi eigenvector matrix) and one Vector per locked
+  // pair. Measured ~94 on this workload; generous headroom so only a real
+  // regression — per-column Vector churn was thousands of allocations —
+  // trips it.
+  EXPECT_LT(allocs, 500) << "restarts=" << result.restarts;
+
+  // And the budget must not scale with restart count: with the Chebyshev
+  // filter off this workload burns through max_restarts, and each extra
+  // restart may only add the per-restart dense-RR allocations (measured
+  // ~17: H, Jacobi workspace, locking) — never a fresh basis worth of
+  // column vectors (the pre-refactor per-restart churn was >100).
+  BlockLanczosOptions hard = options;
+  hard.cheb_degree_max = 0;
+  hard.max_restarts = 80;
+  BlockLanczosResult hard_result;
+  const int64_t hard_allocs = CountSolveAllocations(hard, op, &hard_result);
+  ASSERT_GT(hard_result.restarts, result.restarts);
+  const int64_t extra_restarts = hard_result.restarts - result.restarts;
+  EXPECT_LT(hard_allocs, allocs + extra_restarts * 64)
+      << "restarts " << result.restarts << " -> " << hard_result.restarts;
+}
+
+}  // namespace
+}  // namespace spectral

@@ -10,7 +10,12 @@ fails on regressions. Three suites are known:
   eigensolver  bench_eigensolver -> bench_results/BENCH_eigensolver.json
                rows keyed (method, workload); gates cold-time share, matvec
                growth (deterministic counts), and residual growth beyond
-               the tolerance contract.
+               the tolerance contract. The block solver additionally emits
+               per-kernel "phase-*" share rows (cold_ms = phase wall time,
+               matvecs = deterministic flop estimate) plus an
+               "hfill-multidot" microbench row; a consistency check
+               requires each workload's phase times to sum to at most the
+               "block" row's total (+5% timer slack).
   service      bench_service_traffic -> bench_results/BENCH_service_traffic.json
                rows keyed (scenario,); gates only the machine-portable
                metrics — cache hit rate drops, deduplicated-solve-count
@@ -81,6 +86,10 @@ class Suite:
     def quality_failures(self, name, base, cur, args):
         raise NotImplementedError
 
+    def consistency_failures(self, current, args):
+        """Cross-row invariants of the current run (no baseline needed)."""
+        return []
+
 
 class OrderingSuite(Suite):
     def __init__(self):
@@ -126,6 +135,32 @@ class EigensolverSuite(Suite):
             failures.append(
                 f"{name}: max_residual {base['max_residual']:.3e} -> "
                 f"{cur['max_residual']:.3e}")
+        return failures
+
+    def consistency_failures(self, current, args):
+        # The per-phase rows ("phase-spmm"/"phase-reorth"/"phase-hfill"/
+        # "phase-rr"/"phase-cheb") are timed *inside* the block solve, so
+        # per workload they must sum to at most the "block" row's total
+        # wall time (5% slack for timer overhead). A sum that exceeds the
+        # total means a phase timer started double-counting; a phase row
+        # without its block row means the bench emit drifted.
+        failures = []
+        phase_ms = {}
+        for (method, workload), row in current.items():
+            if method.startswith("phase-"):
+                phase_ms[workload] = phase_ms.get(workload, 0.0) + \
+                    row[self.time_field]
+        for workload, total in sorted(phase_ms.items()):
+            block = current.get(("block", workload))
+            if block is None:
+                failures.append(
+                    f"{workload}: phase rows present without a block row")
+                continue
+            budget = block[self.time_field] * 1.05
+            if total > budget:
+                failures.append(
+                    f"{workload}: phase times sum to {total:.1f} ms > "
+                    f"block total {block[self.time_field]:.1f} ms + 5%")
         return failures
 
 
@@ -234,6 +269,10 @@ def gate_suite(suite, current, args):
 
     for key in sorted(set(current) - set(baseline)):
         print(f"{key_name(key):44s} (new row, not gated)")
+    consistency = suite.consistency_failures(current, args)
+    for failure in consistency:
+        print(f"CONSISTENCY: {failure}")
+    failures.extend(consistency)
     return failures
 
 

@@ -20,6 +20,9 @@
 //   --batch=K         submit K copies of the request as one OrderBatch —
 //                     a cache/batching smoke knob; the order file is
 //                     written once and the service stats are printed
+//   --profile         print the block solver's per-kernel breakdown (wall
+//                     ms and deterministic flop estimates for SpMM /
+//                     reorth / H-fill / Rayleigh-Ritz / Chebyshev)
 //   --quiet           suppress the summary lines
 //
 // The points file uses the core/serialization.h text format; see
@@ -35,6 +38,7 @@
 #include "core/mapping_service.h"
 #include "core/ordering_request.h"
 #include "core/serialization.h"
+#include "eigen/kernel_profile.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -52,6 +56,7 @@ struct CliArgs {
   int parallelism = 0;
   int64_t cache = 0;
   int64_t batch = 1;
+  bool profile = false;
   bool quiet = false;
 };
 
@@ -67,7 +72,8 @@ int Usage() {
   std::cerr << "usage: spectral_map_cli <points.txt> <order.txt> "
                "[--mapping=NAME] [--connectivity=orthogonal|moore] "
                "[--radius=N] [--multilevel=N] [--shards=K] "
-               "[--parallelism=N] [--cache=N] [--batch=K] [--quiet]\n"
+               "[--parallelism=N] [--cache=N] [--batch=K] [--profile] "
+               "[--quiet]\n"
                "known mappings: "
             << StrJoin(AllOrderingEngineNames(), ", ") << "\n";
   return 2;
@@ -123,6 +129,30 @@ int RunCli(const CliArgs& args) {
               << " cache_evictions=" << stats.cache_evictions
               << " fingerprint=" << request.Fingerprint().ToHex() << "\n";
   }
+  if (args.profile) {
+    // Wall times are machine state; the flop estimates are deterministic
+    // (they also ride in result.detail as the flops=... token).
+    const KernelProfile& p = result.profile;
+    const struct {
+      const char* name;
+      double ms;
+      int64_t flops;
+    } phases[] = {{"spmm", p.spmm_ms, p.spmm_flops},
+                  {"reorth", p.reorth_ms, p.reorth_flops},
+                  {"hfill", p.hfill_ms, p.hfill_flops},
+                  {"rr", p.rr_ms, p.rr_flops},
+                  {"cheb", p.cheb_ms, p.cheb_flops}};
+    const double total_ms = p.total_ms();
+    std::cout << "profile (block solver kernels):\n";
+    for (const auto& phase : phases) {
+      const double share = total_ms > 0.0 ? phase.ms / total_ms : 0.0;
+      std::printf("  %-7s %9.2f ms  %5.1f%%  %15lld flops\n", phase.name,
+                  phase.ms, share * 100.0,
+                  static_cast<long long>(phase.flops));
+    }
+    std::printf("  %-7s %9.2f ms         %15lld flops\n", "total", total_ms,
+                static_cast<long long>(p.total_flops()));
+  }
   return 0;
 }
 
@@ -162,6 +192,8 @@ int main(int argc, char** argv) {
     } else if (spectral::ParseFlag(arg, "batch", &value)) {
       args.batch = std::atoll(value.c_str());
       if (args.batch < 1) return spectral::Usage();
+    } else if (arg == "--profile") {
+      args.profile = true;
     } else if (arg == "--quiet") {
       args.quiet = true;
     } else if (arg.rfind("--", 0) == 0) {
