@@ -46,7 +46,8 @@ void RunWorkload(const std::string& workload_name, const PointSet& points,
   }
 
   for (const auto& named : orders) {
-    const PackedRTree tree = PackedRTree::Build(points, named.order, 16, 8);
+    const PackedRTree tree = PackedRTree::Build(points, named.order,
+                           {.leaf_capacity = 16, .fanout = 8});
     const auto stats = tree.ComputeStats();
     double nodes = 0.0;
     for (const auto& [qlo, qhi] : queries) {

@@ -1,13 +1,15 @@
 // Offline pipeline: generate a dataset, persist it, map it (the step you
 // would run on a beefy machine or via tools/spectral_map_cli), load the
-// order back, and execute range queries against the resulting physical
-// layout — the full life cycle of a locality-preserving mapping.
+// order back, build the physical design (layout + rank B+-tree + packed
+// R-tree), and execute range queries against it — the full life cycle of a
+// locality-preserving mapping.
 //
 //   $ ./example_offline_pipeline
 
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
+#include <memory>
 
 #include "core/ordering_engine.h"
 #include "core/ordering_request.h"
@@ -19,13 +21,13 @@ int main() {
   using namespace spectral;
 
   const GridSpec grid({16, 16});
-  const PointSet points = PointSet::FullGrid(grid);
+  const auto points = std::make_shared<PointSet>(PointSet::FullGrid(grid));
 
   // 1. Persist the dataset (any process could have produced this file).
   const auto dir = std::filesystem::temp_directory_path();
   const std::string points_path = (dir / "pipeline_points.txt").string();
   const std::string order_path = (dir / "pipeline_order.txt").string();
-  if (!SavePointSetToFile(points, points_path).ok()) {
+  if (!SavePointSetToFile(*points, points_path).ok()) {
     std::cerr << "could not write " << points_path << "\n";
     return EXIT_FAILURE;
   }
@@ -56,43 +58,45 @@ int main() {
               << " points, lambda2 = " << mapped->lambda2 << "\n";
   }
 
-  // 3. Serving step: load the order, build the physical design, run
-  //    queries.
+  // 3. Serving step: load the order back and hand-assemble the physical
+  //    design from it (exactly the pieces BuildQueryPath bundles when the
+  //    order is computed in-process).
   auto order = LoadLinearOrderFromFile(order_path);
   if (!order.ok()) {
     std::cerr << order.status() << "\n";
     return EXIT_FAILURE;
   }
-  GridRangeExecutor::Options exec_options;
-  exec_options.page_size = 16;
-  const GridRangeExecutor executor(grid, *order, exec_options);
+  const int64_t page_size = 16;
+  const StorageLayout layout(*order, page_size);
+  const StaticBPlusTree rank_index = StaticBPlusTree::BuildRankIndex(*order);
+  const PackedRTree rtree = PackedRTree::Build(*points, *order);
+  const QueryExecutor executor(*points, layout, rank_index, rtree,
+                               /*pool=*/nullptr);
 
-  auto hilbert_engine = MakeOrderingEngine("hilbert");
-  if (!hilbert_engine.ok()) {
-    std::cerr << hilbert_engine.status() << "\n";
-    return EXIT_FAILURE;
-  }
-  auto hilbert =
-      (*hilbert_engine)->Order(OrderingRequest::ForPoints(points, "hilbert"));
+  // A competing design from the same request pipeline, one call.
+  QueryPathOptions options;
+  options.page_size = page_size;
+  auto hilbert = BuildQueryPath(OrderingRequest::ForPoints(points, "hilbert"),
+                                /*service=*/nullptr, options);
   if (!hilbert.ok()) {
     std::cerr << hilbert.status() << "\n";
     return EXIT_FAILURE;
   }
-  const GridRangeExecutor hilbert_executor(grid, hilbert->order, exec_options);
+  const QueryExecutor hilbert_executor = hilbert->MakeExecutor(nullptr);
 
   std::cout << "\nquery              spectral(scan/pages)  hilbert(scan/pages)\n";
   const std::vector<std::pair<std::vector<Coord>, std::vector<Coord>>> boxes =
       {{{0, 0}, {3, 3}}, {{6, 6}, {9, 9}}, {{4, 0}, {5, 15}},
        {{0, 4}, {15, 5}}};
   for (const auto& [lo, hi] : boxes) {
-    const auto a = executor.Execute(lo, hi);
-    const auto b = hilbert_executor.Execute(lo, hi);
+    const auto a = executor.RangeViaBTree(lo, hi);
+    const auto b = hilbert_executor.RangeViaBTree(lo, hi);
     std::printf("[%2d,%2d]x[%2d,%2d]     %4lld / %-3lld            %4lld / %-3lld\n",
                 lo[0], hi[0], lo[1], hi[1],
                 static_cast<long long>(a.records_scanned),
-                static_cast<long long>(a.pages_read),
+                static_cast<long long>(a.pages_touched),
                 static_cast<long long>(b.records_scanned),
-                static_cast<long long>(b.pages_read));
+                static_cast<long long>(b.pages_touched));
   }
 
   std::filesystem::remove(points_path);

@@ -48,7 +48,8 @@ int main() {
   std::cout << "order      leaves  leaf_volume  overlap  nodes/query\n";
   for (const auto& candidate : candidates) {
     const PackedRTree tree =
-        PackedRTree::Build(points, candidate.order, 16, 8);
+        PackedRTree::Build(points, candidate.order,
+                           {.leaf_capacity = 16, .fanout = 8});
     const auto stats = tree.ComputeStats();
 
     // 200 random 8x8 queries.

@@ -48,6 +48,14 @@ StaticBPlusTree StaticBPlusTree::Build(std::span<const int64_t> sorted_keys,
   return tree;
 }
 
+StaticBPlusTree StaticBPlusTree::BuildRankIndex(const LinearOrder& order,
+                                                const BuildOptions& options) {
+  SPECTRAL_CHECK_GT(order.size(), 0);
+  std::vector<int64_t> keys(static_cast<size_t>(order.size()));
+  for (int64_t i = 0; i < order.size(); ++i) keys[static_cast<size_t>(i)] = i;
+  return Build(keys, options);
+}
+
 int64_t StaticBPlusTree::num_leaves() const {
   return static_cast<int64_t>(levels_[0].size());
 }

@@ -3,7 +3,9 @@
 // The paper's premise is that a multi-dimensional range query turns into a
 // single key interval [min rank, max rank] scanned sequentially "while
 // eliminating the records that lie outside the range query"; this tree
-// measures exactly that cost.
+// measures exactly that cost. BuildRankIndex bulk-loads the tree directly
+// from a LinearOrder produced by any OrderingEngine registry engine — the
+// rank-keyed index of the end-to-end query path (query/executor.h).
 
 #ifndef SPECTRAL_LPM_INDEX_BPLUS_TREE_H_
 #define SPECTRAL_LPM_INDEX_BPLUS_TREE_H_
@@ -11,6 +13,8 @@
 #include <cstdint>
 #include <span>
 #include <vector>
+
+#include "core/linear_order.h"
 
 namespace spectral {
 
@@ -22,6 +26,11 @@ struct BPlusTreeOptions {
 
 /// Immutable, packed B+-tree. Keys are int64 and must be strictly
 /// ascending at build time (ranks always are).
+///
+/// Counter determinism contract: LookupResult and ScanResult fields are
+/// pure functions of (keys, options, probe arguments) — the descent and
+/// leaf walk are fixed traversals with no randomness or wall-clock input,
+/// so repeated probes return byte-identical counters on any machine.
 class StaticBPlusTree {
  public:
   /// Node sizes for the packed levels (alias kept close to the class).
@@ -30,6 +39,12 @@ class StaticBPlusTree {
   /// Bulk-loads from strictly ascending keys; requires at least one key.
   static StaticBPlusTree Build(std::span<const int64_t> sorted_keys,
                                const BuildOptions& options = {});
+
+  /// Bulk-loads the rank index of `order`: keys are the ranks 0..n-1 (one
+  /// per record). Tree shape is identical for every order of the same
+  /// size; what an order changes is which key interval a query scans.
+  static StaticBPlusTree BuildRankIndex(const LinearOrder& order,
+                                        const BuildOptions& options = {});
 
   /// Point lookup cost accounting.
   struct LookupResult {

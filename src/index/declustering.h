@@ -15,6 +15,10 @@
 namespace spectral {
 
 /// Round-robin striping by rank: record with rank r lives on disk r % M.
+///
+/// Determinism contract: disk assignment is pure modular arithmetic on the
+/// rank, so DeclusteringStats computed from it are byte-identical across
+/// runs and machines and safe to commit as bench baselines.
 class RoundRobinDecluster {
  public:
   explicit RoundRobinDecluster(int num_disks);

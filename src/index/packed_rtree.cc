@@ -89,8 +89,10 @@ double Mbr::OverlapVolume(const Mbr& other) const {
 }
 
 PackedRTree PackedRTree::Build(const PointSet& points,
-                               const LinearOrder& order, int leaf_capacity,
-                               int fanout) {
+                               const LinearOrder& order,
+                               const PackedRTreeOptions& options) {
+  const int leaf_capacity = options.leaf_capacity;
+  const int fanout = options.fanout;
   SPECTRAL_CHECK_EQ(points.size(), order.size());
   SPECTRAL_CHECK_GE(leaf_capacity, 1);
   SPECTRAL_CHECK_GE(fanout, 2);
@@ -98,6 +100,7 @@ PackedRTree PackedRTree::Build(const PointSet& points,
 
   PackedRTree tree;
   tree.points_ = &points;
+  tree.options_ = options;
   const int64_t n = points.size();
   tree.point_of_slot_.resize(static_cast<size_t>(n));
   for (int64_t r = 0; r < n; ++r) {
@@ -139,20 +142,24 @@ PackedRTree PackedRTree::Build(const PointSet& points,
 }
 
 PackedRTree::QueryResult PackedRTree::RangeQuery(
-    std::span<const Coord> query_lo, std::span<const Coord> query_hi) const {
+    std::span<const Coord> query_lo, std::span<const Coord> query_hi,
+    std::vector<int64_t>* matching_ranks,
+    std::vector<std::pair<int64_t, int64_t>>* visited_leaf_slots) const {
   SPECTRAL_CHECK(points_ != nullptr);
   SPECTRAL_CHECK_EQ(static_cast<int>(query_lo.size()), points_->dims());
   SPECTRAL_CHECK_EQ(query_lo.size(), query_hi.size());
 
   QueryResult result;
-  // Iterative DFS from the root level downwards.
+  // Iterative DFS from the root level downwards. Children are pushed in
+  // reverse so the stack pops them slot-ascending, which keeps the
+  // matching_ranks / visited_leaf_slots outputs sorted.
   struct Frame {
     size_t level;
     int64_t node;
   };
   std::vector<Frame> stack;
   const size_t root_level = levels_.size() - 1;
-  for (size_t i = 0; i < levels_[root_level].size(); ++i) {
+  for (size_t i = levels_[root_level].size(); i-- > 0;) {
     stack.push_back({root_level, static_cast<int64_t>(i)});
   }
   while (!stack.empty()) {
@@ -163,6 +170,9 @@ PackedRTree::QueryResult PackedRTree::RangeQuery(
     result.nodes_visited += 1;
     if (frame.level == 0) {
       result.leaves_visited += 1;
+      if (visited_leaf_slots != nullptr) {
+        visited_leaf_slots->emplace_back(node.begin, node.end);
+      }
       for (int64_t s = node.begin; s < node.end; ++s) {
         const auto p = (*points_)[point_of_slot_[static_cast<size_t>(s)]];
         bool inside = true;
@@ -172,10 +182,13 @@ PackedRTree::QueryResult PackedRTree::RangeQuery(
             break;
           }
         }
-        if (inside) result.matches += 1;
+        if (inside) {
+          result.matches += 1;
+          if (matching_ranks != nullptr) matching_ranks->push_back(s);
+        }
       }
     } else {
-      for (int64_t c = node.begin; c < node.end; ++c) {
+      for (int64_t c = node.end; c-- > node.begin;) {
         stack.push_back({frame.level - 1, c});
       }
     }

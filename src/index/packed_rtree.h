@@ -1,13 +1,18 @@
-// Bulk-loaded (packed) R-tree: leaves are consecutive runs of the linear
-// order, so packing quality is a direct function of the order's locality —
-// one of the applications the paper claims Spectral LPM improves ("R-tree
-// packing").
+// Bulk-loaded (packed) R-tree: leaves are consecutive runs of a
+// LinearOrder produced by any OrderingEngine registry engine (the order a
+// request pipeline hands back — see core/ordering_request.h), so packing
+// quality is a direct function of the order's locality. This is one of the
+// applications the paper claims Spectral LPM improves ("R-tree packing"),
+// and the spatial index of the end-to-end query path in query/executor.h:
+// slot s of the tree holds the point at rank s, which is exactly the
+// record StorageLayout stores on page s / page_size.
 
 #ifndef SPECTRAL_LPM_INDEX_PACKED_RTREE_H_
 #define SPECTRAL_LPM_INDEX_PACKED_RTREE_H_
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/linear_order.h"
@@ -37,15 +42,29 @@ struct Mbr {
   double OverlapVolume(const Mbr& other) const;
 };
 
+/// Node sizes for the packed R-tree levels.
+struct PackedRTreeOptions {
+  int leaf_capacity = 32;
+  int fanout = 8;
+};
+
 /// Packed R-tree built from a point set in rank order.
+///
+/// Counter determinism contract: every QueryResult field is a pure
+/// function of (points, order, options, query box) — node visitation is a
+/// fixed DFS over the packed levels with no randomness, hashing, or
+/// wall-clock input, so repeated queries return byte-identical counters on
+/// any machine.
 class PackedRTree {
  public:
-  /// Packs points sorted by `order` into leaves of `leaf_capacity` entries
-  /// and internal levels of `fanout` children.
+  /// Packs points sorted by `order` into leaves of
+  /// `options.leaf_capacity` entries and internal levels of
+  /// `options.fanout` children. Slot s (leaf entry position) is exactly
+  /// rank s of `order`.
   static PackedRTree Build(const PointSet& points, const LinearOrder& order,
-                           int leaf_capacity, int fanout);
+                           const PackedRTreeOptions& options = {});
 
-  /// Query execution counters.
+  /// Query execution counters (deterministic; see class comment).
   struct QueryResult {
     int64_t matches = 0;
     /// Internal + leaf nodes whose MBR intersected the query (each visit is
@@ -55,10 +74,19 @@ class PackedRTree {
   };
 
   /// Counts points inside the closed box [query_lo, query_hi].
-  QueryResult RangeQuery(std::span<const Coord> query_lo,
-                         std::span<const Coord> query_hi) const;
+  ///
+  /// When `matching_ranks` is non-null, the slot ids (== ranks in the
+  /// build order) of every matching point are appended, ascending. When
+  /// `visited_leaf_slots` is non-null, the [begin, end) slot range of
+  /// every visited leaf is appended, ascending — the record runs a pooled
+  /// executor must fetch from storage (query/executor.h).
+  QueryResult RangeQuery(
+      std::span<const Coord> query_lo, std::span<const Coord> query_hi,
+      std::vector<int64_t>* matching_ranks = nullptr,
+      std::vector<std::pair<int64_t, int64_t>>* visited_leaf_slots =
+          nullptr) const;
 
-  /// Static packing-quality measures of the leaf level.
+  /// Static packing-quality measures of the leaf level (deterministic).
   struct Stats {
     int64_t num_leaves = 0;
     int64_t height = 0;  // levels including the leaf level
@@ -70,7 +98,10 @@ class PackedRTree {
   };
   Stats ComputeStats() const;
 
-  int64_t num_points() const { return static_cast<int64_t>(point_of_slot_.size()); }
+  int64_t num_points() const {
+    return static_cast<int64_t>(point_of_slot_.size());
+  }
+  const PackedRTreeOptions& options() const { return options_; }
 
  private:
   PackedRTree() = default;
@@ -84,6 +115,7 @@ class PackedRTree {
   };
 
   const PointSet* points_ = nullptr;
+  PackedRTreeOptions options_;
   std::vector<int64_t> point_of_slot_;      // rank -> point index
   std::vector<std::vector<Node>> levels_;   // levels_[0] = leaves
 };

@@ -1,93 +1,176 @@
 #include "query/executor.h"
 
 #include <algorithm>
-#include <vector>
+#include <utility>
 
+#include "core/ordering_engine.h"
 #include "util/check.h"
 
 namespace spectral {
 
-namespace {
-
-StaticBPlusTree BuildRankIndex(int64_t n, const BPlusTreeOptions& options) {
-  std::vector<int64_t> keys(static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) keys[static_cast<size_t>(i)] = i;
-  return StaticBPlusTree::Build(keys, options);
+QueryExecutor::QueryExecutor(const PointSet& points,
+                             const StorageLayout& layout,
+                             const StaticBPlusTree& rank_index,
+                             const PackedRTree& rtree, LruBufferPool* pool,
+                             const IoCostModel& io)
+    : points_(&points),
+      layout_(&layout),
+      rank_index_(&rank_index),
+      rtree_(&rtree),
+      pool_(pool),
+      io_(io) {
+  SPECTRAL_CHECK_EQ(points.size(), layout.num_records());
+  SPECTRAL_CHECK_EQ(rank_index.num_keys(), layout.num_records());
+  SPECTRAL_CHECK_EQ(rtree.num_points(), layout.num_records());
 }
 
-}  // namespace
-
-GridRangeExecutor::GridRangeExecutor(const GridSpec& grid,
-                                     const LinearOrder& order,
-                                     const Options& options)
-    : grid_(grid),
-      options_(options),
-      layout_(order, options.page_size),
-      index_(BuildRankIndex(grid.NumCells(), options.index)) {
-  SPECTRAL_CHECK_EQ(order.size(), grid.NumCells())
-      << "executor requires a full-grid order";
-}
-
-RangeExecution GridRangeExecutor::Execute(std::span<const Coord> lo,
-                                          std::span<const Coord> hi) const {
-  SPECTRAL_CHECK_EQ(static_cast<int>(lo.size()), grid_.dims());
-  SPECTRAL_CHECK_EQ(lo.size(), hi.size());
-  RangeExecution result;
-
-  // Clamp the box to the grid.
-  std::vector<Coord> clamped_lo(lo.begin(), lo.end());
-  std::vector<Coord> clamped_hi(hi.begin(), hi.end());
-  bool empty = false;
-  for (int a = 0; a < grid_.dims(); ++a) {
-    clamped_lo[static_cast<size_t>(a)] =
-        std::max<Coord>(clamped_lo[static_cast<size_t>(a)], 0);
-    clamped_hi[static_cast<size_t>(a)] = std::min<Coord>(
-        clamped_hi[static_cast<size_t>(a)], grid_.side(a) - 1);
-    if (clamped_lo[static_cast<size_t>(a)] >
-        clamped_hi[static_cast<size_t>(a)]) {
-      empty = true;
+void QueryExecutor::AccessPages(std::span<const int64_t> pages,
+                                QueryResultStats* stats) const {
+  stats->pages_touched = static_cast<int64_t>(pages.size());
+  for (size_t i = 0; i < pages.size(); ++i) {
+    SPECTRAL_DCHECK(i == 0 || pages[i] > pages[i - 1]);
+    const bool hit = pool_ != nullptr && pool_->Access(pages[i]);
+    if (hit) {
+      stats->page_hits += 1;
+    } else {
+      stats->page_io += 1;
     }
+    if (i == 0 || pages[i] != pages[i - 1] + 1) stats->page_runs += 1;
   }
-  if (empty) {
-    result.index_nodes_read = index_.height();  // one wasted descent
-    return result;
-  }
-
-  // Plan: the rank interval spanned by the box (one pass over its cells).
-  std::vector<Coord> cell = clamped_lo;
-  int64_t min_rank = layout_.num_records();
-  int64_t max_rank = -1;
-  int64_t volume = 0;
-  while (true) {
-    const int64_t rank = layout_.RankOfPoint(grid_.Flatten(cell));
-    min_rank = std::min(min_rank, rank);
-    max_rank = std::max(max_rank, rank);
-    ++volume;
-    int a = grid_.dims() - 1;
-    while (a >= 0 &&
-           cell[static_cast<size_t>(a)] == clamped_hi[static_cast<size_t>(a)]) {
-      cell[static_cast<size_t>(a)] = clamped_lo[static_cast<size_t>(a)];
-      --a;
-    }
-    if (a < 0) break;
-    cell[static_cast<size_t>(a)] += 1;
-  }
-
-  // Execute: index probe + sequential interval scan + filter.
-  const auto scan = index_.RangeScan(min_rank, max_rank);
-  result.matches = volume;
-  result.records_scanned = scan.records;
-  result.index_nodes_read = scan.internal_read + scan.leaves_read;
-
-  const int64_t first_page = layout_.PageOfRank(min_rank);
-  const int64_t last_page = layout_.PageOfRank(max_rank);
-  result.pages_read = last_page - first_page + 1;
-
   PageFootprint footprint;
-  footprint.distinct_pages = result.pages_read;
-  footprint.page_runs = 1;  // the interval is one contiguous run
-  result.io_cost = IoCost(footprint, options_.io);
-  return result;
+  footprint.distinct_pages = stats->pages_touched;
+  footprint.page_runs = stats->page_runs;
+  stats->io_cost = IoCost(footprint, io_);
+}
+
+QueryResultStats QueryExecutor::RangeViaBTree(std::span<const Coord> lo,
+                                              std::span<const Coord> hi)
+    const {
+  QueryResultStats stats;
+  // Plan: the rank interval spanned by the matching records. The planner
+  // walks the R-tree (matching ranks come back ascending) but its node
+  // visits are not billed — the paper's plan derives the interval from the
+  // mapping itself; only the B+-tree probe and the data pages are the
+  // plan's I/O.
+  std::vector<int64_t> matching;
+  const auto planned = rtree_->RangeQuery(lo, hi, &matching);
+  stats.matches = planned.matches;
+  if (matching.empty()) {
+    stats.index_nodes_read = rank_index_->height();  // one wasted descent
+    return stats;
+  }
+  const int64_t min_rank = matching.front();
+  const int64_t max_rank = matching.back();
+
+  const auto scan = rank_index_->RangeScan(min_rank, max_rank);
+  stats.records_scanned = scan.records;
+  stats.index_nodes_read = scan.internal_read + scan.leaves_read;
+
+  const int64_t first_page = layout_->PageOfRank(min_rank);
+  const int64_t last_page = layout_->PageOfRank(max_rank);
+  std::vector<int64_t> pages;
+  pages.reserve(static_cast<size_t>(last_page - first_page + 1));
+  for (int64_t p = first_page; p <= last_page; ++p) pages.push_back(p);
+  AccessPages(pages, &stats);
+  return stats;
+}
+
+QueryResultStats QueryExecutor::RangeViaRTree(std::span<const Coord> lo,
+                                              std::span<const Coord> hi)
+    const {
+  QueryResultStats stats;
+  std::vector<std::pair<int64_t, int64_t>> leaf_slots;
+  const auto result = rtree_->RangeQuery(lo, hi, nullptr, &leaf_slots);
+  stats.matches = result.matches;
+  stats.index_nodes_read = result.nodes_visited;
+
+  // Data pages covering the visited leaves' rank runs (leaf ranges arrive
+  // ascending and disjoint; adjacent leaves can share a boundary page, so
+  // dedup against the last page appended).
+  std::vector<int64_t> pages;
+  for (const auto& [begin, end] : leaf_slots) {
+    stats.records_scanned += end - begin;
+    for (int64_t p = layout_->PageOfRank(begin);
+         p <= layout_->PageOfRank(end - 1); ++p) {
+      if (pages.empty() || pages.back() != p) pages.push_back(p);
+    }
+  }
+  AccessPages(pages, &stats);
+  return stats;
+}
+
+QueryResultStats QueryExecutor::KnnViaWindow(
+    int64_t query_point, int k, int64_t window,
+    std::vector<int64_t>* neighbors) const {
+  SPECTRAL_CHECK_GE(k, 1);
+  SPECTRAL_CHECK_GE(window, 1);
+  QueryResultStats stats;
+  const int64_t n = layout_->num_records();
+  const int64_t rank = layout_->RankOfPoint(query_point);
+  const int64_t lo_rank = std::max<int64_t>(0, rank - window);
+  const int64_t hi_rank = std::min<int64_t>(n - 1, rank + window);
+
+  // One probe locates the query point's leaf; the window extends from it.
+  stats.index_nodes_read = rank_index_->Lookup(rank).nodes_read;
+  stats.records_scanned = hi_rank - lo_rank;  // window minus the query itself
+
+  // Candidates: the window's points ranked by (distance, point index).
+  std::vector<int64_t> candidates;
+  candidates.reserve(static_cast<size_t>(hi_rank - lo_rank));
+  for (int64_t r = lo_rank; r <= hi_rank; ++r) {
+    if (r != rank) candidates.push_back(layout_->PointOfRank(r));
+  }
+  const auto closer = [&](int64_t a, int64_t b) {
+    const int64_t da = points_->Distance(query_point, a);
+    const int64_t db = points_->Distance(query_point, b);
+    return da != db ? da < db : a < b;
+  };
+  const int64_t have =
+      std::min<int64_t>(k, static_cast<int64_t>(candidates.size()));
+  std::partial_sort(candidates.begin(), candidates.begin() + have,
+                    candidates.end(), closer);
+  candidates.resize(static_cast<size_t>(have));
+  stats.matches = have;
+  if (neighbors != nullptr) *neighbors = std::move(candidates);
+
+  const int64_t first_page = layout_->PageOfRank(lo_rank);
+  const int64_t last_page = layout_->PageOfRank(hi_rank);
+  std::vector<int64_t> pages;
+  pages.reserve(static_cast<size_t>(last_page - first_page + 1));
+  for (int64_t p = first_page; p <= last_page; ++p) pages.push_back(p);
+  AccessPages(pages, &stats);
+  return stats;
+}
+
+StatusOr<QueryPath> BuildQueryPath(const OrderingRequest& request,
+                                   MappingService* service,
+                                   const QueryPathOptions& options) {
+  if (auto status = request.Validate(); !status.ok()) return status;
+  if (request.points == nullptr) {
+    return InvalidArgumentError(
+        "BuildQueryPath requires a point-carrying request (the indexes "
+        "need coordinates)");
+  }
+  if (request.points->empty()) {
+    return InvalidArgumentError("cannot build a query path over zero points");
+  }
+
+  StatusOr<OrderingResult> ordered = [&]() -> StatusOr<OrderingResult> {
+    if (service != nullptr) return service->Order(request);
+    auto engine = MakeOrderingEngine(request.engine);
+    if (!engine.ok()) return engine.status();
+    return (*engine)->Order(request);
+  }();
+  if (!ordered.ok()) return ordered.status();
+
+  OrderingResult ordering = std::move(*ordered);
+  StorageLayout layout(ordering.order, options.page_size);
+  StaticBPlusTree rank_index =
+      StaticBPlusTree::BuildRankIndex(ordering.order, options.btree);
+  PackedRTree rtree =
+      PackedRTree::Build(*request.points, ordering.order, options.rtree);
+  return QueryPath{request.points, std::move(ordering), std::move(layout),
+                   std::move(rank_index), std::move(rtree), options};
 }
 
 }  // namespace spectral

@@ -1,8 +1,24 @@
-// End-to-end range query execution over a mapped full-grid dataset: the
-// paper's proposed access path. A d-dimensional box query becomes one key
-// interval [min rank, max rank]; the executor probes a B+-tree for the
-// interval, scans it sequentially, and filters out the records outside the
-// box ("eliminating the records that lie outside the range query").
+// End-to-end query execution over a mapped dataset: the paper's access
+// path, wired into the modern request pipeline. An OrderingRequest (any
+// registry engine) produces a LinearOrder; BuildQueryPath materializes
+// that order into the physical design — a StorageLayout page assignment, a
+// rank-keyed StaticBPlusTree, and a PackedRTree — and QueryExecutor runs
+// range and kNN plans against it through an LruBufferPool, reporting the
+// metric the paper actually argues about: data pages touched and buffer
+// hits per query, not just rank correlation.
+//
+// Two range plans are offered, mirroring the two classic access paths:
+//   * RangeViaBTree — the paper's plan: the box becomes one key interval
+//     [min rank, max rank] scanned sequentially "while eliminating the
+//     records that lie outside the range query". Pages read = the
+//     contiguous page run covering the interval, so a locality-preserving
+//     order pays for itself directly in interval length.
+//   * RangeViaRTree — the packed R-tree plan: only leaves whose MBR
+//     intersects the box are read, so the cost is leaf (and page) fan-out
+//     under the order's packing.
+// KnnViaWindow is the similarity-search plan the paper motivates: scan the
+// rank window around the query point and keep the k distance-closest
+// candidates.
 
 #ifndef SPECTRAL_LPM_QUERY_EXECUTOR_H_
 #define SPECTRAL_LPM_QUERY_EXECUTOR_H_
@@ -10,63 +26,146 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <vector>
 
-#include "core/linear_order.h"
+#include "core/mapping_service.h"
+#include "core/ordering_request.h"
 #include "index/bplus_tree.h"
-#include "space/grid.h"
-#include "storage/layout.h"
+#include "index/packed_rtree.h"
+#include "space/point_set.h"
+#include "storage/buffer_pool.h"
 #include "storage/io_model.h"
+#include "storage/layout.h"
+#include "util/status.h"
 
 namespace spectral {
 
-/// Cost breakdown of one executed query.
-struct RangeExecution {
-  /// Records matching the box (the true answer size).
+/// Per-query counters of one executed plan.
+///
+/// Counter determinism contract: every field is a pure function of
+/// (points, order, physical-design options, buffer-pool size, pool state
+/// at call time, query arguments) — no wall-clock, randomness, or machine
+/// state anywhere. Replaying the same query stream against a fresh pool
+/// reproduces every counter byte-for-byte on any machine, which is what
+/// lets bench_query_io commit page-I/O baselines and CI gate them.
+struct QueryResultStats {
+  /// Records matching the query (the true answer size; k for kNN).
   int64_t matches = 0;
-  /// Records scanned in the rank interval (>= matches; the gap is the
-  /// filtering overhead the mapping causes).
+  /// Records scanned by the plan (>= matches; the gap is the filtering
+  /// overhead the mapping causes).
   int64_t records_scanned = 0;
-  /// B+-tree nodes read (descent + leaf walk).
+  /// Index nodes read (B+-tree descent + leaf walk, or R-tree nodes
+  /// visited). Index pages are not routed through the buffer pool: the
+  /// pool models the data-page working set, the index cost is reported
+  /// separately.
   int64_t index_nodes_read = 0;
-  /// Data pages read (the interval is contiguous, so this is one run).
-  int64_t pages_read = 0;
-  /// Run-aware cost: one seek plus sequential transfers.
+  /// Distinct data pages this query needed (each accessed once through
+  /// the pool).
+  int64_t pages_touched = 0;
+  /// Pool misses among those accesses — the actual page I/Os.
+  int64_t page_io = 0;
+  /// Pool hits (pages_touched == page_io + page_hits).
+  int64_t page_hits = 0;
+  /// Maximal runs of consecutive page ids among the touched pages
+  /// (sequential-I/O segments; 1 for interval plans).
+  int64_t page_runs = 0;
+  /// Seek/transfer cost of the touched pages under the IoCostModel
+  /// (ignores caching; the static cost of the footprint).
   double io_cost = 0.0;
 };
 
-/// Physical-design options for GridRangeExecutor.
-struct GridRangeExecutorOptions {
+/// Physical-design options of a query path built from one order.
+struct QueryPathOptions {
+  /// Records per data page of the StorageLayout.
   int64_t page_size = 32;
-  BPlusTreeOptions index;
+  BPlusTreeOptions btree;
+  PackedRTreeOptions rtree;
   IoCostModel io;
 };
 
-/// Executes box queries against a full-grid dataset laid out by `order`.
-/// The executor owns its layout and index; `grid` defines the record ids
-/// (row-major cell ids, as produced by PointSet::FullGrid).
-class GridRangeExecutor {
+/// Executes queries against one physical design through one buffer pool.
+///
+/// Borrows everything: points, layout, indexes, and pool must outlive the
+/// executor (QueryPath bundles the owned pieces). The pool may be null,
+/// in which case every touched page counts as one I/O (cold, poolless
+/// accounting). The executor itself is stateless — all mutable state is
+/// the pool's, so interleaving executors over one pool models layouts
+/// competing for one working set. Counters inherit the QueryResultStats
+/// determinism contract.
+class QueryExecutor {
  public:
-  using Options = GridRangeExecutorOptions;
+  QueryExecutor(const PointSet& points, const StorageLayout& layout,
+                const StaticBPlusTree& rank_index, const PackedRTree& rtree,
+                LruBufferPool* pool, const IoCostModel& io = {});
 
-  /// Copies the permutation out of `order`; the executor is self-contained
-  /// afterwards (safe to pass a temporary order).
-  GridRangeExecutor(const GridSpec& grid, const LinearOrder& order,
-                    const Options& options = {});
+  /// The paper's plan: scan the single rank interval covering the closed
+  /// box [lo, hi] through the B+-tree and filter. Bills the B+-tree
+  /// descent + leaf walk and the contiguous data-page run of the
+  /// interval. A box matching nothing costs one wasted descent and no
+  /// data pages.
+  QueryResultStats RangeViaBTree(std::span<const Coord> lo,
+                                 std::span<const Coord> hi) const;
 
-  /// Runs the closed box [lo, hi] (clamped to the grid). A box with any
-  /// lo[a] > hi[a] matches nothing and costs one index descent.
-  RangeExecution Execute(std::span<const Coord> lo,
-                         std::span<const Coord> hi) const;
+  /// The packed R-tree plan: read only the leaves whose MBR intersects
+  /// the box. Bills every R-tree node visited and the data pages covering
+  /// the visited leaves' rank runs.
+  QueryResultStats RangeViaRTree(std::span<const Coord> lo,
+                                 std::span<const Coord> hi) const;
 
-  const StorageLayout& layout() const { return layout_; }
-  const StaticBPlusTree& index() const { return index_; }
+  /// Window kNN (the paper's similarity-search application): scan the
+  /// `window` ranks on each side of `query_point` and keep the k
+  /// Manhattan-distance-closest candidates (ties broken by point index).
+  /// Bills one B+-tree probe for the query point's rank plus the
+  /// contiguous data-page run of the window. When `neighbors` is
+  /// non-null it receives the selected point indices, closest first.
+  QueryResultStats KnnViaWindow(int64_t query_point, int k, int64_t window,
+                                std::vector<int64_t>* neighbors =
+                                    nullptr) const;
 
  private:
-  GridSpec grid_;
-  Options options_;
-  StorageLayout layout_;
-  StaticBPlusTree index_;
+  /// Accesses `pages` (ascending, distinct) through the pool and fills
+  /// the page counters of `stats`.
+  void AccessPages(std::span<const int64_t> pages,
+                   QueryResultStats* stats) const;
+
+  const PointSet* points_;
+  const StorageLayout* layout_;
+  const StaticBPlusTree* rank_index_;
+  const PackedRTree* rtree_;
+  LruBufferPool* pool_;  // null = poolless (every touch is an I/O)
+  IoCostModel io_;
 };
+
+/// One order materialized into its physical design — the value
+/// BuildQueryPath returns. Owns the point set (shared), the ordering
+/// result (engine diagnostics included), the layout, and both indexes;
+/// movable, and executors made from it stay valid across moves (the
+/// indexes reference the shared point set, not the path).
+struct QueryPath {
+  std::shared_ptr<const PointSet> points;
+  OrderingResult ordering;
+  StorageLayout layout;
+  StaticBPlusTree rank_index;
+  PackedRTree rtree;
+  QueryPathOptions options;
+
+  /// An executor over this path and `pool` (borrowed, may be null).
+  QueryExecutor MakeExecutor(LruBufferPool* pool) const {
+    return QueryExecutor(*points, layout, rank_index, rtree, pool,
+                         options.io);
+  }
+};
+
+/// The end-to-end path: runs `request` through `service` (or directly
+/// through the registry engine when `service` is null — byte-identical
+/// orders either way), then bulk-loads the layout and both indexes from
+/// the resulting order. The request must carry a point set
+/// (OrderingInputKind::kPoints or kPointsWithAffinity; the indexes need
+/// coordinates) held by an owning factory, so the path can share it.
+/// Fails if the engine fails.
+StatusOr<QueryPath> BuildQueryPath(const OrderingRequest& request,
+                                   MappingService* service = nullptr,
+                                   const QueryPathOptions& options = {});
 
 }  // namespace spectral
 

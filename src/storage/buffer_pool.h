@@ -1,5 +1,8 @@
 // LRU buffer-pool simulator: measures how a mapping's locality translates
-// into cache hit rates under a spatially local access stream.
+// into cache hit rates under a spatially local access stream. The data-page
+// cache of the end-to-end query path (query/executor.h): QueryExecutor
+// routes every data-page touch through one of these, so hit rates compare
+// layouts built from different OrderingRequest engines on equal footing.
 
 #ifndef SPECTRAL_LPM_STORAGE_BUFFER_POOL_H_
 #define SPECTRAL_LPM_STORAGE_BUFFER_POOL_H_
@@ -11,6 +14,12 @@
 namespace spectral {
 
 /// Fixed-capacity LRU page cache with hit/miss accounting.
+///
+/// Counter determinism contract: hits/misses are a pure function of the
+/// access sequence and the capacity — strict LRU with no randomness,
+/// clocks, or address-dependent tie-breaks — so a replayed page stream
+/// reproduces every counter byte-for-byte on any machine. Benches commit
+/// hit rates as CI-gated baselines on the strength of this.
 class LruBufferPool {
  public:
   /// capacity = number of resident pages, >= 1.

@@ -11,6 +11,10 @@ namespace spectral {
 
 /// Relative device costs (defaults roughly model a 2000s-era disk where one
 /// seek buys ~40 sequential page transfers).
+///
+/// Determinism contract: IoCost is pure arithmetic on footprint counters —
+/// identical inputs give bit-identical costs on any machine, so modeled
+/// costs (unlike wall-clock) are safe to commit as bench baselines.
 struct IoCostModel {
   double seek_cost = 40.0;
   double transfer_cost = 1.0;

@@ -1,6 +1,9 @@
 // Physical layout: the rank order materialized into fixed-size pages.
 // Records (point indices) are stored in rank order, page r/B holds ranks
-// [r*B, (r+1)*B) — the placement the paper's mapping is for.
+// [r*B, (r+1)*B) — the placement the paper's mapping is for. The order
+// comes from any OrderingEngine registry engine (an OrderingRequest run
+// through MappingService or directly); BuildQueryPath (query/executor.h)
+// assembles a layout plus both indexes from one request in one call.
 
 #ifndef SPECTRAL_LPM_STORAGE_LAYOUT_H_
 #define SPECTRAL_LPM_STORAGE_LAYOUT_H_
@@ -14,6 +17,11 @@
 namespace spectral {
 
 /// Immutable page layout of a mapped dataset.
+///
+/// Determinism contract: every accessor is a pure function of the order
+/// and page_size captured at construction — page ids, page contents, and
+/// rank lookups are plain permutation arithmetic, so page-I/O counters
+/// derived from a layout are byte-identical across runs and machines.
 class StorageLayout {
  public:
   /// Lays out `order` into pages of `page_size` records.

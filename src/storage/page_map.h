@@ -13,6 +13,11 @@
 namespace spectral {
 
 /// Fixed-capacity page layout: rank r lives on page r / page_size.
+///
+/// Determinism contract: page ids and footprints are pure arithmetic on
+/// ranks — no state, no randomness — so any footprint computed here is
+/// reproducible byte-for-byte from the order alone. StorageLayout is the
+/// record-bearing counterpart used by the query path (storage/layout.h).
 class PageMap {
  public:
   /// page_size = records per page, >= 1.

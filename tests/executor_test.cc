@@ -1,3 +1,4 @@
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -31,51 +32,98 @@ TEST(StorageLayout, PartialLastPage) {
   EXPECT_EQ(layout.PointsOnPage(2).size(), 1u);
 }
 
-TEST(Executor, CountsMatchesExactly) {
+// Hand-assembled physical design (the pieces BuildQueryPath bundles), for
+// tests that need a specific order rather than a registry engine.
+struct ManualPath {
+  ManualPath(const PointSet& points_in, const LinearOrder& order,
+             int64_t page_size = 32)
+      : points(points_in),
+        layout(order, page_size),
+        btree(StaticBPlusTree::BuildRankIndex(order)),
+        rtree(PackedRTree::Build(points_in, order)) {}
+
+  QueryExecutor Executor(LruBufferPool* pool = nullptr) const {
+    return QueryExecutor(points, layout, btree, rtree, pool);
+  }
+
+  const PointSet& points;
+  StorageLayout layout;
+  StaticBPlusTree btree;
+  PackedRTree rtree;
+};
+
+TEST(Executor, BTreePlanCountsMatchesExactly) {
   const GridSpec grid({8, 8});
   const PointSet points = PointSet::FullGrid(grid);
-  auto order = OrderByCurve(points, CurveKind::kHilbert);
-  ASSERT_TRUE(order.ok());
-  const GridRangeExecutor executor(grid, *order);
+  auto path = BuildQueryPath(
+      OrderingRequest::ForPoints(std::make_shared<PointSet>(points),
+                                 "hilbert"));
+  ASSERT_TRUE(path.ok());
+  const QueryExecutor executor = path->MakeExecutor(nullptr);
 
   const std::vector<Coord> lo = {2, 3};
   const std::vector<Coord> hi = {5, 6};
-  const auto result = executor.Execute(lo, hi);
+  const auto result = executor.RangeViaBTree(lo, hi);
   EXPECT_EQ(result.matches, 16);
   EXPECT_GE(result.records_scanned, result.matches);
   EXPECT_GT(result.index_nodes_read, 0);
-  EXPECT_GT(result.pages_read, 0);
+  EXPECT_GT(result.pages_touched, 0);
+  EXPECT_EQ(result.page_runs, 1);  // interval plan: one sequential run
+  EXPECT_EQ(result.page_io, result.pages_touched);  // no pool = all misses
   EXPECT_GT(result.io_cost, 0.0);
 }
 
-TEST(Executor, EmptyBox) {
-  const GridSpec grid({4, 4});
-  const GridRangeExecutor executor(grid, LinearOrder::Identity(16));
-  const std::vector<Coord> lo = {3, 3};
-  const std::vector<Coord> hi = {1, 1};
-  const auto result = executor.Execute(lo, hi);
-  EXPECT_EQ(result.matches, 0);
-  EXPECT_EQ(result.records_scanned, 0);
-  EXPECT_EQ(result.pages_read, 0);
+TEST(Executor, RTreePlanAgreesWithBTreePlanOnMatches) {
+  const GridSpec grid({8, 8});
+  const PointSet points = PointSet::FullGrid(grid);
+  auto hilbert = OrderByCurve(points, CurveKind::kHilbert);
+  ASSERT_TRUE(hilbert.ok());
+  const ManualPath path(points, *hilbert, /*page_size=*/8);
+  const QueryExecutor executor = path.Executor();
+
+  const std::vector<std::pair<std::vector<Coord>, std::vector<Coord>>> boxes =
+      {{{0, 0}, {2, 2}}, {{3, 1}, {7, 4}}, {{7, 7}, {7, 7}},
+       {{0, 0}, {7, 7}}};
+  for (const auto& [lo, hi] : boxes) {
+    const auto a = executor.RangeViaBTree(lo, hi);
+    const auto b = executor.RangeViaRTree(lo, hi);
+    EXPECT_EQ(a.matches, b.matches);
+    EXPECT_GE(b.records_scanned, b.matches);
+  }
 }
 
-TEST(Executor, ClampsToGrid) {
-  const GridSpec grid({4, 4});
-  const GridRangeExecutor executor(grid, LinearOrder::Identity(16));
+TEST(Executor, EmptyBox) {
+  const PointSet points = PointSet::FullGrid(GridSpec({4, 4}));
+  const ManualPath path(points, LinearOrder::Identity(16));
+  const QueryExecutor executor = path.Executor();
+  const std::vector<Coord> lo = {3, 3};
+  const std::vector<Coord> hi = {1, 1};
+  const auto result = executor.RangeViaBTree(lo, hi);
+  EXPECT_EQ(result.matches, 0);
+  EXPECT_EQ(result.records_scanned, 0);
+  EXPECT_EQ(result.pages_touched, 0);
+  EXPECT_GT(result.index_nodes_read, 0);  // one wasted descent
+}
+
+TEST(Executor, BoxLargerThanExtentMatchesEverything) {
+  const PointSet points = PointSet::FullGrid(GridSpec({4, 4}));
+  const ManualPath path(points, LinearOrder::Identity(16));
+  const QueryExecutor executor = path.Executor();
   const std::vector<Coord> lo = {-5, -5};
   const std::vector<Coord> hi = {10, 10};
-  const auto result = executor.Execute(lo, hi);
+  const auto result = executor.RangeViaBTree(lo, hi);
   EXPECT_EQ(result.matches, 16);
   EXPECT_EQ(result.records_scanned, 16);
 }
 
 TEST(Executor, IdentityOrderScansExactlyTheMatchesOnRowBoxes) {
   // Row-major order + full-width row box => rank interval == matches.
-  const GridSpec grid({8, 8});
-  const GridRangeExecutor executor(grid, LinearOrder::Identity(64));
+  const PointSet points = PointSet::FullGrid(GridSpec({8, 8}));
+  const ManualPath path(points, LinearOrder::Identity(64));
+  const QueryExecutor executor = path.Executor();
   const std::vector<Coord> lo = {2, 0};
   const std::vector<Coord> hi = {4, 7};
-  const auto result = executor.Execute(lo, hi);
+  const auto result = executor.RangeViaBTree(lo, hi);
   EXPECT_EQ(result.matches, 24);
   EXPECT_EQ(result.records_scanned, 24);  // perfectly contiguous
 }
@@ -93,30 +141,77 @@ TEST(Executor, BetterOrderScansFewerRecords) {
   auto scrambled = LinearOrder::FromRanks(scrambled_ranks);
   ASSERT_TRUE(scrambled.ok());
 
-  const GridRangeExecutor good(grid, *hilbert);
-  const GridRangeExecutor bad(grid, *scrambled);
+  const ManualPath good(points, *hilbert);
+  const ManualPath bad(points, *scrambled);
   const std::vector<Coord> lo = {1, 1};
   const std::vector<Coord> hi = {3, 3};
-  EXPECT_LT(good.Execute(lo, hi).records_scanned,
-            bad.Execute(lo, hi).records_scanned);
+  EXPECT_LT(good.Executor().RangeViaBTree(lo, hi).records_scanned,
+            bad.Executor().RangeViaBTree(lo, hi).records_scanned);
+}
+
+TEST(Executor, WarmPoolTurnsRepeatIntoHits) {
+  const PointSet points = PointSet::FullGrid(GridSpec({8, 8}));
+  const ManualPath path(points, LinearOrder::Identity(64), /*page_size=*/8);
+  LruBufferPool pool(64);  // big enough to hold everything
+  const QueryExecutor executor = path.Executor(&pool);
+  const std::vector<Coord> lo = {0, 0};
+  const std::vector<Coord> hi = {7, 7};
+  const auto cold = executor.RangeViaBTree(lo, hi);
+  EXPECT_EQ(cold.page_io, cold.pages_touched);
+  EXPECT_EQ(cold.page_hits, 0);
+  const auto warm = executor.RangeViaBTree(lo, hi);
+  EXPECT_EQ(warm.page_hits, warm.pages_touched);
+  EXPECT_EQ(warm.page_io, 0);
+}
+
+TEST(Executor, KnnWindowFindsTrueNeighborsOnIdentityOrder) {
+  // Identity (row-major) order on one row: ranks == x coordinates, so the
+  // window around a point contains exactly its closest points.
+  PointSet points(2);
+  for (Coord x = 0; x < 16; ++x) points.Add(std::vector<Coord>{x, 0});
+  const ManualPath path(points, LinearOrder::Identity(16), /*page_size=*/4);
+  const QueryExecutor executor = path.Executor();
+  std::vector<int64_t> neighbors;
+  const auto result = executor.KnnViaWindow(/*query_point=*/8, /*k=*/2,
+                                            /*window=*/3, &neighbors);
+  EXPECT_EQ(result.matches, 2);
+  ASSERT_EQ(neighbors.size(), 2u);
+  // Points 7 and 9 are at distance 1 (ties by point index).
+  EXPECT_EQ(neighbors[0], 7);
+  EXPECT_EQ(neighbors[1], 9);
+  EXPECT_GT(result.index_nodes_read, 0);
+  EXPECT_GT(result.pages_touched, 0);
 }
 
 TEST(Executor, SpectralEndToEnd) {
   const GridSpec grid({8, 8});
   const PointSet points = PointSet::FullGrid(grid);
-  auto engine = MakeOrderingEngine("spectral");
-  ASSERT_TRUE(engine.ok());
-  auto mapped = (*engine)->Order(OrderingRequest::ForPoints(points));
-  ASSERT_TRUE(mapped.ok());
-  GridRangeExecutor::Options options;
+  QueryPathOptions options;
   options.page_size = 8;
-  const GridRangeExecutor executor(grid, mapped->order, options);
+  auto path = BuildQueryPath(
+      OrderingRequest::ForPoints(std::make_shared<PointSet>(points),
+                                 "spectral"),
+      /*service=*/nullptr, options);
+  ASSERT_TRUE(path.ok());
+  const QueryExecutor executor = path->MakeExecutor(nullptr);
   const std::vector<Coord> lo = {0, 0};
   const std::vector<Coord> hi = {7, 7};
-  const auto result = executor.Execute(lo, hi);
+  const auto result = executor.RangeViaBTree(lo, hi);
   EXPECT_EQ(result.matches, 64);
   EXPECT_EQ(result.records_scanned, 64);
-  EXPECT_EQ(result.pages_read, 8);
+  EXPECT_EQ(result.pages_touched, 8);
+  EXPECT_EQ(result.page_runs, 1);
+}
+
+TEST(Executor, BuildQueryPathRejectsPointlessRequests) {
+  const GridSpec grid({4, 4});
+  const PointSet points = PointSet::FullGrid(grid);
+  auto graph_request = OrderingRequest::ForGraph(
+      std::shared_ptr<const Graph>(), nullptr, "spectral");
+  EXPECT_FALSE(BuildQueryPath(graph_request).ok());
+
+  auto empty = std::make_shared<PointSet>(2);
+  EXPECT_FALSE(BuildQueryPath(OrderingRequest::ForPoints(empty)).ok());
 }
 
 }  // namespace

@@ -42,7 +42,8 @@ TEST(PackedRTree, QueryMatchesBruteForce) {
   const PointSet points = PointSet::FullGrid(grid);
   auto order = OrderByCurve(points, CurveKind::kHilbert);
   ASSERT_TRUE(order.ok());
-  const PackedRTree tree = PackedRTree::Build(points, *order, 8, 4);
+  const PackedRTree tree = PackedRTree::Build(points, *order,
+                                         {.leaf_capacity = 8, .fanout = 4});
 
   const std::vector<std::pair<std::vector<Coord>, std::vector<Coord>>> queries =
       {{{0, 0}, {2, 2}},
@@ -68,7 +69,8 @@ TEST(PackedRTree, StatsShape) {
   const PointSet points = PointSet::FullGrid(grid);
   auto order = OrderByCurve(points, CurveKind::kHilbert);
   ASSERT_TRUE(order.ok());
-  const PackedRTree tree = PackedRTree::Build(points, *order, 8, 4);
+  const PackedRTree tree = PackedRTree::Build(points, *order,
+                                         {.leaf_capacity = 8, .fanout = 4});
   const auto stats = tree.ComputeStats();
   EXPECT_EQ(stats.num_leaves, 8);
   EXPECT_EQ(stats.height, 3);  // 8 leaves -> 2 nodes -> 1 root
@@ -87,9 +89,9 @@ TEST(PackedRTree, HilbertPacksTighterThanScrambled) {
   auto scrambled = LinearOrder::FromRanks(scrambled_ranks);
   ASSERT_TRUE(scrambled.ok());
 
-  const auto good = PackedRTree::Build(points, *hilbert, 16, 8).ComputeStats();
+  const auto good = PackedRTree::Build(points, *hilbert, {.leaf_capacity = 16, .fanout = 8}).ComputeStats();
   const auto bad =
-      PackedRTree::Build(points, *scrambled, 16, 8).ComputeStats();
+      PackedRTree::Build(points, *scrambled, {.leaf_capacity = 16, .fanout = 8}).ComputeStats();
   EXPECT_LT(good.total_leaf_volume, bad.total_leaf_volume);
   EXPECT_LT(good.leaf_overlap_volume, bad.leaf_overlap_volume);
 }
@@ -99,7 +101,8 @@ TEST(PackedRTree, NodeVisitsBoundedByTotalNodes) {
   const PointSet points = PointSet::FullGrid(grid);
   auto order = OrderByCurve(points, CurveKind::kZOrder);
   ASSERT_TRUE(order.ok());
-  const PackedRTree tree = PackedRTree::Build(points, *order, 4, 4);
+  const PackedRTree tree = PackedRTree::Build(points, *order,
+                                         {.leaf_capacity = 4, .fanout = 4});
   const auto result = tree.RangeQuery(std::vector<Coord>{0, 0},
                                       std::vector<Coord>{7, 7});
   EXPECT_EQ(result.matches, 64);
@@ -110,7 +113,8 @@ TEST(PackedRTree, SinglePoint) {
   PointSet points(2);
   points.Add(std::vector<Coord>{3, 4});
   const PackedRTree tree =
-      PackedRTree::Build(points, LinearOrder::Identity(1), 4, 4);
+      PackedRTree::Build(points, LinearOrder::Identity(1),
+                         {.leaf_capacity = 4, .fanout = 4});
   const auto hit = tree.RangeQuery(std::vector<Coord>{3, 4},
                                    std::vector<Coord>{3, 4});
   EXPECT_EQ(hit.matches, 1);

@@ -2,7 +2,7 @@
 """CI bench-regression gate over the committed bench baselines.
 
 Diffs one or more bench suites against their committed baseline JSONs and
-fails on regressions. Three suites are known:
+fails on regressions. Four suites are known:
 
   ordering     bench_ordering_engines -> bench_results/BENCH_ordering_engines.json
                rows keyed (engine, workload, shards); gates cold-time share
@@ -23,6 +23,15 @@ fails on regressions. Three suites are known:
                the bench pins the request mix seed and uses a cache larger
                than the request universe). Absolute qps and latency are
                reported but never gated; wall_ms feeds the share check.
+  query        bench_query_io -> bench_results/BENCH_query_io.json
+               rows keyed (workload, engine, pool_pages); gates the
+               deterministic page-I/O counters (pages-touched growth,
+               buffer hit-rate drops) and a paper-fidelity consistency
+               check: on the grid64x64 workload the spectral engine's
+               worst-case range-query pages must stay strictly below
+               every fractal curve's (zorder, gray, hilbert, peano) —
+               Figure 6's claim, end-to-end. wall_ms feeds the share
+               check only.
 
 For every suite the gate fails on:
 
@@ -194,8 +203,64 @@ class ServiceSuite(Suite):
         return failures
 
 
+class QuerySuite(Suite):
+    def __init__(self):
+        super().__init__(
+            "query",
+            os.path.join("bench_results", "BENCH_query_io.json"),
+            ("workload", "engine", "pool_pages"),
+            time_field="wall_ms",
+        )
+
+    def quality_failures(self, name, base, cur, args):
+        failures = []
+        # All page counters are deterministic (fixed workload seeds, strict
+        # LRU, no wall-clock anywhere): any pages-touched growth or
+        # hit-rate drop is a planner/layout regression, not noise.
+        for field in ("range_pages_mean", "range_pages_max",
+                      "knn_pages_mean"):
+            if cur[field] > base[field] + 1e-6:
+                failures.append(
+                    f"{name}: {field} {base[field]} -> {cur[field]}")
+        if cur["hit_rate"] < base["hit_rate"] - 1e-6:
+            failures.append(
+                f"{name}: hit_rate {base['hit_rate']:.6f} -> "
+                f"{cur['hit_rate']:.6f}")
+        return failures
+
+    def consistency_failures(self, current, args):
+        # Paper fidelity (Figure 6, end-to-end): on the full-grid workload
+        # the spectral order's worst-case range query must touch strictly
+        # fewer data pages than every fractal curve's. The claim is about
+        # the worst case — fractal curves straddle top-level splits —
+        # which is exactly what range_pages_max captures.
+        failures = []
+        gated_workload = "grid64x64"
+        fractal = ("zorder", "gray", "hilbert", "peano")
+        spectral_rows = {
+            key: row for key, row in current.items()
+            if key[0] == gated_workload and key[1] == "spectral"}
+        if not spectral_rows:
+            return [f"{gated_workload}: no spectral rows to gate"]
+        for (workload, _, pool), srow in sorted(spectral_rows.items()):
+            for curve in fractal:
+                crow = current.get((workload, curve, pool))
+                if crow is None:
+                    failures.append(
+                        f"{workload} {curve} pool={pool}: row missing, "
+                        "cannot verify spectral-beats-fractal gate")
+                    continue
+                if srow["range_pages_max"] >= crow["range_pages_max"]:
+                    failures.append(
+                        f"{workload} pool={pool}: spectral worst-case "
+                        f"range pages {srow['range_pages_max']} not below "
+                        f"{curve}'s {crow['range_pages_max']}")
+        return failures
+
+
 SUITES = {s.name: s
-          for s in (OrderingSuite(), EigensolverSuite(), ServiceSuite())}
+          for s in (OrderingSuite(), EigensolverSuite(), ServiceSuite(),
+                    QuerySuite())}
 
 
 def load_rows(suite, path):

@@ -19,9 +19,10 @@
 # runs). BUILD_DIR overrides the build directory.
 #
 # The CI bench gate is separate: tools/check_bench_regression.py runs
-# bench_ordering_engines and bench_eigensolver and diffs the
-# bench_results/BENCH_*.json files against the committed baselines (see
-# that script's --help for the baseline update procedure).
+# the four gated benches (ordering, eigensolver, service, query) and
+# diffs the bench_results/BENCH_*.json files against the committed
+# baselines (see that script's --help and docs/benchmarks.md for the
+# baseline update procedure).
 #
 # Exit status is non-zero on the first failing stage.
 
@@ -98,6 +99,14 @@ lint() {
   # std::cout/cerr in the libraries (fine in benches/tools/examples).
   if grep -rln --include='*.cc' 'std::cout' src 2>/dev/null; then
     echo "FAIL: std::cout in library code (see above)"
+    failed=1
+  fi
+
+  # Leftover seed-scaffolding markers: every layer is live now, so a
+  # TODO(seed) means a migration was left half-done.
+  if grep -rn --include='*.cc' --include='*.h' --include='*.cpp' \
+       'TODO(seed)' src tests bench tools examples 2>/dev/null; then
+    echo "FAIL: stale 'TODO(seed)' marker found (see above)"
     failed=1
   fi
 
