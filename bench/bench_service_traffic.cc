@@ -1,13 +1,19 @@
 // Serving-tier load bench: drives an OrderingServer with the Zipfian
 // hot-set request mix from workload/trace.h and reports sustained qps,
 // cold-vs-warm p50/p99 latency, cache hit rate, and batching effectiveness
-// for three scenarios — "cold" (fresh server), "warm" (same trace replayed
-// against the now-populated cache), and "warm_restart" (a new server
-// restored from a cache snapshot, which must perform zero eigensolves).
+// for four scenarios — "cold" (fresh server), "warm" (same trace replayed
+// against the now-populated cache), "warm_restart" (a new server restored
+// from a cache snapshot, which must perform zero eigensolves), and
+// "degraded" (the same trace against a server whose eigensolver fails on a
+// fixed util/fault.h schedule, measuring the cost of the retry/fallback
+// ladder under partial solver failure). The degraded scenario needs the
+// fault registry compiled in: it is skipped — with a log note, and without
+// its JSON row — when the build lacks SPECTRAL_FAULTS, so run the gate
+// from a -DSPECTRAL_FAULTS=ON build (CI's bench job does).
 // Emits bench_results/BENCH_service_traffic.json, the third CI
 // bench-regression suite; tools/check_bench_regression.py gates only the
-// machine-portable fields (hit rate, solve counts, Spearman vs direct
-// engine calls), never absolute qps or latency.
+// machine-portable fields (hit rate, solve counts, ladder counters,
+// Spearman vs direct engine calls), never absolute qps or latency.
 
 #include <algorithm>
 #include <filesystem>
@@ -21,6 +27,7 @@
 #include "serve/ordering_server.h"
 #include "stats/rank_correlation.h"
 #include "util/check.h"
+#include "util/fault.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
@@ -44,6 +51,8 @@ struct ScenarioSample {
   int64_t batches = 0;
   int64_t solves = 0;
   int64_t coalesced = 0;
+  int64_t retried_solves = 0;
+  int64_t degraded_orders = 0;
   double hit_rate = 0.0;
   double spearman_min_vs_direct = 0.0;
   double qps = 0.0;
@@ -55,6 +64,27 @@ struct ScenarioSample {
   double warm_p50_ms = 0.0;
   double warm_p99_ms = 0.0;
 };
+
+// Reads a finished scenario's counters off the server stats. wall_ms must
+// already be set (qps derives from it).
+void FillFromStats(const OrderingServer& server, ScenarioSample* s) {
+  const OrderingServerStats stats = server.stats();
+  s->requests = stats.service.requests;
+  s->batches = stats.service.batches;
+  s->solves = stats.service.solves;
+  s->coalesced = stats.service.coalesced_requests;
+  s->retried_solves = stats.service.retried_solves;
+  s->degraded_orders = stats.service.degraded_orders;
+  s->hit_rate = static_cast<double>(stats.service.cache_hits) /
+                static_cast<double>(stats.service.requests);
+  s->qps = static_cast<double>(stats.service.requests) / (s->wall_ms / 1e3);
+  s->p50_ms = stats.p50_ms;
+  s->p99_ms = stats.p99_ms;
+  s->cold_p50_ms = stats.cold_p50_ms;
+  s->cold_p99_ms = stats.cold_p99_ms;
+  s->warm_p50_ms = stats.warm_p50_ms;
+  s->warm_p99_ms = stats.warm_p99_ms;
+}
 
 // Replays the trace open-loop (every request submitted before any reply is
 // awaited, so the aggregation window sees real concurrency), checks every
@@ -84,22 +114,57 @@ ScenarioSample RunScenario(const std::string& scenario, OrderingServer& server,
         std::min(sample.spearman_min_vs_direct, rho);
   }
   sample.wall_ms = timer.ElapsedSeconds() * 1e3;
+  FillFromStats(server, &sample);
+  return sample;
+}
 
-  const OrderingServerStats stats = server.stats();
-  sample.requests = stats.service.requests;
-  sample.batches = stats.service.batches;
-  sample.solves = stats.service.solves;
-  sample.coalesced = stats.service.coalesced_requests;
-  sample.hit_rate = static_cast<double>(stats.service.cache_hits) /
-                    static_cast<double>(stats.service.requests);
-  sample.qps =
-      static_cast<double>(stats.service.requests) / (sample.wall_ms / 1e3);
-  sample.p50_ms = stats.p50_ms;
-  sample.p99_ms = stats.p99_ms;
-  sample.cold_p50_ms = stats.cold_p50_ms;
-  sample.cold_p99_ms = stats.cold_p99_ms;
-  sample.warm_p50_ms = stats.warm_p50_ms;
-  sample.warm_p99_ms = stats.warm_p99_ms;
+// The "degraded" scenario: the same trace against a server whose
+// eigensolver reports unconverged on a fixed fault schedule, so a slice of
+// the traffic rides the full degradation ladder (retry, then fallback
+// curve). Everything is pinned for the regression gate: serial solves
+// (parallelism=1) and Pause/Resume-chunked submission make the solve order
+// — and therefore which hits of the "solver.converge" site land on which
+// solve — deterministic, and degraded orders are never cached, so the
+// hit/solve/ladder counters are exact integers, not noise. The schedule
+// fails hits 5 and 6 of every 8: consecutive, so the failing solve's
+// escalated retry fails too and the request degrades all the way to the
+// fallback curve; and dense enough to matter against the ~16 distinct
+// spectral-family solves the trace performs (degraded entries are never
+// cached, so their repeats re-solve and some later recover — the
+// self-healing path — while others land on the next failing pair).
+// Spearman-vs-direct is taken over the non-degraded
+// replies only (a fallback order is correct but intentionally different).
+ScenarioSample RunDegradedScenario(
+    OrderingServer& server, const ZipfianRequestMix& mix,
+    const std::vector<std::vector<int64_t>>& direct) {
+  server.ResetStats();
+  constexpr size_t kChunk = 40;
+  WallTimer timer;
+  ScenarioSample sample;
+  sample.scenario = "degraded";
+  sample.spearman_min_vs_direct = 1.0;
+  for (size_t start = 0; start < mix.trace.size(); start += kChunk) {
+    const size_t end = std::min(start + kChunk, mix.trace.size());
+    server.Pause();
+    std::vector<std::future<StatusOr<OrderingResult>>> futures;
+    futures.reserve(end - start);
+    for (size_t i = start; i < end; ++i) {
+      futures.push_back(
+          server.Submit(mix.universe[static_cast<size_t>(mix.trace[i])]));
+    }
+    server.Resume();
+    for (size_t i = start; i < end; ++i) {
+      auto result = futures[i - start].get();
+      SPECTRAL_CHECK(result.ok()) << "degraded: " << result.status();
+      if (result->detail.find("degraded=") != std::string::npos) continue;
+      const auto& reference = direct[static_cast<size_t>(mix.trace[i])];
+      const double rho = SpearmanRho(reference, Ranks(result->order));
+      sample.spearman_min_vs_direct =
+          std::min(sample.spearman_min_vs_direct, rho);
+    }
+  }
+  sample.wall_ms = timer.ElapsedSeconds() * 1e3;
+  FillFromStats(server, &sample);
   return sample;
 }
 
@@ -160,14 +225,38 @@ void Run() {
   SPECTRAL_CHECK_EQ(samples[1].solves, 0);
   SPECTRAL_CHECK_EQ(samples[2].solves, 0);
 
+  if (kFaultInjectionEnabled) {
+    // Serial solves + chunked submission make the fault schedule land on
+    // the same solves every run; see RunDegradedScenario.
+    FaultInjector faults(0xC4A05ull);
+    FaultSiteConfig schedule;
+    for (int64_t k = 0; k < 100000; ++k) {
+      const int64_t m = k % 8;
+      if (m == 5 || m == 6) schedule.schedule.push_back(k);
+    }
+    faults.Arm("solver.converge", std::move(schedule));
+    OrderingServerOptions degraded_options = options;
+    degraded_options.service.parallelism = 1;
+    degraded_options.faults = &faults;
+    OrderingServer degraded_server(degraded_options);
+    samples.push_back(RunDegradedScenario(degraded_server, mix, direct));
+    // The schedule must actually have exercised the full ladder.
+    SPECTRAL_CHECK_GT(samples[3].degraded_orders, 0);
+    SPECTRAL_CHECK_GT(samples[3].retried_solves, 0);
+  } else {
+    std::cout << "degraded scenario skipped: built without SPECTRAL_FAULTS "
+                 "(configure with -DSPECTRAL_FAULTS=ON to emit its row)\n";
+  }
+
   TablePrinter table;
-  table.SetHeader({"scenario", "requests", "batches", "solves", "hit_rate",
-                   "spearman_min", "qps", "p50_ms", "p99_ms", "cold_p50_ms",
-                   "warm_p50_ms"});
+  table.SetHeader({"scenario", "requests", "batches", "solves", "retried",
+                   "degraded", "hit_rate", "spearman_min", "qps", "p50_ms",
+                   "p99_ms", "cold_p50_ms", "warm_p50_ms"});
   std::vector<std::string> rows;
   for (const ScenarioSample& s : samples) {
     table.AddRow({s.scenario, FormatInt(s.requests), FormatInt(s.batches),
-                  FormatInt(s.solves), FormatDouble(s.hit_rate, 3),
+                  FormatInt(s.solves), FormatInt(s.retried_solves),
+                  FormatInt(s.degraded_orders), FormatDouble(s.hit_rate, 3),
                   FormatDouble(s.spearman_min_vs_direct, 6),
                   FormatDouble(s.qps, 0), FormatDouble(s.p50_ms, 3),
                   FormatDouble(s.p99_ms, 3), FormatDouble(s.cold_p50_ms, 3),
@@ -178,6 +267,8 @@ void Run() {
         ", \"batches\": " + FormatInt(s.batches) +
         ", \"solves\": " + FormatInt(s.solves) +
         ", \"coalesced\": " + FormatInt(s.coalesced) +
+        ", \"retried_solves\": " + FormatInt(s.retried_solves) +
+        ", \"degraded_orders\": " + FormatInt(s.degraded_orders) +
         ", \"hit_rate\": " + FormatDouble(s.hit_rate, 6) +
         ", \"spearman_min_vs_direct\": " +
         FormatDouble(s.spearman_min_vs_direct, 6) +

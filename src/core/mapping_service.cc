@@ -61,6 +61,10 @@ std::vector<StatusOr<OrderingResult>> MappingService::OrderBatch(
     /// True once an engine actually ran the request (as opposed to engine
     /// construction failing), so the solve counters stay honest.
     bool engine_ran = false;
+    /// Ladder rung 1 ran: the solve was retried with an escalated budget.
+    bool retried = false;
+    /// Ladder rung 2 ran: the served order is degraded (never cached).
+    bool degraded = false;
   };
 
   std::vector<StatusOr<OrderingResult>> results(
@@ -132,7 +136,49 @@ std::vector<StatusOr<OrderingResult>> MappingService::OrderBatch(
     OrderingRequest shared = *job.request;
     if (pool_ != nullptr) shared.options.spectral.pool = pool_.get();
     shared.options.service = this;
+    shared.options.spectral.faults = options_.faults;
     job.result = (*engine)->Order(shared);
+
+    // Degradation ladder: an ok-but-unconverged order climbs two rungs —
+    // one retry with an escalated restart budget, then a degraded serve.
+    // Whatever rung wins, an unconverged result is never cached (gated at
+    // the insert below on result->converged).
+    if (!options_.degrade_unconverged || !job.result.ok() ||
+        job.result->converged) {
+      return;
+    }
+    job.retried = true;
+    OrderingRequest retry = shared;
+    int& budget = retry.options.spectral.fiedler.max_restarts;
+    budget = std::max(1, budget * std::max(1, options_.retry_restart_multiplier));
+    if (auto second = (*engine)->Order(retry);
+        second.ok() && second->converged) {
+      job.result = std::move(second);
+      return;
+    }
+    // Rung 2. Point inputs fall back to the configured geometry-only curve
+    // engine; graph inputs have no geometry to fall back on and serve the
+    // best-effort spectral order instead. Both are tagged degraded and
+    // carry converged == false.
+    job.degraded = true;
+    if (job.request->points != nullptr &&
+        job.request->input != OrderingInputKind::kGraph &&
+        job.request->engine != options_.fallback_engine) {
+      auto fallback_engine = MakeOrderingEngine(options_.fallback_engine);
+      if (fallback_engine.ok()) {
+        auto fallback = (*fallback_engine)
+                            ->Order(OrderingRequest::ForPoints(
+                                job.request->points,
+                                options_.fallback_engine));
+        if (fallback.ok()) {
+          fallback->converged = false;
+          fallback->detail += " | degraded=" + options_.fallback_engine;
+          job.result = std::move(fallback);
+          return;
+        }
+      }
+    }
+    job.result->detail += " | degraded=unconverged";
   };
 
   if (pool_ != nullptr && to_solve.size() > 1) {
@@ -160,6 +206,7 @@ std::vector<StatusOr<OrderingResult>> MappingService::OrderBatch(
     stats_.batch_latency_max_ms =
         std::max(stats_.batch_latency_max_ms, batch_ms);
     for (Job& job : jobs) {
+      stats_.retried_solves += job.retried ? 1 : 0;
       if (!job.result.ok()) {
         // Engine-construction failures (unknown name) never ran a solve
         // and keep the solves == cache_misses invariant out of the
@@ -169,6 +216,8 @@ std::vector<StatusOr<OrderingResult>> MappingService::OrderBatch(
         stats_.failures += static_cast<int64_t>(job.slots.size());
         continue;
       }
+      stats_.degraded_orders +=
+          job.degraded ? static_cast<int64_t>(job.slots.size()) : 0;
       if (job.cached) {
         stats_.cache_hits += static_cast<int64_t>(job.slots.size());
       } else {
@@ -176,7 +225,11 @@ std::vector<StatusOr<OrderingResult>> MappingService::OrderBatch(
         stats_.solves += 1;
         stats_.solver_matvecs += job.result->matvecs;
         stats_.cache_hits += static_cast<int64_t>(job.slots.size()) - 1;
-        if (cache_enabled) InsertLocked(job.fingerprint, *job.result);
+        // Unconverged (and therefore degraded) orders must never poison
+        // the cache or any snapshot exported from it.
+        if (cache_enabled && job.result->converged) {
+          InsertLocked(job.fingerprint, *job.result);
+        }
       }
     }
   }
@@ -259,6 +312,11 @@ void MappingService::ClearCache() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
+}
+
+size_t MappingService::CacheSize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
 }
 
 }  // namespace spectral

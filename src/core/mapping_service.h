@@ -31,6 +31,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -42,6 +43,7 @@
 
 namespace spectral {
 
+class FaultInjector;
 class ThreadPool;
 
 /// Options for MappingService.
@@ -53,6 +55,25 @@ struct MappingServiceOptions {
   /// Capacity of the LRU order cache, in cached results. 0 disables
   /// caching (batch-level deduplication still applies).
   size_t cache_capacity = 128;
+  /// Optional fault-injection registry (not owned; must outlive the
+  /// service). Handed to every engine solve as spectral.faults, so a
+  /// SPECTRAL_FAULTS build can script "solver.converge" failures through
+  /// the full ladder below. Runtime-only: never fingerprinted, a no-op in
+  /// normal builds.
+  FaultInjector* faults = nullptr;
+  /// Degradation ladder for unconverged solves (converged == false on an
+  /// otherwise-ok result). When enabled: retry the solve once with
+  /// max_restarts escalated by retry_restart_multiplier; if still
+  /// unconverged, serve the fallback curve order (point inputs) or the
+  /// best-effort spectral order (graph inputs), tagged " | degraded=..."
+  /// in detail. Unconverged results are never cached either way — the
+  /// ladder only decides what gets served.
+  bool degrade_unconverged = true;
+  /// Restart-budget escalation factor for the ladder's single retry.
+  int retry_restart_multiplier = 4;
+  /// Geometry-only engine serving degraded point requests ("hilbert",
+  /// "sweep", ...). Must accept kPoints requests.
+  std::string fallback_engine = "hilbert";
 };
 
 /// Service-level counters. Hits count requests served without running an
@@ -77,6 +98,13 @@ struct MappingServiceStats {
   /// Wall time spent inside OrderBatch, summed over batches / worst batch.
   double batch_latency_total_ms = 0.0;
   double batch_latency_max_ms = 0.0;
+  /// Ladder rung 1: solves re-run with an escalated restart budget after
+  /// the first attempt came back unconverged. Not counted in `solves`
+  /// (that stays == cache_misses, one per distinct request).
+  int64_t retried_solves = 0;
+  /// Ladder rung 2: requests served a degraded order (fallback curve or
+  /// marked best-effort spectral). Degraded results are never cached.
+  int64_t degraded_orders = 0;
 
   /// Zeroes every counter (a stats window boundary, e.g. between the cold
   /// and warm phases of a serving bench).
@@ -115,6 +143,8 @@ class MappingService {
   void ResetStats();
   /// Drops every cached order (counters are retained).
   void ClearCache();
+  /// Entries currently held by the LRU order cache.
+  size_t CacheSize() const;
   const MappingServiceOptions& options() const { return options_; }
 
   /// Copies the LRU order cache, most-recently-used first — the payload a

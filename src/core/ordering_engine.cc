@@ -56,6 +56,7 @@ OrderingResult FromSpectralResult(SpectralLpmResult result) {
   out.reorth_panels = result.reorth_panels;
   out.profile = result.profile;
   out.embedding = std::move(result.values);
+  out.converged = result.converged;
   // Only the deterministic flop estimates go into detail (it is compared
   // byte-for-byte by caching/sharding layers); wall times stay in
   // `profile` for --profile output and bench share rows.
@@ -70,7 +71,8 @@ OrderingResult FromSpectralResult(SpectralLpmResult result) {
                FormatInt(out.profile.reorth_flops) + "/" +
                FormatInt(out.profile.hfill_flops) + "/" +
                FormatInt(out.profile.rr_flops) + "/" +
-               FormatInt(out.profile.cheb_flops);
+               FormatInt(out.profile.cheb_flops) +
+               " converged=" + (out.converged ? "1" : "0");
   return out;
 }
 

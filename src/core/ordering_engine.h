@@ -77,6 +77,13 @@ struct OrderingResult {
   /// ...) for CLIs and bench logs. MappingService appends a " | cache=..."
   /// suffix recording how it served the request.
   std::string detail;
+
+  /// False when a spectral solve exhausted its restart budget and the order
+  /// is a best-effort estimate (mirrored as a "converged=0/1" token in
+  /// `detail` for the spectral family). Curve engines and bisection always
+  /// converge. MappingService never caches or snapshots a result with
+  /// converged == false and runs its retry/degrade ladder instead.
+  bool converged = true;
 };
 
 /// Abstract producer of linear orders. Stateless: everything a solve needs

@@ -139,9 +139,10 @@ struct OrderingRequest {
   /// byte-identical OrderingResults, so the fingerprint is a sound cache
   /// key, and requests differing only in ignored fields share one cache
   /// entry. Runtime-only fields are excluded: `spectral.parallelism`,
-  /// `spectral.pool`, and the fiedler `matvec_pool` pointers never change
-  /// the computed order (solves are byte-identical across thread counts)
-  /// and would otherwise defeat caching across differently-parallel runs.
+  /// `spectral.pool`, `spectral.faults`, and the fiedler `matvec_pool`
+  /// pointers never change the computed order of a fault-free solve
+  /// (solves are byte-identical across thread counts) and would otherwise
+  /// defeat caching across differently-parallel runs.
   Fingerprint128 Fingerprint() const;
 
   /// Number of input vertices (points or graph vertices); 0 when the

@@ -1,6 +1,12 @@
 #include "core/serialization.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <limits>
@@ -9,12 +15,15 @@
 #include <string_view>
 #include <vector>
 
+#include "util/fault.h"
+#include "util/hash.h"
+
 namespace spectral {
 
 namespace {
 constexpr char kOrderMagic[] = "spectral-lpm-order v1";
 constexpr char kPointsMagic[] = "spectral-lpm-points v1";
-constexpr char kCacheMagic[] = "spectral-lpm-cache v1";
+constexpr char kCacheMagic[] = "spectral-lpm-cache v2";
 
 // Reads one line and strips the expected "<keyword> " prefix; a bare
 // keyword line (empty payload) is also accepted. Fails on EOF or mismatch.
@@ -58,6 +67,22 @@ bool ParseHex64(std::string_view hex, uint64_t* out) {
   }
   *out = value;
   return true;
+}
+
+// 16-digit lowercase hex of `value` (the checksum trailer's payload).
+std::string Hex64(uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+// Content hash of a snapshot body (everything before the checksum line).
+uint64_t SnapshotChecksum(std::string_view body) {
+  return Hasher().MixString(body).Finish().lo;
 }
 }  // namespace
 
@@ -129,41 +154,86 @@ StatusOr<PointSet> ReadPointSet(std::istream& in) {
   return points;
 }
 
+std::string WithSnapshotChecksum(std::string body) {
+  body += "checksum " + Hex64(SnapshotChecksum(body)) + "\n";
+  return body;
+}
+
 Status WriteOrderCacheSnapshot(std::span<const OrderCacheEntry> entries,
                                std::ostream& out) {
-  out << kCacheMagic << '\n' << entries.size() << '\n';
-  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  // The body is rendered in memory first so the checksum trailer can cover
+  // it; snapshots are bounded by the cache capacity, so this stays small.
+  std::ostringstream body;
+  body << kCacheMagic << '\n' << entries.size() << '\n';
+  body << std::setprecision(std::numeric_limits<double>::max_digits10);
   for (const OrderCacheEntry& entry : entries) {
     const OrderingResult& r = entry.result;
-    out << "entry " << entry.fingerprint.ToHex() << '\n';
-    out << "method " << r.method << '\n';
-    out << "detail " << r.detail << '\n';
-    out << "metrics " << r.lambda2 << ' ' << r.num_components << ' '
-        << r.matvecs << ' ' << r.restarts << ' ' << r.spmm_calls << ' '
-        << r.reorth_panels << ' ' << r.num_solves << ' ' << r.depth << ' '
-        << r.grid_side << ' ' << r.grid_cells << '\n';
-    out << "order " << r.order.size();
-    for (int64_t i = 0; i < r.order.size(); ++i) out << ' ' << r.order.RankOf(i);
-    out << '\n';
-    out << "embedding " << r.embedding.size();
-    for (double e : r.embedding) out << ' ' << e;
-    out << '\n';
+    body << "entry " << entry.fingerprint.ToHex() << '\n';
+    body << "method " << r.method << '\n';
+    body << "detail " << r.detail << '\n';
+    body << "metrics " << r.lambda2 << ' ' << r.num_components << ' '
+         << r.matvecs << ' ' << r.restarts << ' ' << r.spmm_calls << ' '
+         << r.reorth_panels << ' ' << r.num_solves << ' ' << r.depth << ' '
+         << r.grid_side << ' ' << r.grid_cells << ' '
+         << (r.converged ? 1 : 0) << '\n';
+    body << "order " << r.order.size();
+    for (int64_t i = 0; i < r.order.size(); ++i) {
+      body << ' ' << r.order.RankOf(i);
+    }
+    body << '\n';
+    body << "embedding " << r.embedding.size();
+    for (double e : r.embedding) body << ' ' << e;
+    body << '\n';
   }
+  out << WithSnapshotChecksum(std::move(body).str());
   if (!out.good()) return InternalError("write failed");
   return OkStatus();
 }
 
 StatusOr<std::vector<OrderCacheEntry>> ReadOrderCacheSnapshot(
     std::istream& in) {
-  std::string magic;
-  std::getline(in, magic);
-  if (magic != kCacheMagic) {
-    return InvalidArgumentError("bad magic: expected '" +
-                                std::string(kCacheMagic) + "', got '" + magic +
-                                "'");
+  // Slurp the whole stream: the checksum trailer covers every body byte, so
+  // verification needs the text in hand before any field is parsed.
+  std::ostringstream slurp;
+  slurp << in.rdbuf();
+  const std::string text = std::move(slurp).str();
+
+  // The magic line is checked before the checksum so a wrong-version file
+  // gets a version error, not a checksum one.
+  const size_t magic_end = text.find('\n');
+  if (magic_end == std::string::npos ||
+      std::string_view(text).substr(0, magic_end) != kCacheMagic) {
+    return InvalidArgumentError(
+        "bad magic: expected '" + std::string(kCacheMagic) + "', got '" +
+        text.substr(0, std::min(magic_end, text.find('\0'))) + "'");
   }
+
+  // The trailer must be the final line: "checksum <16 hex>".
+  const size_t trailer = text.rfind("checksum ");
+  uint64_t declared_sum = 0;
+  if (trailer == std::string::npos ||
+      (trailer != 0 && text[trailer - 1] != '\n')) {
+    return InvalidArgumentError("truncated snapshot: missing checksum trailer");
+  }
+  {
+    std::string_view rest = std::string_view(text).substr(trailer + 9);
+    if (!rest.empty() && rest.back() == '\n') rest.remove_suffix(1);
+    if (!ParseHex64(rest, &declared_sum)) {
+      return InvalidArgumentError("bad checksum trailer");
+    }
+  }
+  const std::string_view body = std::string_view(text).substr(0, trailer);
+  const uint64_t actual_sum = SnapshotChecksum(body);
+  if (actual_sum != declared_sum) {
+    return InvalidArgumentError("snapshot checksum mismatch: trailer says " +
+                                Hex64(declared_sum) + ", body hashes to " +
+                                Hex64(actual_sum));
+  }
+
+  std::istringstream body_in{std::string(body)};
   std::string line;
-  if (!std::getline(in, line)) {
+  std::getline(body_in, line);  // the magic, already checked
+  if (!std::getline(body_in, line)) {
     return InvalidArgumentError("truncated snapshot: missing entry count");
   }
   char* end = nullptr;
@@ -179,7 +249,9 @@ StatusOr<std::vector<OrderCacheEntry>> ReadOrderCacheSnapshot(
     OrderCacheEntry entry;
     OrderingResult& r = entry.result;
 
-    if (Status s = ConsumeTaggedLine(in, "entry", &payload); !s.ok()) return s;
+    if (Status s = ConsumeTaggedLine(body_in, "entry", &payload); !s.ok()) {
+      return s;
+    }
     if (payload.size() != 32 ||
         !ParseHex64(std::string_view(payload).substr(0, 16),
                     &entry.fingerprint.hi) ||
@@ -187,29 +259,33 @@ StatusOr<std::vector<OrderCacheEntry>> ReadOrderCacheSnapshot(
                     &entry.fingerprint.lo)) {
       return InvalidArgumentError("bad fingerprint '" + payload + "'");
     }
-    if (Status s = ConsumeTaggedLine(in, "method", &r.method); !s.ok()) {
+    if (Status s = ConsumeTaggedLine(body_in, "method", &r.method); !s.ok()) {
       return s;
     }
-    if (Status s = ConsumeTaggedLine(in, "detail", &r.detail); !s.ok()) {
+    if (Status s = ConsumeTaggedLine(body_in, "detail", &r.detail); !s.ok()) {
       return s;
     }
 
-    if (Status s = ConsumeTaggedLine(in, "metrics", &payload); !s.ok()) {
+    if (Status s = ConsumeTaggedLine(body_in, "metrics", &payload); !s.ok()) {
       return s;
     }
     {
       std::istringstream metrics(payload);
       int64_t grid_side = 0;
+      int converged = 1;
       metrics >> r.lambda2 >> r.num_components >> r.matvecs >> r.restarts >>
           r.spmm_calls >> r.reorth_panels >> r.num_solves >> r.depth >>
-          grid_side >> r.grid_cells;
-      if (metrics.fail()) {
+          grid_side >> r.grid_cells >> converged;
+      if (metrics.fail() || (converged != 0 && converged != 1)) {
         return InvalidArgumentError("corrupt metrics line '" + payload + "'");
       }
       r.grid_side = static_cast<Coord>(grid_side);
+      r.converged = converged == 1;
     }
 
-    if (Status s = ConsumeTaggedLine(in, "order", &payload); !s.ok()) return s;
+    if (Status s = ConsumeTaggedLine(body_in, "order", &payload); !s.ok()) {
+      return s;
+    }
     {
       std::istringstream order_in(payload);
       int64_t n = -1;
@@ -228,7 +304,7 @@ StatusOr<std::vector<OrderCacheEntry>> ReadOrderCacheSnapshot(
       r.order = *std::move(order);
     }
 
-    if (Status s = ConsumeTaggedLine(in, "embedding", &payload); !s.ok()) {
+    if (Status s = ConsumeTaggedLine(body_in, "embedding", &payload); !s.ok()) {
       return s;
     }
     {
@@ -250,18 +326,101 @@ StatusOr<std::vector<OrderCacheEntry>> ReadOrderCacheSnapshot(
   return entries;
 }
 
+namespace {
+
+// write(2) until done; false on any unrecoverable error (EINTR retried).
+bool WriteAll(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
 Status SaveOrderCacheSnapshotToFile(std::span<const OrderCacheEntry> entries,
-                                    const std::string& path) {
-  std::ofstream out(path);
-  if (!out.is_open()) return InternalError("cannot open " + path);
-  return WriteOrderCacheSnapshot(entries, out);
+                                    const std::string& path,
+                                    FaultInjector* faults) {
+  std::ostringstream rendered;
+  if (Status s = WriteOrderCacheSnapshot(entries, rendered); !s.ok()) return s;
+  const std::string payload = std::move(rendered).str();
+
+  // Crash-safe rotation: full payload to "<path>.tmp", fsync, then an
+  // atomic rename over `path`. A crash (or injected fault) at any point
+  // leaves the previous snapshot readable at `path` — at worst plus a
+  // stray .tmp the next successful save overwrites.
+  const std::string tmp_path = path + ".tmp";
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return InternalError("cannot open " + tmp_path + ": " +
+                         std::strerror(errno));
+  }
+  if (FaultFires(faults, "snapshot.write")) {
+    // Model a mid-write crash: half the payload lands, the file is
+    // abandoned without flush or rename.
+    (void)WriteAll(fd, payload.data(), payload.size() / 2);
+    ::close(fd);
+    return InternalError("injected snapshot.write fault: abandoned "
+                         "half-written " + tmp_path);
+  }
+  if (!WriteAll(fd, payload.data(), payload.size())) {
+    const Status error =
+        InternalError("write to " + tmp_path + " failed: " +
+                      std::strerror(errno));
+    ::close(fd);
+    return error;
+  }
+  if (::fsync(fd) != 0) {
+    const Status error = InternalError("fsync of " + tmp_path + " failed: " +
+                                       std::strerror(errno));
+    ::close(fd);
+    return error;
+  }
+  if (::close(fd) != 0) {
+    return InternalError("close of " + tmp_path + " failed: " +
+                         std::strerror(errno));
+  }
+  if (FaultFires(faults, "snapshot.rename")) {
+    return InternalError("injected snapshot.rename fault: flushed " +
+                         tmp_path + " never renamed");
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return InternalError("rename " + tmp_path + " -> " + path + " failed: " +
+                         std::strerror(errno));
+  }
+  return OkStatus();
 }
 
 StatusOr<std::vector<OrderCacheEntry>> LoadOrderCacheSnapshotFromFile(
     const std::string& path) {
-  std::ifstream in(path);
-  if (!in.is_open()) return NotFoundError("cannot open " + path);
-  return ReadOrderCacheSnapshot(in);
+  StatusOr<std::vector<OrderCacheEntry>> parsed = [&] {
+    std::ifstream in(path);
+    if (!in.is_open()) {
+      return StatusOr<std::vector<OrderCacheEntry>>(
+          NotFoundError("cannot open " + path));
+    }
+    return ReadOrderCacheSnapshot(in);
+  }();
+  if (parsed.ok() || parsed.status().code() == StatusCode::kNotFound) {
+    return parsed;
+  }
+  // The file exists but is damaged: quarantine it so the next start is
+  // clean (and cold) while the bytes stay around for inspection.
+  const std::string quarantine = path + ".corrupt";
+  if (std::rename(path.c_str(), quarantine.c_str()) != 0) {
+    return Status(parsed.status().code(),
+                  parsed.status().message() + " (quarantine to " +
+                      quarantine + " failed: " + std::strerror(errno) + ")");
+  }
+  return Status(parsed.status().code(), parsed.status().message() +
+                                            " (quarantined to " + quarantine +
+                                            ")");
 }
 
 Status SaveLinearOrderToFile(const LinearOrder& order,

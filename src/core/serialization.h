@@ -38,19 +38,30 @@ StatusOr<PointSet> ReadPointSet(std::istream& in);
 
 /// Writes a MappingService order-cache snapshot (ExportCache output,
 /// most-recently-used first) as:
-///   spectral-lpm-cache v1
+///   spectral-lpm-cache v2
 ///   <num_entries>
 ///   entry <32-hex fingerprint>
 ///   method <method string>
 ///   detail <detail string>
 ///   metrics <lambda2> <num_components> <matvecs> <restarts> <spmm_calls>
 ///           <reorth_panels> <num_solves> <depth> <grid_side> <grid_cells>
+///           <converged>
 ///   order <n> <rank of point 0> ... <rank of point n-1>
 ///   embedding <m> <e0> ... <e_{m-1}>
+///   checksum <16-hex hash of everything above>
 /// (each entry is those six lines; doubles are written with 17 significant
-/// digits so restored results are bit-identical to the solved ones).
+/// digits so restored results are bit-identical to the solved ones). The
+/// checksum trailer is the last line: a torn or bit-flipped file fails
+/// verification before any entry is parsed.
 Status WriteOrderCacheSnapshot(std::span<const OrderCacheEntry> entries,
                                std::ostream& out);
+
+/// Appends the "checksum <16-hex>" trailer the reader expects to an
+/// already-rendered snapshot body (magic through the final embedding line,
+/// newline-terminated). WriteOrderCacheSnapshot calls this internally; it
+/// is exported so tests can author snapshots with corrupt *bodies* that
+/// still pass the checksum gate.
+std::string WithSnapshotChecksum(std::string body);
 
 /// Parses the WriteOrderCacheSnapshot format. Truncated, corrupt, or
 /// wrong-version input yields an InvalidArgument Status (never a crash, so
@@ -58,9 +69,23 @@ Status WriteOrderCacheSnapshot(std::span<const OrderCacheEntry> entries,
 StatusOr<std::vector<OrderCacheEntry>> ReadOrderCacheSnapshot(
     std::istream& in);
 
-/// Convenience file wrappers.
+class FaultInjector;
+
+/// Convenience file wrappers. Snapshot saves are crash-safe: the payload is
+/// written to "<path>.tmp", flushed to disk (fsync), and atomically renamed
+/// over `path`, so a crash at any point leaves either the previous snapshot
+/// or a stray .tmp — never a torn file at `path`. `faults` (optional) arms
+/// the "snapshot.write" site (abandons a half-written temp file) and the
+/// "snapshot.rename" site (fails between flush and rename) in
+/// SPECTRAL_FAULTS builds.
 Status SaveOrderCacheSnapshotToFile(std::span<const OrderCacheEntry> entries,
-                                    const std::string& path);
+                                    const std::string& path,
+                                    FaultInjector* faults = nullptr);
+/// Loads `path`, quarantining damage: a snapshot that exists but fails
+/// checksum or parse is renamed to "<path>.corrupt" and the parse error is
+/// returned — the next start is cold, never a crash, and the damaged bytes
+/// are kept for inspection. A missing file returns NotFound and touches
+/// nothing.
 StatusOr<std::vector<OrderCacheEntry>> LoadOrderCacheSnapshotFromFile(
     const std::string& path);
 Status SaveLinearOrderToFile(const LinearOrder& order,

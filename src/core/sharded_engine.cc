@@ -467,12 +467,14 @@ class ShardedSpectralEngine : public OrderingEngine {
     out.num_solves = num_shards + 2;  // shards + coarse cut + quotient
     out.matvecs = coarse.matvecs + quotient.matvecs;
     out.restarts = coarse.restarts + quotient.restarts;
+    out.converged = coarse.converged && quotient.converged;
     out.embedding.assign(static_cast<size_t>(n), 0.0);
     int64_t largest_shard = 0;
     for (int64_t s = 0; s < num_shards; ++s) {
       const OrderingResult& shard = *shard_results[static_cast<size_t>(s)];
       out.matvecs += shard.matvecs;
       out.restarts += shard.restarts;
+      out.converged = out.converged && shard.converged;
       const auto& verts = members[static_cast<size_t>(s)];
       if (verts.size() >
           members[static_cast<size_t>(largest_shard)].size()) {

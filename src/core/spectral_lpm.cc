@@ -9,6 +9,7 @@
 #include "graph/laplacian.h"
 #include "graph/traversal.h"
 #include "util/check.h"
+#include "util/fault.h"
 #include "util/thread_pool.h"
 
 namespace spectral {
@@ -110,6 +111,7 @@ StatusOr<SpectralLpmResult> SpectralMapper::MapGraph(
     KernelProfile profile;
     std::string method_used;
     bool solved = false;  // true iff the component needed an eigensolve
+    bool converged = true;
   };
   std::vector<ComponentSolve> solves(static_cast<size_t>(num_components));
 
@@ -184,6 +186,13 @@ StatusOr<SpectralLpmResult> SpectralMapper::MapGraph(
     out.reorth_panels = fiedler->reorth_panels;
     out.profile = fiedler->profile;
     out.method_used = fiedler->method_used;
+    out.converged = fiedler->converged;
+    // An injected solver fault demotes this solve to "unconverged" without
+    // touching its (fully converged) values: downstream sees exactly what a
+    // real stall would produce — a usable order flagged as best-effort.
+    if (FaultFires(options_.faults, "solver.converge")) {
+      out.converged = false;
+    }
     out.solved = true;
   };
 
@@ -223,6 +232,7 @@ StatusOr<SpectralLpmResult> SpectralMapper::MapGraph(
       result.spmm_calls += solve.spmm_calls;
       result.reorth_panels += solve.reorth_panels;
       result.profile.Add(solve.profile);
+      result.converged = result.converged && solve.converged;
       if (!recorded_main) {
         result.lambda2 = solve.lambda2;
         result.method_used = solve.method_used;

@@ -26,6 +26,8 @@
 
 namespace spectral {
 
+class FaultInjector;
+
 /// Options for SpectralMapper.
 struct SpectralLpmOptions {
   /// How the point graph is built (step 1). Ignored by MapGraph.
@@ -84,6 +86,13 @@ struct SpectralLpmOptions {
   /// deadlocking). Like `parallelism`, it never changes the result and is
   /// excluded from request fingerprints.
   ThreadPool* pool = nullptr;
+  /// Optional fault-injection registry (not owned; must outlive the call).
+  /// When set in a SPECTRAL_FAULTS build, the "solver.converge" site can
+  /// force component solves to report converged == false, exercising the
+  /// retry/degrade ladder above. Like `pool`, it never changes the order of
+  /// a fault-free run and is excluded from request fingerprints; in normal
+  /// builds it is dead weight (every site folds to a no-op).
+  FaultInjector* faults = nullptr;
 };
 
 /// Result of a spectral mapping.
@@ -110,6 +119,10 @@ struct SpectralLpmResult {
   /// "dense-jacobi", "block-lanczos[+warm]", "lanczos", or
   /// "multilevel(...)+..." (of the largest component).
   std::string method_used;
+  /// AND over the per-component solves: false when any component's Fiedler
+  /// pair missed tolerance (or an injected "solver.converge" fault fired)
+  /// and its order is a best-effort estimate. See FiedlerResult::converged.
+  bool converged = true;
 };
 
 /// Maps multi-dimensional point sets to linear orders via the spectrum of

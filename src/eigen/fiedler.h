@@ -147,6 +147,12 @@ struct FiedlerResult {
   /// multilevel/component solves. See eigen/kernel_profile.h.
   KernelProfile profile;
   std::string method_used;
+  /// False when the iterative paths exhausted max_restarts before the
+  /// Fiedler pair met tolerance. The result then carries the best-effort
+  /// pair (still unit-norm, still canonicalized) instead of an error, and
+  /// callers decide the policy: core/mapping_service retries and degrades,
+  /// everything else at minimum surfaces the bit in its diagnostics.
+  bool converged = true;
 };
 
 /// Computes the Fiedler pair of `laplacian` (symmetric, rows == cols,

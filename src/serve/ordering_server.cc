@@ -15,6 +15,7 @@
 #include "core/serialization.h"
 #include "serve/fd_stream.h"
 #include "serve/wire.h"
+#include "util/fault.h"
 #include "util/string_util.h"
 
 namespace spectral {
@@ -43,15 +44,24 @@ double QuantileMs(const Histogram& h, double p) {
   return std::pow(10.0, h.Quantile(p));
 }
 
+// The server-level fault registry reaches the MappingService ladder too,
+// unless the caller wired a different one into the service options.
+MappingServiceOptions WithServerFaults(MappingServiceOptions service,
+                                       FaultInjector* faults) {
+  if (service.faults == nullptr) service.faults = faults;
+  return service;
+}
+
 }  // namespace
 
 OrderingServer::OrderingServer(OrderingServerOptions options)
     : options_(std::move(options)),
-      service_(options_.service),
+      service_(WithServerFaults(options_.service, options_.faults)),
       latency_all_(kLogLo, kLogHi, kLogBins),
       latency_cold_(kLogLo, kLogHi, kLogBins),
       latency_warm_(kLogLo, kLogHi, kLogBins) {
   batcher_ = std::thread([this] { BatcherLoop(); });
+  snapshot_writer_ = std::thread([this] { SnapshotLoop(); });
 }
 
 OrderingServer::~OrderingServer() { Shutdown(); }
@@ -171,6 +181,22 @@ void OrderingServer::DispatchBatch(std::vector<Pending> batch) {
   }
   if (live.empty()) return;
 
+  // Failure-domain boundary: an injected dispatch fault fails the whole
+  // batch with a typed error instead of solving. Every promise is still
+  // fulfilled — overload, expiry, and faults all answer, never hang.
+  if (FaultFires(options_.faults, "serve.dispatch")) {
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      served_error_ += static_cast<int64_t>(live.size());
+    }
+    for (Pending& pending : live) {
+      pending.promise.set_value(InternalError(
+          "injected serve.dispatch fault: batch of " +
+          FormatInt(static_cast<int64_t>(live.size())) + " dropped"));
+    }
+    return;
+  }
+
   std::vector<OrderingRequest> requests;
   requests.reserve(live.size());
   for (const Pending& pending : live) requests.push_back(pending.request);
@@ -213,6 +239,11 @@ OrderingServerStats OrderingServer::stats() const {
     std::lock_guard<std::mutex> lock(queue_mu_);
     s.queue_depth = queue_.size();
   }
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    s.snapshots_saved = snapshots_saved_;
+    s.snapshot_failures = snapshot_failures_;
+  }
   std::lock_guard<std::mutex> lock(stats_mu_);
   s.accepted = accepted_;
   s.shed_overload = shed_overload_;
@@ -231,6 +262,11 @@ OrderingServerStats OrderingServer::stats() const {
 
 void OrderingServer::ResetStats() {
   service_.ResetStats();
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    snapshots_saved_ = 0;
+    snapshot_failures_ = 0;
+  }
   std::lock_guard<std::mutex> lock(stats_mu_);
   accepted_ = 0;
   shed_overload_ = 0;
@@ -256,11 +292,15 @@ std::string OrderingServer::StatsLine(const std::string& id) const {
   line += " coalesced=" + FormatInt(s.service.coalesced_requests);
   line += " batch_latency_max_ms=" +
           FormatDouble(s.service.batch_latency_max_ms, 3);
+  line += " retried_solves=" + FormatInt(s.service.retried_solves);
+  line += " degraded_orders=" + FormatInt(s.service.degraded_orders);
   line += " accepted=" + FormatInt(s.accepted);
   line += " shed_overload=" + FormatInt(s.shed_overload);
   line += " expired_deadline=" + FormatInt(s.expired_deadline);
   line += " served_ok=" + FormatInt(s.served_ok);
   line += " served_error=" + FormatInt(s.served_error);
+  line += " snapshots_saved=" + FormatInt(s.snapshots_saved);
+  line += " snapshot_failures=" + FormatInt(s.snapshot_failures);
   line += " queue_depth=" + FormatInt(static_cast<int64_t>(s.queue_depth));
   line += " max_queue_depth=" +
           FormatInt(static_cast<int64_t>(s.max_queue_depth));
@@ -273,14 +313,78 @@ std::string OrderingServer::StatsLine(const std::string& id) const {
   return line;
 }
 
+std::string OrderingServer::HealthLine(const std::string& id) const {
+  const OrderingServerStats s = stats();
+  std::string line = "HEALTH " + id;
+  line += " accepted=" + FormatInt(s.accepted);
+  line += " shed_overload=" + FormatInt(s.shed_overload);
+  line += " expired_deadline=" + FormatInt(s.expired_deadline);
+  line += " served_ok=" + FormatInt(s.served_ok);
+  line += " served_error=" + FormatInt(s.served_error);
+  line += " retried_solves=" + FormatInt(s.service.retried_solves);
+  line += " degraded_orders=" + FormatInt(s.service.degraded_orders);
+  line += " cache_entries=" +
+          FormatInt(static_cast<int64_t>(service_.CacheSize()));
+  line += " snapshots_saved=" + FormatInt(s.snapshots_saved);
+  line += " snapshot_failures=" + FormatInt(s.snapshot_failures);
+  return line;
+}
+
 Status OrderingServer::SaveSnapshot(const std::string& path) const {
-  return SaveOrderCacheSnapshotToFile(service_.ExportCache(), path);
+  return SaveOrderCacheSnapshotToFile(service_.ExportCache(), path,
+                                      options_.faults);
 }
 
 StatusOr<int64_t> OrderingServer::LoadSnapshot(const std::string& path) {
   auto entries = LoadOrderCacheSnapshotFromFile(path);
   if (!entries.ok()) return entries.status();
   return service_.ImportCache(*entries);
+}
+
+StatusOr<int64_t> OrderingServer::RotateSnapshot(const std::string& path) {
+  if (path.empty()) {
+    return InvalidArgumentError("snapshot rotation needs a file path");
+  }
+  SnapshotJob job;
+  job.path = path;
+  job.entries = service_.ExportCache();
+  const auto count = static_cast<int64_t>(job.entries.size());
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    if (snap_shutdown_) {
+      return FailedPreconditionError("snapshot writer is shut down");
+    }
+    snap_queue_.push_back(std::move(job));
+  }
+  snap_cv_.notify_all();
+  return count;
+}
+
+void OrderingServer::FlushSnapshots() {
+  std::unique_lock<std::mutex> lock(snap_mu_);
+  snap_cv_.wait(lock, [&] { return snap_queue_.empty() && !snap_inflight_; });
+}
+
+void OrderingServer::SnapshotLoop() {
+  std::unique_lock<std::mutex> lock(snap_mu_);
+  for (;;) {
+    snap_cv_.wait(lock, [&] { return snap_shutdown_ || !snap_queue_.empty(); });
+    if (snap_queue_.empty()) return;  // shutdown with nothing left to drain
+    SnapshotJob job = std::move(snap_queue_.front());
+    snap_queue_.pop_front();
+    snap_inflight_ = true;
+    lock.unlock();
+    const Status s =
+        SaveOrderCacheSnapshotToFile(job.entries, job.path, options_.faults);
+    lock.lock();
+    snap_inflight_ = false;
+    if (s.ok()) {
+      ++snapshots_saved_;
+    } else {
+      ++snapshot_failures_;
+    }
+    snap_cv_.notify_all();
+  }
 }
 
 void OrderingServer::ServeStream(std::istream& in, std::ostream& out) {
@@ -291,7 +395,7 @@ void OrderingServer::ServeStream(std::istream& in, std::ostream& out) {
   // ORDER on this stream has completed — so their contents are consistent
   // with the reply position the client sees them at.
   struct Reply {
-    enum Kind { kText, kStats, kSnapshot, kOrder } kind = kText;
+    enum Kind { kText, kStats, kHealth, kSnapshot, kOrder } kind = kText;
     std::string text;  // kText payload; kSnapshot path
     std::string id;
     std::future<StatusOr<OrderingResult>> result;  // kOrder
@@ -317,14 +421,20 @@ void OrderingServer::ServeStream(std::istream& in, std::ostream& out) {
         case Reply::kStats:
           text = StatsLine(reply.id);
           break;
+        case Reply::kHealth:
+          // HEALTH is a barrier: queued snapshot rotations land first, so
+          // its counters are deterministic for a scripted session.
+          FlushSnapshots();
+          text = HealthLine(reply.id);
+          break;
         case Reply::kSnapshot: {
-          const std::vector<OrderCacheEntry> entries = service_.ExportCache();
-          const Status s =
-              SaveOrderCacheSnapshotToFile(entries, reply.text);
-          text = s.ok() ? "SAVED " + reply.id + " " +
-                              FormatInt(static_cast<int64_t>(entries.size())) +
-                              " " + reply.text
-                        : FormatErrorResponse(reply.id, s);
+          // Queued on the background writer; the reply reports how many
+          // entries the rotation will persist, not that the write landed
+          // (HEALTH or FlushSnapshots observe completion).
+          const StatusOr<int64_t> queued = RotateSnapshot(reply.text);
+          text = queued.ok() ? "SAVED " + reply.id + " " +
+                                   FormatInt(*queued) + " " + reply.text
+                             : FormatErrorResponse(reply.id, queued.status());
           break;
         }
         case Reply::kOrder: {
@@ -371,6 +481,13 @@ void OrderingServer::ServeStream(std::istream& in, std::ostream& out) {
       case WireCommand::kStats: {
         Reply reply;
         reply.kind = Reply::kStats;
+        reply.id = parsed->id;
+        push(std::move(reply));
+        break;
+      }
+      case WireCommand::kHealth: {
+        Reply reply;
+        reply.kind = Reply::kHealth;
         reply.id = parsed->id;
         push(std::move(reply));
         break;
@@ -502,8 +619,20 @@ void OrderingServer::Shutdown() {
     to_join.swap(connection_threads_);
   }
   for (std::thread& t : to_join) t.join();
-  std::lock_guard<std::mutex> lock(tcp_mu_);
-  connection_fds_.clear();
+  {
+    std::lock_guard<std::mutex> lock(tcp_mu_);
+    connection_fds_.clear();
+  }
+
+  // 3. Last, the snapshot writer: after the batcher and every connection
+  //    are gone nothing can enqueue a rotation, so the writer drains the
+  //    remaining queue and exits.
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    snap_shutdown_ = true;
+  }
+  snap_cv_.notify_all();
+  if (snapshot_writer_.joinable()) snapshot_writer_.join();
 }
 
 }  // namespace spectral

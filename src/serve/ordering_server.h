@@ -23,8 +23,20 @@
 // * Cache persistence: SaveSnapshot/LoadSnapshot move the fingerprint ->
 //   order LRU through core/serialization.h, so a restarted server keeps
 //   its warm set and performs zero eigensolves on previously-served
-//   fingerprints. A corrupt/truncated/wrong-version snapshot yields an
-//   error Status and the server simply starts cold.
+//   fingerprints. A corrupt/truncated/wrong-version snapshot is
+//   quarantined to "<path>.corrupt" and the server simply starts cold.
+//   RotateSnapshot queues the save on a dedicated background writer
+//   thread (the snapshot wire command and SIGHUP rotation use it), so a
+//   multi-megabyte fsync never stalls batching or reply writing; saves
+//   are crash-safe (tmp file + fsync + atomic rename — see
+//   core/serialization.h).
+// * Fault injection: OrderingServerOptions::faults (a util/fault.h
+//   registry, active only in SPECTRAL_FAULTS builds) arms the
+//   "serve.dispatch" site here (a dispatched batch fails every live
+//   request with a typed INTERNAL error instead of solving), and is
+//   handed down to the MappingService ("solver.converge") and the
+//   snapshot writer ("snapshot.write"/"snapshot.rename"). Every injected
+//   failure surfaces as a well-formed error reply — never a hang.
 // * Stats: stats() / the STATS command surface MappingServiceStats plus
 //   serving counters (accepted/shed/expired, batches, coalesced requests,
 //   queue depth) and p50/p99 latency — overall and split cold (engine
@@ -39,18 +51,24 @@
 //         [radius=<n>] [shards=<k>] GRID <s0>x<s1>[x...]
 //   ORDER <id> <engine> [options...] POINTS <dims> <n> <c0> <c1> ...
 //   STATS <id>
+//   HEALTH <id>
 //   SNAPSHOT <id> <path>
 //   QUIT
 //
 //   -> ORDERED <id> <n> <rank of point 0> ... <rank of point n-1>
 //   -> ERROR <id> <CODE> <message>        (CODE = StatusCodeName)
 //   -> STATS <id> key=value ...
+//   -> HEALTH <id> key=value ...
 //   -> SAVED <id> <entries> <path>
 //   -> BYE                                (answer to QUIT)
 //
-// <id> is any client-chosen token, echoed verbatim. STATS and SNAPSHOT are
-// rendered at their position in the reply stream, so they reflect every
-// earlier ORDER on the connection. Operational knobs
+// <id> is any client-chosen token, echoed verbatim. STATS, HEALTH, and
+// SNAPSHOT are rendered at their position in the reply stream, so they
+// reflect every earlier ORDER on the connection. SNAPSHOT queues the save
+// on the background writer and replies immediately with the entry count;
+// HEALTH waits for queued snapshot saves to land first, then reports only
+// deterministic counters (no latency percentiles), so scripted fault runs
+// can compare HEALTH output byte-for-byte across seeds. Operational knobs
 // (OrderingServerOptions): window_ms (aggregation window), max_batch
 // (drain cap per batch), max_queue (admission bound), default_deadline_ms
 // (0 = none), snapshot_path (used by the spectral_serve tool to restore on
@@ -97,8 +115,15 @@ struct OrderingServerOptions {
   double default_deadline_ms = 0.0;
   /// Snapshot file the spectral_serve tool restores from on start and
   /// saves to on exit; the server itself only acts on explicit
-  /// SaveSnapshot/LoadSnapshot calls (and the SNAPSHOT wire command).
+  /// SaveSnapshot/LoadSnapshot/RotateSnapshot calls (and the SNAPSHOT
+  /// wire command / SIGHUP rotation in the tool).
   std::string snapshot_path;
+  /// Optional fault-injection registry (not owned; must outlive the
+  /// server). Arms "serve.dispatch" here and is forwarded to the
+  /// MappingService (unless service.faults is already set) and the
+  /// snapshot writer. Runtime-only; a no-op unless built with
+  /// SPECTRAL_FAULTS.
+  FaultInjector* faults = nullptr;
 };
 
 /// Point-in-time serving statistics (all counters since construction or
@@ -110,6 +135,11 @@ struct OrderingServerStats {
   int64_t expired_deadline = 0;
   int64_t served_ok = 0;
   int64_t served_error = 0;
+  /// Background snapshot rotations that landed on disk / failed (an
+  /// injected or real write error; the previous snapshot generation at
+  /// the target path survives either way).
+  int64_t snapshots_saved = 0;
+  int64_t snapshot_failures = 0;
   size_t queue_depth = 0;
   size_t max_queue_depth = 0;
   /// Submit-to-completion latency percentiles in milliseconds (log-scale
@@ -151,14 +181,30 @@ class OrderingServer {
   void ResetStats();
   /// The "STATS <id> key=value ..." response line.
   std::string StatsLine(const std::string& id) const;
+  /// The "HEALTH <id> key=value ..." response line: deterministic
+  /// counters only (accepted/shed/expired/served, retries, degraded
+  /// orders, cache entries, snapshot rotations) — no latency fields, so
+  /// identical request+fault schedules produce identical HEALTH lines.
+  std::string HealthLine(const std::string& id) const;
 
-  /// Writes the current order cache to `path` (ExportCache ->
-  /// WriteOrderCacheSnapshot).
+  /// Writes the current order cache to `path` synchronously (ExportCache
+  /// -> crash-safe SaveOrderCacheSnapshotToFile). Used for the final save
+  /// on process exit; live rotation goes through RotateSnapshot.
   Status SaveSnapshot(const std::string& path) const;
   /// Restores the order cache from `path`; returns the number of entries
-  /// imported. On any parse error the cache is left untouched (the server
-  /// starts cold) and the error is returned.
+  /// imported. On any parse error the damaged file is quarantined to
+  /// "<path>.corrupt", the cache is left untouched (the server starts
+  /// cold), and the error is returned.
   StatusOr<int64_t> LoadSnapshot(const std::string& path);
+  /// Snapshots the cache to `path` off the serving path: clones the cache
+  /// now, queues the write on the background snapshot writer, and returns
+  /// the number of entries the snapshot will contain. The write itself is
+  /// crash-safe; failures bump stats().snapshot_failures and leave any
+  /// previous snapshot at `path` intact. Returns FAILED_PRECONDITION
+  /// after Shutdown().
+  StatusOr<int64_t> RotateSnapshot(const std::string& path);
+  /// Blocks until every queued RotateSnapshot write has completed.
+  void FlushSnapshots();
 
   /// Serves the line protocol over a stream pair until QUIT or EOF.
   /// Responses are written in submission order; ORDER lines are submitted
@@ -172,7 +218,8 @@ class OrderingServer {
   StatusOr<int> StartTcp(int port);
 
   /// Stops intake, drains the queue (all pending futures complete), stops
-  /// the TCP listener and connection threads, and joins the batcher.
+  /// the TCP listener and connection threads, joins the batcher, then
+  /// drains and joins the snapshot writer (queued rotations still land).
   /// Idempotent.
   void Shutdown();
 
@@ -188,9 +235,15 @@ class OrderingServer {
     bool has_deadline = false;
   };
 
+  struct SnapshotJob {
+    std::string path;
+    std::vector<OrderCacheEntry> entries;
+  };
+
   void BatcherLoop();
   void DispatchBatch(std::vector<Pending> batch);
   void AcceptLoop();
+  void SnapshotLoop();
   /// Caller holds stats_mu_.
   void RecordLatencyLocked(double ms, bool warm);
 
@@ -216,6 +269,17 @@ class OrderingServer {
   Histogram latency_warm_;
 
   std::thread batcher_;
+
+  // Background snapshot writer: RotateSnapshot enqueues, SnapshotLoop
+  // drains. Counters live under snap_mu_ (stats() reads them there).
+  mutable std::mutex snap_mu_;
+  std::condition_variable snap_cv_;
+  std::deque<SnapshotJob> snap_queue_;
+  bool snap_inflight_ = false;
+  bool snap_shutdown_ = false;
+  int64_t snapshots_saved_ = 0;
+  int64_t snapshot_failures_ = 0;
+  std::thread snapshot_writer_;
 
   std::mutex tcp_mu_;
   int listen_fd_ = -1;

@@ -145,6 +145,10 @@ StatusOr<WireRequest> ParseWireRequest(const std::string& line) {
     out.command = WireCommand::kStats;
     return out;
   }
+  if (command == "HEALTH") {
+    out.command = WireCommand::kHealth;
+    return out;
+  }
   if (command == "SNAPSHOT") {
     out.command = WireCommand::kSnapshot;
     if (!(in >> out.snapshot_path)) {

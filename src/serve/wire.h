@@ -18,6 +18,7 @@ namespace spectral {
 enum class WireCommand {
   kOrder,
   kStats,
+  kHealth,
   kSnapshot,
   kQuit,
 };

@@ -1,0 +1,146 @@
+#include "util/fault.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <utility>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace spectral {
+namespace {
+
+// FNV-1a over the site name; stable across platforms, good enough to give
+// each site an independent SplitMix64 stream.
+uint64_t Fnv1a(std::string_view text) {
+  uint64_t hash = 0xCBF29CE484222325ull;
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(uint64_t seed) : seed_(seed) {}
+
+uint64_t FaultInjector::SiteSeed(std::string_view site) const {
+  uint64_t state = seed_ ^ Fnv1a(site);
+  // One warm-up step decorrelates sites whose hashes differ in few bits.
+  SplitMix64(state);
+  return state;
+}
+
+FaultInjector::Site& FaultInjector::SiteLocked(std::string_view site) {
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    Site fresh;
+    fresh.rng_state = SiteSeed(site);
+    it = sites_.emplace(std::string(site), std::move(fresh)).first;
+  }
+  return it->second;
+}
+
+void FaultInjector::Arm(std::string_view site, FaultSiteConfig config) {
+  std::sort(config.schedule.begin(), config.schedule.end());
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& entry = SiteLocked(site);
+  entry.config = std::move(config);
+  entry.rng_state = SiteSeed(site);
+  entry.hits = 0;
+  entry.failures = 0;
+}
+
+Status FaultInjector::ArmFromSpec(std::string_view spec) {
+  for (const std::string& part : StrSplit(spec, ',')) {
+    if (part.empty()) continue;
+    const size_t colon = part.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == part.size()) {
+      return InvalidArgumentError("fault spec entry '" + part +
+                                  "' is not site:probability or "
+                                  "site:#i/j/k");
+    }
+    const std::string site = part.substr(0, colon);
+    const std::string value = part.substr(colon + 1);
+    FaultSiteConfig config;
+    if (value[0] == '#') {
+      for (const std::string& index : StrSplit(value.substr(1), '/')) {
+        errno = 0;
+        char* end = nullptr;
+        const long long parsed = std::strtoll(index.c_str(), &end, 10);
+        if (errno != 0 || end == index.c_str() || *end != '\0' || parsed < 0) {
+          return InvalidArgumentError("fault spec schedule index '" + index +
+                                      "' in '" + part +
+                                      "' is not a non-negative integer");
+        }
+        config.schedule.push_back(parsed);
+      }
+    } else {
+      errno = 0;
+      char* end = nullptr;
+      const double parsed = std::strtod(value.c_str(), &end);
+      if (errno != 0 || end == value.c_str() || *end != '\0' ||
+          parsed < 0.0 || parsed > 1.0) {
+        return InvalidArgumentError("fault spec probability '" + value +
+                                    "' in '" + part +
+                                    "' is not in [0, 1]");
+      }
+      config.probability = parsed;
+    }
+    Arm(site, std::move(config));
+  }
+  return Status();
+}
+
+bool FaultInjector::ShouldFail(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& entry = SiteLocked(site);
+  const int64_t hit = entry.hits++;
+  bool fail = std::binary_search(entry.config.schedule.begin(),
+                                 entry.config.schedule.end(), hit);
+  if (entry.config.probability > 0.0) {
+    // Always consume exactly one draw per hit so the stream position stays
+    // aligned with the hit index whatever the schedule decided.
+    const uint64_t draw = SplitMix64(entry.rng_state);
+    const double uniform =
+        static_cast<double>(draw >> 11) * 0x1.0p-53;  // [0, 1)
+    if (uniform < entry.config.probability) fail = true;
+  }
+  if (fail) ++entry.failures;
+  return fail;
+}
+
+int64_t FaultInjector::hits(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+int64_t FaultInjector::failures(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.failures;
+}
+
+std::vector<FaultSiteStats> FaultInjector::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FaultSiteStats> out;
+  out.reserve(sites_.size());
+  for (const auto& [site, entry] : sites_) {
+    out.push_back({site, entry.hits, entry.failures});
+  }
+  return out;
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [site, entry] : sites_) {
+    entry.rng_state = SiteSeed(site);
+    entry.hits = 0;
+    entry.failures = 0;
+  }
+}
+
+}  // namespace spectral

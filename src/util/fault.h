@@ -1,0 +1,133 @@
+// Deterministic fault injection for robustness tests and the chaos bench.
+//
+// A FaultInjector is a registry of named *sites* — places in the code that
+// ask "should this operation fail now?" via ShouldFail("site.name"). Each
+// site is armed with either a failure probability (drawn from a per-site
+// SplitMix64 stream seeded from the injector seed and the site name, so the
+// k-th hit of a site fails or not independently of thread interleaving) or
+// an explicit schedule of failing hit indices. Unarmed sites never fail but
+// still count hits.
+//
+// The whole facility is compile-time gated: unless the build defines
+// SPECTRAL_FAULTS (cmake -DSPECTRAL_FAULTS=ON, same opt-in pattern as
+// SPECTRAL_SANITIZE), FaultFires() folds to a constant `false` and
+// production binaries carry no branch, no lock, and no registry lookup at
+// any site. Instrumented call sites therefore always use the free function:
+//
+//   if (FaultFires(options.faults, "snapshot.write")) {
+//     return InternalError("injected snapshot.write fault");
+//   }
+//
+// Sites in this repo: "solver.converge" (SpectralLpm marks the component
+// solve unconverged), "snapshot.write" (atomic snapshot save aborts after a
+// partial temp-file write), "snapshot.rename" (save aborts between flush
+// and rename), "serve.dispatch" (OrderingServer fails a dispatched batch
+// with a typed error).
+
+#ifndef SPECTRAL_LPM_UTIL_FAULT_H_
+#define SPECTRAL_LPM_UTIL_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace spectral {
+
+/// True when the build was configured with -DSPECTRAL_FAULTS=ON. All fault
+/// plumbing compiles away when this is false.
+#ifdef SPECTRAL_FAULTS
+inline constexpr bool kFaultInjectionEnabled = true;
+#else
+inline constexpr bool kFaultInjectionEnabled = false;
+#endif
+
+/// Per-site failure policy. A hit fails when its 0-based index appears in
+/// `schedule`, or — independently — when the site's deterministic RNG draw
+/// lands under `probability`. Both may be combined; an empty config (the
+/// default) never fails.
+struct FaultSiteConfig {
+  double probability = 0.0;
+  std::vector<int64_t> schedule;
+};
+
+/// Counters for one site, as returned by FaultInjector::Stats().
+struct FaultSiteStats {
+  std::string site;
+  int64_t hits = 0;
+  int64_t failures = 0;
+};
+
+/// Thread-safe, seeded fault registry. Cheap enough to consult on hot-ish
+/// paths in fault builds; nonexistent in normal builds (see FaultFires).
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 0x5EED5EED5EED5EEDull);
+
+  /// (Re)arms `site` with the given policy. Resets the site's RNG stream
+  /// and counters so arming is a deterministic starting point.
+  void Arm(std::string_view site, FaultSiteConfig config);
+
+  /// Arms sites from a comma-separated spec string, e.g.
+  ///   "solver.converge:0.05,snapshot.write:#0/2/7,serve.dispatch:1"
+  /// where `site:P` arms a probability in [0, 1] and `site:#a/b/c` arms an
+  /// explicit schedule of failing hit indices.
+  Status ArmFromSpec(std::string_view spec);
+
+  /// Records a hit on `site` and returns true when this hit should fail.
+  /// Unarmed sites return false (but count the hit).
+  bool ShouldFail(std::string_view site);
+
+  /// Total hits / injected failures recorded for `site` (0 if never hit).
+  int64_t hits(std::string_view site) const;
+  int64_t failures(std::string_view site) const;
+
+  /// Snapshot of every site's counters, sorted by site name.
+  std::vector<FaultSiteStats> Stats() const;
+
+  /// Rewinds every site: counters to zero, RNG streams to their seeds.
+  /// Armed configs are kept, so a Reset replays the exact same schedule.
+  void Reset();
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  struct Site {
+    FaultSiteConfig config;
+    uint64_t rng_state = 0;
+    int64_t hits = 0;
+    int64_t failures = 0;
+  };
+
+  /// Initial SplitMix64 state for `site`: the injector seed mixed with an
+  /// FNV-1a hash of the site name, so streams are independent per site and
+  /// stable across platforms.
+  uint64_t SiteSeed(std::string_view site) const;
+
+  Site& SiteLocked(std::string_view site);
+
+  const uint64_t seed_;
+  mutable std::mutex mu_;
+  std::map<std::string, Site, std::less<>> sites_;
+};
+
+/// The one instrumentation entry point. In normal builds this is a
+/// compile-time `false` regardless of `injector`; in SPECTRAL_FAULTS builds
+/// it consults the injector (a null injector never fails).
+inline bool FaultFires(FaultInjector* injector, std::string_view site) {
+  if constexpr (!kFaultInjectionEnabled) {
+    (void)injector;
+    (void)site;
+    return false;
+  } else {
+    return injector != nullptr && injector->ShouldFail(site);
+  }
+}
+
+}  // namespace spectral
+
+#endif  // SPECTRAL_LPM_UTIL_FAULT_H_

@@ -1,0 +1,163 @@
+#include "util/fault.h"
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace spectral {
+namespace {
+
+FaultSiteConfig Probability(double p) {
+  FaultSiteConfig config;
+  config.probability = p;
+  return config;
+}
+
+FaultSiteConfig Schedule(std::vector<int64_t> hits) {
+  FaultSiteConfig config;
+  config.schedule = std::move(hits);
+  return config;
+}
+
+// Records which of `n` hits on `site` fail, as a 0/1 string ("0100110...")
+// so schedules from different injectors compare with one EXPECT_EQ.
+std::string HitSchedule(FaultInjector& faults, std::string_view site, int n) {
+  std::string out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(faults.ShouldFail(site) ? '1' : '0');
+  }
+  return out;
+}
+
+TEST(FaultInjector, SameSeedProducesIdenticalHitSchedule) {
+  // The registry itself is deterministic in every build (only the
+  // FaultFires call sites compile away); two injectors with the same seed
+  // must agree hit-for-hit, and a third with a different seed must not be
+  // forced to (probability 0.5 over 256 hits collides with probability
+  // ~2^-256).
+  FaultInjector a(42);
+  FaultInjector b(42);
+  FaultInjector c(43);
+  const FaultSiteConfig coin = Probability(0.5);
+  a.Arm("solver.converge", coin);
+  b.Arm("solver.converge", coin);
+  c.Arm("solver.converge", coin);
+
+  const std::string sa = HitSchedule(a, "solver.converge", 256);
+  const std::string sb = HitSchedule(b, "solver.converge", 256);
+  const std::string sc = HitSchedule(c, "solver.converge", 256);
+  EXPECT_EQ(sa, sb);
+  EXPECT_NE(sa, sc);
+  // The schedule is nontrivial: some hits fail, some pass.
+  EXPECT_NE(sa.find('1'), std::string::npos);
+  EXPECT_NE(sa.find('0'), std::string::npos);
+  EXPECT_EQ(a.hits("solver.converge"), 256);
+  EXPECT_EQ(a.failures("solver.converge"), b.failures("solver.converge"));
+}
+
+TEST(FaultInjector, ResetReplaysTheExactSameSchedule) {
+  FaultInjector faults(7);
+  faults.Arm("serve.dispatch", Probability(0.3));
+  const std::string first = HitSchedule(faults, "serve.dispatch", 100);
+  faults.Reset();
+  EXPECT_EQ(faults.hits("serve.dispatch"), 0);
+  EXPECT_EQ(HitSchedule(faults, "serve.dispatch", 100), first);
+}
+
+TEST(FaultInjector, SitesAreScopedIndependently) {
+  // Arming one site never makes a different site fail, and each site's
+  // stream is independent: draining hits on one leaves the other's
+  // schedule untouched.
+  FaultInjector faults(11);
+  faults.Arm("snapshot.write", Schedule({0, 2}));
+
+  EXPECT_FALSE(faults.ShouldFail("snapshot.rename"));  // unarmed: hit, no
+  EXPECT_EQ(faults.hits("snapshot.rename"), 1);        // failure
+  EXPECT_EQ(faults.failures("snapshot.rename"), 0);
+
+  EXPECT_TRUE(faults.ShouldFail("snapshot.write"));   // hit 0: scheduled
+  EXPECT_FALSE(faults.ShouldFail("snapshot.write"));  // hit 1
+  EXPECT_TRUE(faults.ShouldFail("snapshot.write"));   // hit 2: scheduled
+  EXPECT_FALSE(faults.ShouldFail("snapshot.write"));  // hit 3
+  EXPECT_EQ(faults.failures("snapshot.write"), 2);
+
+  // Interleaving another site's hits must not perturb a probability
+  // stream: replay the same seed with and without interleaved traffic.
+  FaultInjector quiet(99);
+  FaultInjector noisy(99);
+  quiet.Arm("solver.converge", Probability(0.5));
+  noisy.Arm("solver.converge", Probability(0.5));
+  noisy.Arm("serve.dispatch", Probability(0.5));
+  std::string with_noise;
+  for (int i = 0; i < 64; ++i) {
+    noisy.ShouldFail("serve.dispatch");
+    with_noise.push_back(noisy.ShouldFail("solver.converge") ? '1' : '0');
+  }
+  EXPECT_EQ(HitSchedule(quiet, "solver.converge", 64), with_noise);
+}
+
+TEST(FaultInjector, ArmFromSpecParsesProbabilitiesAndSchedules) {
+  FaultInjector faults;
+  ASSERT_TRUE(faults
+                  .ArmFromSpec(
+                      "solver.converge:1,snapshot.write:#0/2,serve.dispatch:0")
+                  .ok());
+  EXPECT_TRUE(faults.ShouldFail("solver.converge"));
+  EXPECT_TRUE(faults.ShouldFail("solver.converge"));
+  EXPECT_FALSE(faults.ShouldFail("serve.dispatch"));
+  EXPECT_TRUE(faults.ShouldFail("snapshot.write"));
+  EXPECT_FALSE(faults.ShouldFail("snapshot.write"));
+  EXPECT_TRUE(faults.ShouldFail("snapshot.write"));
+  EXPECT_FALSE(faults.ShouldFail("snapshot.write"));
+
+  EXPECT_EQ(faults.ArmFromSpec("no-colon").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(faults.ArmFromSpec("site:1.5").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(faults.ArmFromSpec("site:#x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(faults.ArmFromSpec(":0.5").code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FaultInjector, StatsReportEverySiteTouched) {
+  FaultInjector faults(3);
+  faults.Arm("a", Probability(1.0));
+  faults.ShouldFail("a");
+  faults.ShouldFail("b");
+  const std::vector<FaultSiteStats> stats = faults.Stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].site, "a");
+  EXPECT_EQ(stats[0].hits, 1);
+  EXPECT_EQ(stats[0].failures, 1);
+  EXPECT_EQ(stats[1].site, "b");
+  EXPECT_EQ(stats[1].failures, 0);
+}
+
+TEST(FaultFires, CompilesToConstantFalseInNormalBuilds) {
+  // The gate must be usable at compile time (it guards `if constexpr` in
+  // FaultFires), and in a normal build FaultFires must not even record a
+  // hit — the registry is never consulted, so armed sites stay silent.
+  static_assert(std::is_same_v<decltype(kFaultInjectionEnabled), const bool>,
+                "gate must be a compile-time constant");
+  FaultInjector faults;
+  faults.Arm("always", Probability(1.0));
+  const bool fired = FaultFires(&faults, "always");
+  if (kFaultInjectionEnabled) {
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(faults.hits("always"), 1);
+  } else {
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(faults.hits("always"), 0);
+  }
+  // A null injector is always safe, gate on or off.
+  EXPECT_FALSE(FaultFires(nullptr, "always"));
+}
+
+}  // namespace
+}  // namespace spectral

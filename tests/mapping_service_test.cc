@@ -274,5 +274,164 @@ TEST(MappingService, GraphRequestsFlowThroughTheFacade) {
   EXPECT_EQ(first->embedding, second->embedding);
 }
 
+// A spectral request starved of solver budget: one restart, no Chebyshev
+// filter, a tiny Krylov basis, and no multilevel warm start, on a grid too
+// large for those crumbs. The solve stays ok() — it returns its best-effort
+// order — but reports converged == false, which is what drives the
+// degradation ladder below.
+OrderingRequest StarvedSpectralRequest(const PointSet& points) {
+  OrderingRequest request = OrderingRequest::ForPoints(points, "spectral");
+  FiedlerOptions& fiedler = request.options.spectral.fiedler;
+  fiedler.max_restarts = 1;
+  fiedler.cheb_degree_max = 0;
+  fiedler.block_max_basis = 4;
+  request.options.spectral.warm_start_threshold = 0;
+  return request;
+}
+
+TEST(MappingServiceLadder, ConvergenceIsPinnedInResultAndDetail) {
+  const PointSet points = PointSet::FullGrid(GridSpec({24, 24}));
+
+  auto engine = MakeOrderingEngine("spectral");
+  ASSERT_TRUE(engine.ok());
+  auto starved = (*engine)->Order(StarvedSpectralRequest(points));
+  ASSERT_TRUE(starved.ok()) << starved.status();
+  EXPECT_FALSE(starved->converged);
+  EXPECT_NE(starved->detail.find(" converged=0"), std::string::npos)
+      << starved->detail;
+
+  auto healthy = (*engine)->Order(OrderingRequest::ForPoints(points));
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+  EXPECT_TRUE(healthy->converged);
+  EXPECT_NE(healthy->detail.find(" converged=1"), std::string::npos)
+      << healthy->detail;
+}
+
+TEST(MappingServiceLadder, DegradedOrdersServeFallbackAndAreNeverCached) {
+  const PointSet points = PointSet::FullGrid(GridSpec({24, 24}));
+  MappingServiceOptions options;
+  options.parallelism = 1;
+  options.cache_capacity = 64;
+  // Keep the retry as starved as the first attempt, so the ladder is
+  // forced all the way down to the fallback curve.
+  options.retry_restart_multiplier = 1;
+  MappingService service(options);
+
+  auto result = service.Order(StarvedSpectralRequest(points));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->converged);
+  EXPECT_NE(result->detail.find(" | degraded=hilbert"), std::string::npos)
+      << result->detail;
+
+  // The served order is exactly the fallback engine's order.
+  auto hilbert = MakeOrderingEngine("hilbert");
+  ASSERT_TRUE(hilbert.ok());
+  auto reference = (*hilbert)->Order(OrderingRequest::ForPoints(
+      points, "hilbert"));
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(Ranks(result->order), Ranks(reference->order));
+
+  MappingServiceStats stats = service.stats();
+  EXPECT_EQ(stats.retried_solves, 1);
+  EXPECT_EQ(stats.degraded_orders, 1);
+  EXPECT_EQ(stats.solves, 1);
+  // The invariant under test: a degraded order never reaches the cache or
+  // any snapshot exported from it, so the repeat misses and re-degrades.
+  EXPECT_EQ(service.CacheSize(), 0u);
+  EXPECT_TRUE(service.ExportCache().empty());
+
+  auto repeat = service.Order(StarvedSpectralRequest(points));
+  ASSERT_TRUE(repeat.ok());
+  stats = service.stats();
+  EXPECT_EQ(stats.solves, 2);
+  EXPECT_EQ(stats.cache_hits, 0);
+  EXPECT_EQ(stats.degraded_orders, 2);
+  EXPECT_EQ(service.CacheSize(), 0u);
+}
+
+TEST(MappingServiceLadder, EscalatedRetryConvergesAndIsCached) {
+  const PointSet points = PointSet::FullGrid(GridSpec({24, 24}));
+  MappingServiceOptions options;
+  options.parallelism = 1;
+  options.cache_capacity = 64;
+  MappingService service(options);
+
+  // Starve only the restart budget (the Chebyshev filter stays on): one
+  // restart is not enough for a cold 576-vertex solve, but the ladder's
+  // default 4x escalation is — the retry converges and the ladder stops at
+  // rung 1 with a cacheable result.
+  OrderingRequest request = OrderingRequest::ForPoints(points, "spectral");
+  request.options.spectral.fiedler.max_restarts = 1;
+  request.options.spectral.warm_start_threshold = 0;
+
+  auto result = service.Order(request);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->converged);
+  EXPECT_NE(result->detail.find(" converged=1"), std::string::npos)
+      << result->detail;
+  EXPECT_EQ(result->detail.find(" | degraded="), std::string::npos)
+      << result->detail;
+
+  MappingServiceStats stats = service.stats();
+  EXPECT_EQ(stats.retried_solves, 1);
+  EXPECT_EQ(stats.degraded_orders, 0);
+  EXPECT_EQ(service.CacheSize(), 1u);
+
+  auto repeat = service.Order(request);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_NE(repeat->detail.find(" | cache=hit"), std::string::npos);
+  EXPECT_EQ(service.stats().solves, 1);
+}
+
+TEST(MappingServiceLadder, GraphInputsDegradeToBestEffortSpectral) {
+  // A graph request has no geometry to fall back on: the ladder serves the
+  // best-effort spectral order, tagged degraded, still uncached.
+  std::vector<GraphEdge> edges;
+  for (int64_t i = 0; i + 1 < 600; ++i) edges.push_back({i, i + 1, 1.0});
+  const Graph graph = Graph::FromEdges(600, edges);
+
+  MappingServiceOptions options;
+  options.parallelism = 1;
+  options.retry_restart_multiplier = 1;
+  MappingService service(options);
+
+  OrderingRequest request = OrderingRequest::ForGraph(graph);
+  FiedlerOptions& fiedler = request.options.spectral.fiedler;
+  fiedler.max_restarts = 1;
+  fiedler.cheb_degree_max = 0;
+  fiedler.block_max_basis = 4;
+  request.options.spectral.warm_start_threshold = 0;
+
+  auto result = service.Order(request);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->converged);
+  EXPECT_NE(result->detail.find(" | degraded=unconverged"), std::string::npos)
+      << result->detail;
+  EXPECT_EQ(result->order.size(), 600);
+  EXPECT_EQ(service.stats().degraded_orders, 1);
+  EXPECT_EQ(service.CacheSize(), 0u);
+}
+
+TEST(MappingServiceLadder, DisabledLadderServesUnconvergedUncached) {
+  const PointSet points = PointSet::FullGrid(GridSpec({24, 24}));
+  MappingServiceOptions options;
+  options.parallelism = 1;
+  options.degrade_unconverged = false;
+  MappingService service(options);
+
+  auto result = service.Order(StarvedSpectralRequest(points));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->converged);
+  EXPECT_NE(result->detail.find(" converged=0"), std::string::npos);
+  EXPECT_EQ(result->detail.find(" | degraded="), std::string::npos);
+
+  const MappingServiceStats stats = service.stats();
+  EXPECT_EQ(stats.retried_solves, 0);
+  EXPECT_EQ(stats.degraded_orders, 0);
+  // Even with the ladder off, an unconverged order must never be cached.
+  EXPECT_EQ(service.CacheSize(), 0u);
+}
+
+
 }  // namespace
 }  // namespace spectral

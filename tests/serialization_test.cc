@@ -1,4 +1,5 @@
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <vector>
 
@@ -148,6 +149,7 @@ TEST(Serialization, CacheSnapshotRoundTripIsExact) {
     EXPECT_EQ(g.depth, w.depth);
     EXPECT_EQ(g.grid_side, w.grid_side);
     EXPECT_EQ(g.grid_cells, w.grid_cells);
+    EXPECT_EQ(g.converged, w.converged);
     ASSERT_EQ(g.order.size(), w.order.size());
     for (int64_t i = 0; i < w.order.size(); ++i) {
       EXPECT_EQ(g.order.RankOf(i), w.order.RankOf(i));
@@ -169,17 +171,25 @@ TEST(Serialization, EmptyCacheSnapshotRoundTrip) {
 }
 
 TEST(Serialization, CacheSnapshotRejectsWrongVersion) {
-  std::stringstream buffer("spectral-lpm-cache v2\n0\n");
-  const auto loaded = ReadOrderCacheSnapshot(buffer);
-  ASSERT_FALSE(loaded.ok());
-  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  for (const char* old_version :
+       {"spectral-lpm-cache v1\n0\n", "spectral-lpm-cache v3\n0\n"}) {
+    // Even with a valid checksum trailer, a wrong version line is rejected
+    // first (with a version message, not a checksum one).
+    std::stringstream buffer(WithSnapshotChecksum(old_version));
+    const auto loaded = ReadOrderCacheSnapshot(buffer);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(loaded.status().message().find("bad magic"), std::string::npos)
+        << loaded.status();
+  }
 }
 
 TEST(Serialization, CacheSnapshotRejectsTruncation) {
   std::stringstream full;
   ASSERT_TRUE(WriteOrderCacheSnapshot(MakeCacheEntries(), full).ok());
   const std::string text = full.str();
-  // Chop anywhere inside the payload: always a clean error, never a crash.
+  // Chop anywhere inside the payload: always a clean error, never a crash
+  // (the checksum trailer is gone or covers bytes that are).
   for (const double fraction : {0.25, 0.5, 0.9}) {
     std::stringstream truncated(
         text.substr(0, static_cast<size_t>(text.size() * fraction)));
@@ -189,32 +199,60 @@ TEST(Serialization, CacheSnapshotRejectsTruncation) {
   }
 }
 
+TEST(Serialization, CacheSnapshotRejectsBitFlip) {
+  std::stringstream full;
+  ASSERT_TRUE(WriteOrderCacheSnapshot(MakeCacheEntries(), full).ok());
+  std::string text = full.str();
+  // Flip one digit inside an embedding value: structurally still a valid
+  // snapshot, so only the checksum can catch it.
+  const size_t pos = text.find("embedding ");
+  ASSERT_NE(pos, std::string::npos);
+  char& digit = text[pos + std::string("embedding ").size()];
+  digit = digit == '9' ? '8' : '9';
+  std::stringstream flipped(text);
+  const auto loaded = ReadOrderCacheSnapshot(flipped);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("checksum mismatch"),
+            std::string::npos)
+      << loaded.status();
+}
+
 TEST(Serialization, CacheSnapshotRejectsCorruptPayload) {
+  // Bodies with a *valid* checksum trailer, so these exercise the field
+  // parsers behind the checksum gate, not the gate itself.
   const char* kBadSnapshots[] = {
       // Non-permutation ranks.
-      "spectral-lpm-cache v1\n1\n"
+      "spectral-lpm-cache v2\n1\n"
       "entry 000000000000000000000000000000ab\nmethod m\ndetail d\n"
-      "metrics 0 1 0 0 0 0 0 0 0 0\norder 3 0 0 1\nembedding 0\n",
+      "metrics 0 1 0 0 0 0 0 0 0 0 1\norder 3 0 0 1\nembedding 0\n",
       // Bad fingerprint (too short).
-      "spectral-lpm-cache v1\n1\n"
+      "spectral-lpm-cache v2\n1\n"
       "entry 1234\nmethod m\ndetail d\n"
-      "metrics 0 1 0 0 0 0 0 0 0 0\norder 1 0\nembedding 0\n",
+      "metrics 0 1 0 0 0 0 0 0 0 0 1\norder 1 0\nembedding 0\n",
       // Garbage metrics.
-      "spectral-lpm-cache v1\n1\n"
+      "spectral-lpm-cache v2\n1\n"
       "entry 000000000000000000000000000000ab\nmethod m\ndetail d\n"
-      "metrics x 1 0 0 0 0 0 0 0 0\norder 1 0\nembedding 0\n",
+      "metrics x 1 0 0 0 0 0 0 0 0 1\norder 1 0\nembedding 0\n",
+      // Converged flag outside {0, 1}.
+      "spectral-lpm-cache v2\n1\n"
+      "entry 000000000000000000000000000000ab\nmethod m\ndetail d\n"
+      "metrics 0 1 0 0 0 0 0 0 0 0 7\norder 1 0\nembedding 0\n",
       // Embedding shorter than declared.
-      "spectral-lpm-cache v1\n1\n"
+      "spectral-lpm-cache v2\n1\n"
       "entry 000000000000000000000000000000ab\nmethod m\ndetail d\n"
-      "metrics 0 1 0 0 0 0 0 0 0 0\norder 1 0\nembedding 3 0.5\n",
+      "metrics 0 1 0 0 0 0 0 0 0 0 1\norder 1 0\nembedding 3 0.5\n",
       // Negative entry count.
-      "spectral-lpm-cache v1\n-2\n",
+      "spectral-lpm-cache v2\n-2\n",
   };
   for (const char* bad : kBadSnapshots) {
-    std::stringstream buffer(bad);
+    std::stringstream buffer(WithSnapshotChecksum(bad));
     const auto loaded = ReadOrderCacheSnapshot(buffer);
     ASSERT_FALSE(loaded.ok()) << "accepted: " << bad;
     EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(loaded.status().message().find("checksum"), std::string::npos)
+        << "failed at the checksum gate instead of the parser: "
+        << loaded.status();
   }
 }
 
@@ -223,6 +261,8 @@ TEST(Serialization, CacheSnapshotFileRoundTrip) {
   const std::string path = (dir / "spectral_cache_test.txt").string();
   const std::vector<OrderCacheEntry> entries = MakeCacheEntries();
   ASSERT_TRUE(SaveOrderCacheSnapshotToFile(entries, path).ok());
+  // The atomic rename consumed its temp file.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
   auto loaded = LoadOrderCacheSnapshotFromFile(path);
   ASSERT_TRUE(loaded.ok()) << loaded.status();
   EXPECT_EQ(loaded->size(), entries.size());
@@ -231,6 +271,40 @@ TEST(Serialization, CacheSnapshotFileRoundTrip) {
   const auto missing = LoadOrderCacheSnapshotFromFile("/nonexistent/cache.txt");
   ASSERT_FALSE(missing.ok());
   EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Serialization, CorruptCacheSnapshotFileIsQuarantined) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string path = (dir / "spectral_cache_quarantine.txt").string();
+  const std::string quarantine = path + ".corrupt";
+  std::filesystem::remove(path);
+  std::filesystem::remove(quarantine);
+
+  // A valid snapshot, torn mid-file as an interrupted non-atomic writer
+  // would leave it.
+  std::stringstream full;
+  ASSERT_TRUE(WriteOrderCacheSnapshot(MakeCacheEntries(), full).ok());
+  const std::string text = full.str();
+  {
+    std::ofstream torn(path);
+    torn << text.substr(0, text.size() / 2);
+  }
+
+  const auto loaded = LoadOrderCacheSnapshotFromFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  // The damaged file moved aside: the path is clean for the next save and
+  // the bytes are kept for inspection.
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(quarantine));
+  EXPECT_NE(loaded.status().message().find(".corrupt"), std::string::npos)
+      << loaded.status();
+
+  // A second load finds nothing: quarantine is idempotent, never a crash.
+  const auto again = LoadOrderCacheSnapshotFromFile(path);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kNotFound);
+  std::filesystem::remove(quarantine);
 }
 
 }  // namespace

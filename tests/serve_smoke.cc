@@ -3,11 +3,20 @@
 // session, and checks every ORDERED response byte-for-byte against a
 // direct MakeOrderingEngine call on the same request. Plain main (no
 // gtest): argv[1] is the path to the spectral_serve binary.
+//
+// With argv[2] == "--faults" (registered as serve_smoke_faults, only in
+// SPECTRAL_FAULTS builds) it instead runs two failure drills against the
+// same binary: a 100%-everything chaos session where every reply must
+// still be well-formed (typed errors, a deterministic HEALTH line, zero
+// hangs) and byte-identical across two same-seed runs, and a
+// solver-fault-only session where orders degrade to the exact fallback
+// curve order.
 
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -128,13 +137,163 @@ int Run(const char* server_path) {
   return 0;
 }
 
+// Spawns the server in --stdio mode with the given fault spec and drives
+// `requests` strictly sequentially (write one line, read one reply), so
+// every ORDER dispatches as a batch of one and the transcript is
+// deterministic. Returns false on spawn/protocol failure.
+bool RunFaultSession(const char* server_path, const std::string& fault_spec,
+                     const std::vector<std::string>& requests,
+                     std::vector<std::string>* replies) {
+  int to_child[2];
+  int from_child[2];
+  if (pipe(to_child) != 0 || pipe(from_child) != 0) return false;
+  const pid_t pid = fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    dup2(to_child[0], STDIN_FILENO);
+    dup2(from_child[1], STDOUT_FILENO);
+    close(to_child[0]);
+    close(to_child[1]);
+    close(from_child[0]);
+    close(from_child[1]);
+    const std::string faults_arg = "--faults=" + fault_spec;
+    execl(server_path, "spectral_serve", "--stdio", "--window-ms=1",
+          "--cache=64", "--parallelism=1", faults_arg.c_str(),
+          static_cast<char*>(nullptr));
+    std::perror("execl");
+    _exit(127);
+  }
+  close(to_child[0]);
+  close(from_child[1]);
+
+  FdStreambuf out_buf(to_child[1]);
+  FdStreambuf in_buf(from_child[0]);
+  std::ostream to_server(&out_buf);
+  std::istream from_server(&in_buf);
+
+  replies->clear();
+  bool ok = true;
+  for (const std::string& request : requests) {
+    to_server << request << "\n";
+    to_server.flush();
+    std::string reply;
+    if (!std::getline(from_server, reply)) {
+      ok = false;
+      break;
+    }
+    replies->push_back(reply);
+  }
+  close(to_child[1]);
+  close(from_child[0]);
+  int status = 0;
+  if (waitpid(pid, &status, 0) != pid) return false;
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    std::cerr << "serve_smoke: fault-session server exited with status "
+              << status << "\n";
+    return false;
+  }
+  return ok;
+}
+
+int RunFaultDrills(const char* server_path) {
+  const std::string snapshot =
+      "/tmp/serve_smoke_faults_snapshot." + std::to_string(getpid());
+  std::remove(snapshot.c_str());
+
+  // Drill 1: every site armed at 100%. Orders fail with the typed
+  // dispatch error, the snapshot rotation is queued then fails on its
+  // injected write, and HEALTH reports all of it deterministically.
+  const std::string all_sites =
+      "serve.dispatch:1,solver.converge:1,snapshot.write:1,snapshot.rename:1";
+  const std::vector<std::string> chaos_session = {
+      "ORDER a spectral GRID 6x5",
+      "ORDER b hilbert GRID 4x4",
+      "SNAPSHOT sn " + snapshot,
+      "HEALTH h",
+      "QUIT",
+  };
+  std::vector<std::string> first;
+  if (!RunFaultSession(server_path, all_sites, chaos_session, &first)) {
+    return Fail("chaos session did not complete cleanly");
+  }
+  const std::vector<std::string> expect_chaos = {
+      "ERROR a INTERNAL injected serve.dispatch fault: batch of 1 dropped",
+      "ERROR b INTERNAL injected serve.dispatch fault: batch of 1 dropped",
+      "SAVED sn 0 " + snapshot,
+      "HEALTH h accepted=2 shed_overload=0 expired_deadline=0 served_ok=0"
+      " served_error=2 retried_solves=0 degraded_orders=0 cache_entries=0"
+      " snapshots_saved=0 snapshot_failures=1",
+      "BYE",
+  };
+  if (first.size() != expect_chaos.size()) {
+    return Fail("chaos session: expected " +
+                std::to_string(expect_chaos.size()) + " replies, got " +
+                std::to_string(first.size()));
+  }
+  for (size_t i = 0; i < expect_chaos.size(); ++i) {
+    if (first[i] != expect_chaos[i]) {
+      return Fail("chaos reply " + std::to_string(i) + " mismatch:\n  got  " +
+                  first[i] + "\n  want " + expect_chaos[i]);
+    }
+  }
+  // The failed rotation must not have produced a snapshot file.
+  if (FILE* f = std::fopen(snapshot.c_str(), "r")) {
+    std::fclose(f);
+    return Fail("failed rotation left a snapshot at " + snapshot);
+  }
+
+  // Same seed, same session: the transcript must be byte-identical.
+  std::vector<std::string> second;
+  if (!RunFaultSession(server_path, all_sites, chaos_session, &second) ||
+      second != first) {
+    return Fail("chaos session is not reproducible across same-seed runs");
+  }
+
+  // Drill 2: only the solver faults. The point order degrades to exactly
+  // the fallback curve order and is served, not errored — and never
+  // cached, so HEALTH shows a second degraded solve for the repeat.
+  const std::vector<std::string> degraded_session = {
+      "ORDER a spectral GRID 6x5",
+      "ORDER b spectral GRID 6x5",
+      "HEALTH h",
+      "QUIT",
+  };
+  std::vector<std::string> degraded;
+  if (!RunFaultSession(server_path, "solver.converge:1", degraded_session,
+                       &degraded)) {
+    return Fail("degraded session did not complete cleanly");
+  }
+  const std::vector<std::string> expect_degraded = {
+      ExpectedResponse("a", "hilbert", 6, 5),
+      ExpectedResponse("b", "hilbert", 6, 5),
+      "HEALTH h accepted=2 shed_overload=0 expired_deadline=0 served_ok=2"
+      " served_error=0 retried_solves=2 degraded_orders=2 cache_entries=0"
+      " snapshots_saved=0 snapshot_failures=0",
+      "BYE",
+  };
+  for (size_t i = 0; i < expect_degraded.size(); ++i) {
+    if (i >= degraded.size() || degraded[i] != expect_degraded[i]) {
+      return Fail("degraded reply " + std::to_string(i) +
+                  " mismatch:\n  got  " +
+                  (i < degraded.size() ? degraded[i] : "<missing>") +
+                  "\n  want " + expect_degraded[i]);
+    }
+  }
+
+  std::remove((snapshot + ".tmp").c_str());
+  std::cout << "serve_smoke: PASS (fault drills)\n";
+  return 0;
+}
+
 }  // namespace
 }  // namespace spectral
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::cerr << "usage: serve_smoke <path to spectral_serve>\n";
+  if (argc < 2 || argc > 3 ||
+      (argc == 3 && std::string(argv[2]) != "--faults")) {
+    std::cerr << "usage: serve_smoke <path to spectral_serve> [--faults]\n";
     return 2;
   }
+  if (argc == 3) return spectral::RunFaultDrills(argv[1]);
   return spectral::Run(argv[1]);
 }

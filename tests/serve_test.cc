@@ -28,6 +28,7 @@
 #include "serve/wire.h"
 #include "space/grid.h"
 #include "space/point_set.h"
+#include "util/fault.h"
 
 namespace spectral {
 namespace {
@@ -240,7 +241,7 @@ TEST(OrderingServer, WarmRestartFromSnapshotDoesZeroSolves) {
   std::filesystem::remove(path);
 }
 
-TEST(OrderingServer, CorruptSnapshotStartsColdWithoutCrashing) {
+TEST(OrderingServer, CorruptSnapshotIsQuarantinedAndStartsCold) {
   const std::string path =
       (std::filesystem::temp_directory_path() / "serve_corrupt_test.txt")
           .string();
@@ -254,10 +255,59 @@ TEST(OrderingServer, CorruptSnapshotStartsColdWithoutCrashing) {
   const auto imported = server.LoadSnapshot(path);
   ASSERT_FALSE(imported.ok());
   EXPECT_EQ(imported.status().code(), StatusCode::kInvalidArgument);
+  // The damaged file was moved aside for inspection, never reloaded.
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+  EXPECT_NE(imported.status().message().find(".corrupt"), std::string::npos);
   // The server is cold but fully serviceable.
   const auto result = server.Submit(GridRequest(5, 5)).get();
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(server.stats().service.solves, 1);
+  std::filesystem::remove(path + ".corrupt");
+}
+
+TEST(OrderingServer, SnapshotRotationRunsOffThreadAndIsCrashSafe) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "serve_rotation_test.txt")
+          .string();
+  std::filesystem::remove(path);
+  OrderingServerOptions options;
+  options.service.cache_capacity = 16;
+  {
+    OrderingServer server(options);
+    ASSERT_TRUE(server.Submit(GridRequest(6, 6)).get().ok());
+    ASSERT_TRUE(server.Submit(GridRequest(5, 7)).get().ok());
+
+    auto queued = server.RotateSnapshot(path);
+    ASSERT_TRUE(queued.ok()) << queued.status();
+    EXPECT_EQ(*queued, 2);
+    server.FlushSnapshots();
+    EXPECT_EQ(server.stats().snapshots_saved, 1);
+    EXPECT_EQ(server.stats().snapshot_failures, 0);
+    // No stray temp file: the write was renamed into place atomically.
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+    // A later rotation replaces the file in place (still atomically).
+    ASSERT_TRUE(server.Submit(GridRequest(4, 9)).get().ok());
+    ASSERT_TRUE(server.RotateSnapshot(path).ok());
+    server.FlushSnapshots();
+    EXPECT_EQ(server.stats().snapshots_saved, 2);
+
+    EXPECT_EQ(server.RotateSnapshot("").status().code(),
+              StatusCode::kInvalidArgument);
+  }
+
+  // The rotated snapshot warm-starts a fresh server with zero solves.
+  OrderingServer restarted(options);
+  auto imported = restarted.LoadSnapshot(path);
+  ASSERT_TRUE(imported.ok()) << imported.status();
+  EXPECT_EQ(*imported, 3);
+  ASSERT_TRUE(restarted.Submit(GridRequest(6, 6)).get().ok());
+  EXPECT_EQ(restarted.stats().service.solves, 0);
+
+  restarted.Shutdown();
+  EXPECT_EQ(restarted.RotateSnapshot(path).status().code(),
+            StatusCode::kFailedPrecondition);
   std::filesystem::remove(path);
 }
 
@@ -319,6 +369,7 @@ TEST(Wire, ParseRejectsMalformedLines) {
       "ORDER id spectral deadline=abc GRID 4x4",
       "ORDER id spectral POINTS 2 3 0 0 1",
       "SNAPSHOT id",
+      "HEALTH",
   };
   for (const char* line : kBad) {
     const auto parsed = ParseWireRequest(line);
@@ -326,11 +377,15 @@ TEST(Wire, ParseRejectsMalformedLines) {
   }
 }
 
-TEST(Wire, StatsAndQuitParse) {
+TEST(Wire, StatsHealthAndQuitParse) {
   auto stats = ParseWireRequest("STATS q7");
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->command, WireCommand::kStats);
   EXPECT_EQ(stats->id, "q7");
+  auto health = ParseWireRequest("HEALTH h3");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->command, WireCommand::kHealth);
+  EXPECT_EQ(health->id, "h3");
   auto quit = ParseWireRequest("QUIT");
   ASSERT_TRUE(quit.ok());
   EXPECT_EQ(quit->command, WireCommand::kQuit);
@@ -348,6 +403,7 @@ TEST(OrderingServer, ServeStreamEndToEnd) {
       "ORDER a2 spectral GRID 6x5\n"
       "bad line\n"
       "STATS s\n"
+      "HEALTH h\n"
       "QUIT\n");
   std::ostringstream out;
   server.ServeStream(in, out);
@@ -356,7 +412,7 @@ TEST(OrderingServer, ServeStreamEndToEnd) {
   std::vector<std::string> replies;
   std::string line;
   while (std::getline(lines, line)) replies.push_back(line);
-  ASSERT_EQ(replies.size(), 6u);
+  ASSERT_EQ(replies.size(), 7u);
 
   auto parsed = ParseWireRequest("ORDER a spectral GRID 6x5");
   ASSERT_TRUE(parsed.ok());
@@ -372,7 +428,112 @@ TEST(OrderingServer, ServeStreamEndToEnd) {
   EXPECT_EQ(replies[4].rfind("STATS s ", 0), 0u);
   EXPECT_NE(replies[4].find(" requests=3"), std::string::npos);
   EXPECT_NE(replies[4].find(" solves=2"), std::string::npos);
-  EXPECT_EQ(replies[5], "BYE");
+  // HEALTH carries only deterministic counters (no latency percentiles).
+  EXPECT_EQ(replies[5],
+            "HEALTH h accepted=3 shed_overload=0 expired_deadline=0 "
+            "served_ok=3 served_error=0 retried_solves=0 degraded_orders=0 "
+            "cache_entries=2 snapshots_saved=0 snapshot_failures=0");
+  EXPECT_EQ(replies[6], "BYE");
+}
+
+// --- Fault-injection failure drills (SPECTRAL_FAULTS builds only) -------
+
+TEST(OrderingServerFaults, SnapshotWriteFailureLeavesPreviousGeneration) {
+  if (!kFaultInjectionEnabled) {
+    GTEST_SKIP() << "built without SPECTRAL_FAULTS";
+  }
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "serve_fault_snapshot.txt")
+          .string();
+  std::filesystem::remove(path);
+
+  FaultInjector faults;
+  OrderingServerOptions options;
+  options.service.cache_capacity = 16;
+  options.faults = &faults;
+  OrderingServer server(options);
+  ASSERT_TRUE(server.Submit(GridRequest(6, 6)).get().ok());
+
+  // Generation 1 lands cleanly.
+  ASSERT_TRUE(server.RotateSnapshot(path).ok());
+  server.FlushSnapshots();
+  ASSERT_EQ(server.stats().snapshots_saved, 1);
+
+  // Generation 2's write is injected to fail mid-file: the rotation is
+  // counted as a failure and generation 1 must remain fully readable.
+  ASSERT_TRUE(server.Submit(GridRequest(5, 7)).get().ok());
+  faults.Arm("snapshot.write", FaultSiteConfig{1.0, {}});
+  ASSERT_TRUE(server.RotateSnapshot(path).ok());
+  server.FlushSnapshots();
+  EXPECT_EQ(server.stats().snapshot_failures, 1);
+  EXPECT_EQ(server.stats().snapshots_saved, 1);
+
+  OrderingServer restarted(OrderingServerOptions{});
+  auto imported = restarted.LoadSnapshot(path);
+  ASSERT_TRUE(imported.ok()) << imported.status();
+  EXPECT_EQ(*imported, 1);  // generation 1, untouched by the torn write
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".tmp");
+}
+
+TEST(OrderingServerFaults, SolverFaultServesDegradedAndNeverPoisonsCache) {
+  if (!kFaultInjectionEnabled) {
+    GTEST_SKIP() << "built without SPECTRAL_FAULTS";
+  }
+  FaultInjector faults;
+  faults.Arm("solver.converge", FaultSiteConfig{1.0, {}});
+  OrderingServerOptions options;
+  options.service.cache_capacity = 16;
+  options.service.parallelism = 1;
+  options.faults = &faults;
+  OrderingServer server(options);
+
+  // Every solve (including the ladder's retry) is forced unconverged, so
+  // the point request degrades to the fallback curve — and is NOT cached.
+  auto degraded = server.Submit(GridRequest(6, 6)).get();
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_FALSE(degraded->converged);
+  EXPECT_NE(degraded->detail.find(" | degraded=hilbert"), std::string::npos)
+      << degraded->detail;
+  EXPECT_EQ(server.stats().service.degraded_orders, 1);
+  EXPECT_EQ(server.stats().service.retried_solves, 1);
+  EXPECT_EQ(server.service().CacheSize(), 0u);
+
+  // With the fault disarmed the same request solves cleanly from scratch:
+  // no degraded bytes were left behind in the cache.
+  faults.Arm("solver.converge", FaultSiteConfig{});
+  auto healthy = server.Submit(GridRequest(6, 6)).get();
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+  EXPECT_TRUE(healthy->converged);
+  EXPECT_EQ(healthy->detail.find(" | degraded="), std::string::npos);
+  ExpectMatchesDirect(*healthy, GridRequest(6, 6));
+  EXPECT_EQ(server.stats().service.solves, 2);
+  EXPECT_EQ(server.service().CacheSize(), 1u);
+}
+
+TEST(OrderingServerFaults, DispatchFaultFailsTheBatchWithTypedError) {
+  if (!kFaultInjectionEnabled) {
+    GTEST_SKIP() << "built without SPECTRAL_FAULTS";
+  }
+  FaultInjector faults;
+  // Only the first dispatched batch fails; the next one serves normally.
+  faults.Arm("serve.dispatch", FaultSiteConfig{0.0, {0}});
+  OrderingServerOptions options;
+  options.service.cache_capacity = 0;
+  options.faults = &faults;
+  OrderingServer server(options);
+
+  auto failed = server.Submit(GridRequest(5, 5)).get();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kInternal);
+  EXPECT_NE(failed.status().message().find("serve.dispatch"),
+            std::string::npos);
+
+  auto ok = server.Submit(GridRequest(5, 5)).get();
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  const OrderingServerStats stats = server.stats();
+  EXPECT_EQ(stats.served_error, 1);
+  EXPECT_EQ(stats.served_ok, 1);
 }
 
 TEST(OrderingServer, TcpRoundTrip) {

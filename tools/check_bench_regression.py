@@ -19,10 +19,15 @@ fails on regressions. Four suites are known:
   service      bench_service_traffic -> bench_results/BENCH_service_traffic.json
                rows keyed (scenario,); gates only the machine-portable
                metrics — cache hit rate drops, deduplicated-solve-count
-               growth, and Spearman-vs-direct drops (all deterministic:
-               the bench pins the request mix seed and uses a cache larger
-               than the request universe). Absolute qps and latency are
-               reported but never gated; wall_ms feeds the share check.
+               growth, Spearman-vs-direct drops, and (rows that carry
+               them) exact ladder counters retried_solves /
+               degraded_orders (all deterministic: the bench pins the
+               request mix seed, the fault schedule, and uses a cache
+               larger than the request universe). The "degraded" row is
+               only emitted by SPECTRAL_FAULTS=ON builds — gate this
+               suite from one (CI's bench job is). Absolute qps and
+               latency are reported but never gated; wall_ms feeds the
+               share check.
   query        bench_query_io -> bench_results/BENCH_query_io.json
                rows keyed (workload, engine, pool_pages); gates the
                deterministic page-I/O counters (pages-touched growth,
@@ -200,6 +205,16 @@ class ServiceSuite(Suite):
             failures.append(
                 f"{name}: spearman_min_vs_direct {base_rho:.6f} -> "
                 f"{cur_rho:.6f}")
+        # Degradation-ladder counters are exact integers (fixed fault
+        # schedule, serial deterministic solve order), so any drift in
+        # either direction is a ladder regression — fewer retries means
+        # the schedule stopped landing, more degraded orders means the
+        # escalated retry stopped rescuing solves. Gated only when the
+        # baseline row carries the fields (pre-ladder baselines do not).
+        for field in ("retried_solves", "degraded_orders"):
+            if field in base and cur.get(field) != base[field]:
+                failures.append(
+                    f"{name}: {field} {base[field]} -> {cur.get(field)}")
         return failures
 
 

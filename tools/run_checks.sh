@@ -5,6 +5,12 @@
 #                                    build everything, run ctest, then lint
 #   tools/run_checks.sh --sanitize   ASan+UBSan build of the whole tree and
 #                                    a full ctest run under the sanitizers
+#   tools/run_checks.sh --faults     SPECTRAL_FAULTS=ON build and the
+#                                    fault-labeled ctest suite (ctest -L
+#                                    faults): deterministic fault
+#                                    injection, the degradation ladder,
+#                                    snapshot crash-safety, and the
+#                                    100%-fault serve smoke drills
 #   tools/run_checks.sh --lint-only  banned-pattern source lint only (this
 #                                    mode is registered as a ctest test, so
 #                                    a plain ctest run also lints)
@@ -102,6 +108,23 @@ lint() {
     failed=1
   fi
 
+  # Snapshot/state writes in the libraries must flow through the crash-safe
+  # path in core/serialization.cc (tmp file + fsync + atomic rename) — a
+  # raw ofstream can tear the file on a crash. util/csv_writer.h is the one
+  # sanctioned stream writer (bench/tool CSV output, not durable state);
+  # tests/bench/tools write scratch files freely.
+  local ofstream_uses
+  ofstream_uses="$(grep -rn --include='*.cc' --include='*.h' \
+       'std::ofstream' src 2>/dev/null \
+     | grep -v '^src/core/serialization\.cc:' \
+     | grep -v '^src/util/csv_writer\.h:')"
+  if [ -n "${ofstream_uses}" ]; then
+    echo "${ofstream_uses}"
+    echo "FAIL: raw std::ofstream in library code (see above); durable" \
+         "state goes through core/serialization.cc's atomic save path"
+    failed=1
+  fi
+
   # Leftover seed-scaffolding markers: every layer is live now, so a
   # TODO(seed) means a migration was left half-done.
   if grep -rn --include='*.cc' --include='*.h' --include='*.cpp' \
@@ -142,12 +165,22 @@ fi
 
 build_dir="${BUILD_DIR:-build-checks}"
 configure_args=(-DSPECTRAL_WERROR=ON -DCMAKE_BUILD_TYPE=Release)
+ctest_args=()
 if [ "${1:-}" = "--sanitize" ]; then
   build_dir="${BUILD_DIR:-build-sanitize}"
   # RelWithDebInfo keeps the eigensolver fast enough for the suite while
   # ASan/UBSan reports still carry symbols and line numbers.
   configure_args=(-DSPECTRAL_WERROR=ON -DSPECTRAL_SANITIZE=ON
                   -DCMAKE_BUILD_TYPE=RelWithDebInfo)
+fi
+if [ "${1:-}" = "--faults" ]; then
+  build_dir="${BUILD_DIR:-build-faults}"
+  configure_args=(-DSPECTRAL_WERROR=ON -DSPECTRAL_FAULTS=ON
+                  -DCMAKE_BUILD_TYPE=Release)
+  # Only the fault-labeled suite: the full matrix already ran in the plain
+  # build; this run exists to exercise the injected-failure paths (and the
+  # serve_smoke_faults chaos drill, which only registers in this build).
+  ctest_args=(-L faults)
 fi
 if command -v ccache >/dev/null 2>&1; then
   configure_args+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
@@ -169,7 +202,7 @@ if ! ctest --test-dir "${build_dir}" -N 2>/dev/null \
 fi
 
 run_phase "ctest" ctest --test-dir "${build_dir}" --output-on-failure \
-  -j "$(nproc)"
+  -j "$(nproc)" ${ctest_args[@]+"${ctest_args[@]}"}
 run_phase "lint" lint
 
 print_summary

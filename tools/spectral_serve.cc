@@ -16,19 +16,30 @@
 //   --cache=N          LRU order-cache capacity in entries (default 4096)
 //   --parallelism=N    worker threads (0 = hardware concurrency)
 //   --snapshot=PATH    restore the order cache from PATH on start (a
-//                      missing/corrupt snapshot just starts cold) and save
-//                      it back on clean exit
+//                      missing snapshot starts cold; a corrupt one is
+//                      quarantined to PATH.corrupt and starts cold) and
+//                      save it back on clean exit
+//   --faults=SPEC      arm the fault-injection registry (SPECTRAL_FAULTS
+//                      builds only; a warning otherwise). SPEC is
+//                      comma-separated site:probability or site:#i/j/k
+//                      hit schedules, e.g.
+//                      "solver.converge:1,snapshot.write:#0"
+//   --fault-seed=N     seed for the fault registry's per-site streams
+//                      (default 0x5EED5EED5EED5EED)
 //
 // In --stdio mode the process exits when the client sends QUIT or closes
 // stdin. In --port mode it runs until SIGINT/SIGTERM, then drains and (with
-// --snapshot) persists the cache.
+// --snapshot) persists the cache; SIGHUP rotates the snapshot immediately
+// (crash-safe, off the serving threads) without stopping.
 
 #include <csignal>
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "serve/ordering_server.h"
+#include "util/fault.h"
 #include "util/string_util.h"
 
 namespace spectral {
@@ -37,6 +48,8 @@ namespace {
 struct ServeArgs {
   bool stdio = false;
   int port = -1;
+  std::string fault_spec;
+  uint64_t fault_seed = 0x5EED5EED5EED5EEDull;
   OrderingServerOptions server;
 
   ServeArgs() { server.service.cache_capacity = 4096; }
@@ -53,15 +66,33 @@ bool ParseFlag(const std::string& arg, const std::string& name,
 int Usage() {
   std::cerr << "usage: spectral_serve (--stdio | --port=N) [--window-ms=MS] "
                "[--max-batch=K] [--queue=N] [--deadline-ms=MS] [--cache=N] "
-               "[--parallelism=N] [--snapshot=PATH]\n";
+               "[--parallelism=N] [--snapshot=PATH] [--faults=SPEC] "
+               "[--fault-seed=N]\n";
   return 2;
 }
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_rotate = 0;
 void HandleStop(int) { g_stop = 1; }
+void HandleRotate(int) { g_rotate = 1; }
 
 int RunServer(const ServeArgs& args) {
-  OrderingServer server(args.server);
+  // Process-lifetime registry; the server (and everything below it) holds
+  // a raw pointer, so it must outlive the OrderingServer.
+  FaultInjector faults(args.fault_seed);
+  OrderingServerOptions server_options = args.server;
+  if (!args.fault_spec.empty()) {
+    if (!kFaultInjectionEnabled) {
+      std::cerr << "warning: --faults ignored (built without "
+                   "SPECTRAL_FAULTS)\n";
+    } else if (const Status s = faults.ArmFromSpec(args.fault_spec); !s.ok()) {
+      std::cerr << "bad --faults spec: " << s << "\n";
+      return 2;
+    } else {
+      server_options.faults = &faults;
+    }
+  }
+  OrderingServer server(server_options);
   const std::string& snapshot = args.server.snapshot_path;
   if (!snapshot.empty()) {
     auto restored = server.LoadSnapshot(snapshot);
@@ -86,9 +117,24 @@ int RunServer(const ServeArgs& args) {
     std::cout << "LISTENING " << *port << std::endl;
     std::signal(SIGINT, HandleStop);
     std::signal(SIGTERM, HandleStop);
+    std::signal(SIGHUP, HandleRotate);
     sigset_t empty;
     sigemptyset(&empty);
-    while (g_stop == 0) sigsuspend(&empty);
+    while (g_stop == 0) {
+      sigsuspend(&empty);
+      if (g_rotate != 0) {
+        g_rotate = 0;
+        if (snapshot.empty()) {
+          std::cerr << "SIGHUP ignored: no --snapshot path configured\n";
+        } else if (auto queued = server.RotateSnapshot(snapshot);
+                   queued.ok()) {
+          std::cerr << "SIGHUP: rotating snapshot (" << *queued
+                    << " entries) to " << snapshot << "\n";
+        } else {
+          std::cerr << "SIGHUP rotation failed: " << queued.status() << "\n";
+        }
+      }
+    }
     std::cerr << "draining...\n";
   }
 
@@ -139,6 +185,11 @@ int main(int argc, char** argv) {
       if (args.server.service.parallelism < 0) return spectral::Usage();
     } else if (spectral::ParseFlag(arg, "snapshot", &value)) {
       args.server.snapshot_path = value;
+    } else if (spectral::ParseFlag(arg, "faults", &value)) {
+      args.fault_spec = value;
+    } else if (spectral::ParseFlag(arg, "fault-seed", &value)) {
+      args.fault_seed =
+          static_cast<uint64_t>(std::strtoull(value.c_str(), nullptr, 0));
     } else {
       return spectral::Usage();
     }
